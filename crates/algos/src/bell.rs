@@ -1,0 +1,136 @@
+//! The Bell kernel workload (paper Listings 1 and 4).
+
+use qcor::{initialize, qalloc, InitOptions, Kernel, QReg, QcorError, TaskFuture};
+
+/// The exact kernel source of paper Listing 1 / Listing 4.
+pub const BELL_XASM: &str = r#"
+__qpu__ void bell(qreg q) {
+    using qcor::xasm;
+    H(q[0]);
+    CX(q[0], q[1]);
+    for (int i = 0; i < q.size(); i++) {
+        Measure(q[i]);
+    }
+}
+"#;
+
+/// Compile the Bell kernel.
+pub fn bell_kernel() -> Kernel {
+    Kernel::from_xasm(BELL_XASM, 2).expect("static Bell kernel source is valid")
+}
+
+/// The `foo()` of paper Listing 4: allocate two qubits, run the Bell
+/// kernel on the calling thread's accelerator, return the register.
+pub fn foo() -> Result<QReg, QcorError> {
+    let q = qalloc(2);
+    bell_kernel().invoke(&q, &[])?;
+    Ok(q)
+}
+
+/// Launch `tasks` Bell kernels in parallel (Listing 4's two `std::thread`s,
+/// generalized), each on its own thread with its own accelerator instance
+/// configured with `threads_per_task` simulator threads and `shots` shots.
+///
+/// The calling thread does not need to be initialized; each task
+/// initializes itself, which is exactly what the `qcor::thread` wrapper
+/// automates.
+pub fn run_bells_parallel(
+    tasks: usize,
+    threads_per_task: usize,
+    shots: usize,
+    seed: Option<u64>,
+) -> Result<Vec<QReg>, QcorError> {
+    let futures: Vec<TaskFuture<Result<QReg, QcorError>>> = (0..tasks)
+        .map(|t| {
+            qcor::spawn(move || {
+                let opts = InitOptions::default().threads(threads_per_task).shots(shots);
+                let opts = match seed {
+                    Some(s) => opts.seed(s.wrapping_add(t as u64)),
+                    None => opts,
+                };
+                initialize(opts)?;
+                foo()
+            })
+        })
+        .collect();
+    futures.into_iter().map(TaskFuture::get).collect()
+}
+
+/// Run `tasks` Bell kernels one after the other (the paper's conventional
+/// "one-by-one" baseline), each with `threads_per_kernel` simulator
+/// threads.
+pub fn run_bells_one_by_one(
+    tasks: usize,
+    threads_per_kernel: usize,
+    shots: usize,
+    seed: Option<u64>,
+) -> Result<Vec<QReg>, QcorError> {
+    let mut out = Vec::with_capacity(tasks);
+    for t in 0..tasks {
+        let opts = InitOptions::default().threads(threads_per_kernel).shots(shots);
+        let opts = match seed {
+            Some(s) => opts.seed(s.wrapping_add(t as u64)),
+            None => opts,
+        };
+        // Fresh instance per kernel, exactly like the fixed runtime does.
+        initialize(opts)?;
+        out.push(foo()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bell_counts(q: &QReg, shots: usize) {
+        assert_eq!(q.total_shots(), shots);
+        let counts = q.measurement_counts();
+        assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+        let p00 = q.probability("00");
+        assert!((p00 - 0.5).abs() < 0.2, "p(00) = {p00}");
+    }
+
+    #[test]
+    fn one_by_one_produces_clean_bell_counts() {
+        std::thread::spawn(|| {
+            let regs = run_bells_one_by_one(2, 1, 256, Some(10)).unwrap();
+            for q in &regs {
+                assert_bell_counts(q, 256);
+            }
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn parallel_produces_clean_bell_counts() {
+        let regs = run_bells_parallel(2, 1, 256, Some(20)).unwrap();
+        assert_eq!(regs.len(), 2);
+        for q in &regs {
+            assert_bell_counts(q, 256);
+        }
+    }
+
+    #[test]
+    fn parallel_and_one_by_one_agree_statistically() {
+        std::thread::spawn(|| {
+            let par = run_bells_parallel(2, 1, 2048, Some(30)).unwrap();
+            let seq = run_bells_one_by_one(2, 1, 2048, Some(40)).unwrap();
+            for (a, b) in par.iter().zip(&seq) {
+                assert!((a.probability("00") - b.probability("00")).abs() < 0.1);
+            }
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn many_parallel_tasks() {
+        let regs = run_bells_parallel(8, 1, 64, Some(50)).unwrap();
+        assert_eq!(regs.len(), 8);
+        for q in &regs {
+            assert_eq!(q.total_shots(), 64);
+        }
+    }
+}

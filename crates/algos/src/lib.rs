@@ -1,0 +1,20 @@
+//! # qcor-algos — quantum-classical algorithms on the qcor runtime
+//!
+//! The workloads of the paper's motivation and evaluation sections:
+//!
+//! * [`bell`] — the Bell kernel of Listings 1/4 and its task-parallel
+//!   launchers (the Figure 3 workload),
+//! * [`shor`] — Shor's algorithm end to end: the classical driver of paper
+//!   Algorithm 1, its parallel variant (Algorithm 2), and two period-
+//!   finding kernels — a textbook phase-estimation version and the
+//!   Beauregard 2n+3-qubit construction the paper's kernel is based on
+//!   (the Figures 4/5 workload),
+//! * [`vqe`] — the variational eigensolver of Listing 3 with the
+//!   asynchronous multi-start driver of §VII,
+//! * [`qaoa`] — QAOA MaxCut, the other variational workload QCOR programs
+//!   commonly express.
+
+pub mod bell;
+pub mod qaoa;
+pub mod shor;
+pub mod vqe;

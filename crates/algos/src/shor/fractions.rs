@@ -1,0 +1,100 @@
+//! Continued-fraction post-processing for order finding.
+//!
+//! A phase-estimation measurement `y` over `t` counting bits approximates
+//! `y / 2^t ≈ s / r` with the order `r` as denominator; the convergents of
+//! the continued-fraction expansion of `y / 2^t` recover candidate `r`s
+//! (paper Algorithm 1, line 13: "estimate r from the measurements").
+
+/// The convergent denominators of `y / 2^t`, ascending, bounded by
+/// `max_denominator`. Zero phases yield an empty list.
+pub fn convergent_denominators(y: u64, t_bits: u32, max_denominator: u64) -> Vec<u64> {
+    if y == 0 {
+        return Vec::new();
+    }
+    let mut num = y as u128;
+    let mut den = 1u128 << t_bits;
+    // Continued-fraction coefficients of num/den, building convergents
+    // h_k / k_k with the standard recurrence.
+    // Seed with the standard h_{-2} = 0, h_{-1} = 1 / k_{-2} = 1, k_{-1} = 0.
+    let (mut h_prev, mut h) = (0u128, 1u128);
+    let (mut k_prev, mut k) = (1u128, 0u128);
+    let mut out = Vec::new();
+    while den != 0 {
+        let a = num / den;
+        (num, den) = (den, num % den);
+        let h_next = a * h + h_prev;
+        let k_next = a * k + k_prev;
+        (h_prev, h) = (h, h_next);
+        (k_prev, k) = (k, k_next);
+        if k > 1 {
+            if k as u64 as u128 != k || k as u64 > max_denominator {
+                break;
+            }
+            out.push(k as u64);
+        }
+        let _ = h; // numerators are not needed for order finding
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Least common multiple (saturating at `u64::MAX`).
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = qcor_circuit::arith::gcd(a, b);
+    (a / g).saturating_mul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_measurement_gives_no_candidates() {
+        assert!(convergent_denominators(0, 8, 100).is_empty());
+    }
+
+    #[test]
+    fn exact_phase_recovers_denominator() {
+        // y/2^t = 3/8 exactly: denominators of convergents include 8.
+        let c = convergent_denominators(3 * (1 << 5), 8, 64);
+        assert!(c.contains(&8), "{c:?}");
+    }
+
+    #[test]
+    fn approximate_phase_recovers_order() {
+        // Order r = 4 for a=7, N=15 with t = 8 counting bits: the ideal
+        // measurement peaks are y ≈ s·2^t/r = 0, 64, 128, 192.
+        for y in [64u64, 192] {
+            let c = convergent_denominators(y, 8, 15);
+            assert!(c.contains(&4), "y={y}: {c:?}");
+        }
+        // y = 128 gives s/r = 1/2 → denominator 2 (a divisor of r).
+        let c = convergent_denominators(128, 8, 15);
+        assert!(c.contains(&2), "{c:?}");
+    }
+
+    #[test]
+    fn noisy_peak_still_recovers() {
+        // y = 65 ≈ 64: 65/256 has a convergent with denominator 4.
+        let c = convergent_denominators(65, 8, 15);
+        assert!(c.contains(&4), "{c:?}");
+    }
+
+    #[test]
+    fn respects_max_denominator() {
+        let c = convergent_denominators(123, 12, 10);
+        assert!(c.iter().all(|&d| d <= 10), "{c:?}");
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 9), 9);
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(7, 7), 7);
+    }
+}

@@ -1,0 +1,140 @@
+//! The variational quantum eigensolver of paper Listing 3, plus the
+//! asynchronous multi-start driver sketched in §VII ("the pleasantly
+//! parallel nature of the optimization process can be utilized with
+//! multiple asynchronous quantum kernel instances minimizing over
+//! θ-space").
+
+use qcor::{
+    create_objective_function, create_optimizer, qalloc, HetMap, Kernel, ObjectiveFunction,
+    OptimizerResult, QcorError,
+};
+use qcor_pauli::{deuteron_hamiltonian, PauliSum};
+
+/// The ansatz of paper Listing 3.
+pub const DEUTERON_ANSATZ_XASM: &str = r#"
+__qpu__ void ansatz(qreg q, double theta) {
+    X(q[0]);
+    Ry(q[1], theta);
+    CX(q[1], q[0]);
+}
+"#;
+
+/// Compile the Listing 3 ansatz kernel.
+pub fn deuteron_ansatz() -> Kernel {
+    Kernel::from_xasm(DEUTERON_ANSATZ_XASM, 2).expect("static ansatz source is valid")
+}
+
+/// Result of a VQE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqeResult {
+    /// Minimum energy found.
+    pub energy: f64,
+    /// Optimal variational parameters.
+    pub params: Vec<f64>,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+    /// The starting point that won (multi-start only; equals the initial
+    /// guess otherwise).
+    pub start: Vec<f64>,
+}
+
+/// Run VQE for an arbitrary ansatz/Hamiltonian with the named optimizer
+/// (exact expectation evaluation).
+pub fn run_vqe(
+    ansatz: Kernel,
+    hamiltonian: PauliSum,
+    n_params: usize,
+    optimizer_name: &str,
+    x0: &[f64],
+) -> Result<VqeResult, QcorError> {
+    let n_qubits = hamiltonian.num_qubits().max(2);
+    let q = qalloc(n_qubits);
+    let objective: ObjectiveFunction = create_objective_function(
+        ansatz,
+        hamiltonian,
+        q,
+        n_params,
+        &HetMap::new().with("gradient-strategy", "central").with("step", 1e-3),
+    )?;
+    let optimizer = create_optimizer(optimizer_name, &HetMap::new())
+        .ok_or_else(|| QcorError::Kernel(format!("unknown optimizer `{optimizer_name}`")))?;
+    let OptimizerResult { opt_val, opt_params, evaluations, .. } = optimizer.optimize(&objective, x0);
+    Ok(VqeResult { energy: opt_val, params: opt_params, evaluations, start: x0.to_vec() })
+}
+
+/// The full Listing 3 program: Deuteron VQE from θ = 0 with L-BFGS
+/// (the `nlopt`/`l-bfgs` configuration of the paper).
+pub fn deuteron_vqe() -> Result<VqeResult, QcorError> {
+    run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, "l-bfgs", &[0.0])
+}
+
+/// Multi-start VQE: one asynchronous task per starting point (each with
+/// its own objective and accelerator-independent evaluation), returning
+/// the best result. This is the §VII VQE parallelization scenario.
+pub fn deuteron_vqe_multistart(starts: &[f64], optimizer_name: &'static str) -> Result<VqeResult, QcorError> {
+    let futures: Vec<_> = starts
+        .iter()
+        .map(|&theta0| {
+            qcor::async_task(move || {
+                run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, optimizer_name, &[theta0])
+            })
+        })
+        .collect();
+    let mut best: Option<VqeResult> = None;
+    for f in futures {
+        let result = f.get()?;
+        let better = match &best {
+            Some(b) => result.energy < b.energy,
+            None => true,
+        };
+        if better {
+            best = Some(result);
+        }
+    }
+    best.ok_or_else(|| QcorError::Kernel("multi-start VQE needs at least one start".into()))
+}
+
+/// Reference ground-state energy of the Deuteron Hamiltonian on this
+/// ansatz (for tests and EXPERIMENTS.md).
+pub const DEUTERON_GROUND_STATE: f64 = -1.748_865;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_3_program_reaches_ground_state() {
+        let r = deuteron_vqe().unwrap();
+        assert!((r.energy - DEUTERON_GROUND_STATE).abs() < 1e-3, "{r:?}");
+        assert!(r.evaluations > 2);
+    }
+
+    #[test]
+    fn all_optimizers_reach_ground_state() {
+        for name in ["l-bfgs", "nelder-mead", "adam"] {
+            let r = run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, name, &[0.1]).unwrap();
+            assert!(
+                (r.energy - DEUTERON_GROUND_STATE).abs() < 5e-3,
+                "{name}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multistart_beats_or_matches_single_start() {
+        let single = run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, "l-bfgs", &[3.0]).unwrap();
+        let multi = deuteron_vqe_multistart(&[-2.0, 0.0, 1.0, 3.0], "l-bfgs").unwrap();
+        assert!(multi.energy <= single.energy + 1e-9);
+        assert!((multi.energy - DEUTERON_GROUND_STATE).abs() < 1e-3, "{multi:?}");
+    }
+
+    #[test]
+    fn unknown_optimizer_errors() {
+        assert!(run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, "quantum-annealing", &[0.0]).is_err());
+    }
+
+    #[test]
+    fn empty_multistart_errors() {
+        assert!(deuteron_vqe_multistart(&[], "l-bfgs").is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion companion to Figure 3: Bell-kernel shot loops at different
+//! simulator thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcor_circuit::library;
+use qcor_pool::ThreadPool;
+use qcor_sim::{run_shots, RunConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_bell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bell_kernel");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let circuit = library::bell_kernel();
+    let max_threads = qcor_pool::available_parallelism().max(2);
+    let mut ladder = vec![1usize, 2, max_threads];
+    ladder.dedup();
+    for threads in ladder {
+        let pool = Arc::new(ThreadPool::new(threads));
+        group.bench_with_input(BenchmarkId::new("shots512", threads), &threads, |b, _| {
+            b.iter(|| {
+                let config = RunConfig { shots: 512, seed: Some(1), par_threshold: 2 };
+                let counts = run_shots(&circuit, Arc::clone(&pool), &config);
+                assert_eq!(counts.values().sum::<usize>(), 512);
+            });
+        });
+    }
+    // Shot-level parallelism ablation (paper §II's second parallelism
+    // level): the same 512 shots split across 2 tasks vs one task.
+    for tasks in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("shot_parallel_512", tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let config = RunConfig { shots: 512, seed: Some(1), par_threshold: 2 };
+                let counts = qcor_sim::run_shots_task_parallel(&circuit, tasks, 1, &config);
+                assert_eq!(counts.values().sum::<usize>(), 512);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bell);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Runtime-dispatch ablation: the cost of the thread-safety machinery the
+//! paper adds — mutex-guarded `qalloc`, cloneable accelerator
+//! construction vs singleton lookup, and QPUManager round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcor::{qalloc, QPUManager};
+use qcor_xacc::{registry, HetMap};
+use std::time::Duration;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+
+    group.bench_function("qalloc_mutex_guarded", |b| {
+        b.iter(|| qalloc(2));
+        qcor::clear_allocated_buffers();
+    });
+
+    let params = HetMap::new().with("threads", 1usize);
+    group.bench_function("get_accelerator_cloneable_qpp", |b| {
+        b.iter(|| registry::get_accelerator("qpp", &params).unwrap());
+    });
+
+    group.bench_function("get_accelerator_singleton_legacy", |b| {
+        b.iter(|| registry::get_accelerator("qpp-legacy-shared", &params).unwrap());
+    });
+
+    group.bench_function("qpu_manager_roundtrip", |b| {
+        qcor::initialize(qcor::InitOptions::default().threads(1)).unwrap();
+        b.iter(|| QPUManager::instance().get_qpu().unwrap());
+        QPUManager::instance().clear_current();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

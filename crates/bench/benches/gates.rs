@@ -1,0 +1,70 @@
+//! Simulator gate-kernel micro-benchmarks: the inner loops whose OpenMP
+//! analogue the paper's per-kernel thread counts feed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcor_circuit::{library, Circuit};
+use qcor_pool::ThreadPool;
+use qcor_sim::{gates, run_once, StateVector};
+use qcor_circuit::{GateKind, Instruction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUBITS: usize = 16;
+
+fn bench_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gates");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let mut rng = StdRng::seed_from_u64(0);
+    let threads = qcor_pool::available_parallelism().max(2);
+
+    for t in [1usize, threads] {
+        let pool = Arc::new(ThreadPool::new(t));
+        group.bench_with_input(BenchmarkId::new("h_16q", t), &t, |b, _| {
+            let mut state = StateVector::with_pool(QUBITS, Arc::clone(&pool));
+            let h = Instruction::new(GateKind::H, vec![7], vec![]);
+            b.iter(|| {
+                gates::apply_instruction(&mut state, &h, &mut rng);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cx_16q", t), &t, |b, _| {
+            let mut state = StateVector::with_pool(QUBITS, Arc::clone(&pool));
+            let cx = Instruction::new(GateKind::CX, vec![3, 11], vec![]);
+            b.iter(|| {
+                gates::apply_instruction(&mut state, &cx, &mut rng);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cphase_16q", t), &t, |b, _| {
+            let mut state = StateVector::with_pool(QUBITS, Arc::clone(&pool));
+            let cp = Instruction::new(GateKind::CPhase, vec![2, 9], vec![0.37]);
+            b.iter(|| {
+                gates::apply_instruction(&mut state, &cp, &mut rng);
+            });
+        });
+    }
+
+    group.bench_function("qft_12q_full_circuit", |b| {
+        let circuit = library::qft(12);
+        b.iter(|| {
+            let mut state = StateVector::new(12);
+            run_once(&mut state, &circuit, &mut rng);
+        });
+    });
+
+    group.bench_function("ghz_20q_state_prep", |b| {
+        let mut circuit = Circuit::new(20);
+        circuit.h(0);
+        for i in 0..19 {
+            circuit.cx(i, i + 1);
+        }
+        b.iter(|| {
+            let mut state = StateVector::new(20);
+            run_once(&mut state, &circuit, &mut rng);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates);
+criterion_main!(benches);

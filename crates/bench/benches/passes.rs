@@ -1,0 +1,58 @@
+//! Gate-fusion ablation for the "asynchronous quantum JIT compilation"
+//! scenario (paper §VII): cost of the optimizer itself, and the simulation
+//! payoff of running it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcor_circuit::{library, passes, Circuit};
+use qcor_sim::{run_once, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// A redundancy-heavy workload: QFT·IQFT plus rotation chains, the kind of
+/// generated circuit a JIT pass shrinks dramatically.
+fn redundant_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.extend(&library::qft(n));
+    c.extend(&library::iqft(n));
+    for q in 0..n {
+        for k in 0..8 {
+            c.rz(q, 0.1 * (k as f64 + 1.0));
+        }
+    }
+    c
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jit_passes");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let mut rng = StdRng::seed_from_u64(0);
+
+    group.bench_function("optimize_qft_iqft_10q", |b| {
+        b.iter(|| {
+            let mut circuit = redundant_circuit(10);
+            passes::optimize(&mut circuit)
+        });
+    });
+
+    group.bench_function("simulate_unoptimized_12q", |b| {
+        let circuit = redundant_circuit(12);
+        b.iter(|| {
+            let mut state = StateVector::new(12);
+            run_once(&mut state, &circuit, &mut rng);
+        });
+    });
+
+    group.bench_function("simulate_optimized_12q", |b| {
+        let mut circuit = redundant_circuit(12);
+        passes::optimize(&mut circuit);
+        b.iter(|| {
+            let mut state = StateVector::new(12);
+            run_once(&mut state, &circuit, &mut rng);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

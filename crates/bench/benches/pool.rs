@@ -1,0 +1,54 @@
+//! Ablation bench for the pool design choices DESIGN.md calls out:
+//! scheduling policy and grain size, plus raw fork/join dispatch overhead
+//! (the cost that makes oversubscribing small kernels unprofitable —
+//! the mechanism behind Figure 3's one-by-one 24-thread slowdown).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcor_pool::{Schedule, ThreadPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let threads = qcor_pool::available_parallelism().max(2);
+    let pool = ThreadPool::new(threads);
+    let n = 100_000;
+
+    for schedule in [Schedule::Static, Schedule::Auto, Schedule::Dynamic(64), Schedule::Dynamic(1024)] {
+        group.bench_with_input(
+            BenchmarkId::new("sum_100k", format!("{schedule:?}")),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| {
+                    let acc = AtomicU64::new(0);
+                    pool.parallel_for_with(0..n, schedule, |chunk| {
+                        let local: u64 = chunk.map(|i| i as u64).sum();
+                        acc.fetch_add(local, Ordering::Relaxed);
+                    });
+                    assert_eq!(acc.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+                });
+            },
+        );
+    }
+
+    // Fork/join overhead: empty body over a tiny range.
+    group.bench_function("dispatch_overhead_empty", |b| {
+        b.iter(|| pool.parallel_for(0..threads, |_chunk| {}));
+    });
+
+    let seq = ThreadPool::new(1);
+    group.bench_function("sequential_reference_sum_100k", |b| {
+        b.iter(|| {
+            let acc = AtomicU64::new(0);
+            seq.parallel_for(0..n, |chunk| {
+                let local: u64 = chunk.map(|i| i as u64).sum();
+                acc.fetch_add(local, Ordering::Relaxed);
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion companion to Figures 4/5: single period-finding samples for
+//! both kernel constructions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcor_algos::shor::{beauregard::ModExpEngine, textbook};
+use qcor_pool::ThreadPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_shor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shor_kernel");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    let pool = Arc::new(ThreadPool::new(1));
+
+    let engine15 = ModExpEngine::new(7, 15);
+    group.bench_function("beauregard_sample_n15", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| engine15.sample_phase(Arc::clone(&pool), &mut rng));
+    });
+
+    let engine7 = ModExpEngine::new(2, 7);
+    group.bench_function("beauregard_sample_n7", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| engine7.sample_phase(Arc::clone(&pool), &mut rng));
+    });
+
+    group.bench_function("textbook_sample_n15", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| textbook::sample_phase(7, 15, 8, Arc::clone(&pool), &mut rng));
+    });
+
+    group.bench_function("modexp_engine_build_n15", |b| {
+        b.iter(|| ModExpEngine::new(7, 15).gate_count());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shor);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Reproduces **Figure 3**: two Bell kernels (1024 shots each), one-by-one
+//! vs parallel execution, speedups over the one-by-one half-machine
+//! baseline.
+//!
+//! Paper (Ryzen9 3900X, 12C/24T): 1.00 / 0.96 / 1.30 / 1.63 for
+//! {one-by-one 12t, one-by-one 24t, parallel 2×6t, parallel 2×12t}.
+//!
+//! ```text
+//! cargo run -p qcor-bench --release --bin fig3_bell
+//! ```
+
+use qcor_bench::{print_table, KernelTask, MachineShape, Row, VariantTimer};
+use qcor_circuit::library;
+use qcor_pool::ThreadPool;
+use qcor_sim::{run_shots, RunConfig};
+use std::sync::Arc;
+
+const SHOTS: usize = 1024;
+const KERNELS: usize = 2;
+
+fn make_tasks() -> Vec<KernelTask> {
+    (0..KERNELS)
+        .map(|i| {
+            Box::new(move |pool: Arc<ThreadPool>| {
+                let circuit = library::bell_kernel();
+                let config = RunConfig { shots: SHOTS, seed: Some(42 + i as u64), par_threshold: 2 };
+                let counts = run_shots(&circuit, pool, &config);
+                assert_eq!(counts.values().sum::<usize>(), SHOTS);
+            }) as KernelTask
+        })
+        .collect()
+}
+
+fn main() {
+    let m = MachineShape::detect();
+    let timer = VariantTimer { reps: 5 };
+    println!(
+        "Figure 3 reproduction — 2 Bell kernels, {SHOTS} shots each ({} logical CPUs; paper: 24)",
+        m.logical_cpus
+    );
+
+    let t_obo_half = timer.one_by_one(make_tasks, m.half);
+    let t_obo_full = timer.one_by_one(make_tasks, m.full);
+    let t_obo_over = timer.one_by_one(make_tasks, 2 * m.full);
+    let t_par_quarter = timer.parallel(make_tasks, m.quarter);
+    let t_par_half = timer.parallel(make_tasks, m.half);
+
+    let mut rows = vec![
+        Row {
+            label: format!("One-by-One ({} threads)", m.half),
+            time: t_obo_half,
+            speedup: 0.0,
+            paper: Some(1.00),
+        },
+        Row {
+            label: format!("One-by-One ({} threads)", m.full),
+            time: t_obo_full,
+            speedup: 0.0,
+            paper: Some(0.96),
+        },
+        Row {
+            label: format!("One-by-One ({} threads, oversub.)", 2 * m.full),
+            time: t_obo_over,
+            speedup: 0.0,
+            paper: None,
+        },
+        Row {
+            label: format!("Parallel 2 x ({} threads/task)", m.quarter),
+            time: t_par_quarter,
+            speedup: 0.0,
+            paper: Some(1.30),
+        },
+        Row {
+            label: format!("Parallel 2 x ({} threads/task)", m.half),
+            time: t_par_half,
+            speedup: 0.0,
+            paper: Some(1.63),
+        },
+    ];
+    print_table("Figure 3 — Bell kernel (speedup over one-by-one half-machine)", &mut rows, 0);
+
+    let best_parallel = rows[3].speedup.max(rows[4].speedup);
+    let shape_holds = best_parallel >= rows[1].speedup;
+    println!(
+        "shape check: best parallel speedup {best_parallel:.2} vs one-by-one oversubscribed {:.2} -> {}",
+        rows[1].speedup,
+        if shape_holds { "parallel wins (matches paper)" } else { "MISMATCH" }
+    );
+}

@@ -1,0 +1,96 @@
+//! Reproduces **Figure 4**: two Shor period-finding kernels —
+//! SHOR(N=15, a=2) and SHOR(N=15, a=7), 10 shots each, using the
+//! Beauregard gate-level kernel the paper's implementation is based on —
+//! one-by-one vs parallel.
+//!
+//! Paper (Ryzen9 3900X): 1.00 / 1.02 / 1.20 / 1.22 for
+//! {one-by-one 12t, one-by-one 24t, parallel 2×6t, parallel 2×12t}.
+//!
+//! ```text
+//! cargo run -p qcor-bench --release --bin fig4_shor
+//! ```
+
+use qcor_algos::shor::beauregard::ModExpEngine;
+use qcor_bench::{print_table, KernelTask, MachineShape, Row, VariantTimer};
+use qcor_pool::ThreadPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const N: u64 = 15;
+const BASES: [u64; 2] = [2, 7];
+const SHOTS: usize = 10;
+
+fn make_tasks() -> Vec<KernelTask> {
+    BASES
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            Box::new(move |pool: Arc<ThreadPool>| {
+                let engine = ModExpEngine::new(a, N);
+                let mut rng = StdRng::seed_from_u64(100 + i as u64);
+                for _ in 0..SHOTS {
+                    let y = engine.sample_phase(Arc::clone(&pool), &mut rng);
+                    assert!(y < 1 << engine.t_bits);
+                }
+            }) as KernelTask
+        })
+        .collect()
+}
+
+fn main() {
+    let m = MachineShape::detect();
+    let timer = VariantTimer { reps: 3 };
+    println!(
+        "Figure 4 reproduction — SHOR(N=15, a=2) and SHOR(N=15, a=7), {SHOTS} shots each, \
+         Beauregard 2n+3 kernel ({} logical CPUs; paper: 24)",
+        m.logical_cpus
+    );
+
+    let t_obo_half = timer.one_by_one(make_tasks, m.half);
+    let t_obo_full = timer.one_by_one(make_tasks, m.full);
+    let t_obo_over = timer.one_by_one(make_tasks, 2 * m.full);
+    let t_par_quarter = timer.parallel(make_tasks, m.quarter);
+    let t_par_half = timer.parallel(make_tasks, m.half);
+
+    let mut rows = vec![
+        Row {
+            label: format!("One-by-One ({} threads)", m.half),
+            time: t_obo_half,
+            speedup: 0.0,
+            paper: Some(1.00),
+        },
+        Row {
+            label: format!("One-by-One ({} threads)", m.full),
+            time: t_obo_full,
+            speedup: 0.0,
+            paper: Some(1.02),
+        },
+        Row {
+            label: format!("One-by-One ({} threads, oversub.)", 2 * m.full),
+            time: t_obo_over,
+            speedup: 0.0,
+            paper: None,
+        },
+        Row {
+            label: format!("Parallel 2 x ({} threads/task)", m.quarter),
+            time: t_par_quarter,
+            speedup: 0.0,
+            paper: Some(1.20),
+        },
+        Row {
+            label: format!("Parallel 2 x ({} threads/task)", m.half),
+            time: t_par_half,
+            speedup: 0.0,
+            paper: Some(1.22),
+        },
+    ];
+    print_table("Figure 4 — Shor's kernel (speedup over one-by-one half-machine)", &mut rows, 0);
+
+    let best_parallel = rows[3].speedup.max(rows[4].speedup);
+    println!(
+        "shape check: best parallel speedup {best_parallel:.2} vs one-by-one {:.2} -> {}",
+        rows[1].speedup.max(1.0),
+        if best_parallel >= rows[1].speedup { "parallel wins (matches paper)" } else { "MISMATCH" }
+    );
+}

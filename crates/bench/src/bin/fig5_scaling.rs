@@ -1,0 +1,96 @@
+//! Reproduces **Figure 5**: strong scaling of two SHOR(N=7, a=2) kernels,
+//! one-by-one vs parallel, speedups over single-threaded one-by-one.
+//!
+//! Paper (Ryzen9 3900X): one-by-one {2,4,6,12,24}t = 1.72/3.06/4.18/6.53/6.53,
+//! parallel 2×{1,2,3,6,12}t = 1.89/3.27/4.72/7.69/7.82 — the parallel mode
+//! dominates at every point.
+//!
+//! ```text
+//! cargo run -p qcor-bench --release --bin fig5_scaling
+//! ```
+
+use qcor_algos::shor::beauregard::ModExpEngine;
+use qcor_bench::{KernelTask, MachineShape, VariantTimer};
+use qcor_pool::ThreadPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const N: u64 = 7;
+const A: u64 = 2;
+const SHOTS: usize = 10;
+const KERNELS: usize = 2;
+
+/// The paper's reference series, for the printed comparison column.
+const PAPER_POINTS: [(usize, f64, f64); 5] = [
+    (2, 1.72, 1.89),
+    (4, 3.06, 3.27),
+    (6, 4.18, 4.72),
+    (12, 6.53, 7.69),
+    (24, 6.53, 7.82),
+];
+
+fn make_tasks() -> Vec<KernelTask> {
+    (0..KERNELS)
+        .map(|i| {
+            Box::new(move |pool: Arc<ThreadPool>| {
+                let engine = ModExpEngine::new(A, N);
+                let mut rng = StdRng::seed_from_u64(7 + i as u64);
+                for _ in 0..SHOTS {
+                    engine.sample_phase(Arc::clone(&pool), &mut rng);
+                }
+            }) as KernelTask
+        })
+        .collect()
+}
+
+fn main() {
+    let m = MachineShape::detect();
+    let timer = VariantTimer { reps: 3 };
+    println!(
+        "Figure 5 reproduction — strong scaling of two SHOR(N=7, a=2) kernels, {SHOTS} shots each \
+         ({} logical CPUs; paper: 24)",
+        m.logical_cpus
+    );
+
+    // Thread ladder: the paper's {2,4,6,12,24}, clamped to this machine.
+    let mut ladder: Vec<usize> =
+        PAPER_POINTS.iter().map(|&(t, _, _)| t).filter(|&t| t <= m.logical_cpus).collect();
+    if ladder.is_empty() {
+        ladder.push(1);
+    }
+
+    let baseline = timer.one_by_one(make_tasks, 1);
+    println!("\nbaseline: one-by-one, 1 thread = {:.1} ms", baseline.as_secs_f64() * 1e3);
+    println!("{:-<86}", "");
+    println!(
+        "{:>8} {:>14} {:>10} {:>8} | {:>16} {:>10} {:>8}",
+        "threads", "one-by-one ms", "speedup", "paper", "parallel 2x(T/2)", "speedup", "paper"
+    );
+    let mut always_dominates = true;
+    for &t in &ladder {
+        let obo = timer.one_by_one(make_tasks, t);
+        let par = timer.parallel(make_tasks, (t / 2).max(1));
+        let s_obo = baseline.as_secs_f64() / obo.as_secs_f64();
+        let s_par = baseline.as_secs_f64() / par.as_secs_f64();
+        let paper = PAPER_POINTS.iter().find(|&&(pt, _, _)| pt == t);
+        println!(
+            "{:>8} {:>14.1} {:>10.2} {:>8} | {:>16.1} {:>10.2} {:>8}",
+            t,
+            obo.as_secs_f64() * 1e3,
+            s_obo,
+            paper.map(|&(_, p, _)| format!("{p:.2}")).unwrap_or_else(|| "-".into()),
+            par.as_secs_f64() * 1e3,
+            s_par,
+            paper.map(|&(_, _, p)| format!("{p:.2}")).unwrap_or_else(|| "-".into()),
+        );
+        if s_par < s_obo * 0.95 {
+            always_dominates = false;
+        }
+    }
+    println!("{:-<86}", "");
+    println!(
+        "shape check: parallel {} one-by-one at every ladder point (paper: parallel always wins)",
+        if always_dominates { "matches/dominates" } else { "DOES NOT dominate" }
+    );
+}

@@ -1,0 +1,385 @@
+//! Quantum arithmetic for Shor's kernel: Draper Fourier-space adders and the
+//! Beauregard modular-exponentiation construction (paper reference [20],
+//! "Circuit for Shor's algorithm using 2n+3 qubits").
+//!
+//! # Conventions
+//!
+//! * Registers are little-endian: `b[0]` is the least significant bit.
+//! * The accumulator register `b` has `n + 1` qubits where `n` is the bit
+//!   width of the modulus; the extra (most significant) qubit absorbs the
+//!   carry and acts as the sign/borrow indicator inside the modular adder.
+//! * "Fourier space" means the register has been transformed with
+//!   [`crate::library::append_qft`]; Draper addition of a classical constant
+//!   is then a ladder of pure phase gates.
+//!
+//! Also exported here are the classical number-theory helpers (`gcd`,
+//! `mod_pow`, `mod_inv`) the constructions require — the same routines the
+//! classical part of Shor's algorithm (paper Algorithm 1) uses.
+
+use crate::circuit::Circuit;
+use crate::library::{append_iqft, append_qft};
+use std::f64::consts::TAU;
+
+// ----- classical number theory ------------------------------------------------
+
+/// Greatest common divisor (Euclid).
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// `base^exp mod m` by square-and-multiply (m ≤ 2^32 to avoid overflow).
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m > 0, "modulus must be positive");
+    assert!(m <= u32::MAX as u64 + 1, "modulus too large for u64 arithmetic");
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % m;
+        }
+        base = base * base % m;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse of `a` mod `m` via the extended Euclidean algorithm.
+/// Returns `None` when `gcd(a, m) != 1`.
+pub fn mod_inv(a: u64, m: u64) -> Option<u64> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(m as i128) as u64)
+}
+
+/// Number of bits needed to represent `v` (at least 1).
+pub fn bit_width(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).max(1)
+}
+
+// ----- Draper Fourier-space adders ---------------------------------------------
+
+/// Phase angle applied to Fourier-space bit `j` of an `m`-bit register when
+/// adding the constant `a`: 2π · a · 2^j / 2^m, reduced mod 2π.
+fn add_angle(a: u64, j: usize, m: usize) -> f64 {
+    debug_assert!(m < 63);
+    let modulus = 1u64 << m;
+    let phase_units = (a << j) & (modulus - 1); // (a · 2^j) mod 2^m
+    TAU * phase_units as f64 / modulus as f64
+}
+
+/// ΦADD(a): add the classical constant `a` to the Fourier-space register
+/// `b` (little-endian). Pure phase ladder; pass a negative-equivalent
+/// constant (2^m − a) or use [`Circuit::inverse`] to subtract.
+pub fn phi_add_const(c: &mut Circuit, b: &[usize], a: u64) {
+    let m = b.len();
+    for (j, &q) in b.iter().enumerate() {
+        let angle = add_angle(a, j, m);
+        if angle != 0.0 {
+            c.phase(q, angle);
+        }
+    }
+}
+
+/// ΦSUB(a): subtract `a` from the Fourier-space register.
+pub fn phi_sub_const(c: &mut Circuit, b: &[usize], a: u64) {
+    let m = b.len();
+    for (j, &q) in b.iter().enumerate() {
+        let angle = add_angle(a, j, m);
+        if angle != 0.0 {
+            c.phase(q, -angle);
+        }
+    }
+}
+
+/// Singly-controlled ΦADD(a).
+pub fn c_phi_add_const(c: &mut Circuit, ctrl: usize, b: &[usize], a: u64) {
+    let m = b.len();
+    for (j, &q) in b.iter().enumerate() {
+        let angle = add_angle(a, j, m);
+        if angle != 0.0 {
+            c.cphase(ctrl, q, angle);
+        }
+    }
+}
+
+/// Singly-controlled ΦSUB(a).
+pub fn c_phi_sub_const(c: &mut Circuit, ctrl: usize, b: &[usize], a: u64) {
+    let m = b.len();
+    for (j, &q) in b.iter().enumerate() {
+        let angle = add_angle(a, j, m);
+        if angle != 0.0 {
+            c.cphase(ctrl, q, -angle);
+        }
+    }
+}
+
+/// Doubly-controlled ΦADD(a).
+pub fn cc_phi_add_const(c: &mut Circuit, c0: usize, c1: usize, b: &[usize], a: u64) {
+    let m = b.len();
+    for (j, &q) in b.iter().enumerate() {
+        let angle = add_angle(a, j, m);
+        if angle != 0.0 {
+            c.ccphase(c0, c1, q, angle);
+        }
+    }
+}
+
+/// Doubly-controlled ΦSUB(a).
+pub fn cc_phi_sub_const(c: &mut Circuit, c0: usize, c1: usize, b: &[usize], a: u64) {
+    let m = b.len();
+    for (j, &q) in b.iter().enumerate() {
+        let angle = add_angle(a, j, m);
+        if angle != 0.0 {
+            c.ccphase(c0, c1, q, -angle);
+        }
+    }
+}
+
+// ----- Beauregard modular arithmetic --------------------------------------------
+
+/// Doubly-controlled modular adder ΦADDMOD(a, N) (Beauregard Fig. 5).
+///
+/// Preconditions: `b` is in Fourier space and holds a value `< N`,
+/// `a < N`, the ancilla `anc` is |0⟩, and `b.len() == bit_width(N) + 1`.
+/// Post: `b` (Fourier space) holds `(b + a) mod N` when both controls are
+/// set, unchanged otherwise; `anc` is restored to |0⟩.
+pub fn cc_phi_add_mod(c: &mut Circuit, c0: usize, c1: usize, b: &[usize], anc: usize, a: u64, n_mod: u64) {
+    assert!(a < n_mod, "addend must be reduced mod N");
+    let msb = *b.last().expect("empty accumulator register");
+    cc_phi_add_const(c, c0, c1, b, a);
+    phi_sub_const(c, b, n_mod);
+    append_iqft(c, b);
+    c.cx(msb, anc);
+    append_qft(c, b);
+    c_phi_add_const(c, anc, b, n_mod);
+    cc_phi_sub_const(c, c0, c1, b, a);
+    append_iqft(c, b);
+    c.x(msb);
+    c.cx(msb, anc);
+    c.x(msb);
+    append_qft(c, b);
+    cc_phi_add_const(c, c0, c1, b, a);
+}
+
+/// Doubly-controlled modular subtractor (the inverse of
+/// [`cc_phi_add_mod`] with the same arguments).
+pub fn cc_phi_sub_mod(c: &mut Circuit, c0: usize, c1: usize, b: &[usize], anc: usize, a: u64, n_mod: u64) {
+    let mut tmp = Circuit::new(c.num_qubits());
+    cc_phi_add_mod(&mut tmp, c0, c1, b, anc, a, n_mod);
+    c.extend(&tmp.inverse().expect("modular adder is unitary"));
+}
+
+/// Controlled modular multiply-accumulate CMULT(a) MOD N:
+/// `b ← (b + a·x) mod N` when `ctrl` is set (Beauregard Fig. 6).
+///
+/// `x` is the `n`-qubit multiplier register, `b` the `n+1`-qubit
+/// accumulator in *computational* space (the QFT/IQFT pair is internal),
+/// `anc` a |0⟩ ancilla.
+pub fn c_mult_mod(c: &mut Circuit, ctrl: usize, x: &[usize], b: &[usize], anc: usize, a: u64, n_mod: u64) {
+    append_qft(c, b);
+    for (i, &xi) in x.iter().enumerate() {
+        let addend = (a % n_mod) * mod_pow(2, i as u64, n_mod) % n_mod;
+        cc_phi_add_mod(c, ctrl, xi, b, anc, addend, n_mod);
+    }
+    append_iqft(c, b);
+}
+
+/// Inverse of [`c_mult_mod`].
+pub fn c_mult_mod_inverse(c: &mut Circuit, ctrl: usize, x: &[usize], b: &[usize], anc: usize, a: u64, n_mod: u64) {
+    let mut tmp = Circuit::new(c.num_qubits());
+    c_mult_mod(&mut tmp, ctrl, x, b, anc, a, n_mod);
+    c.extend(&tmp.inverse().expect("multiplier is unitary"));
+}
+
+/// Controlled modular multiplication-in-place CU(a):
+/// `x ← a·x mod N` when `ctrl` is set (Beauregard Fig. 7). Requires
+/// `gcd(a, N) = 1`; `b` (n+1 qubits) and `anc` must be |0⟩ and are
+/// restored.
+pub fn c_ua(c: &mut Circuit, ctrl: usize, x: &[usize], b: &[usize], anc: usize, a: u64, n_mod: u64) {
+    let a = a % n_mod;
+    let a_inv = mod_inv(a, n_mod).expect("base must be coprime with the modulus");
+    // b ← b + a·x (mod N); with b=0 this computes a·x.
+    c_mult_mod(c, ctrl, x, b, anc, a, n_mod);
+    // Swap x and b (low n qubits) under control: x ← a·x, b ← x.
+    for (i, &xi) in x.iter().enumerate() {
+        c.cswap(ctrl, xi, b[i]);
+    }
+    // b ← b − a⁻¹·x (mod N) = x_old − a⁻¹·(a·x_old) = 0, clearing b.
+    c_mult_mod_inverse(c, ctrl, x, b, anc, a_inv, n_mod);
+}
+
+/// Register layout used by the Shor kernels built on these primitives:
+/// `x` (n qubits) holds the work value, `b` (n+1) the accumulator, `anc`
+/// the modular-adder ancilla, `ctrl` the counting/phase-estimation qubit.
+#[derive(Debug, Clone)]
+pub struct ShorLayout {
+    /// Bit width of the modulus.
+    pub n: usize,
+    /// Work register qubits (little-endian).
+    pub x: Vec<usize>,
+    /// Accumulator register qubits (little-endian, n+1 wide).
+    pub b: Vec<usize>,
+    /// Modular-adder ancilla.
+    pub anc: usize,
+    /// Phase-estimation control qubit.
+    pub ctrl: usize,
+}
+
+impl ShorLayout {
+    /// The canonical 2n+3-qubit layout: x = [0,n), b = [n, 2n+1),
+    /// anc = 2n+1, ctrl = 2n+2.
+    pub fn for_modulus(n_mod: u64) -> Self {
+        let n = bit_width(n_mod);
+        ShorLayout {
+            n,
+            x: (0..n).collect(),
+            b: (n..2 * n + 1).collect(),
+            anc: 2 * n + 1,
+            ctrl: 2 * n + 2,
+        }
+    }
+
+    /// Total number of qubits (2n + 3).
+    pub fn num_qubits(&self) -> usize {
+        2 * self.n + 3
+    }
+
+    /// Circuit implementing the controlled U_{a^{2^k}} used at phase-
+    /// estimation step `k`.
+    pub fn controlled_modexp_step(&self, a: u64, k: u32, n_mod: u64) -> Circuit {
+        let a_pow = mod_pow(a, 1u64 << k, n_mod);
+        let mut c = Circuit::new(self.num_qubits());
+        c_ua(&mut c, self.ctrl, &self.x, &self.b, self.anc, a_pow, n_mod);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 15), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+    }
+
+    #[test]
+    fn mod_pow_matches_naive() {
+        for base in 0..12u64 {
+            for exp in 0..10u64 {
+                for m in 1..20u64 {
+                    let naive = (0..exp).fold(1u64 % m, |acc, _| acc * base % m);
+                    assert_eq!(mod_pow(base, exp, m), naive, "{base}^{exp} mod {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inv_is_an_inverse() {
+        for m in 2..50u64 {
+            for a in 1..m {
+                match mod_inv(a, m) {
+                    Some(inv) => {
+                        assert_eq!(gcd(a, m), 1);
+                        assert_eq!(a * inv % m, 1, "{a}⁻¹ mod {m}");
+                    }
+                    None => assert_ne!(gcd(a, m), 1),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_width_basics() {
+        assert_eq!(bit_width(0), 1);
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(15), 4);
+        assert_eq!(bit_width(16), 5);
+    }
+
+    #[test]
+    fn add_angle_wraps_mod_2pi() {
+        // adding 2^m is a no-op: all angles 0
+        let m = 4;
+        for j in 0..m {
+            assert_eq!(add_angle(16, j, m), 0.0);
+        }
+        // a=1, j=m-1: half turn
+        assert!((add_angle(1, 3, 4) - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phi_add_emits_only_phases() {
+        let mut c = Circuit::new(4);
+        phi_add_const(&mut c, &[0, 1, 2, 3], 5);
+        assert!(c
+            .instructions()
+            .iter()
+            .all(|i| i.gate == crate::GateKind::Phase));
+    }
+
+    #[test]
+    fn phi_add_then_sub_cancels() {
+        let mut c = Circuit::new(4);
+        let b = [0, 1, 2, 3];
+        phi_add_const(&mut c, &b, 5);
+        phi_sub_const(&mut c, &b, 5);
+        crate::passes::optimize(&mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn modular_adder_restores_structure_on_inverse() {
+        let n_mod = 15u64;
+        let layout = ShorLayout::for_modulus(n_mod);
+        let mut fwd = Circuit::new(layout.num_qubits());
+        cc_phi_add_mod(&mut fwd, layout.ctrl, layout.x[0], &layout.b, layout.anc, 7, n_mod);
+        let mut both = fwd.clone();
+        cc_phi_sub_mod(&mut both, layout.ctrl, layout.x[0], &layout.b, layout.anc, 7, n_mod);
+        crate::passes::optimize(&mut both);
+        assert!(both.is_empty(), "ΦADDMOD · ΦSUBMOD should cancel structurally");
+    }
+
+    #[test]
+    fn layout_for_15_has_11_qubits() {
+        let layout = ShorLayout::for_modulus(15);
+        assert_eq!(layout.n, 4);
+        assert_eq!(layout.num_qubits(), 11);
+        assert_eq!(layout.b.len(), 5);
+        assert_eq!(layout.ctrl, 10);
+    }
+
+    #[test]
+    fn controlled_modexp_step_builds() {
+        let layout = ShorLayout::for_modulus(15);
+        let c = layout.controlled_modexp_step(7, 0, 15);
+        assert_eq!(c.num_qubits(), 11);
+        assert!(c.len() > 100, "modular exponentiation step should be nontrivial");
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn c_ua_requires_coprime_base() {
+        let layout = ShorLayout::for_modulus(15);
+        let mut c = Circuit::new(layout.num_qubits());
+        c_ua(&mut c, layout.ctrl, &layout.x, &layout.b, layout.anc, 5, 15);
+    }
+}

@@ -1,0 +1,230 @@
+//! ASCII circuit rendering, for docs, debugging and examples.
+//!
+//! ```
+//! use qcor_circuit::Circuit;
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1).measure_all();
+//! println!("{}", qcor_circuit::draw::draw(&c));
+//! ```
+//!
+//! renders as
+//!
+//! ```text
+//! q0: ─[H]──●──[M]─────
+//!           │
+//! q1: ─────[X]─────[M]─
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Render a circuit as fixed-width ASCII art, one row per qubit (plus
+/// connector rows between adjacent qubits).
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+    // Column-sliced layout: each instruction occupies its own column for
+    // simplicity (no packing), each column is as wide as its widest cell.
+    let mut wire_cells: Vec<Vec<String>> = vec![Vec::new(); n]; // per qubit
+    let mut link_cells: Vec<Vec<bool>> = vec![Vec::new(); n.saturating_sub(1)]; // vertical links
+
+    for inst in circuit.instructions() {
+        let (labels, verticals) = cells_for(inst, n);
+        for (q, cell) in labels.into_iter().enumerate() {
+            wire_cells[q].push(cell);
+        }
+        for (g, link) in verticals.into_iter().enumerate() {
+            link_cells[g].push(link);
+        }
+    }
+
+    let cols = wire_cells[0].len();
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| wire_cells.iter().map(|row| row[c].chars().count()).max().unwrap_or(1))
+        .collect();
+
+    let mut out = String::new();
+    for q in 0..n {
+        // Wire row.
+        out.push_str(&format!("q{q}: "));
+        for c in 0..cols {
+            let cell = &wire_cells[q][c];
+            let pad = widths[c] - cell.chars().count();
+            out.push('─');
+            out.push_str(cell);
+            for _ in 0..pad {
+                out.push('─');
+            }
+            out.push('─');
+        }
+        out.push('\n');
+        // Link row between q and q+1.
+        if q + 1 < n {
+            let prefix_width = format!("q{q}: ").chars().count();
+            let mut row = " ".repeat(prefix_width);
+            for c in 0..cols {
+                let has_link = link_cells[q][c];
+                row.push(' ');
+                let w = widths[c];
+                let mid = w / 2;
+                for i in 0..w {
+                    row.push(if has_link && i == mid { '│' } else { ' ' });
+                }
+                row.push(' ');
+            }
+            if row.trim().is_empty() {
+                // keep blank separators only when a link exists in ANY column
+                if link_cells[q].iter().any(|&l| l) {
+                    out.push_str(row.trim_end());
+                    out.push('\n');
+                }
+            } else {
+                out.push_str(row.trim_end());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Per-qubit cell labels plus per-gap vertical-link flags for one column.
+fn cells_for(inst: &crate::gate::Instruction, n: usize) -> (Vec<String>, Vec<bool>) {
+    let mut labels = vec!["─".to_string(); n];
+    let mut links = vec![false; n.saturating_sub(1)];
+    let mark_span = |links: &mut Vec<bool>, a: usize, b: usize| {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for gap in lo..hi {
+            links[gap] = true;
+        }
+    };
+    let q = &inst.qubits;
+    match inst.gate {
+        GateKind::Measure => labels[q[0]] = "[M]".to_string(),
+        GateKind::Reset => labels[q[0]] = "[0]".to_string(),
+        GateKind::Barrier => labels[q[0]] = "░".to_string(),
+        GateKind::CX => {
+            labels[q[0]] = "●".to_string();
+            labels[q[1]] = "[X]".to_string();
+            mark_span(&mut links, q[0], q[1]);
+        }
+        GateKind::CY => {
+            labels[q[0]] = "●".to_string();
+            labels[q[1]] = "[Y]".to_string();
+            mark_span(&mut links, q[0], q[1]);
+        }
+        GateKind::CZ => {
+            labels[q[0]] = "●".to_string();
+            labels[q[1]] = "●".to_string();
+            mark_span(&mut links, q[0], q[1]);
+        }
+        GateKind::CPhase | GateKind::CRz => {
+            labels[q[0]] = "●".to_string();
+            labels[q[1]] = format!("[{}({:.2})]", if inst.gate == GateKind::CPhase { "P" } else { "Rz" }, inst.params[0]);
+            mark_span(&mut links, q[0], q[1]);
+        }
+        GateKind::Swap => {
+            labels[q[0]] = "x".to_string();
+            labels[q[1]] = "x".to_string();
+            mark_span(&mut links, q[0], q[1]);
+        }
+        GateKind::CCX => {
+            labels[q[0]] = "●".to_string();
+            labels[q[1]] = "●".to_string();
+            labels[q[2]] = "[X]".to_string();
+            mark_span(&mut links, q[0], q[2]);
+            mark_span(&mut links, q[1], q[2]);
+        }
+        GateKind::CSwap => {
+            labels[q[0]] = "●".to_string();
+            labels[q[1]] = "x".to_string();
+            labels[q[2]] = "x".to_string();
+            mark_span(&mut links, q[0], q[2]);
+            mark_span(&mut links, q[1], q[2]);
+        }
+        GateKind::CCPhase => {
+            labels[q[0]] = "●".to_string();
+            labels[q[1]] = "●".to_string();
+            labels[q[2]] = format!("[P({:.2})]", inst.params[0]);
+            mark_span(&mut links, q[0], q[2]);
+            mark_span(&mut links, q[1], q[2]);
+        }
+        kind => {
+            // Single-qubit boxes, with parameters where present.
+            let label = if inst.params.is_empty() {
+                format!("[{}]", kind.name())
+            } else if inst.params.len() == 1 {
+                format!("[{}({:.2})]", kind.name(), inst.params[0])
+            } else {
+                let ps: Vec<String> = inst.params.iter().map(|p| format!("{p:.2}")).collect();
+                format!("[{}({})]", kind.name(), ps.join(","))
+            };
+            labels[q[0]] = label;
+        }
+    }
+    (labels, links)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_drawing_has_expected_symbols() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let art = draw(&c);
+        assert!(art.contains("q0:"), "{art}");
+        assert!(art.contains("q1:"), "{art}");
+        assert!(art.contains("[H]"), "{art}");
+        assert!(art.contains("●"), "{art}");
+        assert!(art.contains("[X]"), "{art}");
+        assert!(art.contains("│"), "{art}");
+        assert_eq!(art.matches("[M]").count(), 2, "{art}");
+    }
+
+    #[test]
+    fn rotations_show_angles() {
+        let mut c = Circuit::new(1);
+        c.ry(0, 0.5);
+        let art = draw(&c);
+        assert!(art.contains("[Ry(0.50)]"), "{art}");
+    }
+
+    #[test]
+    fn toffoli_links_span_qubits() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 2, 1);
+        let art = draw(&c);
+        assert_eq!(art.matches('●').count(), 2, "{art}");
+        assert!(art.contains("[X]"), "{art}");
+    }
+
+    #[test]
+    fn rows_align_per_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).swap(1, 2).measure_all();
+        let art = draw(&c);
+        let wire_lines: Vec<&str> = art.lines().filter(|l| l.starts_with('q')).collect();
+        assert_eq!(wire_lines.len(), 3);
+        let w0 = wire_lines[0].chars().count();
+        assert!(wire_lines.iter().all(|l| l.chars().count() == w0), "{art}");
+    }
+
+    #[test]
+    fn empty_circuit_draws_nothing_surprising() {
+        let c = Circuit::new(2);
+        let art = draw(&c);
+        assert!(art.contains("q0:"));
+        assert!(art.contains("q1:"));
+    }
+
+    #[test]
+    fn u3_shows_three_params() {
+        let mut c = Circuit::new(1);
+        c.u3(0, 0.1, 0.2, 0.3);
+        let art = draw(&c);
+        assert!(art.contains("[U3(0.10,0.20,0.30)]"), "{art}");
+    }
+}

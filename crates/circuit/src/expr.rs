@@ -1,0 +1,312 @@
+//! Symbolic parameter expressions for parametric kernels.
+//!
+//! XASM kernels take classical arguments (the `double theta` of the paper's
+//! VQE ansatz in Listing 3) that appear inside gate calls, possibly under
+//! arithmetic such as `theta / 2` or `pi / 4`. [`ParamExpr`] is the small
+//! expression AST those parsers produce; [`ParamExpr::eval`] folds it to a
+//! concrete `f64` given variable bindings.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Error when evaluating a [`ParamExpr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Name of the unbound variable.
+    pub unbound: String,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unbound kernel parameter `{}`", self.unbound)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Arithmetic expression over numbers, named parameters, and `pi`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamExpr {
+    /// Literal value.
+    Num(f64),
+    /// Named kernel parameter.
+    Var(String),
+    /// Negation.
+    Neg(Box<ParamExpr>),
+    /// Sum.
+    Add(Box<ParamExpr>, Box<ParamExpr>),
+    /// Difference.
+    Sub(Box<ParamExpr>, Box<ParamExpr>),
+    /// Product.
+    Mul(Box<ParamExpr>, Box<ParamExpr>),
+    /// Quotient.
+    Div(Box<ParamExpr>, Box<ParamExpr>),
+}
+
+impl ParamExpr {
+    /// Shorthand for a literal.
+    pub fn num(v: f64) -> Self {
+        ParamExpr::Num(v)
+    }
+
+    /// Shorthand for a named variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        ParamExpr::Var(name.into())
+    }
+
+    /// Evaluate with the given variable bindings (`pi` is always bound).
+    pub fn eval(&self, bindings: &HashMap<String, f64>) -> Result<f64, EvalError> {
+        Ok(match self {
+            ParamExpr::Num(v) => *v,
+            ParamExpr::Var(name) => {
+                if name == "pi" {
+                    std::f64::consts::PI
+                } else {
+                    *bindings.get(name).ok_or_else(|| EvalError { unbound: name.clone() })?
+                }
+            }
+            ParamExpr::Neg(e) => -e.eval(bindings)?,
+            ParamExpr::Add(a, b) => a.eval(bindings)? + b.eval(bindings)?,
+            ParamExpr::Sub(a, b) => a.eval(bindings)? - b.eval(bindings)?,
+            ParamExpr::Mul(a, b) => a.eval(bindings)? * b.eval(bindings)?,
+            ParamExpr::Div(a, b) => a.eval(bindings)? / b.eval(bindings)?,
+        })
+    }
+
+    /// Evaluate an expression that must not reference any variables.
+    pub fn eval_const(&self) -> Result<f64, EvalError> {
+        self.eval(&HashMap::new())
+    }
+
+    /// Names of all variables referenced (excluding `pi`), in first-use order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            ParamExpr::Num(_) => {}
+            ParamExpr::Var(name) => {
+                if name != "pi" && !out.iter().any(|v| v == name) {
+                    out.push(name.clone());
+                }
+            }
+            ParamExpr::Neg(e) => e.collect_vars(out),
+            ParamExpr::Add(a, b) | ParamExpr::Sub(a, b) | ParamExpr::Mul(a, b) | ParamExpr::Div(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Parse an expression from text. Grammar (standard precedence):
+    ///
+    /// ```text
+    /// expr   := term (('+'|'-') term)*
+    /// term   := unary (('*'|'/') unary)*
+    /// unary  := '-' unary | atom
+    /// atom   := NUMBER | IDENT | '(' expr ')'
+    /// ```
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let mut p = ExprParser { src: src.as_bytes(), pos: 0 };
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(format!("trailing input at byte {} in `{src}`", p.pos));
+        }
+        Ok(e)
+    }
+}
+
+impl std::fmt::Display for ParamExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamExpr::Num(v) => write!(f, "{v}"),
+            ParamExpr::Var(n) => write!(f, "{n}"),
+            ParamExpr::Neg(e) => write!(f, "(-{e})"),
+            ParamExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            ParamExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            ParamExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            ParamExpr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+struct ExprParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn expr(&mut self) -> Result<ParamExpr, String> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = ParamExpr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = ParamExpr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<ParamExpr, String> {
+        let mut lhs = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    let rhs = self.unary()?;
+                    lhs = ParamExpr::Mul(Box::new(lhs), Box::new(rhs));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    let rhs = self.unary()?;
+                    lhs = ParamExpr::Div(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<ParamExpr, String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            return Ok(ParamExpr::Neg(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<ParamExpr, String> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if self.peek() != Some(b')') {
+                    return Err("expected `)`".to_string());
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => {
+                let start = self.pos;
+                while self.pos < self.src.len() {
+                    let c = self.src[self.pos];
+                    if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' {
+                        self.pos += 1;
+                    } else if (c == b'+' || c == b'-')
+                        && self.pos > start
+                        && matches!(self.src[self.pos - 1], b'e' | b'E')
+                    {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                text.parse::<f64>().map(ParamExpr::Num).map_err(|e| format!("bad number `{text}`: {e}"))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                Ok(ParamExpr::Var(name.to_string()))
+            }
+            other => Err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn eval(src: &str) -> f64 {
+        ParamExpr::parse(src).unwrap().eval_const().unwrap()
+    }
+
+    #[test]
+    fn literal_numbers() {
+        assert_eq!(eval("3.5"), 3.5);
+        assert_eq!(eval(".25"), 0.25);
+        assert_eq!(eval("1e-3"), 1e-3);
+        assert_eq!(eval("2.5e2"), 250.0);
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        assert_eq!(eval("1 + 2 * 3"), 7.0);
+        assert_eq!(eval("(1 + 2) * 3"), 9.0);
+        assert_eq!(eval("8 / 2 / 2"), 2.0);
+        assert_eq!(eval("1 - 2 - 3"), -4.0);
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(eval("-4"), -4.0);
+        assert_eq!(eval("--4"), 4.0);
+        assert_eq!(eval("3 * -2"), -6.0);
+    }
+
+    #[test]
+    fn pi_is_builtin() {
+        assert!((eval("pi / 2") - PI / 2.0).abs() < 1e-15);
+        assert!((eval("-pi") + PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn variables_bind() {
+        let e = ParamExpr::parse("theta / 2 + pi").unwrap();
+        let mut b = HashMap::new();
+        b.insert("theta".to_string(), 1.0);
+        assert!((e.eval(&b).unwrap() - (0.5 + PI)).abs() < 1e-15);
+        assert_eq!(e.variables(), vec!["theta".to_string()]);
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = ParamExpr::parse("gamma").unwrap();
+        assert_eq!(e.eval_const().unwrap_err().unbound, "gamma");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(ParamExpr::parse("1 + 2 )").is_err());
+        assert!(ParamExpr::parse("1 +").is_err());
+        assert!(ParamExpr::parse("").is_err());
+    }
+
+    #[test]
+    fn display_parses_back() {
+        let e = ParamExpr::parse("theta / 2 + pi * -0.5").unwrap();
+        let round = ParamExpr::parse(&e.to_string()).unwrap();
+        let mut b = HashMap::new();
+        b.insert("theta".to_string(), 0.37);
+        assert!((e.eval(&b).unwrap() - round.eval(&b).unwrap()).abs() < 1e-15);
+    }
+}

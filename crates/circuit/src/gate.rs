@@ -1,0 +1,393 @@
+//! Gate set and instruction representation.
+//!
+//! The gate set covers everything the paper's kernels and our library
+//! circuits need: the XASM gates of Listings 1/3 (`H`, `X`, `Ry`, `CX`,
+//! `Measure`), the standard Cliffords and rotations, controlled phases for
+//! the QFT, and the three-qubit gates used by the Beauregard modular
+//! arithmetic construction.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of an instruction, independent of its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = sqrt(Z).
+    S,
+    /// S-dagger.
+    Sdg,
+    /// T = sqrt(S).
+    T,
+    /// T-dagger.
+    Tdg,
+    /// Rotation about X by an angle parameter.
+    Rx,
+    /// Rotation about Y by an angle parameter.
+    Ry,
+    /// Rotation about Z by an angle parameter.
+    Rz,
+    /// Phase gate diag(1, e^{i θ}).
+    Phase,
+    /// General single-qubit unitary U3(θ, φ, λ).
+    U3,
+    /// Controlled-X (CNOT): qubits\[0\] control, qubits\[1\] target.
+    CX,
+    /// Controlled-Y.
+    CY,
+    /// Controlled-Z.
+    CZ,
+    /// Controlled phase: diag(1,1,1,e^{i θ}).
+    CPhase,
+    /// Controlled Rz.
+    CRz,
+    /// SWAP.
+    Swap,
+    /// Toffoli (CCX): qubits\[0..2\] = control, control, target.
+    CCX,
+    /// Controlled swap (Fredkin): qubits\[0\] control.
+    CSwap,
+    /// Doubly-controlled phase: diag(1,...,1,e^{i θ}) on |111⟩.
+    CCPhase,
+    /// Computational-basis measurement of one qubit.
+    Measure,
+    /// Reset a qubit to |0⟩.
+    Reset,
+    /// Scheduling barrier (no-op for the simulator, blocks optimizer passes).
+    Barrier,
+}
+
+impl GateKind {
+    /// Canonical (XASM-style) mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::H => "H",
+            GateKind::X => "X",
+            GateKind::Y => "Y",
+            GateKind::Z => "Z",
+            GateKind::S => "S",
+            GateKind::Sdg => "Sdg",
+            GateKind::T => "T",
+            GateKind::Tdg => "Tdg",
+            GateKind::Rx => "Rx",
+            GateKind::Ry => "Ry",
+            GateKind::Rz => "Rz",
+            GateKind::Phase => "Phase",
+            GateKind::U3 => "U3",
+            GateKind::CX => "CX",
+            GateKind::CY => "CY",
+            GateKind::CZ => "CZ",
+            GateKind::CPhase => "CPhase",
+            GateKind::CRz => "CRz",
+            GateKind::Swap => "Swap",
+            GateKind::CCX => "CCX",
+            GateKind::CSwap => "CSwap",
+            GateKind::CCPhase => "CCPhase",
+            GateKind::Measure => "Measure",
+            GateKind::Reset => "Reset",
+            GateKind::Barrier => "Barrier",
+        }
+    }
+
+    /// Parse a mnemonic (case-insensitive; accepts the common XASM and
+    /// OpenQASM aliases, e.g. `CNOT`, `cx`, `sdg`, `cp`, `u1`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "h" => GateKind::H,
+            "x" => GateKind::X,
+            "y" => GateKind::Y,
+            "z" => GateKind::Z,
+            "s" => GateKind::S,
+            "sdg" => GateKind::Sdg,
+            "t" => GateKind::T,
+            "tdg" => GateKind::Tdg,
+            "rx" => GateKind::Rx,
+            "ry" => GateKind::Ry,
+            "rz" => GateKind::Rz,
+            "phase" | "p" | "u1" => GateKind::Phase,
+            "u3" | "u" => GateKind::U3,
+            "cx" | "cnot" => GateKind::CX,
+            "cy" => GateKind::CY,
+            "cz" => GateKind::CZ,
+            "cphase" | "cp" | "cu1" => GateKind::CPhase,
+            "crz" => GateKind::CRz,
+            "swap" => GateKind::Swap,
+            "ccx" | "toffoli" => GateKind::CCX,
+            "cswap" | "fredkin" => GateKind::CSwap,
+            "ccphase" | "ccp" => GateKind::CCPhase,
+            "measure" | "mz" => GateKind::Measure,
+            "reset" => GateKind::Reset,
+            "barrier" => GateKind::Barrier,
+            _ => return None,
+        })
+    }
+
+    /// Number of qubit operands.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::H
+            | GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::S
+            | GateKind::Sdg
+            | GateKind::T
+            | GateKind::Tdg
+            | GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::U3
+            | GateKind::Measure
+            | GateKind::Reset
+            | GateKind::Barrier => 1,
+            GateKind::CX
+            | GateKind::CY
+            | GateKind::CZ
+            | GateKind::CPhase
+            | GateKind::CRz
+            | GateKind::Swap => 2,
+            GateKind::CCX | GateKind::CSwap | GateKind::CCPhase => 3,
+        }
+    }
+
+    /// Number of angle parameters.
+    pub fn num_params(self) -> usize {
+        match self {
+            GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::CPhase
+            | GateKind::CRz
+            | GateKind::CCPhase => 1,
+            GateKind::U3 => 3,
+            _ => 0,
+        }
+    }
+
+    /// True for unitary gates (excludes measure/reset/barrier).
+    pub fn is_unitary(self) -> bool {
+        !matches!(self, GateKind::Measure | GateKind::Reset | GateKind::Barrier)
+    }
+
+    /// True for gates that are their own inverse.
+    pub fn is_self_inverse(self) -> bool {
+        matches!(
+            self,
+            GateKind::H
+                | GateKind::X
+                | GateKind::Y
+                | GateKind::Z
+                | GateKind::CX
+                | GateKind::CY
+                | GateKind::CZ
+                | GateKind::Swap
+                | GateKind::CCX
+                | GateKind::CSwap
+        )
+    }
+
+    /// True for parametric rotations where two consecutive applications on
+    /// the same operands merge by adding angles.
+    pub fn is_additive_rotation(self) -> bool {
+        matches!(
+            self,
+            GateKind::Rx
+                | GateKind::Ry
+                | GateKind::Rz
+                | GateKind::Phase
+                | GateKind::CPhase
+                | GateKind::CRz
+                | GateKind::CCPhase
+        )
+    }
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One concrete instruction: a gate kind, its qubit operands, bound angle
+/// parameters, and (for `Measure`) an optional classical bit target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// What to apply.
+    pub gate: GateKind,
+    /// Qubit operands; `gate.arity()` entries, controls first.
+    pub qubits: Vec<usize>,
+    /// Bound angle parameters; `gate.num_params()` entries.
+    pub params: Vec<f64>,
+    /// Classical bit receiving a measurement outcome, if any.
+    pub cbit: Option<usize>,
+}
+
+impl Instruction {
+    /// Build an instruction, checking operand and parameter counts.
+    pub fn new(gate: GateKind, qubits: Vec<usize>, params: Vec<f64>) -> Self {
+        assert_eq!(qubits.len(), gate.arity(), "{gate}: wrong number of qubit operands");
+        assert_eq!(params.len(), gate.num_params(), "{gate}: wrong number of parameters");
+        Instruction { gate, qubits, params, cbit: None }
+    }
+
+    /// The inverse instruction, or an error for non-unitary instructions.
+    pub fn inverse(&self) -> Result<Instruction, crate::CircuitError> {
+        use GateKind::*;
+        if !self.gate.is_unitary() {
+            return Err(crate::CircuitError::NotInvertible(self.gate.name().to_string()));
+        }
+        let inv = match self.gate {
+            S => Instruction::new(Sdg, self.qubits.clone(), vec![]),
+            Sdg => Instruction::new(S, self.qubits.clone(), vec![]),
+            T => Instruction::new(Tdg, self.qubits.clone(), vec![]),
+            Tdg => Instruction::new(T, self.qubits.clone(), vec![]),
+            Rx | Ry | Rz | Phase | CPhase | CRz | CCPhase => {
+                Instruction::new(self.gate, self.qubits.clone(), vec![-self.params[0]])
+            }
+            U3 => {
+                // U3(θ,φ,λ)⁻¹ = U3(-θ,-λ,-φ)
+                Instruction::new(U3, self.qubits.clone(), vec![-self.params[0], -self.params[2], -self.params[1]])
+            }
+            _ => self.clone(), // self-inverse gates and Barrier
+        };
+        Ok(inv)
+    }
+
+    /// True when `other` acts on the same operands with the same gate kind.
+    pub fn same_op(&self, other: &Instruction) -> bool {
+        self.gate == other.gate && self.qubits == other.qubits
+    }
+
+    /// Largest qubit index used, if any operands exist.
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.qubits.iter().copied().max()
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.gate)?;
+        let mut first = true;
+        for q in &self.qubits {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "q[{q}]")?;
+            first = false;
+        }
+        for p in &self.params {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_round_trips_for_all_gates() {
+        let all = [
+            GateKind::H,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::T,
+            GateKind::Tdg,
+            GateKind::Rx,
+            GateKind::Ry,
+            GateKind::Rz,
+            GateKind::Phase,
+            GateKind::U3,
+            GateKind::CX,
+            GateKind::CY,
+            GateKind::CZ,
+            GateKind::CPhase,
+            GateKind::CRz,
+            GateKind::Swap,
+            GateKind::CCX,
+            GateKind::CSwap,
+            GateKind::CCPhase,
+            GateKind::Measure,
+            GateKind::Reset,
+            GateKind::Barrier,
+        ];
+        for g in all {
+            assert_eq!(GateKind::from_name(g.name()), Some(g), "{g}");
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!(GateKind::from_name("cnot"), Some(GateKind::CX));
+        assert_eq!(GateKind::from_name("u1"), Some(GateKind::Phase));
+        assert_eq!(GateKind::from_name("toffoli"), Some(GateKind::CCX));
+        assert_eq!(GateKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn arity_and_params_consistent() {
+        assert_eq!(GateKind::CCX.arity(), 3);
+        assert_eq!(GateKind::U3.num_params(), 3);
+        assert_eq!(GateKind::CX.num_params(), 0);
+        assert_eq!(GateKind::Measure.arity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of qubit operands")]
+    fn wrong_arity_panics() {
+        Instruction::new(GateKind::CX, vec![0], vec![]);
+    }
+
+    #[test]
+    fn inverse_of_rotation_negates_angle() {
+        let rz = Instruction::new(GateKind::Rz, vec![3], vec![0.7]);
+        let inv = rz.inverse().unwrap();
+        assert_eq!(inv.gate, GateKind::Rz);
+        assert_eq!(inv.params[0], -0.7);
+    }
+
+    #[test]
+    fn inverse_of_s_is_sdg() {
+        let s = Instruction::new(GateKind::S, vec![0], vec![]);
+        assert_eq!(s.inverse().unwrap().gate, GateKind::Sdg);
+        let sdg = Instruction::new(GateKind::Sdg, vec![0], vec![]);
+        assert_eq!(sdg.inverse().unwrap().gate, GateKind::S);
+    }
+
+    #[test]
+    fn inverse_of_u3_swaps_phi_lambda() {
+        let u = Instruction::new(GateKind::U3, vec![0], vec![0.1, 0.2, 0.3]);
+        let inv = u.inverse().unwrap();
+        assert_eq!(inv.params, vec![-0.1, -0.3, -0.2]);
+    }
+
+    #[test]
+    fn measure_is_not_invertible() {
+        let m = Instruction::new(GateKind::Measure, vec![0], vec![]);
+        assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn display_formats_like_xasm() {
+        let cx = Instruction::new(GateKind::CX, vec![0, 1], vec![]);
+        assert_eq!(cx.to_string(), "CX(q[0], q[1])");
+        let ry = Instruction::new(GateKind::Ry, vec![1], vec![0.5]);
+        assert_eq!(ry.to_string(), "Ry(q[1], 0.5)");
+    }
+}

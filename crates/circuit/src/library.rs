@@ -1,0 +1,131 @@
+//! Library circuits: Bell/GHZ state preparation and the quantum Fourier
+//! transform used throughout Shor's kernel.
+//!
+//! Bit convention: registers are little-endian — qubit `0` is the least
+//! significant bit of the integer a register encodes. [`qft`] implements
+//! |x⟩ → (1/√M) Σ_y e^{2πi x y / M} |y⟩ with M = 2^m *including* the final
+//! qubit-reversal swaps, so its output uses the same little-endian
+//! convention as its input.
+
+use crate::circuit::Circuit;
+use std::f64::consts::PI;
+
+/// The `n`-qubit Bell/GHZ preparation without measurements:
+/// H on qubit 0 followed by a CNOT chain.
+pub fn ghz_state(n: usize) -> Circuit {
+    assert!(n >= 1, "GHZ needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for i in 0..n.saturating_sub(1) {
+        c.cx(i, i + 1);
+    }
+    c
+}
+
+/// The paper's 2-qubit Bell kernel (Listing 1): state preparation plus
+/// measurement of every qubit.
+pub fn bell_kernel() -> Circuit {
+    let mut c = ghz_state(2);
+    c.measure_all();
+    c
+}
+
+/// `n`-qubit GHZ kernel with measurements.
+pub fn ghz_kernel(n: usize) -> Circuit {
+    let mut c = ghz_state(n);
+    c.measure_all();
+    c
+}
+
+/// Quantum Fourier transform on qubits `[0, n)` of an `n`-qubit register,
+/// including the final swaps (little-endian in, little-endian out).
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    append_qft(&mut c, &(0..n).collect::<Vec<_>>());
+    c
+}
+
+/// Inverse QFT on `n` qubits.
+pub fn iqft(n: usize) -> Circuit {
+    qft(n).inverse().expect("QFT contains only unitaries")
+}
+
+/// Append a QFT acting on the given qubit list (little-endian: `qubits[0]`
+/// is the least significant bit) to an existing circuit.
+pub fn append_qft(c: &mut Circuit, qubits: &[usize]) {
+    let m = qubits.len();
+    // Standard QFT network on bits reordered MSB-first, then swaps to
+    // restore little-endian ordering.
+    for i in (0..m).rev() {
+        c.h(qubits[i]);
+        for j in (0..i).rev() {
+            // Controlled phase π / 2^(i-j)
+            let angle = PI / (1u64 << (i - j)) as f64;
+            c.cphase(qubits[j], qubits[i], angle);
+        }
+    }
+    for i in 0..m / 2 {
+        c.swap(qubits[i], qubits[m - 1 - i]);
+    }
+}
+
+/// Append the inverse QFT on the given qubit list.
+pub fn append_iqft(c: &mut Circuit, qubits: &[usize]) {
+    let mut tmp = Circuit::new(c.num_qubits());
+    append_qft(&mut tmp, qubits);
+    let inv = tmp.inverse().expect("QFT contains only unitaries");
+    c.extend(&inv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn bell_kernel_matches_listing_1() {
+        let c = bell_kernel();
+        assert_eq!(c.num_qubits(), 2);
+        let kinds: Vec<GateKind> = c.instructions().iter().map(|i| i.gate).collect();
+        assert_eq!(kinds, vec![GateKind::H, GateKind::CX, GateKind::Measure, GateKind::Measure]);
+    }
+
+    #[test]
+    fn ghz_scales_linearly() {
+        let c = ghz_kernel(5);
+        assert_eq!(c.len(), 1 + 4 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn ghz_zero_panics() {
+        ghz_state(0);
+    }
+
+    #[test]
+    fn qft_gate_count() {
+        // n H gates + n(n-1)/2 controlled phases + floor(n/2) swaps
+        for n in 1..8 {
+            let c = qft(n);
+            let counts = c.gate_counts();
+            assert_eq!(counts.get(&GateKind::H).copied().unwrap_or(0), n);
+            assert_eq!(counts.get(&GateKind::CPhase).copied().unwrap_or(0), n * (n - 1) / 2);
+            assert_eq!(counts.get(&GateKind::Swap).copied().unwrap_or(0), n / 2);
+        }
+    }
+
+    #[test]
+    fn iqft_composes_to_identity_structurally() {
+        let mut c = qft(4);
+        c.extend(&iqft(4));
+        crate::passes::optimize(&mut c);
+        assert!(c.is_empty(), "QFT · IQFT should cancel to the empty circuit");
+    }
+
+    #[test]
+    fn append_qft_on_sub_register() {
+        let mut c = Circuit::new(6);
+        append_qft(&mut c, &[2, 3, 4]);
+        assert!(c.instructions().iter().all(|i| i.qubits.iter().all(|&q| (2..5).contains(&q))));
+    }
+}

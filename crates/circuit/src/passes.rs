@@ -1,0 +1,370 @@
+//! Peephole circuit optimizer.
+//!
+//! The paper's §VII motivates asynchronous "quantum JIT compilation": circuit
+//! optimization is expensive enough (hours, in Shi et al. [22]) that it pays
+//! to offload it while other work proceeds. This module is the compilation
+//! workload used by that scenario in this reproduction: a pass manager over
+//! peephole passes that shrink an instruction stream without changing the
+//! circuit's semantics.
+//!
+//! Passes only combine *adjacent* operations, where adjacency means no
+//! intervening instruction touches any of the operands (barriers block
+//! matching on their qubit, measurements and resets block everything they
+//! touch).
+
+use crate::circuit::Circuit;
+use crate::gate::{GateKind, Instruction};
+use std::f64::consts::TAU;
+
+/// A rewrite over a circuit. Returns `true` when it changed anything.
+pub trait Pass {
+    /// Human-readable pass name for logs.
+    fn name(&self) -> &'static str;
+    /// Apply the rewrite once.
+    fn run(&self, circuit: &mut Circuit) -> bool;
+}
+
+/// Remove pairs of adjacent mutually-inverse gates (`H H`, `CX CX`,
+/// `S Sdg`, `T Tdg`, `Rz(θ) Rz(-θ)`, ...).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CancelInversePairs;
+
+/// Merge adjacent additive rotations on identical operands:
+/// `Rz(a) Rz(b) → Rz(a+b)` and likewise for `Rx`, `Ry`, `Phase`, `CPhase`,
+/// `CRz`, `CCPhase`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MergeRotations;
+
+/// Drop rotations whose angle is an exact identity: any additive rotation
+/// with angle ≈ 0, and pure phase gates (`Phase`/`CPhase`/`CCPhase`) with
+/// angle ≈ 2πk (the axis rotations `Rx/Ry/Rz/CRz` at 2π equal −I, a global
+/// phase we conservatively keep unless the angle is ≈ 4πk).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RemoveIdentities;
+
+/// Tolerance for treating an angle as an exact identity.
+const ANGLE_EPS: f64 = 1e-12;
+
+/// Find the next instruction at or after `start` that shares a qubit with
+/// `inst`. Returns `(index, overlaps_fully)` where `overlaps_fully` is true
+/// when it has exactly the same operand list.
+fn next_touching(circuit: &Circuit, inst: &Instruction, start: usize) -> Option<usize> {
+    circuit.instructions()[start..]
+        .iter()
+        .position(|other| other.qubits.iter().any(|q| inst.qubits.contains(q)))
+        .map(|off| start + off)
+}
+
+impl Pass for CancelInversePairs {
+    fn name(&self) -> &'static str {
+        "cancel-inverse-pairs"
+    }
+
+    fn run(&self, circuit: &mut Circuit) -> bool {
+        let mut changed = false;
+        let mut i = 0;
+        while i < circuit.len() {
+            let inst = circuit.instructions()[i].clone();
+            let cancellable = inst.gate.is_unitary() && inst.gate != GateKind::Barrier;
+            if cancellable {
+                if let Some(j) = next_touching(circuit, &inst, i + 1) {
+                    let other = &circuit.instructions()[j];
+                    let is_inverse = other.qubits == inst.qubits
+                        && inst
+                            .inverse()
+                            .map(|inv| {
+                                inv.gate == other.gate
+                                    && inv
+                                        .params
+                                        .iter()
+                                        .zip(&other.params)
+                                        .all(|(a, b)| (a - b).abs() < ANGLE_EPS)
+                            })
+                            .unwrap_or(false);
+                    if is_inverse {
+                        let insts = circuit.instructions_mut();
+                        insts.remove(j);
+                        insts.remove(i);
+                        changed = true;
+                        // Re-examine from the previous index: removing the
+                        // pair may expose a new adjacent pair.
+                        i = i.saturating_sub(1);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        changed
+    }
+}
+
+impl Pass for MergeRotations {
+    fn name(&self) -> &'static str {
+        "merge-rotations"
+    }
+
+    fn run(&self, circuit: &mut Circuit) -> bool {
+        let mut changed = false;
+        let mut i = 0;
+        while i < circuit.len() {
+            let inst = circuit.instructions()[i].clone();
+            if inst.gate.is_additive_rotation() {
+                if let Some(j) = next_touching(circuit, &inst, i + 1) {
+                    let other = &circuit.instructions()[j];
+                    if other.same_op(&inst) {
+                        let merged = inst.params[0] + other.params[0];
+                        let insts = circuit.instructions_mut();
+                        insts[i].params[0] = merged;
+                        insts.remove(j);
+                        changed = true;
+                        continue; // the merged gate may merge again
+                    }
+                }
+            }
+            i += 1;
+        }
+        changed
+    }
+}
+
+impl Pass for RemoveIdentities {
+    fn name(&self) -> &'static str {
+        "remove-identities"
+    }
+
+    fn run(&self, circuit: &mut Circuit) -> bool {
+        let before = circuit.len();
+        circuit.instructions_mut().retain(|inst| {
+            if !inst.gate.is_additive_rotation() {
+                return true;
+            }
+            let theta = inst.params[0];
+            let period = match inst.gate {
+                // diag phases are exactly periodic in 2π
+                GateKind::Phase | GateKind::CPhase | GateKind::CCPhase => TAU,
+                // axis rotations pick up a global −1 at 2π; only 4π is the identity
+                _ => 2.0 * TAU,
+            };
+            let rem = theta.rem_euclid(period);
+            !(rem < ANGLE_EPS || (period - rem) < ANGLE_EPS)
+        });
+        circuit.len() != before
+    }
+}
+
+/// Runs a pass pipeline to a fixed point.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    max_iterations: usize,
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl PassManager {
+    /// An empty pass manager.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new(), max_iterations: 64 }
+    }
+
+    /// The standard pipeline: identity removal, rotation merging, inverse
+    /// cancellation.
+    pub fn standard() -> Self {
+        let mut pm = Self::new();
+        pm.add(RemoveIdentities);
+        pm.add(MergeRotations);
+        pm.add(CancelInversePairs);
+        pm
+    }
+
+    /// Append a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Cap the number of full-pipeline iterations (default 64).
+    pub fn max_iterations(&mut self, n: usize) -> &mut Self {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// Run the pipeline until no pass changes the circuit (or the iteration
+    /// cap is hit). Returns the number of instructions removed.
+    pub fn run(&self, circuit: &mut Circuit) -> usize {
+        let before = circuit.len();
+        for _ in 0..self.max_iterations {
+            let mut changed = false;
+            for pass in &self.passes {
+                changed |= pass.run(circuit);
+            }
+            if !changed {
+                break;
+            }
+        }
+        before - circuit.len()
+    }
+}
+
+/// Convenience: run the standard pipeline on a circuit.
+pub fn optimize(circuit: &mut Circuit) -> usize {
+    PassManager::standard().run(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_h_pair_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        assert_eq!(optimize(&mut c), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cancellation_cascades() {
+        // H X X H → H H → empty
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).x(0).h(0);
+        optimize(&mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn s_sdg_pair_cancels() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0);
+        optimize(&mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn rotation_inverse_pair_cancels() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.7).rz(0, -0.7);
+        optimize(&mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        optimize(&mut c);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn disjoint_qubit_does_not_block() {
+        // H(0) X(1) H(0): the X on qubit 1 does not touch qubit 0.
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).x(1).h(0);
+        optimize(&mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cx_pair_cancels_only_with_same_orientation() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        optimize(&mut c);
+        assert!(c.is_empty());
+
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0);
+        optimize(&mut c);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rotations_merge_and_vanish() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.25).rz(0, 0.5).rz(0, -0.75);
+        optimize(&mut c);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn rotations_merge_to_single_gate() {
+        let mut c = Circuit::new(1);
+        c.ry(0, 0.25).ry(0, 0.5);
+        optimize(&mut c);
+        assert_eq!(c.len(), 1);
+        assert!((c.instructions()[0].params[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cphase_merges_across_disjoint_gates() {
+        let mut c = Circuit::new(3);
+        c.cphase(0, 1, 0.2).h(2).cphase(0, 1, 0.3);
+        optimize(&mut c);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn phase_full_turn_removed_but_rz_full_turn_kept() {
+        let mut c = Circuit::new(1);
+        c.phase(0, TAU);
+        optimize(&mut c);
+        assert!(c.is_empty(), "Phase(2π) is exactly the identity");
+
+        let mut c = Circuit::new(1);
+        c.rz(0, TAU);
+        optimize(&mut c);
+        assert_eq!(c.len(), 1, "Rz(2π) = −I is only a global phase; keep it");
+
+        let mut c = Circuit::new(1);
+        c.rz(0, 2.0 * TAU);
+        optimize(&mut c);
+        assert!(c.is_empty(), "Rz(4π) is exactly the identity");
+    }
+
+    #[test]
+    fn barrier_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).barrier(0).h(0);
+        optimize(&mut c);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn measure_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0).h(0);
+        optimize(&mut c);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn circuit_inverse_composition_fully_cancels() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).rz(2, 0.3).ccx(0, 1, 2).s(2);
+        let inv = c.inverse().unwrap();
+        let mut composed = c.clone();
+        composed.extend(&inv);
+        optimize(&mut composed);
+        assert!(composed.is_empty(), "U U† should optimize to the empty circuit");
+    }
+
+    #[test]
+    fn pass_manager_reports_removed_count() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0).t(0);
+        let removed = optimize(&mut c);
+        assert_eq!(removed, 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn pass_names_are_stable() {
+        assert_eq!(CancelInversePairs.name(), "cancel-inverse-pairs");
+        assert_eq!(MergeRotations.name(), "merge-rotations");
+        assert_eq!(RemoveIdentities.name(), "remove-identities");
+    }
+}

@@ -1,0 +1,402 @@
+//! OpenQASM 2 subset parser and writer.
+//!
+//! QCOR/XACC accept OpenQASM alongside XASM (the paper cites OpenQASM as the
+//! other kernel language); this module provides enough of OpenQASM 2 to
+//! exchange the circuits this reproduction uses: `qreg`/`creg`
+//! declarations, the qelib1 gate names our [`GateKind`](crate::GateKind) set
+//! covers, `measure`, `reset` and `barrier`.
+//!
+//! Multiple quantum registers are supported by concatenating them into one
+//! index space in declaration order (classical registers likewise).
+
+use crate::circuit::Circuit;
+use crate::expr::ParamExpr;
+use crate::gate::{GateKind, Instruction};
+use crate::CircuitError;
+use std::collections::HashMap;
+
+fn err(line: usize, message: impl Into<String>) -> CircuitError {
+    CircuitError::Parse { line, message: message.into() }
+}
+
+#[derive(Debug, Clone)]
+struct Register {
+    offset: usize,
+    size: usize,
+}
+
+/// Parse OpenQASM 2 source into a [`Circuit`].
+pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
+    let mut qregs: HashMap<String, Register> = HashMap::new();
+    let mut cregs: HashMap<String, Register> = HashMap::new();
+    let mut num_qubits = 0usize;
+    let mut num_cbits = 0usize;
+    let mut instructions: Vec<Instruction> = Vec::new();
+
+    // Strip comments, then split on `;`. Track line numbers per statement.
+    let mut cleaned = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' && chars.peek() == Some(&'/') {
+            for c2 in chars.by_ref() {
+                if c2 == '\n' {
+                    cleaned.push('\n');
+                    break;
+                }
+            }
+        } else {
+            cleaned.push(c);
+        }
+    }
+
+    let mut line_no = 1usize;
+    for raw_stmt in cleaned.split(';') {
+        let stmt_line = line_no;
+        line_no += raw_stmt.matches('\n').count();
+        let stmt = raw_stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let lower = stmt.to_ascii_lowercase();
+        if lower.starts_with("openqasm") || lower.starts_with("include") {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let (name, size) = parse_decl(rest, stmt_line)?;
+            qregs.insert(name, Register { offset: num_qubits, size });
+            num_qubits += size;
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("creg") {
+            let (name, size) = parse_decl(rest, stmt_line)?;
+            cregs.insert(name, Register { offset: num_cbits, size });
+            num_cbits += size;
+            continue;
+        }
+        if lower.starts_with("barrier") {
+            // Barriers are per-qubit in our IR; expand over all referenced qubits.
+            let operands = stmt["barrier".len()..].trim();
+            for q in parse_operand_list(operands, &qregs, stmt_line)? {
+                instructions.push(Instruction::new(GateKind::Barrier, vec![q], vec![]));
+            }
+            continue;
+        }
+        if lower.starts_with("measure") {
+            let rest = stmt["measure".len()..].trim();
+            let (lhs, rhs) = rest
+                .split_once("->")
+                .ok_or_else(|| err(stmt_line, "measure requires `-> creg`"))?;
+            let qs = parse_operand_list(lhs.trim(), &qregs, stmt_line)?;
+            let cs = parse_operand_list(rhs.trim(), &cregs, stmt_line)?;
+            if qs.len() != cs.len() {
+                return Err(err(stmt_line, "measure operand sizes differ"));
+            }
+            for (q, c) in qs.into_iter().zip(cs) {
+                let mut inst = Instruction::new(GateKind::Measure, vec![q], vec![]);
+                inst.cbit = Some(c);
+                instructions.push(inst);
+            }
+            continue;
+        }
+        if lower.starts_with("reset") {
+            let operands = stmt["reset".len()..].trim();
+            for q in parse_operand_list(operands, &qregs, stmt_line)? {
+                instructions.push(Instruction::new(GateKind::Reset, vec![q], vec![]));
+            }
+            continue;
+        }
+        // Gate application: `name(params)? operand(, operand)*`
+        let (head, operands) = split_gate_head(stmt, stmt_line)?;
+        let (gate_name, params_src) = match head.find('(') {
+            Some(open) => {
+                let close = head
+                    .rfind(')')
+                    .ok_or_else(|| err(stmt_line, "missing `)` in gate parameters"))?;
+                (head[..open].trim(), Some(&head[open + 1..close]))
+            }
+            None => (head.trim(), None),
+        };
+        let gate = GateKind::from_name(gate_name)
+            .ok_or_else(|| err(stmt_line, format!("unknown gate `{gate_name}`")))?;
+        let mut params = Vec::new();
+        if let Some(src) = params_src {
+            for piece in src.split(',') {
+                let e = ParamExpr::parse(piece.trim())
+                    .map_err(|m| err(stmt_line, format!("bad parameter `{piece}`: {m}")))?;
+                params.push(
+                    e.eval_const()
+                        .map_err(|e| CircuitError::UnboundParam(e.unbound))?,
+                );
+            }
+        }
+        if params.len() != gate.num_params() {
+            return Err(err(
+                stmt_line,
+                format!("{gate} expects {} parameter(s), got {}", gate.num_params(), params.len()),
+            ));
+        }
+        let qubits = parse_operand_list(operands, &qregs, stmt_line)?;
+        if qubits.len() != gate.arity() {
+            return Err(err(
+                stmt_line,
+                format!("{gate} expects {} operand(s), got {}", gate.arity(), qubits.len()),
+            ));
+        }
+        instructions.push(Instruction::new(gate, qubits, params));
+    }
+
+    let mut circuit = Circuit::new(num_qubits);
+    for inst in instructions {
+        circuit.try_push(inst)?;
+    }
+    Ok(circuit)
+}
+
+/// Split a gate statement into the head (`name(params)`) and operand text.
+fn split_gate_head(stmt: &str, line: usize) -> Result<(&str, &str), CircuitError> {
+    // The operands start after the closing paren (if parameters exist) or
+    // after the first whitespace run.
+    if let Some(open) = stmt.find('(') {
+        let close = stmt[open..]
+            .find(')')
+            .map(|i| open + i)
+            .ok_or_else(|| err(line, "missing `)`"))?;
+        Ok((&stmt[..=close], stmt[close + 1..].trim()))
+    } else {
+        let split = stmt
+            .find(char::is_whitespace)
+            .ok_or_else(|| err(line, "gate statement missing operands"))?;
+        Ok((&stmt[..split], stmt[split..].trim()))
+    }
+}
+
+fn parse_decl(rest: &str, line: usize) -> Result<(String, usize), CircuitError> {
+    let rest = rest.trim();
+    let open = rest.find('[').ok_or_else(|| err(line, "register declaration needs `[size]`"))?;
+    let close = rest.find(']').ok_or_else(|| err(line, "missing `]`"))?;
+    let name = rest[..open].trim().to_string();
+    if name.is_empty() {
+        return Err(err(line, "register declaration missing a name"));
+    }
+    let size: usize = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| err(line, "bad register size"))?;
+    Ok((name, size))
+}
+
+/// Parse `q[0], r[2]` or whole-register operands (`q`) into flat indices.
+fn parse_operand_list(
+    src: &str,
+    regs: &HashMap<String, Register>,
+    line: usize,
+) -> Result<Vec<usize>, CircuitError> {
+    let mut out = Vec::new();
+    for piece in src.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        if let Some(open) = piece.find('[') {
+            let close = piece.find(']').ok_or_else(|| err(line, "missing `]`"))?;
+            let name = piece[..open].trim();
+            let reg = regs
+                .get(name)
+                .ok_or_else(|| err(line, format!("unknown register `{name}`")))?;
+            let idx: usize = piece[open + 1..close]
+                .trim()
+                .parse()
+                .map_err(|_| err(line, "bad operand index"))?;
+            if idx >= reg.size {
+                return Err(err(line, format!("index {idx} out of range for `{name}[{}]`", reg.size)));
+            }
+            out.push(reg.offset + idx);
+        } else {
+            let reg = regs
+                .get(piece)
+                .ok_or_else(|| err(line, format!("unknown register `{piece}`")))?;
+            out.extend(reg.offset..reg.offset + reg.size);
+        }
+    }
+    Ok(out)
+}
+
+/// Serialize a circuit to OpenQASM 2. Gates outside qelib1 (`CCPhase`) are
+/// decomposed into qelib-compatible sequences.
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{n}];\n"));
+    out.push_str(&format!("creg c[{n}];\n"));
+    let mut next_cbit = 0usize;
+    for inst in circuit.instructions() {
+        let q = &inst.qubits;
+        let line = match inst.gate {
+            GateKind::H => format!("h q[{}];", q[0]),
+            GateKind::X => format!("x q[{}];", q[0]),
+            GateKind::Y => format!("y q[{}];", q[0]),
+            GateKind::Z => format!("z q[{}];", q[0]),
+            GateKind::S => format!("s q[{}];", q[0]),
+            GateKind::Sdg => format!("sdg q[{}];", q[0]),
+            GateKind::T => format!("t q[{}];", q[0]),
+            GateKind::Tdg => format!("tdg q[{}];", q[0]),
+            GateKind::Rx => format!("rx({}) q[{}];", fmt_f(inst.params[0]), q[0]),
+            GateKind::Ry => format!("ry({}) q[{}];", fmt_f(inst.params[0]), q[0]),
+            GateKind::Rz => format!("rz({}) q[{}];", fmt_f(inst.params[0]), q[0]),
+            GateKind::Phase => format!("u1({}) q[{}];", fmt_f(inst.params[0]), q[0]),
+            GateKind::U3 => format!(
+                "u3({},{},{}) q[{}];",
+                fmt_f(inst.params[0]),
+                fmt_f(inst.params[1]),
+                fmt_f(inst.params[2]),
+                q[0]
+            ),
+            GateKind::CX => format!("cx q[{}],q[{}];", q[0], q[1]),
+            GateKind::CY => format!("cy q[{}],q[{}];", q[0], q[1]),
+            GateKind::CZ => format!("cz q[{}],q[{}];", q[0], q[1]),
+            GateKind::CPhase => format!("cu1({}) q[{}],q[{}];", fmt_f(inst.params[0]), q[0], q[1]),
+            GateKind::CRz => format!("crz({}) q[{}],q[{}];", fmt_f(inst.params[0]), q[0], q[1]),
+            GateKind::Swap => format!("swap q[{}],q[{}];", q[0], q[1]),
+            GateKind::CCX => format!("ccx q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
+            GateKind::CSwap => format!("cswap q[{}],q[{}],q[{}];", q[0], q[1], q[2]),
+            GateKind::CCPhase => {
+                // Standard two-control phase decomposition.
+                let t = inst.params[0] / 2.0;
+                format!(
+                    "cu1({th}) q[{b}],q[{c}];\ncx q[{a}],q[{b}];\ncu1({mth}) q[{b}],q[{c}];\ncx q[{a}],q[{b}];\ncu1({th}) q[{a}],q[{c}];",
+                    th = fmt_f(t),
+                    mth = fmt_f(-t),
+                    a = q[0],
+                    b = q[1],
+                    c = q[2]
+                )
+            }
+            GateKind::Measure => {
+                let c = inst.cbit.unwrap_or_else(|| {
+                    let c = next_cbit;
+                    next_cbit += 1;
+                    c
+                });
+                format!("measure q[{}] -> c[{}];", q[0], c)
+            }
+            GateKind::Reset => format!("reset q[{}];", q[0]),
+            GateKind::Barrier => format!("barrier q[{}];", q[0]),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_f(v: f64) -> String {
+    // Enough digits for an exact f64 round-trip.
+    format!("{v:.17}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_program() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            cx q[0],q[1];
+            measure q[0] -> c[0];
+            measure q[1] -> c[1];
+        "#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.instructions()[3].cbit, Some(1));
+    }
+
+    #[test]
+    fn whole_register_measure() {
+        let src = "qreg q[3]; creg c[3]; h q[0]; measure q -> c;";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.instructions()[2].qubits, vec![1]);
+        assert_eq!(c.instructions()[2].cbit, Some(1));
+    }
+
+    #[test]
+    fn parameterized_gates_with_pi() {
+        let src = "qreg q[1]; rz(pi/2) q[0]; u1(-pi/4) q[0]; u3(0.1, 0.2, 0.3) q[0];";
+        let c = parse(src).unwrap();
+        assert!((c.instructions()[0].params[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((c.instructions()[1].params[0] + std::f64::consts::FRAC_PI_4).abs() < 1e-15);
+        assert_eq!(c.instructions()[2].params.len(), 3);
+    }
+
+    #[test]
+    fn multiple_qregs_concatenate() {
+        let src = "qreg a[2]; qreg b[2]; cx a[1],b[0];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.instructions()[0].qubits, vec![1, 2]);
+    }
+
+    #[test]
+    fn comments_and_includes_skipped() {
+        let src = "// a comment\nOPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\nh q[0]; // trailing\n";
+        assert_eq!(parse(src).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn barrier_and_reset() {
+        let src = "qreg q[2]; barrier q; reset q[0];";
+        let c = parse(src).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.instructions()[2].gate, GateKind::Reset);
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        assert!(parse("qreg q[1]; frob q[0];").is_err());
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        assert!(parse("qreg q[1]; h q[4];").is_err());
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .rz(2, 0.12345)
+            .cphase(1, 2, -0.5)
+            .swap(0, 2)
+            .u3(1, 0.1, 0.2, 0.3)
+            .measure_to(0, 0)
+            .measure_to(1, 1);
+        let qasm = to_qasm(&c);
+        let back = parse(&qasm).unwrap();
+        assert_eq!(back.num_qubits(), 3);
+        assert_eq!(back.len(), c.len());
+        for (a, b) in back.instructions().iter().zip(c.instructions()) {
+            assert_eq!(a.gate, b.gate);
+            assert_eq!(a.qubits, b.qubits);
+            for (pa, pb) in a.params.iter().zip(&b.params) {
+                assert!((pa - pb).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn writer_decomposes_ccphase() {
+        let mut c = Circuit::new(3);
+        c.ccphase(0, 1, 2, 0.8);
+        let qasm = to_qasm(&c);
+        let back = parse(&qasm).unwrap();
+        assert_eq!(back.len(), 5); // 3 cu1 + 2 cx
+    }
+}

@@ -1,0 +1,797 @@
+//! XASM-subset kernel parser.
+//!
+//! QCOR kernels are written in XACC's XASM dialect inside `__qpu__`
+//! functions (paper Listings 1, 3, 4). This module parses the subset those
+//! listings use:
+//!
+//! * an optional kernel signature
+//!   `__qpu__ void name(qreg q, double theta, ...) { ... }`,
+//! * `using qcor::xasm;` directives (ignored),
+//! * gate statements `H(q[0]);`, `Ry(q[1], theta / 2);`,
+//!   `CX(q[0], q[1]);`, `Measure(q[i]);`,
+//! * counted `for` loops
+//!   `for (int i = 0; i < q.size(); i++) { ... }` (also `<=`, arbitrary
+//!   integer bounds, nested loops), which are unrolled at parse time,
+//! * `//` and `/* */` comments.
+//!
+//! The register size is supplied at parse time (QCOR learns it from the
+//! `qalloc` call at runtime); `q.size()` resolves against it.
+//!
+//! ```
+//! use qcor_circuit::xasm;
+//! let src = r#"
+//!     __qpu__ void bell(qreg q) {
+//!         using qcor::xasm;
+//!         H(q[0]);
+//!         CX(q[0], q[1]);
+//!         for (int i = 0; i < q.size(); i++) { Measure(q[i]); }
+//!     }
+//! "#;
+//! let kernel = xasm::parse_kernel(src, 2).unwrap();
+//! assert_eq!(kernel.name, "bell");
+//! assert_eq!(kernel.bind(&[]).unwrap().len(), 4);
+//! ```
+
+use crate::circuit::{ParamCircuit, ParamInstruction};
+use crate::expr::ParamExpr;
+use crate::gate::GateKind;
+use crate::CircuitError;
+use std::collections::HashMap;
+
+/// Parse an XASM kernel over a register of `num_qubits` qubits.
+///
+/// Accepts either a full `__qpu__ void name(qreg q, ...) { body }` kernel or
+/// a bare statement list (in which case the kernel is named `main`, the
+/// register is `q`, and there are no classical parameters).
+pub fn parse_kernel(src: &str, num_qubits: usize) -> Result<ParamCircuit, CircuitError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let (name, reg, params, body) = p.kernel()?;
+    let mut pc = ParamCircuit::new(name, num_qubits, params.clone());
+    let mut env: HashMap<String, i64> = HashMap::new();
+    expand(&body, &reg, &params, num_qubits, &mut env, &mut pc)?;
+    Ok(pc)
+}
+
+// ----- tokens ---------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Punct(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+fn err(line: usize, message: impl Into<String>) -> CircuitError {
+    CircuitError::Parse { line, message: message.into() }
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>, CircuitError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(String::from_utf8_lossy(&bytes[start..i]).into_owned()),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() || (c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' {
+                        i += 1;
+                    } else if (c == b'+' || c == b'-') && matches!(bytes[i - 1], b'e' | b'E') {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).unwrap();
+                let v = text.parse::<f64>().map_err(|e| err(line, format!("bad number `{text}`: {e}")))?;
+                out.push(Token { tok: Tok::Number(v), line });
+            }
+            _ => {
+                // Multi-character punctuation first.
+                let two: &[u8] = &bytes[i..(i + 2).min(bytes.len())];
+                let punct = match two {
+                    b"++" => Some("++"),
+                    b"--" => Some("--"),
+                    b"<=" => Some("<="),
+                    b">=" => Some(">="),
+                    b"+=" => Some("+="),
+                    b"-=" => Some("-="),
+                    b"::" => Some("::"),
+                    _ => None,
+                };
+                if let Some(p) = punct {
+                    out.push(Token { tok: Tok::Punct(p), line });
+                    i += 2;
+                    continue;
+                }
+                let one = match c {
+                    b'(' => "(",
+                    b')' => ")",
+                    b'[' => "[",
+                    b']' => "]",
+                    b'{' => "{",
+                    b'}' => "}",
+                    b';' => ";",
+                    b',' => ",",
+                    b'<' => "<",
+                    b'>' => ">",
+                    b'=' => "=",
+                    b'+' => "+",
+                    b'-' => "-",
+                    b'*' => "*",
+                    b'/' => "/",
+                    b'.' => ".",
+                    other => return Err(err(line, format!("unexpected character `{}`", other as char))),
+                };
+                out.push(Token { tok: Tok::Punct(one), line });
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ----- AST -------------------------------------------------------------------
+
+/// Integer expression for qubit indices and loop bounds.
+#[derive(Debug, Clone)]
+enum IntExpr {
+    Num(i64),
+    Var(String),
+    QSize,
+    Neg(Box<IntExpr>),
+    Add(Box<IntExpr>, Box<IntExpr>),
+    Sub(Box<IntExpr>, Box<IntExpr>),
+    Mul(Box<IntExpr>, Box<IntExpr>),
+    Div(Box<IntExpr>, Box<IntExpr>),
+}
+
+impl IntExpr {
+    fn eval(&self, env: &HashMap<String, i64>, qsize: usize, line: usize) -> Result<i64, CircuitError> {
+        Ok(match self {
+            IntExpr::Num(v) => *v,
+            IntExpr::Var(name) => *env
+                .get(name)
+                .ok_or_else(|| err(line, format!("unknown integer variable `{name}`")))?,
+            IntExpr::QSize => qsize as i64,
+            IntExpr::Neg(e) => -e.eval(env, qsize, line)?,
+            IntExpr::Add(a, b) => a.eval(env, qsize, line)? + b.eval(env, qsize, line)?,
+            IntExpr::Sub(a, b) => a.eval(env, qsize, line)? - b.eval(env, qsize, line)?,
+            IntExpr::Mul(a, b) => a.eval(env, qsize, line)? * b.eval(env, qsize, line)?,
+            IntExpr::Div(a, b) => {
+                let d = b.eval(env, qsize, line)?;
+                if d == 0 {
+                    return Err(err(line, "division by zero in index expression"));
+                }
+                a.eval(env, qsize, line)? / d
+            }
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Arg {
+    Qubit(IntExpr),
+    Param(ParamExpr),
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Gate { name: String, args: Vec<Arg>, line: usize },
+    For { var: String, start: IntExpr, end: IntExpr, inclusive: bool, body: Vec<Stmt>, line: usize },
+}
+
+// ----- parser ---------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.line).unwrap_or_else(|| {
+            self.tokens.last().map(|t| t.line).unwrap_or(1)
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CircuitError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Punct(got)) if got == p => Ok(()),
+            other => Err(err(line, format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CircuitError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => Err(err(line, format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        match self.peek() {
+            Some(Tok::Punct(got)) if *got == p => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        match self.peek() {
+            Some(Tok::Ident(got)) if got == name => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Parse `__qpu__ void name(qreg q, double a, ...) { body }` or a bare
+    /// statement list. Returns (kernel name, register name, classical
+    /// parameter names, body).
+    fn kernel(&mut self) -> Result<(String, String, Vec<String>, Vec<Stmt>), CircuitError> {
+        let mut name = "main".to_string();
+        let mut reg = "q".to_string();
+        let mut params = Vec::new();
+        let mut braced = false;
+        if self.eat_ident("__qpu__") {
+            let line = self.line();
+            if !self.eat_ident("void") {
+                return Err(err(line, "expected `void` after `__qpu__`"));
+            }
+            name = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let mut first = true;
+            while self.peek() != Some(&Tok::Punct(")")) {
+                if !first {
+                    self.expect_punct(",")?;
+                }
+                first = false;
+                let line = self.line();
+                let ty = self.expect_ident()?;
+                let pname = self.expect_ident()?;
+                match ty.as_str() {
+                    "qreg" => reg = pname,
+                    "double" | "float" => params.push(pname),
+                    other => return Err(err(line, format!("unsupported parameter type `{other}`"))),
+                }
+            }
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            braced = true;
+        }
+        let body = self.stmts(&reg, braced)?;
+        if braced {
+            self.expect_punct("}")?;
+        }
+        if self.pos != self.tokens.len() {
+            return Err(err(self.line(), "trailing input after kernel body"));
+        }
+        Ok((name, reg, params, body))
+    }
+
+    /// Parse statements until EOF or an unmatched `}` (when `braced`).
+    fn stmts(&mut self, reg: &str, braced: bool) -> Result<Vec<Stmt>, CircuitError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    if braced {
+                        return Err(err(self.line(), "missing `}`"));
+                    }
+                    return Ok(out);
+                }
+                Some(Tok::Punct("}")) => return Ok(out),
+                Some(Tok::Ident(id)) if id == "using" => {
+                    // `using qcor::xasm;` — skip to the semicolon.
+                    while let Some(t) = self.next() {
+                        if t == Tok::Punct(";") {
+                            break;
+                        }
+                    }
+                }
+                Some(Tok::Ident(id)) if id == "for" => {
+                    out.push(self.for_stmt(reg)?);
+                }
+                Some(Tok::Ident(_)) => out.push(self.gate_stmt(reg)?),
+                other => return Err(err(self.line(), format!("unexpected token {other:?}"))),
+            }
+        }
+    }
+
+    fn for_stmt(&mut self, reg: &str) -> Result<Stmt, CircuitError> {
+        let line = self.line();
+        self.pos += 1; // `for`
+        self.expect_punct("(")?;
+        if !self.eat_ident("int") && !self.eat_ident("auto") && !self.eat_ident("size_t") {
+            return Err(err(line, "expected loop variable declaration (`int i = ...`)"));
+        }
+        let var = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let start = self.int_expr(reg)?;
+        self.expect_punct(";")?;
+        let cond_var = self.expect_ident()?;
+        if cond_var != var {
+            return Err(err(line, format!("loop condition must test `{var}`")));
+        }
+        let inclusive = if self.eat_punct("<=") {
+            true
+        } else if self.eat_punct("<") {
+            false
+        } else {
+            return Err(err(line, "loop condition must be `<` or `<=`"));
+        };
+        let end = self.int_expr(reg)?;
+        self.expect_punct(";")?;
+        // step: i++ | ++i | i += 1
+        if self.eat_punct("++") {
+            let step_var = self.expect_ident()?;
+            if step_var != var {
+                return Err(err(line, "loop step must increment the loop variable"));
+            }
+        } else {
+            let step_var = self.expect_ident()?;
+            if step_var != var {
+                return Err(err(line, "loop step must increment the loop variable"));
+            }
+            if self.eat_punct("++") {
+                // i++
+            } else if self.eat_punct("+=") {
+                match self.next() {
+                    Some(Tok::Number(v)) if v == 1.0 => {}
+                    _ => return Err(err(line, "only unit-stride loops are supported")),
+                }
+            } else {
+                return Err(err(line, "loop step must be `++` or `+= 1`"));
+            }
+        }
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let body = self.stmts(reg, true)?;
+        self.expect_punct("}")?;
+        Ok(Stmt::For { var, start, end, inclusive, body, line })
+    }
+
+    fn gate_stmt(&mut self, reg: &str) -> Result<Stmt, CircuitError> {
+        let line = self.line();
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut args = Vec::new();
+        while self.peek() != Some(&Tok::Punct(")")) {
+            if !args.is_empty() {
+                self.expect_punct(",")?;
+            }
+            args.push(self.arg(reg)?);
+        }
+        self.expect_punct(")")?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Gate { name, args, line })
+    }
+
+    /// A gate argument: `reg[int-expr]` is a qubit; anything else is a
+    /// classical parameter expression.
+    fn arg(&mut self, reg: &str) -> Result<Arg, CircuitError> {
+        if let (Some(Tok::Ident(id)), Some(Token { tok: Tok::Punct("["), .. })) =
+            (self.peek(), self.tokens.get(self.pos + 1))
+        {
+            if id == reg {
+                self.pos += 2;
+                let idx = self.int_expr(reg)?;
+                self.expect_punct("]")?;
+                return Ok(Arg::Qubit(idx));
+            }
+        }
+        Ok(Arg::Param(self.param_expr(reg)?))
+    }
+
+    // Integer expressions: + - * / over literals, loop vars and q.size().
+    fn int_expr(&mut self, reg: &str) -> Result<IntExpr, CircuitError> {
+        let mut lhs = self.int_term(reg)?;
+        loop {
+            if self.eat_punct("+") {
+                lhs = IntExpr::Add(Box::new(lhs), Box::new(self.int_term(reg)?));
+            } else if self.eat_punct("-") {
+                lhs = IntExpr::Sub(Box::new(lhs), Box::new(self.int_term(reg)?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn int_term(&mut self, reg: &str) -> Result<IntExpr, CircuitError> {
+        let mut lhs = self.int_atom(reg)?;
+        loop {
+            if self.eat_punct("*") {
+                lhs = IntExpr::Mul(Box::new(lhs), Box::new(self.int_atom(reg)?));
+            } else if self.eat_punct("/") {
+                lhs = IntExpr::Div(Box::new(lhs), Box::new(self.int_atom(reg)?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn int_atom(&mut self, reg: &str) -> Result<IntExpr, CircuitError> {
+        let line = self.line();
+        if self.eat_punct("-") {
+            return Ok(IntExpr::Neg(Box::new(self.int_atom(reg)?)));
+        }
+        if self.eat_punct("(") {
+            let e = self.int_expr(reg)?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Tok::Number(v)) => {
+                if v.fract() != 0.0 {
+                    return Err(err(line, format!("expected integer, found {v}")));
+                }
+                Ok(IntExpr::Num(v as i64))
+            }
+            Some(Tok::Ident(id)) => {
+                // `reg.size()` form
+                if id == reg && self.eat_punct(".") {
+                    let m = self.expect_ident()?;
+                    if m != "size" {
+                        return Err(err(line, format!("unknown register method `{m}`")));
+                    }
+                    self.expect_punct("(")?;
+                    self.expect_punct(")")?;
+                    return Ok(IntExpr::QSize);
+                }
+                Ok(IntExpr::Var(id))
+            }
+            other => Err(err(line, format!("expected integer expression, found {other:?}"))),
+        }
+    }
+
+    // Classical parameter expressions reuse the ParamExpr grammar but must
+    // be parsed from the token stream (so they mix with other arguments).
+    fn param_expr(&mut self, reg: &str) -> Result<ParamExpr, CircuitError> {
+        let mut lhs = self.param_term(reg)?;
+        loop {
+            if self.eat_punct("+") {
+                lhs = ParamExpr::Add(Box::new(lhs), Box::new(self.param_term(reg)?));
+            } else if self.eat_punct("-") {
+                lhs = ParamExpr::Sub(Box::new(lhs), Box::new(self.param_term(reg)?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn param_term(&mut self, reg: &str) -> Result<ParamExpr, CircuitError> {
+        let mut lhs = self.param_atom(reg)?;
+        loop {
+            if self.eat_punct("*") {
+                lhs = ParamExpr::Mul(Box::new(lhs), Box::new(self.param_atom(reg)?));
+            } else if self.eat_punct("/") {
+                lhs = ParamExpr::Div(Box::new(lhs), Box::new(self.param_atom(reg)?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn param_atom(&mut self, reg: &str) -> Result<ParamExpr, CircuitError> {
+        let line = self.line();
+        if self.eat_punct("-") {
+            return Ok(ParamExpr::Neg(Box::new(self.param_atom(reg)?)));
+        }
+        if self.eat_punct("(") {
+            let e = self.param_expr(reg)?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.next() {
+            Some(Tok::Number(v)) => Ok(ParamExpr::Num(v)),
+            Some(Tok::Ident(id)) => Ok(ParamExpr::Var(id)),
+            other => Err(err(line, format!("expected parameter expression, found {other:?}"))),
+        }
+    }
+}
+
+// ----- expansion --------------------------------------------------------------
+
+fn expand(
+    stmts: &[Stmt],
+    reg: &str,
+    params: &[String],
+    qsize: usize,
+    env: &mut HashMap<String, i64>,
+    out: &mut ParamCircuit,
+) -> Result<(), CircuitError> {
+    let _ = reg;
+    for stmt in stmts {
+        match stmt {
+            Stmt::Gate { name, args, line } => {
+                let gate = GateKind::from_name(name)
+                    .ok_or_else(|| err(*line, format!("unknown gate `{name}`")))?;
+                let mut qubits = Vec::new();
+                let mut angles = Vec::new();
+                for arg in args {
+                    match arg {
+                        Arg::Qubit(e) => {
+                            let idx = e.eval(env, qsize, *line)?;
+                            if idx < 0 || idx as usize >= qsize {
+                                return Err(CircuitError::QubitOutOfRange {
+                                    gate: gate.name().to_string(),
+                                    qubit: idx.max(0) as usize,
+                                    size: qsize,
+                                });
+                            }
+                            qubits.push(idx as usize);
+                        }
+                        Arg::Param(e) => angles.push(substitute_loop_vars(e, env, params)),
+                    }
+                }
+                if qubits.len() != gate.arity() {
+                    return Err(err(*line, format!("{gate} expects {} qubit(s), got {}", gate.arity(), qubits.len())));
+                }
+                if angles.len() != gate.num_params() {
+                    return Err(err(*line, format!("{gate} expects {} parameter(s), got {}", gate.num_params(), angles.len())));
+                }
+                out.push(ParamInstruction { gate, qubits, params: angles });
+            }
+            Stmt::For { var, start, end, inclusive, body, line } => {
+                let lo = start.eval(env, qsize, *line)?;
+                let mut hi = end.eval(env, qsize, *line)?;
+                if *inclusive {
+                    hi += 1;
+                }
+                if env.contains_key(var) {
+                    return Err(err(*line, format!("loop variable `{var}` shadows an outer loop")));
+                }
+                for i in lo..hi {
+                    env.insert(var.clone(), i);
+                    expand(body, reg, params, qsize, env, out)?;
+                }
+                env.remove(var);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replace loop variables (integers known at unroll time) inside a parameter
+/// expression; kernel parameters stay symbolic.
+fn substitute_loop_vars(e: &ParamExpr, env: &HashMap<String, i64>, params: &[String]) -> ParamExpr {
+    match e {
+        ParamExpr::Num(v) => ParamExpr::Num(*v),
+        ParamExpr::Var(name) => {
+            if params.iter().any(|p| p == name) || name == "pi" {
+                ParamExpr::Var(name.clone())
+            } else if let Some(v) = env.get(name) {
+                ParamExpr::Num(*v as f64)
+            } else {
+                ParamExpr::Var(name.clone())
+            }
+        }
+        ParamExpr::Neg(a) => ParamExpr::Neg(Box::new(substitute_loop_vars(a, env, params))),
+        ParamExpr::Add(a, b) => ParamExpr::Add(
+            Box::new(substitute_loop_vars(a, env, params)),
+            Box::new(substitute_loop_vars(b, env, params)),
+        ),
+        ParamExpr::Sub(a, b) => ParamExpr::Sub(
+            Box::new(substitute_loop_vars(a, env, params)),
+            Box::new(substitute_loop_vars(b, env, params)),
+        ),
+        ParamExpr::Mul(a, b) => ParamExpr::Mul(
+            Box::new(substitute_loop_vars(a, env, params)),
+            Box::new(substitute_loop_vars(b, env, params)),
+        ),
+        ParamExpr::Div(a, b) => ParamExpr::Div(
+            Box::new(substitute_loop_vars(a, env, params)),
+            Box::new(substitute_loop_vars(b, env, params)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    const BELL: &str = r#"
+        __qpu__ void bell(qreg q) {
+            using qcor::xasm;
+            H(q[0]);
+            CX(q[0], q[1]);
+            for (int i = 0; i < q.size(); i++) {
+                Measure(q[i]);
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_paper_bell_kernel() {
+        let k = parse_kernel(BELL, 2).unwrap();
+        assert_eq!(k.name, "bell");
+        assert!(k.param_names.is_empty());
+        let c = k.bind(&[]).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.instructions()[0].gate, GateKind::H);
+        assert_eq!(c.instructions()[1].gate, GateKind::CX);
+        assert_eq!(c.instructions()[2].gate, GateKind::Measure);
+        assert_eq!(c.instructions()[3].qubits, vec![1]);
+    }
+
+    #[test]
+    fn register_size_drives_loop_unrolling() {
+        let k = parse_kernel(BELL, 5).unwrap();
+        let c = k.bind(&[]).unwrap();
+        assert_eq!(c.len(), 7); // H + CX + 5 measures
+    }
+
+    #[test]
+    fn parses_paper_vqe_ansatz() {
+        let src = r#"
+            __qpu__ void ansatz(qreg q, double theta) {
+                X(q[0]);
+                Ry(q[1], theta);
+                CX(q[1], q[0]);
+            }
+        "#;
+        let k = parse_kernel(src, 2).unwrap();
+        assert_eq!(k.param_names, vec!["theta".to_string()]);
+        let c = k.bind(&[0.42]).unwrap();
+        assert_eq!(c.instructions()[1].gate, GateKind::Ry);
+        assert!((c.instructions()[1].params[0] - 0.42).abs() < 1e-15);
+        assert_eq!(c.instructions()[2].qubits, vec![1, 0]);
+    }
+
+    #[test]
+    fn bare_statement_list_parses() {
+        let k = parse_kernel("H(q[0]); CX(q[0], q[1]);", 2).unwrap();
+        assert_eq!(k.name, "main");
+        assert_eq!(k.bind(&[]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn param_arithmetic_in_gate_args() {
+        let src = "__qpu__ void k(qreg q, double theta) { Ry(q[0], theta / 2 + pi); }";
+        let k = parse_kernel(src, 1).unwrap();
+        let c = k.bind(&[1.0]).unwrap();
+        assert!((c.instructions()[0].params[0] - (0.5 + std::f64::consts::PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_loops_unroll() {
+        let src = r#"
+            for (int i = 0; i < 2; i++) {
+                for (int j = 0; j < 2; j++) {
+                    CPhase(q[i], q[j + 2], 0.5);
+                }
+            }
+        "#;
+        let k = parse_kernel(src, 4).unwrap();
+        let c = k.bind(&[]).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.instructions()[0].qubits, vec![0, 2]);
+        assert_eq!(c.instructions()[3].qubits, vec![1, 3]);
+    }
+
+    #[test]
+    fn loop_with_size_arithmetic() {
+        let src = "for (int i = 0; i < q.size() - 1; i++) { CX(q[i], q[i + 1]); }";
+        let k = parse_kernel(src, 4).unwrap();
+        let c = k.bind(&[]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.instructions()[2].qubits, vec![2, 3]);
+    }
+
+    #[test]
+    fn inclusive_loop_bound() {
+        let src = "for (int i = 0; i <= 2; i++) { H(q[i]); }";
+        let c = parse_kernel(src, 3).unwrap().bind(&[]).unwrap();
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn loop_variable_inside_angle() {
+        let src = "for (int i = 1; i <= 3; i++) { Rz(q[0], pi / i); }";
+        let c = parse_kernel(src, 1).unwrap().bind(&[]).unwrap();
+        assert!((c.instructions()[2].params[0] - std::f64::consts::PI / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_gate_is_an_error() {
+        let e = parse_kernel("Frobnicate(q[0]);", 1).unwrap_err();
+        assert!(matches!(e, CircuitError::Parse { .. }));
+    }
+
+    #[test]
+    fn out_of_range_qubit_is_an_error() {
+        let e = parse_kernel("H(q[3]);", 2).unwrap_err();
+        assert!(matches!(e, CircuitError::QubitOutOfRange { qubit: 3, size: 2, .. }));
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        assert!(parse_kernel("CX(q[0]);", 2).is_err());
+        assert!(parse_kernel("H(q[0], q[1]);", 2).is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "H(q[0]); // comment\n/* block\ncomment */ X(q[0]);";
+        let c = parse_kernel(src, 1).unwrap().bind(&[]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn shadowing_loop_variable_rejected() {
+        let src = "for (int i = 0; i < 2; i++) { for (int i = 0; i < 2; i++) { H(q[i]); } }";
+        assert!(parse_kernel(src, 2).is_err());
+    }
+
+    #[test]
+    fn custom_register_name() {
+        let src = "__qpu__ void k(qreg reg) { H(reg[0]); Measure(reg[0]); }";
+        let c = parse_kernel(src, 1).unwrap().bind(&[]).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

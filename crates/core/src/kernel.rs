@@ -1,0 +1,182 @@
+//! Quantum kernels: the invokable unit of QCOR programs.
+//!
+//! In QCOR a `__qpu__` function is compiled from XASM and invoked like a
+//! C++ function (`bell(q)`, `ansatz(q, theta)`). Here a [`Kernel`] wraps
+//! either a parsed XASM template, a concrete circuit, or a Rust closure
+//! that builds a circuit from its classical arguments; `invoke` binds the
+//! arguments and dispatches through the calling thread's accelerator.
+
+use crate::allocation::QReg;
+use crate::runtime::execute;
+use crate::QcorError;
+use qcor_circuit::{xasm, Circuit, ParamCircuit};
+use std::sync::Arc;
+
+type BuilderFn = dyn Fn(&[f64]) -> Circuit + Send + Sync;
+
+enum KernelBody {
+    Xasm(ParamCircuit),
+    Fixed(Circuit),
+    Builder { num_params: usize, build: Arc<BuilderFn> },
+}
+
+/// An invokable quantum kernel.
+pub struct Kernel {
+    name: String,
+    body: KernelBody,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("num_params", &self.num_params())
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Compile an XASM kernel source over an `n`-qubit register.
+    pub fn from_xasm(src: &str, num_qubits: usize) -> Result<Self, QcorError> {
+        let pc = xasm::parse_kernel(src, num_qubits)?;
+        Ok(Kernel { name: pc.name.clone(), body: KernelBody::Xasm(pc) })
+    }
+
+    /// Wrap a fully concrete circuit.
+    pub fn from_circuit(name: impl Into<String>, circuit: Circuit) -> Self {
+        Kernel { name: name.into(), body: KernelBody::Fixed(circuit) }
+    }
+
+    /// Wrap a Rust closure taking `num_params` classical arguments — the
+    /// single-source style of writing kernels directly in the host
+    /// language.
+    pub fn from_fn(
+        name: impl Into<String>,
+        num_params: usize,
+        build: impl Fn(&[f64]) -> Circuit + Send + Sync + 'static,
+    ) -> Self {
+        Kernel { name: name.into(), body: KernelBody::Builder { num_params, build: Arc::new(build) } }
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classical parameters the kernel takes.
+    pub fn num_params(&self) -> usize {
+        match &self.body {
+            KernelBody::Xasm(pc) => pc.param_names.len(),
+            KernelBody::Fixed(_) => 0,
+            KernelBody::Builder { num_params, .. } => *num_params,
+        }
+    }
+
+    /// Bind classical arguments to a concrete circuit without executing.
+    pub fn bind(&self, args: &[f64]) -> Result<Circuit, QcorError> {
+        match &self.body {
+            KernelBody::Xasm(pc) => Ok(pc.bind(args)?),
+            KernelBody::Fixed(c) => {
+                if args.is_empty() {
+                    Ok(c.clone())
+                } else {
+                    Err(QcorError::Kernel(format!(
+                        "kernel `{}` takes no parameters, got {}",
+                        self.name,
+                        args.len()
+                    )))
+                }
+            }
+            KernelBody::Builder { num_params, build } => {
+                if args.len() != *num_params {
+                    return Err(QcorError::Kernel(format!(
+                        "kernel `{}` takes {num_params} parameter(s), got {}",
+                        self.name,
+                        args.len()
+                    )));
+                }
+                Ok(build(args))
+            }
+        }
+    }
+
+    /// Bind and execute on the calling thread's accelerator against `q`.
+    pub fn invoke(&self, q: &QReg, args: &[f64]) -> Result<(), QcorError> {
+        let circuit = self.bind(args)?;
+        if circuit.num_qubits() > q.size() {
+            return Err(QcorError::Kernel(format!(
+                "kernel `{}` needs {} qubits but the register has {}",
+                self.name,
+                circuit.num_qubits(),
+                q.size()
+            )));
+        }
+        execute(q, &circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::qalloc;
+    use crate::runtime::{initialize, InitOptions};
+    use crate::qpu_manager::QPUManager;
+
+    const BELL_SRC: &str = r#"
+        __qpu__ void bell(qreg q) {
+            using qcor::xasm;
+            H(q[0]);
+            CX(q[0], q[1]);
+            for (int i = 0; i < q.size(); i++) { Measure(q[i]); }
+        }
+    "#;
+
+    #[test]
+    fn xasm_kernel_invokes_end_to_end() {
+        std::thread::spawn(|| {
+            initialize(InitOptions::default().threads(1).shots(128).seed(21)).unwrap();
+            let q = qalloc(2);
+            let bell = Kernel::from_xasm(BELL_SRC, 2).unwrap();
+            assert_eq!(bell.name(), "bell");
+            bell.invoke(&q, &[]).unwrap();
+            assert_eq!(q.total_shots(), 128);
+            QPUManager::instance().clear_current();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn parametric_kernel_binds_arguments() {
+        let ansatz = Kernel::from_xasm(
+            "__qpu__ void ansatz(qreg q, double theta) { X(q[0]); Ry(q[1], theta); CX(q[1], q[0]); }",
+            2,
+        )
+        .unwrap();
+        assert_eq!(ansatz.num_params(), 1);
+        let c = ansatz.bind(&[0.25]).unwrap();
+        assert!((c.instructions()[1].params[0] - 0.25).abs() < 1e-15);
+        assert!(ansatz.bind(&[]).is_err());
+    }
+
+    #[test]
+    fn closure_kernel_builds_circuits() {
+        let k = Kernel::from_fn("ghz", 0, |_| qcor_circuit::library::ghz_kernel(3));
+        let c = k.bind(&[]).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert!(k.bind(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn oversized_kernel_rejected_at_invoke() {
+        std::thread::spawn(|| {
+            initialize(InitOptions::default().threads(1)).unwrap();
+            let q = qalloc(1);
+            let bell = Kernel::from_xasm(BELL_SRC, 2).unwrap();
+            assert!(bell.invoke(&q, &[]).is_err());
+            QPUManager::instance().clear_current();
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -1,0 +1,151 @@
+//! First-order optimizers: plain gradient descent and Adam.
+
+use super::{ObjectiveFn, Optimizer, OptimizerResult};
+
+/// Fixed-step gradient descent with gradient-norm stopping.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Step size.
+    pub learning_rate: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Stop when ‖∇f‖∞ falls below this.
+    pub tol: f64,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        GradientDescent { learning_rate: 0.05, max_iters: 1000, tol: 1e-6 }
+    }
+}
+
+impl Optimizer for GradientDescent {
+    fn name(&self) -> &'static str {
+        "gradient-descent"
+    }
+
+    fn optimize(&self, f: &dyn ObjectiveFn, x0: &[f64]) -> OptimizerResult {
+        let mut x = x0.to_vec();
+        let mut evals = 0usize;
+        let mut iterations = 0usize;
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            let g = f.grad(&x);
+            evals += 2 * x.len(); // finite-difference cost bound
+            let gmax = g.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if gmax < self.tol {
+                break;
+            }
+            for (xi, gi) in x.iter_mut().zip(&g) {
+                *xi -= self.learning_rate * gi;
+            }
+        }
+        let opt_val = f.eval(&x);
+        evals += 1;
+        OptimizerResult { opt_val, opt_params: x, iterations, evaluations: evals }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Step size.
+    pub learning_rate: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Stop when ‖∇f‖∞ falls below this.
+    pub tol: f64,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam { learning_rate: 0.05, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, max_iters: 2000, tol: 1e-6 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+
+    fn optimize(&self, f: &dyn ObjectiveFn, x0: &[f64]) -> OptimizerResult {
+        let n = x0.len();
+        let mut x = x0.to_vec();
+        let mut m = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let mut evals = 0usize;
+        let mut iterations = 0usize;
+        for t in 1..=self.max_iters {
+            iterations += 1;
+            let g = f.grad(&x);
+            evals += 2 * n;
+            let gmax = g.iter().fold(0.0f64, |acc, val| acc.max(val.abs()));
+            if gmax < self.tol {
+                break;
+            }
+            let bc1 = 1.0 - self.beta1.powi(t as i32);
+            let bc2 = 1.0 - self.beta2.powi(t as i32);
+            for i in 0..n {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                x[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+        let opt_val = f.eval(&x);
+        evals += 1;
+        OptimizerResult { opt_val, opt_params: x, iterations, evaluations: evals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::test_functions::{cosine_well, quadratic};
+
+    #[test]
+    fn gradient_descent_converges_on_quadratic() {
+        let opt = GradientDescent::default();
+        let r = opt.optimize(&quadratic, &[5.0, 5.0]);
+        assert!((r.opt_val - 3.0).abs() < 1e-4, "{r:?}");
+        assert!(r.iterations > 1);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let opt = Adam::default();
+        let r = opt.optimize(&quadratic, &[5.0, 5.0]);
+        assert!((r.opt_val - 3.0).abs() < 1e-3, "{r:?}");
+    }
+
+    #[test]
+    fn both_find_the_cosine_well() {
+        for opt in [&GradientDescent::default() as &dyn Optimizer, &Adam::default()] {
+            let r = opt.optimize(&cosine_well, &[2.0]);
+            assert!((r.opt_params[0] - 0.5).abs() < 1e-2, "{}: {:?}", opt.name(), r);
+            assert!((r.opt_val - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let opt = GradientDescent { max_iters: 3, ..Default::default() };
+        let r = opt.optimize(&quadratic, &[50.0, 50.0]);
+        assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn already_converged_start_stops_immediately() {
+        let opt = GradientDescent::default();
+        let r = opt.optimize(&quadratic, &[1.0, -2.0]);
+        assert_eq!(r.iterations, 1);
+        assert!((r.opt_val - 3.0).abs() < 1e-9);
+    }
+}

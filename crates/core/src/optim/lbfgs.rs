@@ -1,0 +1,177 @@
+//! Limited-memory BFGS with two-loop recursion and Armijo backtracking —
+//! the from-scratch stand-in for the paper's nlopt `l-bfgs`.
+
+use super::{ObjectiveFn, Optimizer, OptimizerResult};
+use std::collections::VecDeque;
+
+/// L-BFGS minimizer.
+#[derive(Debug, Clone)]
+pub struct LBfgs {
+    /// History length (pairs of (s, y) kept).
+    pub history: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Stop when ‖∇f‖∞ falls below this.
+    pub tol: f64,
+    /// Armijo sufficient-decrease constant.
+    pub c1: f64,
+    /// Backtracking shrink factor.
+    pub shrink: f64,
+    /// Maximum backtracking steps per line search.
+    pub max_backtracks: usize,
+}
+
+impl Default for LBfgs {
+    fn default() -> Self {
+        LBfgs { history: 8, max_iters: 500, tol: 1e-8, c1: 1e-4, shrink: 0.5, max_backtracks: 40 }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl LBfgs {
+    /// The two-loop recursion: approximate H·g from the (s, y) history.
+    fn direction(&self, grad: &[f64], pairs: &VecDeque<(Vec<f64>, Vec<f64>)>) -> Vec<f64> {
+        let mut q = grad.to_vec();
+        let mut alphas = Vec::with_capacity(pairs.len());
+        for (s, y) in pairs.iter().rev() {
+            let rho = 1.0 / dot(y, s);
+            let alpha = rho * dot(s, &q);
+            for (qi, yi) in q.iter_mut().zip(y) {
+                *qi -= alpha * yi;
+            }
+            alphas.push((alpha, rho));
+        }
+        // Initial Hessian scaling γ = sᵀy / yᵀy from the newest pair.
+        if let Some((s, y)) = pairs.back() {
+            let gamma = dot(s, y) / dot(y, y);
+            for qi in q.iter_mut() {
+                *qi *= gamma;
+            }
+        }
+        for ((s, y), (alpha, rho)) in pairs.iter().zip(alphas.into_iter().rev()) {
+            let beta = rho * dot(y, &q);
+            for (qi, si) in q.iter_mut().zip(s) {
+                *qi += (alpha - beta) * si;
+            }
+        }
+        // q now approximates H∇f; descend along −q.
+        q
+    }
+}
+
+impl Optimizer for LBfgs {
+    fn name(&self) -> &'static str {
+        "l-bfgs"
+    }
+
+    fn optimize(&self, f: &dyn ObjectiveFn, x0: &[f64]) -> OptimizerResult {
+        let n = x0.len();
+        let mut x = x0.to_vec();
+        let mut fx = f.eval(&x);
+        let mut grad = f.grad(&x);
+        let mut evals = 1 + 2 * n;
+        let mut pairs: VecDeque<(Vec<f64>, Vec<f64>)> = VecDeque::new();
+        let mut iterations = 0usize;
+
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            let gmax = grad.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            if gmax < self.tol {
+                break;
+            }
+            let mut dir = self.direction(&grad, &pairs);
+            // dir ≈ H∇f: descent direction is −dir. Safeguard against a
+            // non-descent proposal (can happen with noisy objectives).
+            if dot(&dir, &grad) <= 0.0 {
+                dir = grad.clone();
+            }
+
+            // Armijo backtracking along −dir.
+            let slope = -dot(&grad, &dir);
+            let mut step = 1.0;
+            let mut accepted = false;
+            let mut x_new = x.clone();
+            let mut f_new = fx;
+            for _ in 0..self.max_backtracks {
+                for i in 0..n {
+                    x_new[i] = x[i] - step * dir[i];
+                }
+                f_new = f.eval(&x_new);
+                evals += 1;
+                if f_new <= fx + self.c1 * step * slope {
+                    accepted = true;
+                    break;
+                }
+                step *= self.shrink;
+            }
+            if !accepted {
+                break; // line search failed: local flatness or noise floor
+            }
+
+            let grad_new = f.grad(&x_new);
+            evals += 2 * n;
+            let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+            let y: Vec<f64> = grad_new.iter().zip(&grad).map(|(a, b)| a - b).collect();
+            if dot(&s, &y) > 1e-12 {
+                pairs.push_back((s, y));
+                if pairs.len() > self.history {
+                    pairs.pop_front();
+                }
+            }
+            x = x_new;
+            fx = f_new;
+            grad = grad_new;
+        }
+        OptimizerResult { opt_val: fx, opt_params: x, iterations, evaluations: evals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::test_functions::{quadratic, rosenbrock};
+
+    #[test]
+    fn solves_quadratic_in_few_iterations() {
+        let opt = LBfgs::default();
+        let r = opt.optimize(&quadratic, &[10.0, 10.0]);
+        assert!((r.opt_val - 3.0).abs() < 1e-8, "{r:?}");
+        assert!(r.iterations < 50, "should converge quickly, took {}", r.iterations);
+    }
+
+    #[test]
+    fn solves_rosenbrock() {
+        let opt = LBfgs { max_iters: 2000, ..Default::default() };
+        let r = opt.optimize(&rosenbrock, &[-1.2, 1.0]);
+        assert!(r.opt_val < 1e-6, "{r:?}");
+        assert!((r.opt_params[0] - 1.0).abs() < 1e-3);
+        assert!((r.opt_params[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn beats_gradient_descent_on_rosenbrock_evaluations() {
+        let lbfgs = LBfgs { max_iters: 2000, ..Default::default() };
+        let r = lbfgs.optimize(&rosenbrock, &[-1.2, 1.0]);
+        let gd = crate::optim::GradientDescent { max_iters: 2000, learning_rate: 1e-3, ..Default::default() };
+        let r_gd = gd.optimize(&rosenbrock, &[-1.2, 1.0]);
+        assert!(r.opt_val < r_gd.opt_val, "L-BFGS {} vs GD {}", r.opt_val, r_gd.opt_val);
+    }
+
+    #[test]
+    fn converged_start_exits_fast() {
+        let opt = LBfgs::default();
+        let r = opt.optimize(&quadratic, &[1.0, -2.0]);
+        assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn one_dimensional_problems_work() {
+        let opt = LBfgs::default();
+        let f = |x: &[f64]| (x[0] - 3.0).powi(4) + 1.0;
+        let r = opt.optimize(&f, &[0.0]);
+        assert!((r.opt_params[0] - 3.0).abs() < 0.05, "{r:?}");
+    }
+}

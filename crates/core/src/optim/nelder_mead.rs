@@ -1,0 +1,148 @@
+//! Derivative-free Nelder–Mead simplex minimizer — robust to the sampling
+//! noise of shot-based objectives where gradients are unreliable.
+
+use super::{ObjectiveFn, Optimizer, OptimizerResult};
+
+/// Nelder–Mead with standard reflection/expansion/contraction/shrink
+/// coefficients.
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Stop when the simplex's value spread falls below this.
+    pub tol: f64,
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead { max_iters: 1000, tol: 1e-10, initial_step: 0.5 }
+    }
+}
+
+const ALPHA: f64 = 1.0; // reflection
+const GAMMA: f64 = 2.0; // expansion
+const RHO: f64 = 0.5; // contraction
+const SIGMA: f64 = 0.5; // shrink
+
+impl Optimizer for NelderMead {
+    fn name(&self) -> &'static str {
+        "nelder-mead"
+    }
+
+    fn optimize(&self, f: &dyn ObjectiveFn, x0: &[f64]) -> OptimizerResult {
+        let n = x0.len();
+        let mut evals = 0usize;
+        let eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f.eval(x)
+        };
+
+        // Initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+        let fx0 = eval(x0, &mut evals);
+        simplex.push((x0.to_vec(), fx0));
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += self.initial_step;
+            let fv = eval(&v, &mut evals);
+            simplex.push((v, fv));
+        }
+
+        let mut iterations = 0usize;
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let spread = simplex[n].1 - simplex[0].1;
+            if spread.abs() < self.tol {
+                break;
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (v, _) in &simplex[..n] {
+                for i in 0..n {
+                    centroid[i] += v[i] / n as f64;
+                }
+            }
+            let worst = simplex[n].clone();
+
+            let reflect: Vec<f64> =
+                (0..n).map(|i| centroid[i] + ALPHA * (centroid[i] - worst.0[i])).collect();
+            let f_reflect = eval(&reflect, &mut evals);
+
+            if f_reflect < simplex[0].1 {
+                // Try expanding.
+                let expand: Vec<f64> =
+                    (0..n).map(|i| centroid[i] + GAMMA * (reflect[i] - centroid[i])).collect();
+                let f_expand = eval(&expand, &mut evals);
+                simplex[n] = if f_expand < f_reflect { (expand, f_expand) } else { (reflect, f_reflect) };
+            } else if f_reflect < simplex[n - 1].1 {
+                simplex[n] = (reflect, f_reflect);
+            } else {
+                // Contract toward the better of (worst, reflected).
+                let (base, f_base) = if f_reflect < worst.1 { (&reflect, f_reflect) } else { (&worst.0, worst.1) };
+                let contract: Vec<f64> =
+                    (0..n).map(|i| centroid[i] + RHO * (base[i] - centroid[i])).collect();
+                let f_contract = eval(&contract, &mut evals);
+                if f_contract < f_base {
+                    simplex[n] = (contract, f_contract);
+                } else {
+                    // Shrink everything toward the best vertex.
+                    let best = simplex[0].0.clone();
+                    for entry in simplex.iter_mut().skip(1) {
+                        for i in 0..n {
+                            entry.0[i] = best[i] + SIGMA * (entry.0[i] - best[i]);
+                        }
+                        entry.1 = eval(&entry.0, &mut evals);
+                    }
+                }
+            }
+        }
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (opt_params, opt_val) = simplex.swap_remove(0);
+        OptimizerResult { opt_val, opt_params, iterations, evaluations: evals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::test_functions::{cosine_well, quadratic, rosenbrock};
+
+    #[test]
+    fn solves_quadratic() {
+        let r = NelderMead::default().optimize(&quadratic, &[4.0, 4.0]);
+        assert!((r.opt_val - 3.0).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn solves_rosenbrock_without_gradients() {
+        let opt = NelderMead { max_iters: 5000, ..Default::default() };
+        let r = opt.optimize(&rosenbrock, &[-1.2, 1.0]);
+        assert!(r.opt_val < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn one_dimensional_well() {
+        let r = NelderMead::default().optimize(&cosine_well, &[3.0]);
+        assert!((r.opt_params[0] - 0.5).abs() < 1e-3, "{r:?}");
+    }
+
+    #[test]
+    fn tolerates_noisy_objectives() {
+        // A deterministic "noise" pattern that finite-difference gradients
+        // amplify but a simplex tolerates.
+        let noisy = |x: &[f64]| quadratic(x) + 1e-4 * (x[0] * 1000.0).sin();
+        let r = NelderMead::default().optimize(&noisy, &[4.0, 4.0]);
+        assert!((r.opt_val - 3.0).abs() < 0.01, "{r:?}");
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let opt = NelderMead { max_iters: 2, ..Default::default() };
+        let r = opt.optimize(&rosenbrock, &[5.0, 5.0]);
+        assert_eq!(r.iterations, 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! The `QPUManager` singleton (paper Listing 8): a map from thread id to
+//! that thread's accelerator instance and execution options.
+
+use crate::runtime::InitOptions;
+use parking_lot::Mutex;
+use qcor_xacc::{Accelerator, ExecOptions};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::thread::ThreadId;
+
+/// Everything the runtime needs to service kernel invocations from one
+/// thread: its accelerator instance, its execution options, and the
+/// initialize-time options (so [`crate::spawn`] can replay them on child
+/// threads).
+#[derive(Clone)]
+pub struct ThreadContext {
+    /// This thread's accelerator instance.
+    pub qpu: Arc<dyn Accelerator>,
+    /// Shots/seed used by `execute`.
+    pub exec: ExecOptions,
+    /// The options this context was initialized from.
+    pub init: InitOptions,
+}
+
+/// Singleton mapping `thread::id -> Accelerator` (paper Listing 8).
+pub struct QPUManager {
+    qpu_map: Mutex<HashMap<ThreadId, ThreadContext>>,
+}
+
+static INSTANCE: OnceLock<QPUManager> = OnceLock::new();
+
+impl QPUManager {
+    /// `QPUManager::getInstance()` — the singleton accessor.
+    pub fn instance() -> &'static QPUManager {
+        INSTANCE.get_or_init(|| QPUManager { qpu_map: Mutex::new(HashMap::new()) })
+    }
+
+    /// Register the calling thread's accelerator (the setter of
+    /// Listing 8, called by `quantum::initialize()`).
+    pub fn set_qpu(&self, ctx: ThreadContext) {
+        self.qpu_map.lock().insert(std::thread::current().id(), ctx);
+    }
+
+    /// The calling thread's context, if it has initialized.
+    pub fn get_qpu(&self) -> Option<ThreadContext> {
+        self.qpu_map.lock().get(&std::thread::current().id()).cloned()
+    }
+
+    /// Update only the execution options of the calling thread.
+    pub fn update_exec(&self, exec: ExecOptions) -> bool {
+        let mut map = self.qpu_map.lock();
+        match map.get_mut(&std::thread::current().id()) {
+            Some(ctx) => {
+                ctx.exec = exec;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove the calling thread's registration.
+    pub fn clear_current(&self) {
+        self.qpu_map.lock().remove(&std::thread::current().id());
+    }
+
+    /// Number of threads currently registered.
+    pub fn registered_threads(&self) -> usize {
+        self.qpu_map.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcor_xacc::backends::QppAccelerator;
+
+    fn ctx() -> ThreadContext {
+        ThreadContext {
+            qpu: Arc::new(QppAccelerator::new(1)),
+            exec: ExecOptions::default(),
+            init: InitOptions::default(),
+        }
+    }
+
+    #[test]
+    fn per_thread_registration_is_isolated() {
+        let mgr = QPUManager::instance();
+        mgr.set_qpu(ctx());
+        assert!(mgr.get_qpu().is_some());
+
+        // A different thread sees no registration until it sets one.
+        let handle = std::thread::spawn(|| QPUManager::instance().get_qpu().is_some());
+        assert!(!handle.join().unwrap());
+        mgr.clear_current();
+    }
+
+    #[test]
+    fn threads_get_their_own_instances() {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(|| {
+                let mgr = QPUManager::instance();
+                mgr.set_qpu(ctx());
+                let mine = mgr.get_qpu().unwrap();
+                let ptr = Arc::as_ptr(&mine.qpu) as *const () as usize;
+                mgr.clear_current();
+                ptr
+            }));
+        }
+        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut unique = ptrs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ptrs.len(), "each thread must own a distinct accelerator");
+    }
+
+    #[test]
+    fn update_exec_requires_registration() {
+        let mgr = QPUManager::instance();
+        mgr.clear_current();
+        assert!(!mgr.update_exec(ExecOptions::with_shots(1)));
+        mgr.set_qpu(ctx());
+        assert!(mgr.update_exec(ExecOptions::with_shots(5)));
+        assert_eq!(mgr.get_qpu().unwrap().exec.shots, 5);
+        mgr.clear_current();
+    }
+}

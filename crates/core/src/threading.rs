@@ -1,0 +1,183 @@
+//! User-level threading: `qcor::spawn` and `qcor::async_task`.
+//!
+//! Paper Listings 4 and 5 launch kernels with raw `std::thread` /
+//! `std::async` and require the user to call `quantum::initialize()`
+//! manually at the top of each thread (a limitation the paper notes in
+//! §V-C, proposing `qcor::thread` / `qcor::async` wrappers as the fix).
+//! These are those wrappers: they capture the parent thread's initialize
+//! options, re-initialize on the child (obtaining a *fresh* accelerator
+//! instance from the cloneable factory), run the closure, and tear the
+//! registration down.
+//!
+//! [`TaskFuture`] plays the role of `std::future`: `get()` blocks for and
+//! returns the task's value; `is_ready()` polls without blocking.
+
+use crate::qpu_manager::QPUManager;
+use crate::runtime::{current_options, initialize};
+use crossbeam::channel::{bounded, Receiver};
+use std::thread::JoinHandle;
+
+/// A handle to an asynchronously running task (the `std::future` analogue
+/// of paper Listing 5).
+pub struct TaskFuture<T> {
+    rx: Receiver<std::thread::Result<T>>,
+    handle: JoinHandle<()>,
+}
+
+impl<T> std::fmt::Debug for TaskFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskFuture").field("ready", &self.is_ready()).finish()
+    }
+}
+
+impl<T> TaskFuture<T> {
+    /// True when the task has finished and `get` will not block.
+    pub fn is_ready(&self) -> bool {
+        !self.rx.is_empty()
+    }
+
+    /// Block until the task completes and return its value
+    /// (`future.get()`). Re-raises the task's panic, if any.
+    pub fn get(self) -> T {
+        let result = self.rx.recv().expect("task thread dropped its result channel");
+        let _ = self.handle.join();
+        match result {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Alias for [`TaskFuture::get`], matching `std::thread::join` naming.
+    pub fn join(self) -> T {
+        self.get()
+    }
+}
+
+/// Launch `f` on a new thread with automatic per-thread quantum
+/// initialization (the proposed `qcor::thread` wrapper).
+///
+/// If the parent thread has initialized, the child re-initializes with the
+/// same options — and therefore gets its **own accelerator instance**; if
+/// not, the child starts uninitialized and `f` may call
+/// [`initialize`](crate::initialize) itself.
+pub fn spawn<F, T>(f: F) -> TaskFuture<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let inherited = current_options();
+    let (tx, rx) = bounded(1);
+    let handle = std::thread::Builder::new()
+        .name("qcor-task".to_string())
+        .spawn(move || {
+            if let Some(opts) = inherited {
+                // Fresh instance per thread: the QPUManager registration
+                // that the paper's manual quantum::initialize() performed.
+                initialize(opts).expect("re-initializing inherited backend cannot fail");
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            QPUManager::instance().clear_current();
+            let _ = tx.send(result);
+        })
+        .expect("failed to spawn qcor task thread");
+    TaskFuture { rx, handle }
+}
+
+/// Asynchronously launch `f` (the `qcor::async` analogue of Listing 5).
+/// Identical to [`spawn`]; provided under the paper's name for
+/// readability at call sites that overlap other work.
+pub fn async_task<F, T>(f: F) -> TaskFuture<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::qalloc;
+    use crate::runtime::{execute, InitOptions};
+    use qcor_circuit::library;
+
+    #[test]
+    fn spawned_task_returns_value() {
+        let f = spawn(|| 6 * 7);
+        assert_eq!(f.get(), 42);
+    }
+
+    #[test]
+    fn child_inherits_initialization() {
+        std::thread::spawn(|| {
+            crate::initialize(InitOptions::default().threads(1).shots(64).seed(1)).unwrap();
+            let task = spawn(|| {
+                // No manual initialize here: the wrapper did it.
+                let q = qalloc(2);
+                execute(&q, &library::bell_kernel()).unwrap();
+                q.total_shots()
+            });
+            assert_eq!(task.get(), 64);
+            QPUManager::instance().clear_current();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn uninitialized_parent_spawns_uninitialized_child() {
+        std::thread::spawn(|| {
+            let task = spawn(|| {
+                let q = qalloc(2);
+                execute(&q, &library::bell_kernel())
+            });
+            assert_eq!(task.get(), Err(crate::QcorError::NotInitialized));
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn two_parallel_bell_tasks_get_distinct_instances() {
+        std::thread::spawn(|| {
+            crate::initialize(InitOptions::default().threads(1).shots(32).seed(3)).unwrap();
+            let make = || {
+                spawn(|| {
+                    let ctx = QPUManager::instance().get_qpu().unwrap();
+                    let ptr = std::sync::Arc::as_ptr(&ctx.qpu) as *const () as usize;
+                    let q = qalloc(2);
+                    execute(&q, &library::bell_kernel()).unwrap();
+                    (ptr, q.total_shots())
+                })
+            };
+            let (t0, t1) = (make(), make());
+            let (p0, s0) = t0.get();
+            let (p1, s1) = t1.get();
+            assert_ne!(p0, p1, "parallel tasks must not share an accelerator");
+            assert_eq!((s0, s1), (32, 32));
+            QPUManager::instance().clear_current();
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn is_ready_becomes_true() {
+        let task = spawn(|| 1);
+        // Wait for the value to land, then poll.
+        let v = {
+            while !task.is_ready() {
+                std::thread::yield_now();
+            }
+            task.get()
+        };
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn task_panic_propagates_on_get() {
+        let task = spawn(|| panic!("deliberate"));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || task.get()));
+        assert!(result.is_err());
+    }
+}

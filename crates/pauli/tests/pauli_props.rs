@@ -1,0 +1,100 @@
+//! Property tests: the Pauli sum algebra must satisfy ring axioms, the
+//! parser must round-trip generated expressions, and expectations must be
+//! consistent with the operator algebra.
+
+use proptest::prelude::*;
+use qcor_pauli::{Pauli, PauliString, PauliSum};
+use qcor_sim::c64;
+
+fn pauli_strategy() -> impl Strategy<Value = Pauli> {
+    prop_oneof![Just(Pauli::X), Just(Pauli::Y), Just(Pauli::Z)]
+}
+
+fn string_strategy() -> impl Strategy<Value = PauliString> {
+    prop::collection::btree_map(0usize..4, pauli_strategy(), 0..4)
+        .prop_map(|m| PauliString::from_pairs(m))
+}
+
+fn sum_strategy() -> impl Strategy<Value = PauliSum> {
+    prop::collection::vec((-3.0f64..3.0, string_strategy()), 0..5).prop_map(|terms| {
+        let mut h = PauliSum::zero();
+        for (coeff, s) in terms {
+            h.add_term(c64(coeff, 0.0), s);
+        }
+        h
+    })
+}
+
+fn sums_equal(a: &PauliSum, b: &PauliSum) -> bool {
+    let diff = a.clone() - b.clone();
+    diff.terms().iter().all(|(c, _)| c.norm_sqr() < 1e-18)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes(a in sum_strategy(), b in sum_strategy()) {
+        prop_assert!(sums_equal(&(a.clone() + b.clone()), &(b + a)));
+    }
+
+    #[test]
+    fn multiplication_associates(a in sum_strategy(), b in sum_strategy(), c in sum_strategy()) {
+        let left = (a.clone() * b.clone()) * c.clone();
+        let right = a * (b * c);
+        prop_assert!(sums_equal(&left, &right));
+    }
+
+    #[test]
+    fn multiplication_distributes(a in sum_strategy(), b in sum_strategy(), c in sum_strategy()) {
+        let left = a.clone() * (b.clone() + c.clone());
+        let right = a.clone() * b + a * c;
+        prop_assert!(sums_equal(&left, &right));
+    }
+
+    #[test]
+    fn string_squares_to_identity(s in string_strategy()) {
+        let (phase, sq) = s.compose(&s);
+        prop_assert!(sq.is_identity());
+        prop_assert!(phase.approx_eq(c64(1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn composition_phases_are_fourth_roots(a in string_strategy(), b in string_strategy()) {
+        let (phase, _) = a.compose(&b);
+        // phase ∈ {1, i, −1, −i}
+        prop_assert!((phase.norm() - 1.0).abs() < 1e-12);
+        let quad = phase * phase * phase * phase;
+        prop_assert!(quad.approx_eq(c64(1.0, 0.0), 1e-9));
+    }
+
+    #[test]
+    fn display_parses_back(s in string_strategy()) {
+        prop_assume!(!s.is_identity());
+        let text = format!("1 {s}");
+        let parsed = PauliSum::parse(&text).unwrap();
+        prop_assert!(parsed.coefficient(&s).approx_eq(c64(1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn hermitian_squares_have_nonnegative_expectation(a in sum_strategy(), seed in 0u64..200) {
+        // ⟨ψ|A†A|ψ⟩ ≥ 0 for any state; with real coefficients A† = A, so
+        // ⟨A²⟩ ≥ 0 on a random circuit state.
+        use rand::{Rng, SeedableRng};
+        let square = a.clone() * a;
+        let n = square.num_qubits().max(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut circuit = qcor_circuit::Circuit::new(n);
+        for q in 0..n {
+            circuit.ry(q, rng.gen_range(-3.0..3.0));
+            circuit.rz(q, rng.gen_range(-3.0..3.0));
+        }
+        for q in 0..n.saturating_sub(1) {
+            circuit.cx(q, q + 1);
+        }
+        let mut state = qcor_sim::StateVector::new(n);
+        qcor_sim::run_once(&mut state, &circuit, &mut rng);
+        let e = qcor_pauli::expectation::exact(&state, &square);
+        prop_assert!(e >= -1e-9, "⟨A²⟩ = {e}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Counting latches used to implement fork/join completion.
+//!
+//! A [`CountLatch`] is set to the number of participants of a parallel
+//! construct; each participant counts it down once, and the thread that
+//! issued the construct blocks until the count reaches zero. This is the
+//! same completion mechanism an OpenMP runtime uses at the implicit barrier
+//! that ends a parallel region.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A latch initialized with a count; [`CountLatch::count_down`] decrements it
+/// and [`CountLatch::wait`] blocks until it reaches zero.
+///
+/// The fast path (`count_down` when other participants remain) is a single
+/// atomic `fetch_sub`; the mutex/condvar pair is only touched by the last
+/// decrementer and by waiters.
+#[derive(Debug)]
+pub struct CountLatch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    /// Create a latch that requires `count` decrements before waiters wake.
+    pub fn new(count: usize) -> Self {
+        Self { remaining: AtomicUsize::new(count), lock: Mutex::new(()), cond: Condvar::new() }
+    }
+
+    /// Number of outstanding decrements.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Record one participant's completion. Panics if called more times than
+    /// the initial count.
+    pub fn count_down(&self) {
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "CountLatch::count_down called more times than its count");
+        if prev == 1 {
+            // Last participant: wake every waiter. Taking the lock before
+            // notifying avoids the lost-wakeup race with `wait`'s re-check.
+            let _guard = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Block until the count reaches zero. Returns immediately if it already
+    /// has.
+    pub fn wait(&self) {
+        if self.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut guard = self.lock.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+/// A dynamically sized latch: participants are added with
+/// [`WaitGroup::add`] and removed with [`WaitGroup::done`], and
+/// [`WaitGroup::wait`] blocks until the count is zero.
+///
+/// Unlike [`CountLatch`] the total is not fixed up front, which suits
+/// [`crate::Scope`] where tasks may spawn further tasks.
+#[derive(Debug, Default)]
+pub struct WaitGroup {
+    count: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl WaitGroup {
+    /// Create an empty wait group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `n` additional participants.
+    pub fn add(&self, n: usize) {
+        self.count.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Current participant count.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Record one participant's completion.
+    pub fn done(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "WaitGroup::done called without a matching add");
+        if prev == 1 {
+            let _guard = self.lock.lock();
+            self.cond.notify_all();
+        }
+    }
+
+    /// Block until the participant count reaches zero.
+    pub fn wait(&self) {
+        if self.count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut guard = self.lock.lock();
+        while self.count.load(Ordering::Acquire) != 0 {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn latch_zero_count_does_not_block() {
+        let latch = CountLatch::new(0);
+        latch.wait();
+    }
+
+    #[test]
+    fn latch_counts_down_across_threads() {
+        let latch = Arc::new(CountLatch::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = Arc::clone(&latch);
+            handles.push(thread::spawn(move || l.count_down()));
+        }
+        latch.wait();
+        assert_eq!(latch.remaining(), 0);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "count_down called more times")]
+    fn latch_overflow_panics() {
+        let latch = CountLatch::new(1);
+        latch.count_down();
+        latch.count_down();
+    }
+
+    #[test]
+    fn waitgroup_add_done_wait() {
+        let wg = Arc::new(WaitGroup::new());
+        wg.add(4);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let w = Arc::clone(&wg);
+            handles.push(thread::spawn(move || w.done()));
+        }
+        wg.wait();
+        assert_eq!(wg.count(), 0);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn waitgroup_wait_on_empty_returns() {
+        WaitGroup::new().wait();
+    }
+
+    #[test]
+    fn latch_many_waiters_all_wake() {
+        let latch = Arc::new(CountLatch::new(1));
+        let mut waiters = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&latch);
+            waiters.push(thread::spawn(move || l.wait()));
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+        latch.count_down();
+        for w in waiters {
+            w.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! The work-sharing thread pool.
+//!
+//! A [`ThreadPool`] owns `num_threads - 1` persistent background workers;
+//! the thread that issues a parallel construct acts as the remaining team
+//! member, exactly like the master thread of an OpenMP parallel region. Work
+//! items are distributed over the team either statically (one contiguous
+//! chunk per team member) or dynamically (members repeatedly claim
+//! `grain`-sized chunks from an atomic counter).
+
+use crate::latch::CountLatch;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Chunk-scheduling policy for [`ThreadPool::parallel_for`].
+///
+/// `Static` mirrors OpenMP's `schedule(static)`: the iteration range is split
+/// into one contiguous chunk per team member. `Dynamic(grain)` mirrors
+/// `schedule(dynamic, grain)`: members repeatedly claim the next `grain`
+/// iterations until the range is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous chunk per team member.
+    Static,
+    /// Members claim chunks of the given size (clamped to at least 1).
+    Dynamic(usize),
+    /// Dynamic scheduling with an automatically chosen grain
+    /// (`len / (4 * team)` clamped to at least 1).
+    Auto,
+}
+
+thread_local! {
+    /// Pool id of the pool this thread works for (0 = not a pool worker).
+    static WORKER_OF: Cell<usize> = const { Cell::new(0) };
+}
+
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Type-erased reference to an in-flight parallel construct.
+///
+/// The pointee is a stack-allocated job descriptor in the frame of the
+/// thread that issued the construct; that thread blocks on the job's latch
+/// before its frame unwinds, so the pointer is valid for as long as any
+/// worker can observe it.
+struct JobRef {
+    ptr: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is Sync (shared job state made of atomics, a latch and
+// a `Fn + Sync` closure) and outlives every access — see `JobRef` docs.
+unsafe impl Send for JobRef {}
+
+enum Message {
+    Job(JobRef),
+    Task(Box<dyn FnOnce() + Send>),
+    Shutdown,
+}
+
+/// Shared state of one `parallel_for` invocation.
+struct ForJob<'f> {
+    func: &'f (dyn Fn(Range<usize>) + Sync),
+    start: usize,
+    end: usize,
+    grain: usize,
+    schedule: Schedule,
+    team: usize,
+    /// Next iteration index (dynamic) or next participant slot (static).
+    cursor: AtomicUsize,
+    latch: CountLatch,
+    panicked: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<'f> ForJob<'f> {
+    /// Claim and run chunks until the range is exhausted.
+    fn work(&self) {
+        loop {
+            let chunk = match self.schedule {
+                Schedule::Static => {
+                    let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
+                    if slot >= self.team {
+                        break;
+                    }
+                    let len = self.end - self.start;
+                    let lo = self.start + slot * len / self.team;
+                    let hi = self.start + (slot + 1) * len / self.team;
+                    lo..hi
+                }
+                Schedule::Dynamic(_) | Schedule::Auto => {
+                    let lo = self.cursor.fetch_add(self.grain, Ordering::Relaxed);
+                    if lo >= self.end {
+                        break;
+                    }
+                    lo..(lo + self.grain).min(self.end)
+                }
+            };
+            if chunk.is_empty() {
+                continue;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| (self.func)(chunk)));
+            if let Err(payload) = result {
+                self.panicked.store(true, Ordering::Release);
+                let mut slot = self.panic_payload.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                break;
+            }
+            if self.panicked.load(Ordering::Acquire) {
+                break;
+            }
+        }
+    }
+
+    unsafe fn run_erased(ptr: *const ()) {
+        // SAFETY: `ptr` was produced from a `&ForJob` that is kept alive by
+        // the issuing thread until the latch opens (see `JobRef`).
+        let job = unsafe { &*(ptr as *const ForJob<'static>) };
+        job.work();
+        job.latch.count_down();
+    }
+}
+
+struct PoolInner {
+    id: usize,
+    name: String,
+    /// Total team size, including the thread issuing parallel constructs.
+    num_threads: usize,
+    sender: Sender<Message>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Builder for [`ThreadPool`] with optional name and thread count.
+#[derive(Debug, Default, Clone)]
+pub struct PoolBuilder {
+    num_threads: Option<usize>,
+    name: Option<String>,
+}
+
+impl PoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total team size including the calling thread. `1` means all parallel
+    /// constructs run inline sequentially. Defaults to
+    /// [`crate::num_threads_from_env`].
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n.max(1));
+        self
+    }
+
+    /// Base name for the worker threads (visible in debuggers/profilers).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Spawn the workers and return the pool.
+    pub fn build(self) -> ThreadPool {
+        let num_threads = self.num_threads.unwrap_or_else(crate::num_threads_from_env).max(1);
+        let name = self.name.unwrap_or_else(|| "qcor-pool".to_string());
+        ThreadPool::with_config(num_threads, name)
+    }
+}
+
+/// A fixed-size team of threads executing work-shared loops and scoped
+/// tasks. See the [crate docs](crate) for the OpenMP analogy.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("name", &self.inner.name)
+            .field("num_threads", &self.inner.num_threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Create a pool with a total team size of `num_threads` (including the
+    /// calling thread; `num_threads - 1` background workers are spawned).
+    pub fn new(num_threads: usize) -> Self {
+        Self::with_config(num_threads, "qcor-pool".to_string())
+    }
+
+    fn with_config(num_threads: usize, name: String) -> Self {
+        let num_threads = num_threads.max(1);
+        let (sender, receiver) = unbounded::<Message>();
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let inner = Arc::new(PoolInner {
+            id,
+            name: name.clone(),
+            num_threads,
+            sender,
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut workers = Vec::with_capacity(num_threads.saturating_sub(1));
+        for w in 0..num_threads.saturating_sub(1) {
+            let rx: Receiver<Message> = receiver.clone();
+            let pool_id = id;
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-{w}"))
+                .spawn(move || worker_loop(pool_id, rx))
+                .expect("failed to spawn pool worker");
+            workers.push(handle);
+        }
+        *inner.workers.lock() = workers;
+        ThreadPool { inner }
+    }
+
+    /// Total team size, including the calling thread.
+    pub fn num_threads(&self) -> usize {
+        self.inner.num_threads
+    }
+
+    /// Name given to the worker threads.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// True when invoked from one of this pool's background workers.
+    pub fn on_worker(&self) -> bool {
+        WORKER_OF.with(|w| w.get()) == self.inner.id
+    }
+
+    /// Work-shared loop over `range` with [`Schedule::Auto`]; see
+    /// [`ThreadPool::parallel_for_with`].
+    pub fn parallel_for<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        self.parallel_for_with(range, Schedule::Auto, f)
+    }
+
+    /// Execute `f` over disjoint sub-ranges of `range`, work-shared across
+    /// the team. Blocks until every iteration has run (the implicit barrier
+    /// at the end of an OpenMP parallel-for).
+    ///
+    /// If the team size is 1, the range is empty, or the caller is already a
+    /// worker of this pool (nested parallelism), `f(range)` runs inline on
+    /// the calling thread.
+    ///
+    /// Panics in `f` are captured and re-raised on the calling thread after
+    /// the construct completes.
+    pub fn parallel_for_with<F>(&self, range: Range<usize>, schedule: Schedule, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if range.is_empty() {
+            return;
+        }
+        let len = range.end - range.start;
+        // Never field more team members than iterations.
+        let team = self.inner.num_threads.min(len);
+        if team <= 1 || self.on_worker() {
+            f(range);
+            return;
+        }
+        let grain = match schedule {
+            Schedule::Dynamic(g) => g.max(1),
+            Schedule::Auto => (len / (4 * team)).max(1),
+            Schedule::Static => 1, // unused
+        };
+        let job = ForJob {
+            func: &f,
+            start: range.start,
+            end: range.end,
+            grain,
+            schedule,
+            team,
+            cursor: AtomicUsize::new(match schedule {
+                Schedule::Static => 0,
+                _ => range.start,
+            }),
+            latch: CountLatch::new(team - 1),
+            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        };
+        // SAFETY (lifetime erasure): `job` lives on this frame and we block
+        // on `job.latch` below before returning, so every worker that
+        // receives this JobRef finishes touching `job` first.
+        let ptr = &job as *const ForJob<'_> as *const ();
+        for _ in 0..team - 1 {
+            self.inner
+                .sender
+                .send(Message::Job(JobRef { ptr, run: ForJob::run_erased }))
+                .expect("pool workers disconnected");
+        }
+        // The calling thread is a full team member.
+        job.work();
+        job.latch.wait();
+        if job.panicked.load(Ordering::Acquire) {
+            let payload = job
+                .panic_payload
+                .lock()
+                .take()
+                .unwrap_or_else(|| Box::new("parallel_for worker panicked"));
+            resume_unwind(payload);
+        }
+    }
+
+    /// Work-shared map/reduce: `map` is applied to disjoint chunks of
+    /// `range` and the partial results are folded with `reduce`. Returns
+    /// `identity` for an empty range.
+    ///
+    /// `reduce` must be associative; chunk order is unspecified.
+    pub fn parallel_reduce<T, M, R>(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T + Sync + Send,
+    {
+        if range.is_empty() {
+            return identity;
+        }
+        let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+        self.parallel_for_with(range, schedule, |chunk| {
+            let part = map(chunk);
+            partials.lock().push(part);
+        });
+        partials
+            .into_inner()
+            .into_iter()
+            .fold(identity, &reduce)
+    }
+
+    /// Fork/join task region: tasks spawned on the [`Scope`] may borrow from
+    /// the enclosing stack frame; `scope` blocks until all of them finish.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&crate::Scope<'env>) -> R,
+    {
+        crate::scope::run_scope(self, f)
+    }
+
+    pub(crate) fn send_task(&self, task: Box<dyn FnOnce() + Send>) {
+        self.inner.sender.send(Message::Task(task)).expect("pool workers disconnected");
+    }
+
+    pub(crate) fn has_workers(&self) -> bool {
+        self.inner.num_threads > 1
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        let workers = std::mem::take(&mut *self.inner.workers.lock());
+        for _ in &workers {
+            // Wake each worker with a shutdown message. Send can only fail
+            // if every receiver is gone, in which case joining is enough.
+            let _ = self.inner.sender.send(Message::Shutdown);
+        }
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(pool_id: usize, rx: Receiver<Message>) {
+    WORKER_OF.with(|w| w.set(pool_id));
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Message::Job(job) => {
+                // SAFETY: see `JobRef` — the job descriptor outlives this call.
+                unsafe { (job.run)(job.ptr) };
+            }
+            Message::Task(task) => task(),
+            Message::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn seq_sum(n: u64) -> u64 {
+        (0..n).map(|i| i * i).sum()
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..n, |chunk| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_static_covers_every_index_once() {
+        let pool = ThreadPool::new(3);
+        let n = 1_001; // deliberately not divisible by the team size
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_with(0..n, Schedule::Static, |chunk| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential() {
+        let pool = ThreadPool::new(8);
+        let n = 100_000u64;
+        let total = pool.parallel_reduce(
+            0..n as usize,
+            Schedule::Auto,
+            0u64,
+            |chunk| chunk.map(|i| (i as u64) * (i as u64)).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, seq_sum(n));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let tid = std::thread::current().id();
+        pool.parallel_for(0..1, |_| {
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.parallel_for(5..5, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn team_capped_by_range_length() {
+        let pool = ThreadPool::new(16);
+        // A 2-iteration loop must still cover both indices exactly once.
+        let hits: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..2, |chunk| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_inline() {
+        let pool = std::sync::Arc::new(ThreadPool::new(4));
+        let p2 = std::sync::Arc::clone(&pool);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                // Inside a worker of the same pool: must not deadlock.
+                p2.parallel_for(0..100, |chunk| {
+                    for i in chunk {
+                        total.fetch_add(i as u64, Ordering::Relaxed);
+                    }
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..100u64).sum());
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(0..1000, |chunk| {
+                if chunk.contains(&500) {
+                    panic!("boom at 500");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must remain usable after a panic.
+        let counter = AtomicUsize::new(0);
+        pool.parallel_for(0..100, |chunk| {
+            counter.fetch_add(chunk.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn concurrent_parallel_fors_from_many_threads() {
+        let pool = std::sync::Arc::new(ThreadPool::new(4));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let p = std::sync::Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let acc = AtomicU64::new(0);
+                p.parallel_for(0..5_000, |chunk| {
+                    for i in chunk {
+                        acc.fetch_add(i as u64 + t, Ordering::Relaxed);
+                    }
+                });
+                acc.load(Ordering::Relaxed)
+            }));
+        }
+        for (t, h) in handles.into_iter().enumerate() {
+            let expect: u64 = (0..5_000u64).map(|i| i + t as u64).sum();
+            assert_eq!(h.join().unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn dynamic_grain_one_works() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_with(0..257, Schedule::Dynamic(1), |chunk| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn builder_configures_pool() {
+        let pool = PoolBuilder::new().num_threads(3).name("bench").build();
+        assert_eq!(pool.num_threads(), 3);
+        assert_eq!(pool.name(), "bench");
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        for _ in 0..16 {
+            let pool = ThreadPool::new(4);
+            pool.parallel_for(0..64, |_| {});
+            drop(pool);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Fork/join scoped tasks over a [`ThreadPool`].
+//!
+//! [`ThreadPool::scope`] provides the task-parallel counterpart of
+//! `parallel_for`: closures spawned on the [`Scope`] may borrow data from
+//! the caller's stack, and the scope blocks at its end until every task has
+//! completed, so those borrows remain valid.
+
+use crate::latch::WaitGroup;
+use crate::pool::ThreadPool;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Handle for spawning borrowed tasks inside [`ThreadPool::scope`].
+pub struct Scope<'env> {
+    pool: *const ThreadPool,
+    wg: WaitGroup,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Invariant over 'env, as borrowed data flows both in and out of tasks.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    fn pool(&self) -> &ThreadPool {
+        // SAFETY: the scope never outlives `run_scope`, whose caller holds
+        // the pool reference for the whole call.
+        unsafe { &*self.pool }
+    }
+
+    /// Spawn a task that may borrow from the environment of the enclosing
+    /// [`ThreadPool::scope`] call.
+    ///
+    /// Tasks run on the pool's background workers; if the pool has none
+    /// (team size 1) or the caller *is* one of this pool's workers (a nested
+    /// scope), the task runs inline to guarantee forward progress.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.wg.add(1);
+        /// Raw pointer made Send: the pointee is Sync shared scope state
+        /// whose lifetime is guaranteed by the wait in `run_scope`.
+        struct ScopePtr<T>(*const T);
+        unsafe impl<T: Sync> Send for ScopePtr<T> {}
+
+        let run = {
+            // Capture only what the erased task needs: the closure itself
+            // plus pointers back to the scope's completion/panic state.
+            let wg = ScopePtr::<WaitGroup>(&self.wg);
+            let panics = ScopePtr::<Mutex<Option<Box<dyn Any + Send>>>>(&self.panic_payload);
+            move || {
+                // Move the whole wrappers in (not just their pointer fields)
+                // so the closure is Send via ScopePtr's unsafe impl.
+                let (wg, panics) = (wg, panics);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                // SAFETY: `run_scope` blocks on the wait group before the
+                // Scope is dropped, so these pointers are valid here.
+                let (wg, panics) = unsafe { (&*wg.0, &*panics.0) };
+                if let Err(payload) = result {
+                    let mut slot = panics.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+                wg.done();
+            }
+        };
+        if !self.pool().has_workers() || self.pool().on_worker() {
+            run();
+            return;
+        }
+        // Erase the 'env lifetime. SAFETY: the scope's wait group is awaited
+        // before `run_scope` returns, so the closure (and everything it
+        // borrows) outlives its execution.
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(run);
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        self.pool().send_task(boxed);
+    }
+}
+
+pub(crate) fn run_scope<'env, F, R>(pool: &ThreadPool, f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        pool,
+        wg: WaitGroup::new(),
+        panic_payload: Mutex::new(None),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    // Always drain spawned tasks, even if the scope body panicked, so that
+    // borrowed data is not freed while tasks still reference it.
+    scope.wg.wait();
+    match result {
+        Ok(value) => {
+            if let Some(payload) = scope.panic_payload.lock().take() {
+                resume_unwind(payload);
+            }
+            value
+        }
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_tasks_borrow_stack_data() {
+        let pool = ThreadPool::new(4);
+        let data = vec![1u64, 2, 3, 4, 5];
+        let sum = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|| {
+                    sum.fetch_add(chunk.iter().sum::<u64>() as usize, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn scope_returns_body_value() {
+        let pool = ThreadPool::new(2);
+        let v = pool.scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn scope_on_single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = std::sync::Arc::new(ThreadPool::new(2));
+        let inner_pool = std::sync::Arc::clone(&pool);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                inner_pool.scope(|s2| {
+                    for _ in 0..4 {
+                        s2.spawn(|| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_tasks_finish() {
+        let pool = ThreadPool::new(4);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task failed"));
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn many_tasks_complete() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..1000 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,472 @@
+//! Density-matrix simulation — exact mixed-state evolution, used by the
+//! `qpp-density` backend for noise studies (the paper's future work calls
+//! for "additional quantum simulation ... back ends").
+//!
+//! Representation: vec(ρ) as a [`StateVector`] over `2n` qubits — entry
+//! ρ_{r,c} lives at vector index `r | (c << n)` (ket bits low, bra bits
+//! high). Unitary evolution ρ → UρU† is then `U` applied to the ket
+//! qubits and `conj(U)` applied to the bra qubits, which lets every
+//! (pool-parallelized) state-vector kernel be reused verbatim. Quantum
+//! channels are applied as explicit Kraus sums.
+
+use crate::complex::Complex64;
+use crate::gates::apply_instruction;
+use crate::state::StateVector;
+use qcor_circuit::{Circuit, GateKind, Instruction};
+use qcor_pool::ThreadPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// An exact n-qubit density matrix (n ≤ 12).
+pub struct DensityMatrix {
+    n: usize,
+    /// vec(ρ) over 2n qubits.
+    vec_state: StateVector,
+}
+
+impl std::fmt::Debug for DensityMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DensityMatrix").field("num_qubits", &self.n).finish()
+    }
+}
+
+impl DensityMatrix {
+    /// |0...0⟩⟨0...0| on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        Self::with_pool(n, Arc::new(ThreadPool::new(1)))
+    }
+
+    /// |0...0⟩⟨0...0| with kernels work-shared over `pool`.
+    pub fn with_pool(n: usize, pool: Arc<ThreadPool>) -> Self {
+        assert!(n <= 12, "density matrix of {n} qubits will not fit in memory");
+        DensityMatrix { n, vec_state: StateVector::with_pool(2 * n, pool) }
+    }
+
+    /// Build |ψ⟩⟨ψ| from a pure state.
+    pub fn from_pure(state: &StateVector) -> Self {
+        let n = state.num_qubits();
+        assert!(n <= 12);
+        let dim = 1usize << n;
+        let mut amps = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim {
+            for c in 0..dim {
+                amps[r | (c << n)] = state.amp(r) * state.amp(c).conj();
+            }
+        }
+        // vec(ρ) of a pure state has unit 2-norm, so this passes the
+        // normalization check in from_amplitudes.
+        DensityMatrix { n, vec_state: StateVector::from_amplitudes(amps) }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// ρ_{r,c}.
+    pub fn entry(&self, r: usize, c: usize) -> Complex64 {
+        self.vec_state.amp(r | (c << self.n))
+    }
+
+    /// Tr ρ (1 for a valid state).
+    pub fn trace(&self) -> Complex64 {
+        let dim = 1usize << self.n;
+        let mut acc = Complex64::ZERO;
+        for r in 0..dim {
+            acc += self.entry(r, r);
+        }
+        acc
+    }
+
+    /// Tr ρ² — 1 for pure states, < 1 for mixed states.
+    pub fn purity(&self) -> f64 {
+        // Tr ρ² = Σ_{r,c} ρ_{r,c} ρ_{c,r} = Σ |ρ_{r,c}|² for Hermitian ρ.
+        self.vec_state.amplitudes().iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// The diagonal as a probability distribution over basis states.
+    pub fn diagonal_probabilities(&self) -> Vec<f64> {
+        let dim = 1usize << self.n;
+        (0..dim).map(|r| self.entry(r, r).re.max(0.0)).collect()
+    }
+
+    /// Apply a unitary instruction (measurements/resets are rejected —
+    /// use [`DensityMatrix::measure_probabilities`] and channels instead).
+    pub fn apply_unitary(&mut self, inst: &Instruction) {
+        assert!(
+            inst.gate.is_unitary(),
+            "apply_unitary cannot process {}",
+            inst.gate
+        );
+        if inst.gate == GateKind::Barrier {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0); // unitaries never consult it
+        // Ket side: the instruction as-is on the low qubits.
+        apply_instruction(&mut self.vec_state, inst, &mut rng);
+        // Bra side: the conjugated instruction on the high qubits.
+        let shifted: Vec<usize> = inst.qubits.iter().map(|&q| q + self.n).collect();
+        match inst.gate {
+            // Real matrices: conj(U) = U.
+            GateKind::H
+            | GateKind::X
+            | GateKind::Z
+            | GateKind::Ry
+            | GateKind::CX
+            | GateKind::CZ
+            | GateKind::Swap
+            | GateKind::CCX
+            | GateKind::CSwap => {
+                let mirrored = Instruction::new(inst.gate, shifted, inst.params.clone());
+                apply_instruction(&mut self.vec_state, &mirrored, &mut rng);
+            }
+            // Angle-parameterized phases/rotations: conj(U(θ)) = U(−θ).
+            GateKind::Rx
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::CPhase
+            | GateKind::CRz
+            | GateKind::CCPhase => {
+                let mirrored = Instruction::new(inst.gate, shifted, vec![-inst.params[0]]);
+                apply_instruction(&mut self.vec_state, &mirrored, &mut rng);
+            }
+            // Fixed phases: conj(S) = S†, conj(T) = T†.
+            GateKind::S | GateKind::Sdg | GateKind::T | GateKind::Tdg => {
+                let kind = match inst.gate {
+                    GateKind::S => GateKind::Sdg,
+                    GateKind::Sdg => GateKind::S,
+                    GateKind::T => GateKind::Tdg,
+                    _ => GateKind::T,
+                };
+                let mirrored = Instruction::new(kind, shifted, vec![]);
+                apply_instruction(&mut self.vec_state, &mirrored, &mut rng);
+            }
+            // conj(Y) = −Y: apply Y then negate everything (linear rep).
+            GateKind::Y => {
+                let mirrored = Instruction::new(GateKind::Y, shifted, vec![]);
+                apply_instruction(&mut self.vec_state, &mirrored, &mut rng);
+                self.vec_state.scale_all(Complex64::from_real(-1.0));
+            }
+            // conj(CY) = CY followed by Z on the control.
+            GateKind::CY => {
+                let mirrored = Instruction::new(GateKind::CY, shifted.clone(), vec![]);
+                apply_instruction(&mut self.vec_state, &mirrored, &mut rng);
+                let z = Instruction::new(GateKind::Z, vec![shifted[0]], vec![]);
+                apply_instruction(&mut self.vec_state, &z, &mut rng);
+            }
+            // conj(U3(θ, φ, λ)) = U3(θ, −φ, −λ).
+            GateKind::U3 => {
+                let mirrored = Instruction::new(
+                    GateKind::U3,
+                    shifted,
+                    vec![inst.params[0], -inst.params[1], -inst.params[2]],
+                );
+                apply_instruction(&mut self.vec_state, &mirrored, &mut rng);
+            }
+            GateKind::Measure | GateKind::Reset | GateKind::Barrier => unreachable!(),
+        }
+    }
+
+    /// Apply a single-qubit channel given by Kraus operators:
+    /// ρ ← Σ_k K_k ρ K_k†.
+    pub fn apply_kraus_1q(&mut self, q: usize, kraus: &[[[Complex64; 2]; 2]]) {
+        assert!(q < self.n);
+        let original = self.vec_state.amplitudes().to_vec();
+        let mut accumulated: Option<Vec<Complex64>> = None;
+        for k in kraus {
+            let mut branch = StateVector::raw_with_amplitudes(original.clone());
+            // K on the ket qubit, conj(K) on the bra qubit.
+            branch.apply_single(q, *k, 0);
+            let conj = [
+                [k[0][0].conj(), k[0][1].conj()],
+                [k[1][0].conj(), k[1][1].conj()],
+            ];
+            branch.apply_single(q + self.n, conj, 0);
+            match &mut accumulated {
+                None => accumulated = Some(branch.amplitudes().to_vec()),
+                Some(acc) => {
+                    for (a, b) in acc.iter_mut().zip(branch.amplitudes()) {
+                        *a += *b;
+                    }
+                }
+            }
+        }
+        self.vec_state = StateVector::raw_with_amplitudes(accumulated.expect("at least one Kraus operator"));
+    }
+
+    /// Depolarizing channel with probability `p`:
+    /// ρ ← (1−p)ρ + p/3 (XρX + YρY + ZρZ).
+    pub fn depolarize(&mut self, q: usize, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        let s0 = (1.0 - p).sqrt();
+        let s1 = (p / 3.0).sqrt();
+        let kraus = [
+            [[Complex64::from_real(s0), Complex64::ZERO], [Complex64::ZERO, Complex64::from_real(s0)]],
+            [[Complex64::ZERO, Complex64::from_real(s1)], [Complex64::from_real(s1), Complex64::ZERO]], // √w·X
+            [
+                [Complex64::ZERO, Complex64::new(0.0, -s1)],
+                [Complex64::new(0.0, s1), Complex64::ZERO],
+            ], // √w·Y
+            [[Complex64::from_real(s1), Complex64::ZERO], [Complex64::ZERO, Complex64::from_real(-s1)]], // √w·Z
+        ];
+        self.apply_kraus_1q(q, &kraus);
+    }
+
+    /// Amplitude damping with rate `gamma`.
+    pub fn amplitude_damp(&mut self, q: usize, gamma: f64) {
+        assert!((0.0..=1.0).contains(&gamma));
+        let kraus = [
+            [
+                [Complex64::ONE, Complex64::ZERO],
+                [Complex64::ZERO, Complex64::from_real((1.0 - gamma).sqrt())],
+            ],
+            [
+                [Complex64::ZERO, Complex64::from_real(gamma.sqrt())],
+                [Complex64::ZERO, Complex64::ZERO],
+            ],
+        ];
+        self.apply_kraus_1q(q, &kraus);
+    }
+
+    /// Pure dephasing with probability `p` (phase-flip channel).
+    pub fn dephase(&mut self, q: usize, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        let s0 = (1.0 - p).sqrt();
+        let s1 = p.sqrt();
+        let kraus = [
+            [[Complex64::from_real(s0), Complex64::ZERO], [Complex64::ZERO, Complex64::from_real(s0)]],
+            [[Complex64::from_real(s1), Complex64::ZERO], [Complex64::ZERO, Complex64::from_real(-s1)]],
+        ];
+        self.apply_kraus_1q(q, &kraus);
+    }
+
+    /// P(qubit `q` measures 1) from the diagonal.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let dim = 1usize << self.n;
+        (0..dim)
+            .filter(|r| r >> q & 1 == 1)
+            .map(|r| self.entry(r, r).re)
+            .sum()
+    }
+
+    /// Exact outcome distribution over the given measured qubits
+    /// (marginalizing the rest), keyed like the executor's bitstrings
+    /// (lowest measured qubit leftmost).
+    pub fn measure_probabilities(&self, qubits: &[usize]) -> std::collections::BTreeMap<String, f64> {
+        let mut sorted = qubits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let dim = 1usize << self.n;
+        let mut out: std::collections::BTreeMap<String, f64> = Default::default();
+        for r in 0..dim {
+            let p = self.entry(r, r).re;
+            if p <= 0.0 {
+                continue;
+            }
+            let key: String = sorted.iter().map(|&q| if r >> q & 1 == 1 { '1' } else { '0' }).collect();
+            *out.entry(key).or_insert(0.0) += p;
+        }
+        out
+    }
+
+    /// Evolve through a circuit's unitary prefix, applying `noise` after
+    /// every unitary gate, and return the exact outcome distribution over
+    /// the measured qubits. Measurements must be terminal.
+    pub fn run_noisy_circuit(
+        circuit: &Circuit,
+        pool: Arc<ThreadPool>,
+        noise: &NoiseModel,
+    ) -> Result<std::collections::BTreeMap<String, f64>, String> {
+        let mut rho = DensityMatrix::with_pool(circuit.num_qubits(), pool);
+        let mut measured: Vec<usize> = Vec::new();
+        for inst in circuit.instructions() {
+            match inst.gate {
+                GateKind::Measure => measured.push(inst.qubits[0]),
+                GateKind::Barrier => {}
+                GateKind::Reset => return Err("density executor does not support reset".into()),
+                _ if !measured.is_empty() => {
+                    return Err("density executor requires terminal measurements".into())
+                }
+                _ => {
+                    rho.apply_unitary(inst);
+                    for &q in &inst.qubits {
+                        if noise.depolarizing > 0.0 {
+                            rho.depolarize(q, noise.depolarizing);
+                        }
+                        if noise.dephasing > 0.0 {
+                            rho.dephase(q, noise.dephasing);
+                        }
+                        if noise.amplitude_damping > 0.0 {
+                            rho.amplitude_damp(q, noise.amplitude_damping);
+                        }
+                    }
+                }
+            }
+        }
+        if measured.is_empty() {
+            measured = (0..circuit.num_qubits()).collect();
+        }
+        Ok(rho.measure_probabilities(&measured))
+    }
+}
+
+/// Per-gate noise strengths for [`DensityMatrix::run_noisy_circuit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability applied to each touched qubit per gate.
+    pub depolarizing: f64,
+    /// Dephasing probability per gate.
+    pub dephasing: f64,
+    /// Amplitude-damping rate per gate.
+    pub amplitude_damping: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+    use qcor_circuit::library;
+    use qcor_circuit::Circuit;
+
+    fn apply_all(rho: &mut DensityMatrix, circuit: &Circuit) {
+        for inst in circuit.instructions() {
+            rho.apply_unitary(inst);
+        }
+    }
+
+    #[test]
+    fn initial_state_is_pure_zero() {
+        let rho = DensityMatrix::new(2);
+        assert!(rho.entry(0, 0).approx_eq(Complex64::ONE, 1e-12));
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_pure_state_evolution() {
+        // Random-ish unitary circuit: ρ must equal |ψ⟩⟨ψ| at the end.
+        let mut circuit = Circuit::new(3);
+        circuit
+            .h(0)
+            .t(0)
+            .cx(0, 1)
+            .ry(2, 0.7)
+            .s(1)
+            .crz(1, 2, -0.4)
+            .y(0)
+            .u3(1, 0.2, 0.5, -0.3)
+            .cphase(0, 2, 1.1);
+        let mut rho = DensityMatrix::new(3);
+        apply_all(&mut rho, &circuit);
+
+        let mut psi = StateVector::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        crate::executor::run_once(&mut psi, &circuit, &mut rng);
+        let reference = DensityMatrix::from_pure(&psi);
+        for r in 0..8 {
+            for c in 0..8 {
+                assert!(
+                    rho.entry(r, c).approx_eq(reference.entry(r, c), 1e-10),
+                    "({r},{c}): {} vs {}",
+                    rho.entry(r, c),
+                    reference.entry(r, c)
+                );
+            }
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bell_diagonal_probabilities() {
+        let mut rho = DensityMatrix::new(2);
+        apply_all(&mut rho, &library::ghz_state(2));
+        let p = rho.diagonal_probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-12);
+        assert!((p[0b11] - 0.5).abs() < 1e-12);
+        assert!(p[0b01] < 1e-12 && p[0b10] < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_reduces_purity_but_preserves_trace() {
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary(&Instruction::new(GateKind::H, vec![0], vec![]));
+        rho.depolarize(0, 0.2);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!(rho.purity() < 0.999, "purity {}", rho.purity());
+        // Full depolarization → maximally mixed.
+        let mut rho = DensityMatrix::new(1);
+        rho.depolarize(0, 0.75); // p=3/4 with Pauli weights p/3 = I/2 fixed point
+        assert!(rho.entry(0, 0).approx_eq(c64(0.5, 0.0), 1e-12));
+        assert!(rho.entry(1, 1).approx_eq(c64(0.5, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary(&Instruction::new(GateKind::X, vec![0], vec![]));
+        rho.amplitude_damp(0, 0.3);
+        assert!((rho.entry(1, 1).re - 0.7).abs() < 1e-12);
+        assert!((rho.entry(0, 0).re - 0.3).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dephasing_kills_coherences_only() {
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary(&Instruction::new(GateKind::H, vec![0], vec![]));
+        let before = rho.entry(0, 1).norm();
+        rho.dephase(0, 0.5);
+        let after = rho.entry(0, 1).norm();
+        assert!(after < before, "coherence must shrink: {before} → {after}");
+        assert!((rho.entry(0, 0).re - 0.5).abs() < 1e-12, "populations untouched");
+    }
+
+    #[test]
+    fn noisy_bell_distribution_leaks() {
+        let mut circuit = library::ghz_state(2);
+        circuit.measure_all();
+        let noise = NoiseModel { depolarizing: 0.05, ..Default::default() };
+        let dist =
+            DensityMatrix::run_noisy_circuit(&circuit, Arc::new(ThreadPool::new(1)), &noise).unwrap();
+        let total: f64 = dist.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let clean = dist.get("00").copied().unwrap_or(0.0) + dist.get("11").copied().unwrap_or(0.0);
+        assert!(clean < 1.0 - 1e-6, "noise must leak probability, clean mass = {clean}");
+        assert!(clean > 0.8, "but signal should dominate, clean mass = {clean}");
+    }
+
+    #[test]
+    fn noiseless_run_matches_exact_distribution() {
+        let circuit = library::bell_kernel();
+        let dist = DensityMatrix::run_noisy_circuit(
+            &circuit,
+            Arc::new(ThreadPool::new(1)),
+            &NoiseModel::default(),
+        )
+        .unwrap();
+        assert!((dist["00"] - 0.5).abs() < 1e-10);
+        assert!((dist["11"] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn measure_probabilities_marginalize() {
+        let mut rho = DensityMatrix::new(2);
+        apply_all(&mut rho, &library::ghz_state(2));
+        let marginal = rho.measure_probabilities(&[0]);
+        assert!((marginal["0"] - 0.5).abs() < 1e-12);
+        assert!((marginal["1"] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_rejected() {
+        let mut c = Circuit::new(1);
+        c.measure(0).h(0);
+        assert!(DensityMatrix::run_noisy_circuit(
+            &c,
+            Arc::new(ThreadPool::new(1)),
+            &NoiseModel::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! Circuit execution: single shots and repeated sampling.
+//!
+//! The per-shot loop mirrors how QCOR's `QppAccelerator` services a kernel
+//! invocation with `shots` repetitions; the measurement record format
+//! matches the `AcceleratorBuffer` counts of paper Listing 2 (a map from
+//! bitstring to occurrence count).
+//!
+//! Bitstring convention: the leftmost character is the outcome of the
+//! lowest-indexed *measured* qubit.
+
+use crate::gates::apply_instruction;
+use crate::state::StateVector;
+use qcor_circuit::{Circuit, GateKind};
+use qcor_pool::ThreadPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Occurrence counts per measured bitstring, ordered for stable printing.
+pub type Counts = BTreeMap<String, usize>;
+
+/// The measurement record of a single shot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShotRecord {
+    /// `(qubit, outcome)` in program order. A re-measured qubit appears
+    /// multiple times; the last entry wins for the bitstring.
+    pub outcomes: Vec<(usize, u8)>,
+}
+
+impl ShotRecord {
+    /// Final outcome per measured qubit, sorted by qubit index, rendered as
+    /// a bitstring (lowest qubit leftmost).
+    pub fn bitstring(&self) -> String {
+        let mut last: BTreeMap<usize, u8> = BTreeMap::new();
+        for &(q, b) in &self.outcomes {
+            last.insert(q, b);
+        }
+        last.values().map(|b| char::from(b'0' + b)).collect()
+    }
+
+    /// Interpret the outcomes of the given qubits (little-endian: first
+    /// entry of `qubits` is the least significant bit) as an integer,
+    /// using each qubit's final outcome. Unmeasured qubits read 0.
+    pub fn value_of(&self, qubits: &[usize]) -> u64 {
+        let mut last: BTreeMap<usize, u8> = BTreeMap::new();
+        for &(q, b) in &self.outcomes {
+            last.insert(q, b);
+        }
+        let mut v = 0u64;
+        for (pos, q) in qubits.iter().enumerate() {
+            if last.get(q).copied().unwrap_or(0) == 1 {
+                v |= 1 << pos;
+            }
+        }
+        v
+    }
+}
+
+/// Run `circuit` once against `state`, recording measurement outcomes.
+pub fn run_once(state: &mut StateVector, circuit: &Circuit, rng: &mut impl Rng) -> ShotRecord {
+    assert!(
+        circuit.num_qubits() <= state.num_qubits(),
+        "circuit needs {} qubits but the state has {}",
+        circuit.num_qubits(),
+        state.num_qubits()
+    );
+    let mut record = ShotRecord::default();
+    for inst in circuit.instructions() {
+        if let Some(bit) = apply_instruction(state, inst, rng) {
+            record.outcomes.push((inst.qubits[0], bit));
+        }
+    }
+    record
+}
+
+/// Configuration for repeated sampling.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of repetitions.
+    pub shots: usize,
+    /// RNG seed (`None` = entropy from the OS).
+    pub seed: Option<u64>,
+    /// Minimum loop length before kernels use the pool (see
+    /// [`StateVector::set_par_threshold`]).
+    pub par_threshold: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { shots: 1024, seed: None, par_threshold: 2 }
+    }
+}
+
+/// Execute `circuit` for `config.shots` repetitions on a state backed by
+/// `pool`, re-preparing |0...0⟩ before each shot, and accumulate the counts
+/// of the measured bitstrings.
+///
+/// Re-running the full circuit per shot (rather than sampling a final
+/// distribution) keeps the workload faithful to the paper's evaluation,
+/// where per-kernel simulation work × shots is what the simulator threads
+/// parallelize, and is required anyway once circuits contain mid-circuit
+/// measurement or reset.
+pub fn run_shots(circuit: &Circuit, pool: Arc<ThreadPool>, config: &RunConfig) -> Counts {
+    let mut rng = match config.seed {
+        Some(s) => StdRng::seed_from_u64(s),
+        None => StdRng::from_entropy(),
+    };
+    let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
+    state.set_par_threshold(config.par_threshold);
+    let mut counts = Counts::new();
+    for shot in 0..config.shots {
+        if shot > 0 {
+            state.reset_to_zero();
+        }
+        let record = run_once(&mut state, circuit, &mut rng);
+        let key = record.bitstring();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Shot-level parallelism (paper §II): split `config.shots` across
+/// `tasks` OS threads, each with its **own state vector and pool** of
+/// `threads_per_task` simulator threads, and merge the counts.
+///
+/// Each task derives its RNG stream from `config.seed` and its task index,
+/// so results are reproducible but statistically independent across tasks.
+/// Note that for a fixed seed the merged counts differ from the
+/// single-task sequence (shots are partitioned differently), while the
+/// underlying distribution is identical.
+pub fn run_shots_task_parallel(
+    circuit: &Circuit,
+    tasks: usize,
+    threads_per_task: usize,
+    config: &RunConfig,
+) -> Counts {
+    assert!(tasks >= 1);
+    if tasks == 1 {
+        let pool = Arc::new(ThreadPool::new(threads_per_task));
+        return run_shots(circuit, pool, config);
+    }
+    let base = config.shots / tasks;
+    let remainder = config.shots % tasks;
+    let handles: Vec<_> = (0..tasks)
+        .map(|t| {
+            let circuit = circuit.clone();
+            let shots = base + usize::from(t < remainder);
+            let seed = config.seed.map(|s| s.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+            let par_threshold = config.par_threshold;
+            std::thread::spawn(move || {
+                let pool = Arc::new(ThreadPool::new(threads_per_task));
+                run_shots(&circuit, pool, &RunConfig { shots, seed, par_threshold })
+            })
+        })
+        .collect();
+    let mut merged = Counts::new();
+    for h in handles {
+        for (bits, count) in h.join().expect("shot task panicked") {
+            *merged.entry(bits).or_insert(0) += count;
+        }
+    }
+    merged
+}
+
+/// Exact output distribution of a measurement-free prefix: strips terminal
+/// measurements, evolves once, and returns the probability of each basis
+/// state. Errors if a non-terminal measurement or reset is present.
+pub fn exact_distribution(circuit: &Circuit, pool: Arc<ThreadPool>) -> Result<Vec<f64>, String> {
+    let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut seen_measure = false;
+    for inst in circuit.instructions() {
+        match inst.gate {
+            GateKind::Measure => seen_measure = true,
+            GateKind::Barrier => {}
+            GateKind::Reset => return Err("exact_distribution cannot handle reset".to_string()),
+            _ if seen_measure => {
+                return Err("exact_distribution requires measurements to be terminal".to_string())
+            }
+            _ => {
+                apply_instruction(&mut state, inst, &mut rng);
+            }
+        }
+    }
+    Ok(state.probabilities())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcor_circuit::library;
+
+    fn seq_pool() -> Arc<ThreadPool> {
+        Arc::new(ThreadPool::new(1))
+    }
+
+    #[test]
+    fn bell_counts_only_00_and_11() {
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 1024, seed: Some(1), ..Default::default() };
+        let counts = run_shots(&circuit, seq_pool(), &config);
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 1024);
+        assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+        // Both outcomes should appear with roughly equal frequency.
+        let c00 = counts.get("00").copied().unwrap_or(0) as f64;
+        assert!((c00 / 1024.0 - 0.5).abs() < 0.1, "{counts:?}");
+    }
+
+    #[test]
+    fn ghz_counts_are_all_zero_or_all_one() {
+        let circuit = library::ghz_kernel(4);
+        let config = RunConfig { shots: 256, seed: Some(2), ..Default::default() };
+        let counts = run_shots(&circuit, seq_pool(), &config);
+        assert!(counts.keys().all(|k| k == "0000" || k == "1111"), "{counts:?}");
+    }
+
+    #[test]
+    fn deterministic_with_fixed_seed() {
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 128, seed: Some(7), ..Default::default() };
+        let a = run_shots(&circuit, seq_pool(), &config);
+        let b = run_shots(&circuit, seq_pool(), &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_pool_preserves_distribution() {
+        let circuit = library::bell_kernel();
+        let pool = Arc::new(ThreadPool::new(4));
+        let config = RunConfig { shots: 512, seed: Some(3), ..Default::default() };
+        let counts = run_shots(&circuit, pool, &config);
+        assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+        assert_eq!(counts.values().sum::<usize>(), 512);
+    }
+
+    #[test]
+    fn exact_distribution_of_bell() {
+        let circuit = library::bell_kernel();
+        let p = exact_distribution(&circuit, seq_pool()).unwrap();
+        assert!((p[0b00] - 0.5).abs() < 1e-12);
+        assert!((p[0b11] - 0.5).abs() < 1e-12);
+        assert!(p[0b01].abs() < 1e-12);
+        assert!(p[0b10].abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_distribution_rejects_mid_circuit_measurement() {
+        let mut c = Circuit::new(1);
+        c.measure(0).h(0);
+        assert!(exact_distribution(&c, seq_pool()).is_err());
+    }
+
+    #[test]
+    fn shot_record_value_of_is_little_endian() {
+        let rec = ShotRecord { outcomes: vec![(0, 1), (1, 0), (2, 1)] };
+        assert_eq!(rec.value_of(&[0, 1, 2]), 0b101);
+        assert_eq!(rec.value_of(&[2, 1, 0]), 0b101u64.reverse_bits() >> 61);
+        assert_eq!(rec.bitstring(), "101");
+    }
+
+    #[test]
+    fn remeasured_qubit_uses_last_outcome() {
+        // X then measure gives 1; reset-like X·X then measure gives 0 —
+        // simulate by measuring twice around an X.
+        let mut c = Circuit::new(1);
+        c.x(0).measure(0).x(0).measure(0);
+        let mut state = StateVector::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let rec = run_once(&mut state, &c, &mut rng);
+        assert_eq!(rec.outcomes, vec![(0, 1), (0, 0)]);
+        assert_eq!(rec.bitstring(), "0");
+    }
+
+    #[test]
+    fn shot_parallel_conserves_total_and_distribution() {
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 1000, seed: Some(5), ..Default::default() };
+        for tasks in [1, 2, 3, 7] {
+            let counts = run_shots_task_parallel(&circuit, tasks, 1, &config);
+            assert_eq!(counts.values().sum::<usize>(), 1000, "tasks={tasks}");
+            assert!(counts.keys().all(|k| k == "00" || k == "11"), "tasks={tasks}: {counts:?}");
+            let p00 = counts.get("00").copied().unwrap_or(0) as f64 / 1000.0;
+            assert!((p00 - 0.5).abs() < 0.1, "tasks={tasks}: p00={p00}");
+        }
+    }
+
+    #[test]
+    fn shot_parallel_uneven_split() {
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 10, seed: Some(6), ..Default::default() };
+        let counts = run_shots_task_parallel(&circuit, 3, 1, &config);
+        assert_eq!(counts.values().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        // QFT|x⟩ amplitudes must equal e^{2πi x y / M} / √M for each y.
+        use crate::complex::Complex64;
+        let n = 3;
+        let m_size = 1usize << n;
+        for x in 0..m_size {
+            let mut prep = Circuit::new(n);
+            for q in 0..n {
+                if x >> q & 1 == 1 {
+                    prep.x(q);
+                }
+            }
+            let mut full = prep.clone();
+            full.extend(&library::qft(n));
+            let mut state = StateVector::new(n);
+            let mut rng = StdRng::seed_from_u64(0);
+            run_once(&mut state, &full, &mut rng);
+            let scale = 1.0 / (m_size as f64).sqrt();
+            for y in 0..m_size {
+                let angle = std::f64::consts::TAU * (x as f64) * (y as f64) / m_size as f64;
+                let expect = Complex64::from_polar(scale, angle);
+                assert!(
+                    state.amp(y).approx_eq(expect, 1e-10),
+                    "x={x} y={y}: got {} expected {}",
+                    state.amp(y),
+                    expect
+                );
+            }
+        }
+    }
+}

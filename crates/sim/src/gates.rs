@@ -1,0 +1,255 @@
+//! Gate matrices and the mapping from IR instructions to state-vector
+//! kernels.
+
+use crate::complex::{c64, Complex64};
+use crate::state::StateVector;
+use qcor_circuit::{GateKind, Instruction};
+use rand::Rng;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// The 2×2 matrix of a single-qubit unitary gate, if `kind` is one.
+/// Parameters are taken from `params` as the gate requires.
+pub fn single_qubit_matrix(kind: GateKind, params: &[f64]) -> Option<[[Complex64; 2]; 2]> {
+    use GateKind::*;
+    let m = match kind {
+        H => {
+            let s = c64(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+            [[s, s], [s, -s]]
+        }
+        X => [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]],
+        Y => [[Complex64::ZERO, c64(0.0, -1.0)], [Complex64::I, Complex64::ZERO]],
+        Z => [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, c64(-1.0, 0.0)]],
+        S => [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::I]],
+        Sdg => [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, c64(0.0, -1.0)]],
+        T => [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::from_polar_unit(FRAC_PI_4)]],
+        Tdg => [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::from_polar_unit(-FRAC_PI_4)]],
+        Rx => {
+            let (c, s) = ((params[0] / 2.0).cos(), (params[0] / 2.0).sin());
+            [[c64(c, 0.0), c64(0.0, -s)], [c64(0.0, -s), c64(c, 0.0)]]
+        }
+        Ry => {
+            let (c, s) = ((params[0] / 2.0).cos(), (params[0] / 2.0).sin());
+            [[c64(c, 0.0), c64(-s, 0.0)], [c64(s, 0.0), c64(c, 0.0)]]
+        }
+        Rz => {
+            let half = params[0] / 2.0;
+            [
+                [Complex64::from_polar_unit(-half), Complex64::ZERO],
+                [Complex64::ZERO, Complex64::from_polar_unit(half)],
+            ]
+        }
+        Phase => [
+            [Complex64::ONE, Complex64::ZERO],
+            [Complex64::ZERO, Complex64::from_polar_unit(params[0])],
+        ],
+        U3 => {
+            let (theta, phi, lambda) = (params[0], params[1], params[2]);
+            let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            [
+                [c64(c, 0.0), Complex64::from_polar_unit(lambda).scale(-s)],
+                [
+                    Complex64::from_polar_unit(phi).scale(s),
+                    Complex64::from_polar_unit(phi + lambda).scale(c),
+                ],
+            ]
+        }
+        _ => return None,
+    };
+    Some(m)
+}
+
+/// Apply one instruction to the state. Measurements return `Some(bit)`;
+/// everything else returns `None`. Barriers are no-ops.
+pub fn apply_instruction(state: &mut StateVector, inst: &Instruction, rng: &mut impl Rng) -> Option<u8> {
+    use GateKind::*;
+    let q = &inst.qubits;
+    match inst.gate {
+        // Diagonal gates go through the phase fast path.
+        Z => state.phase_where(1 << q[0], 0, PI),
+        S => state.phase_where(1 << q[0], 0, FRAC_PI_2),
+        Sdg => state.phase_where(1 << q[0], 0, -FRAC_PI_2),
+        T => state.phase_where(1 << q[0], 0, FRAC_PI_4),
+        Tdg => state.phase_where(1 << q[0], 0, -FRAC_PI_4),
+        Phase => state.phase_where(1 << q[0], 0, inst.params[0]),
+        Rz => {
+            // Rz(θ) = e^{-iθ/2} · diag(1, e^{iθ})
+            state.scale_all(Complex64::from_polar_unit(-inst.params[0] / 2.0));
+            state.phase_where(1 << q[0], 0, inst.params[0]);
+        }
+        CZ => state.phase_where((1 << q[0]) | (1 << q[1]), 0, PI),
+        CPhase => state.phase_where((1 << q[0]) | (1 << q[1]), 0, inst.params[0]),
+        CCPhase => state.phase_where((1 << q[0]) | (1 << q[1]) | (1 << q[2]), 0, inst.params[0]),
+        CRz => {
+            let half = inst.params[0] / 2.0;
+            state.phase_where((1 << q[0]) | (1 << q[1]), 0, half);
+            state.phase_where(1 << q[0], 1 << q[1], -half);
+        }
+        // Dense single-qubit unitaries (optionally controlled).
+        H | X | Y | Rx | Ry | U3 => {
+            let m = single_qubit_matrix(inst.gate, &inst.params).expect("single-qubit gate");
+            state.apply_single(q[0], m, 0);
+        }
+        CX | CY => {
+            let base = if inst.gate == CX { X } else { Y };
+            let m = single_qubit_matrix(base, &[]).expect("single-qubit gate");
+            state.apply_single(q[1], m, 1 << q[0]);
+        }
+        CCX => {
+            let m = single_qubit_matrix(X, &[]).expect("single-qubit gate");
+            state.apply_single(q[2], m, (1 << q[0]) | (1 << q[1]));
+        }
+        Swap => state.apply_swap(q[0], q[1], 0),
+        CSwap => state.apply_swap(q[1], q[2], 1 << q[0]),
+        Measure => return Some(state.measure(q[0], rng)),
+        Reset => state.reset(q[0], rng),
+        Barrier => {}
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mat_mul(a: [[Complex64; 2]; 2], b: [[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
+        let mut out = [[Complex64::ZERO; 2]; 2];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+            }
+        }
+        out
+    }
+
+    fn dagger(m: [[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
+        [[m[0][0].conj(), m[1][0].conj()], [m[0][1].conj(), m[1][1].conj()]]
+    }
+
+    fn assert_identity(m: [[Complex64; 2]; 2]) {
+        assert!(m[0][0].approx_eq(Complex64::ONE, 1e-12), "{:?}", m);
+        assert!(m[1][1].approx_eq(Complex64::ONE, 1e-12), "{:?}", m);
+        assert!(m[0][1].approx_eq(Complex64::ZERO, 1e-12), "{:?}", m);
+        assert!(m[1][0].approx_eq(Complex64::ZERO, 1e-12), "{:?}", m);
+    }
+
+    #[test]
+    fn all_single_qubit_matrices_are_unitary() {
+        use GateKind::*;
+        let cases: Vec<(GateKind, Vec<f64>)> = vec![
+            (H, vec![]),
+            (X, vec![]),
+            (Y, vec![]),
+            (Z, vec![]),
+            (S, vec![]),
+            (Sdg, vec![]),
+            (T, vec![]),
+            (Tdg, vec![]),
+            (Rx, vec![0.37]),
+            (Ry, vec![-1.2]),
+            (Rz, vec![2.5]),
+            (Phase, vec![0.9]),
+            (U3, vec![0.3, 1.1, -0.7]),
+        ];
+        for (kind, params) in cases {
+            let m = single_qubit_matrix(kind, &params).unwrap();
+            assert_identity(mat_mul(m, dagger(m)));
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_have_no_single_matrix() {
+        assert!(single_qubit_matrix(GateKind::CX, &[]).is_none());
+        assert!(single_qubit_matrix(GateKind::Measure, &[]).is_none());
+    }
+
+    #[test]
+    fn h_squared_is_identity() {
+        let h = single_qubit_matrix(GateKind::H, &[]).unwrap();
+        assert_identity(mat_mul(h, h));
+    }
+
+    #[test]
+    fn rz_as_phase_matches_rz_matrix() {
+        // Rz via the executor fast path must equal applying the Rz matrix.
+        let theta = 0.734;
+        let mut rng = StdRng::seed_from_u64(0);
+
+        let mut a = StateVector::new(2);
+        let h = single_qubit_matrix(GateKind::H, &[]).unwrap();
+        a.apply_single(0, h, 0);
+        a.apply_single(1, h, 0);
+        let mut b = StateVector::new(2);
+        b.apply_single(0, h, 0);
+        b.apply_single(1, h, 0);
+
+        apply_instruction(&mut a, &Instruction::new(GateKind::Rz, vec![1], vec![theta]), &mut rng);
+        let m = single_qubit_matrix(GateKind::Rz, &[theta]).unwrap();
+        b.apply_single(1, m, 0);
+
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn crz_phases_match_controlled_rz_matrix() {
+        let theta = -1.3;
+        let mut rng = StdRng::seed_from_u64(0);
+        let h = single_qubit_matrix(GateKind::H, &[]).unwrap();
+
+        let mut a = StateVector::new(2);
+        a.apply_single(0, h, 0);
+        a.apply_single(1, h, 0);
+        let mut b = StateVector::new(2);
+        b.apply_single(0, h, 0);
+        b.apply_single(1, h, 0);
+
+        apply_instruction(&mut a, &Instruction::new(GateKind::CRz, vec![0, 1], vec![theta]), &mut rng);
+        let m = single_qubit_matrix(GateKind::Rz, &[theta]).unwrap();
+        b.apply_single(1, m, 1 << 0);
+
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn ccx_flips_only_when_both_controls_set() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // |110⟩: q1=1, q2=1 (controls), q0 = target? Use controls q0,q1 target q2.
+        let x = Instruction::new(GateKind::X, vec![0], vec![]);
+        let ccx = Instruction::new(GateKind::CCX, vec![0, 1, 2], vec![]);
+
+        // Only q0 set: no flip.
+        let mut sv = StateVector::new(3);
+        apply_instruction(&mut sv, &x, &mut rng);
+        apply_instruction(&mut sv, &ccx, &mut rng);
+        assert!(sv.amp(0b001).norm_sqr() > 0.999);
+
+        // q0 and q1 set: q2 flips.
+        let mut sv = StateVector::new(3);
+        apply_instruction(&mut sv, &x, &mut rng);
+        apply_instruction(&mut sv, &Instruction::new(GateKind::X, vec![1], vec![]), &mut rng);
+        apply_instruction(&mut sv, &ccx, &mut rng);
+        assert!(sv.amp(0b111).norm_sqr() > 0.999);
+    }
+
+    #[test]
+    fn cswap_swaps_only_under_control() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cswap = Instruction::new(GateKind::CSwap, vec![2, 0, 1], vec![]);
+        // q0=1, control q2=0 → unchanged.
+        let mut sv = StateVector::new(3);
+        apply_instruction(&mut sv, &Instruction::new(GateKind::X, vec![0], vec![]), &mut rng);
+        apply_instruction(&mut sv, &cswap, &mut rng);
+        assert!(sv.amp(0b001).norm_sqr() > 0.999);
+        // control q2=1 → q0,q1 swap.
+        let mut sv = StateVector::new(3);
+        apply_instruction(&mut sv, &Instruction::new(GateKind::X, vec![0], vec![]), &mut rng);
+        apply_instruction(&mut sv, &Instruction::new(GateKind::X, vec![2], vec![]), &mut rng);
+        apply_instruction(&mut sv, &cswap, &mut rng);
+        assert!(sv.amp(0b110).norm_sqr() > 0.999);
+    }
+}

@@ -1,0 +1,26 @@
+//! # qcor-sim — parallel state-vector quantum circuit simulator
+//!
+//! The Quantum++ analogue of this reproduction: a from-scratch state-vector
+//! simulator whose amplitude loops are work-shared over a
+//! [`qcor_pool::ThreadPool`] the way Quantum++'s loops are work-shared by
+//! OpenMP. The pool's thread count plays the role of `OMP_NUM_THREADS` in
+//! the paper's evaluation (§VI): a kernel simulated "with N threads" is a
+//! [`StateVector`] whose pool has team size N.
+//!
+//! * [`Complex64`] — in-tree complex arithmetic,
+//! * [`StateVector`] — amplitudes plus primitive update kernels,
+//! * [`gates`] — gate matrices and instruction dispatch,
+//! * [`executor`] — shot loops, counts, and exact distributions.
+
+mod complex;
+pub mod density;
+pub mod executor;
+pub mod gates;
+mod state;
+
+pub use complex::{c64, Complex64};
+pub use density::{DensityMatrix, NoiseModel};
+pub use executor::{
+    exact_distribution, run_once, run_shots, run_shots_task_parallel, Counts, RunConfig, ShotRecord,
+};
+pub use state::StateVector;

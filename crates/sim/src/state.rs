@@ -1,0 +1,544 @@
+//! The state vector and its (optionally parallel) update kernels.
+//!
+//! A [`StateVector`] stores the 2^n amplitudes of an n-qubit register and
+//! exposes the primitive updates gates compile to: single-qubit matrix
+//! application with an arbitrary control mask, conditional phase rotation,
+//! (controlled) swaps, controlled classical permutations, measurement and
+//! reset.
+//!
+//! Every kernel loops over amplitude indices; when the state's
+//! [`ThreadPool`] has more than one thread the loop is work-shared over the
+//! pool, exactly as Quantum++'s OpenMP pragmas work-share its amplitude
+//! loops. This is the paper's "inner simulator level parallelism". As in
+//! Quantum++ the dispatch is unconditional by default (see
+//! [`StateVector::set_par_threshold`]), so small registers pay the fork/join
+//! overhead that the paper's evaluation (§VI-A) observes when oversubscribing
+//! a kernel with threads.
+
+use crate::complex::Complex64;
+#[cfg(test)]
+use crate::complex::c64;
+use qcor_pool::ThreadPool;
+use rand::Rng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Raw pointer to the amplitude buffer, shared across pool workers.
+///
+/// SAFETY invariant: every kernel that uses this wrapper writes each index
+/// from exactly one chunk (indices are partitioned by `parallel_for`), so
+/// no two threads alias a write.
+#[derive(Clone, Copy)]
+struct AmpsPtr(*mut Complex64);
+unsafe impl Send for AmpsPtr {}
+unsafe impl Sync for AmpsPtr {}
+
+impl AmpsPtr {
+    /// SAFETY: caller guarantees `i` is in bounds and not concurrently
+    /// written by another thread.
+    #[inline]
+    unsafe fn at(self, i: usize) -> &'static mut Complex64 {
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
+/// An n-qubit pure state.
+///
+/// Bit convention is little-endian: basis index `i` assigns qubit `q` the
+/// bit `(i >> q) & 1`.
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex64>,
+    pool: Arc<ThreadPool>,
+    par_threshold: usize,
+}
+
+impl std::fmt::Debug for StateVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateVector")
+            .field("num_qubits", &self.num_qubits)
+            .field("pool_threads", &self.pool.num_threads())
+            .finish()
+    }
+}
+
+impl StateVector {
+    /// |0...0⟩ on `num_qubits` qubits, simulated sequentially.
+    pub fn new(num_qubits: usize) -> Self {
+        Self::with_pool(num_qubits, Arc::new(ThreadPool::new(1)))
+    }
+
+    /// |0...0⟩ with amplitude loops work-shared over `pool`.
+    pub fn with_pool(num_qubits: usize, pool: Arc<ThreadPool>) -> Self {
+        assert!(num_qubits <= 30, "state vector of {num_qubits} qubits will not fit in memory");
+        let mut amps = vec![Complex64::ZERO; 1usize << num_qubits];
+        amps[0] = Complex64::ONE;
+        StateVector { num_qubits, amps, pool, par_threshold: 2 }
+    }
+
+    /// Construct from explicit amplitudes (must have power-of-two length and
+    /// unit norm up to `1e-9`).
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        assert!(amps.len().is_power_of_two() && !amps.is_empty(), "length must be a power of two");
+        let n = amps.len().trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-9, "state must be normalized (got norm² = {norm})");
+        StateVector { num_qubits: n, amps, pool: Arc::new(ThreadPool::new(1)), par_threshold: 2 }
+    }
+
+    /// Construct from raw amplitudes without the unit-norm check — used by
+    /// the density-matrix representation, whose vec(ρ) is not a unit
+    /// vector mid-Kraus-sum.
+    pub(crate) fn raw_with_amplitudes(amps: Vec<Complex64>) -> Self {
+        assert!(amps.len().is_power_of_two() && !amps.is_empty());
+        let n = amps.len().trailing_zeros() as usize;
+        StateVector { num_qubits: n, amps, pool: Arc::new(ThreadPool::new(1)), par_threshold: 2 }
+    }
+
+    /// Reset to |0...0⟩ without reallocating.
+    pub fn reset_to_zero(&mut self) {
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        self.dispatch(self.amps.len(), |range| {
+            for i in range {
+                // SAFETY: disjoint indices per chunk.
+                unsafe { *ptr.at(i) = Complex64::ZERO };
+            }
+        });
+        self.amps[0] = Complex64::ONE;
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of amplitudes (2^n).
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Always false — a state vector has at least one amplitude.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The amplitudes, basis-index order.
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Amplitude of basis state `i`.
+    pub fn amp(&self, i: usize) -> Complex64 {
+        self.amps[i]
+    }
+
+    /// The thread pool used by the kernels.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Set the minimum number of loop iterations before a kernel is
+    /// dispatched to the pool (default 2, i.e. effectively always when the
+    /// pool has more than one thread — matching Quantum++'s unconditional
+    /// OpenMP work-sharing). Raise it to amortize fork/join overhead on
+    /// small registers.
+    pub fn set_par_threshold(&mut self, items: usize) {
+        self.par_threshold = items.max(1);
+    }
+
+    /// Work-share `f` over `0..len` when profitable, else run inline.
+    #[inline]
+    fn dispatch<F: Fn(Range<usize>) + Sync>(&self, len: usize, f: F) {
+        if self.pool.num_threads() > 1 && len >= self.par_threshold {
+            self.pool.parallel_for(0..len, f);
+        } else {
+            f(0..len);
+        }
+    }
+
+    /// Sum a per-index quantity over `0..len`, work-shared when profitable.
+    #[inline]
+    fn reduce<F: Fn(Range<usize>) -> f64 + Sync>(&self, len: usize, f: F) -> f64 {
+        if self.pool.num_threads() > 1 && len >= self.par_threshold {
+            self.pool
+                .parallel_reduce(0..len, qcor_pool::Schedule::Auto, 0.0, f, |a, b| a + b)
+        } else {
+            f(0..len)
+        }
+    }
+
+    /// Expand a pair index `k` into the basis index with qubit `t` = 0:
+    /// inserts a zero bit at position `t`.
+    #[inline]
+    fn expand(k: usize, t: usize) -> usize {
+        let low_mask = (1usize << t) - 1;
+        ((k & !low_mask) << 1) | (k & low_mask)
+    }
+
+    /// Apply a single-qubit matrix `m` (row-major [[m00,m01],[m10,m11]]) to
+    /// qubit `t`, restricted to basis states where every bit of
+    /// `ctrl_mask` is set (`ctrl_mask` must not include bit `t`; 0 means
+    /// no controls).
+    pub fn apply_single(&mut self, t: usize, m: [[Complex64; 2]; 2], ctrl_mask: usize) {
+        debug_assert!(t < self.num_qubits);
+        debug_assert_eq!(ctrl_mask & (1 << t), 0, "control mask must exclude the target");
+        let half = self.amps.len() / 2;
+        let stride = 1usize << t;
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        self.dispatch(half, |range| {
+            for k in range {
+                let i = Self::expand(k, t);
+                if i & ctrl_mask != ctrl_mask {
+                    continue;
+                }
+                let j = i | stride;
+                // SAFETY: (i, j) pairs are disjoint across k values.
+                let (a, b) = unsafe { (*ptr.at(i), *ptr.at(j)) };
+                unsafe {
+                    *ptr.at(i) = m[0][0] * a + m[0][1] * b;
+                    *ptr.at(j) = m[1][0] * a + m[1][1] * b;
+                }
+            }
+        });
+    }
+
+    /// Multiply amplitudes by e^{iθ} on basis states where all bits of
+    /// `set_mask` are 1 and all bits of `clear_mask` are 0.
+    pub fn phase_where(&mut self, set_mask: usize, clear_mask: usize, theta: f64) {
+        debug_assert_eq!(set_mask & clear_mask, 0);
+        let phase = Complex64::from_polar_unit(theta);
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        self.dispatch(self.amps.len(), |range| {
+            for i in range {
+                if i & set_mask == set_mask && i & clear_mask == 0 {
+                    // SAFETY: disjoint indices per chunk.
+                    unsafe { *ptr.at(i) *= phase };
+                }
+            }
+        });
+    }
+
+    /// Multiply every amplitude by `z` (used for the global phase of Rz).
+    pub fn scale_all(&mut self, z: Complex64) {
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        self.dispatch(self.amps.len(), |range| {
+            for i in range {
+                // SAFETY: disjoint indices per chunk.
+                unsafe { *ptr.at(i) *= z };
+            }
+        });
+    }
+
+    /// Swap qubits `a` and `b`, restricted to basis states where
+    /// `ctrl_mask` bits are all set (0 = unconditional).
+    pub fn apply_swap(&mut self, a: usize, b: usize, ctrl_mask: usize) {
+        assert_ne!(a, b, "swap requires distinct qubits");
+        debug_assert_eq!(ctrl_mask & ((1 << a) | (1 << b)), 0);
+        let (bit_a, bit_b) = (1usize << a, 1usize << b);
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        self.dispatch(self.amps.len(), |range| {
+            for i in range {
+                // Visit each pair once: from the (a=1, b=0) side.
+                if i & bit_a != 0 && i & bit_b == 0 && i & ctrl_mask == ctrl_mask {
+                    let j = i ^ bit_a ^ bit_b;
+                    // SAFETY: i and j=partner are swapped exactly once and
+                    // only the thread owning index i touches the pair (the
+                    // partner index j fails the visit condition).
+                    unsafe { std::ptr::swap(ptr.at(i), ptr.at(j)) };
+                }
+            }
+        });
+    }
+
+    /// Apply the classical bijection `perm` to the value encoded (little-
+    /// endian) in `targets`, restricted to basis states where `ctrl_mask`
+    /// bits are set. `perm` must have length `2^targets.len()` and be a
+    /// bijection.
+    pub fn apply_controlled_permutation(&mut self, ctrl_mask: usize, targets: &[usize], perm: &[usize]) {
+        assert_eq!(perm.len(), 1usize << targets.len(), "permutation table size mismatch");
+        // Invert the permutation so each destination pulls from its source.
+        let mut inv = vec![usize::MAX; perm.len()];
+        for (x, &y) in perm.iter().enumerate() {
+            assert!(y < perm.len() && inv[y] == usize::MAX, "perm is not a bijection");
+            inv[y] = x;
+        }
+        let src_of = |i: usize| -> usize {
+            if i & ctrl_mask != ctrl_mask {
+                return i;
+            }
+            let mut x = 0usize;
+            for (pos, &q) in targets.iter().enumerate() {
+                x |= ((i >> q) & 1) << pos;
+            }
+            let sx = inv[x];
+            let mut j = i;
+            for (pos, &q) in targets.iter().enumerate() {
+                j = (j & !(1 << q)) | (((sx >> pos) & 1) << q);
+            }
+            j
+        };
+        let mut out = vec![Complex64::ZERO; self.amps.len()];
+        let out_ptr = AmpsPtr(out.as_mut_ptr());
+        let amps = &self.amps;
+        self.dispatch(self.amps.len(), |range| {
+            for i in range {
+                // SAFETY: each output index written once; reads are shared.
+                unsafe { *out_ptr.at(i) = amps[src_of(i)] };
+            }
+        });
+        self.amps = out;
+    }
+
+    /// Probability of measuring |1⟩ on qubit `q`.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        let amps = &self.amps;
+        self.reduce(self.amps.len(), |range| {
+            let mut acc = 0.0;
+            for i in range {
+                if i & bit != 0 {
+                    acc += amps[i].norm_sqr();
+                }
+            }
+            acc
+        })
+    }
+
+    /// Probability distribution over all basis states (|amp|²).
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Measure qubit `q` in the computational basis: samples an outcome,
+    /// collapses the state, renormalizes, and returns the outcome bit.
+    pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> u8 {
+        let p1 = self.prob_one(q).clamp(0.0, 1.0);
+        let outcome = if rng.gen::<f64>() < p1 { 1u8 } else { 0u8 };
+        self.collapse(q, outcome, if outcome == 1 { p1 } else { 1.0 - p1 });
+        outcome
+    }
+
+    /// Project qubit `q` onto `outcome` (which must have probability
+    /// `prob > 0`) and renormalize.
+    pub fn collapse(&mut self, q: usize, outcome: u8, prob: f64) {
+        assert!(prob > 0.0, "cannot collapse onto a zero-probability outcome");
+        let bit = 1usize << q;
+        let keep_set = outcome == 1;
+        let scale = 1.0 / prob.sqrt();
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        self.dispatch(self.amps.len(), |range| {
+            for i in range {
+                let set = i & bit != 0;
+                // SAFETY: disjoint indices per chunk.
+                unsafe {
+                    if set == keep_set {
+                        *ptr.at(i) = ptr.at(i).scale(scale);
+                    } else {
+                        *ptr.at(i) = Complex64::ZERO;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Reset qubit `q` to |0⟩ (measure and flip if needed).
+    pub fn reset(&mut self, q: usize, rng: &mut impl Rng) {
+        if self.measure(q, rng) == 1 {
+            // X on qubit q
+            self.apply_swap_bitflip(q);
+        }
+    }
+
+    /// Apply X to qubit `q` by index pairing (internal fast path for reset).
+    fn apply_swap_bitflip(&mut self, q: usize) {
+        let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+        self.apply_single(q, x, 0);
+    }
+
+    /// ⟨self|other⟩.
+    pub fn inner_product(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.len(), other.len());
+        let mut acc = Complex64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// Squared overlap |⟨self|other⟩|².
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Σ|amp|² (should stay 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        let amps = &self.amps;
+        self.reduce(self.amps.len(), |range| range.map(|i| amps[i].norm_sqr()).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    fn h_matrix() -> [[Complex64; 2]; 2] {
+        let s = c64(FRAC_1_SQRT_2, 0.0);
+        [[s, s], [s, -s]]
+    }
+
+    #[test]
+    fn initial_state_is_all_zero() {
+        let sv = StateVector::new(3);
+        assert_eq!(sv.len(), 8);
+        assert_eq!(sv.amp(0), Complex64::ONE);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_gives_uniform_superposition() {
+        let mut sv = StateVector::new(1);
+        sv.apply_single(0, h_matrix(), 0);
+        assert!(sv.amp(0).approx_eq(c64(FRAC_1_SQRT_2, 0.0), 1e-12));
+        assert!(sv.amp(1).approx_eq(c64(FRAC_1_SQRT_2, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn bell_state_via_h_and_controlled_x() {
+        let mut sv = StateVector::new(2);
+        sv.apply_single(0, h_matrix(), 0);
+        let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+        sv.apply_single(1, x, 1 << 0); // CX control q0 target q1
+        assert!(sv.amp(0b00).approx_eq(c64(FRAC_1_SQRT_2, 0.0), 1e-12));
+        assert!(sv.amp(0b11).approx_eq(c64(FRAC_1_SQRT_2, 0.0), 1e-12));
+        assert!(sv.amp(0b01).approx_eq(Complex64::ZERO, 1e-12));
+        assert!(sv.amp(0b10).approx_eq(Complex64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn phase_where_applies_to_selected_states() {
+        let mut sv = StateVector::from_amplitudes(vec![
+            c64(0.5, 0.0),
+            c64(0.5, 0.0),
+            c64(0.5, 0.0),
+            c64(0.5, 0.0),
+        ]);
+        sv.phase_where(0b11, 0, std::f64::consts::PI); // CZ
+        assert!(sv.amp(0b11).approx_eq(c64(-0.5, 0.0), 1e-12));
+        assert!(sv.amp(0b01).approx_eq(c64(0.5, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut sv = StateVector::new(2);
+        let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+        sv.apply_single(0, x, 0); // |01⟩ (q0=1)
+        sv.apply_swap(0, 1, 0);
+        assert!(sv.amp(0b10).approx_eq(Complex64::ONE, 1e-12)); // q1=1
+    }
+
+    #[test]
+    fn controlled_permutation_maps_values() {
+        // 2 target qubits encode x ∈ {0..3}; perm = +1 mod 4; no controls.
+        let mut sv = StateVector::new(2);
+        let perm: Vec<usize> = (0..4).map(|x| (x + 1) % 4).collect();
+        sv.apply_controlled_permutation(0, &[0, 1], &perm);
+        assert!(sv.amp(1).approx_eq(Complex64::ONE, 1e-12)); // 0 → 1
+    }
+
+    #[test]
+    fn controlled_permutation_respects_control() {
+        // Control qubit 2 is |0⟩: nothing moves.
+        let mut sv = StateVector::new(3);
+        let perm: Vec<usize> = (0..4).map(|x| (x + 1) % 4).collect();
+        sv.apply_controlled_permutation(1 << 2, &[0, 1], &perm);
+        assert!(sv.amp(0).approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn measure_collapses_and_normalizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sv = StateVector::new(2);
+        sv.apply_single(0, h_matrix(), 0);
+        let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+        sv.apply_single(1, x, 1); // Bell
+        let m0 = sv.measure(0, &mut rng);
+        let m1 = sv.measure(1, &mut rng);
+        assert_eq!(m0, m1, "Bell state measurements must correlate");
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics_match_probabilities() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            let mut sv = StateVector::new(1);
+            sv.apply_single(0, h_matrix(), 0);
+            ones += sv.measure(0, &mut rng) as usize;
+        }
+        let frac = ones as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05, "measured {frac}");
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let mut sv = StateVector::new(1);
+            sv.apply_single(0, h_matrix(), 0);
+            sv.reset(0, &mut rng);
+            assert!(sv.amp(1).approx_eq(Complex64::ZERO, 1e-12));
+            assert!(sv.amp(0).norm_sqr() > 0.999);
+        }
+    }
+
+    #[test]
+    fn parallel_pool_matches_sequential() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let mut seq = StateVector::new(6);
+        let mut par = StateVector::with_pool(6, pool);
+        // A layered random-ish circuit applied to both.
+        for q in 0..6 {
+            seq.apply_single(q, h_matrix(), 0);
+            par.apply_single(q, h_matrix(), 0);
+        }
+        for q in 0..5 {
+            let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+            seq.apply_single(q + 1, x, 1 << q);
+            par.apply_single(q + 1, x, 1 << q);
+            seq.phase_where((1 << q) | (1 << (q + 1)), 0, 0.3 * (q as f64 + 1.0));
+            par.phase_where((1 << q) | (1 << (q + 1)), 0, 0.3 * (q as f64 + 1.0));
+        }
+        for (a, b) in seq.amplitudes().iter().zip(par.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let mut a = StateVector::new(3);
+        let mut b = StateVector::new(3);
+        a.apply_single(1, h_matrix(), 0);
+        b.apply_single(1, h_matrix(), 0);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_to_zero_reuses_buffer() {
+        let mut sv = StateVector::new(4);
+        sv.apply_single(2, h_matrix(), 0);
+        sv.reset_to_zero();
+        assert_eq!(sv.amp(0), Complex64::ONE);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn bad_permutation_panics() {
+        let mut sv = StateVector::new(2);
+        sv.apply_controlled_permutation(0, &[0, 1], &[0, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,13 @@
+//! Accelerator backends.
+
+mod density;
+mod noisy;
+mod qpp;
+mod remote;
+mod shared_legacy;
+
+pub use density::DensityAccelerator;
+pub use noisy::NoisyQppAccelerator;
+pub use qpp::QppAccelerator;
+pub use remote::RemoteAccelerator;
+pub use shared_legacy::SharedQueueAccelerator;

@@ -1,0 +1,126 @@
+//! The `qpp` backend: the Quantum++-analogue state-vector simulator,
+//! wrapped as an [`Accelerator`].
+//!
+//! Each instance owns its own thread pool, so distinct instances obtained
+//! from the cloneable factory partition the machine's cores the way the
+//! paper's per-kernel `OMP_NUM_THREADS` settings do.
+
+use crate::accelerator::{Accelerator, ExecOptions};
+use crate::buffer::AcceleratorBuffer;
+use crate::hetmap::HetMap;
+use crate::XaccError;
+use qcor_circuit::Circuit;
+use qcor_pool::ThreadPool;
+use qcor_sim::{run_shots, RunConfig};
+use std::sync::Arc;
+
+/// State-vector simulator backend.
+pub struct QppAccelerator {
+    pool: Arc<ThreadPool>,
+    par_threshold: usize,
+}
+
+impl QppAccelerator {
+    /// A backend simulating with `threads` simulator threads.
+    pub fn new(threads: usize) -> Self {
+        Self::with_pool(Arc::new(
+            qcor_pool::PoolBuilder::new().num_threads(threads).name("qpp").build(),
+        ))
+    }
+
+    /// A backend sharing an existing pool.
+    pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        QppAccelerator { pool, par_threshold: 2 }
+    }
+
+    /// Construct from registry params: `threads` (default: all cores or
+    /// `QCOR_NUM_THREADS`), `par-threshold` (see
+    /// [`qcor_sim::StateVector::set_par_threshold`]).
+    pub fn from_params(params: &HetMap) -> Self {
+        let threads = params.get_usize("threads").unwrap_or_else(qcor_pool::num_threads_from_env);
+        let mut acc = Self::new(threads.max(1));
+        if let Some(t) = params.get_usize("par-threshold") {
+            acc.par_threshold = t.max(1);
+        }
+        acc
+    }
+
+    /// The simulator thread pool.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+}
+
+impl Accelerator for QppAccelerator {
+    fn name(&self) -> String {
+        "qpp".to_string()
+    }
+
+    fn execute(
+        &self,
+        buffer: &mut AcceleratorBuffer,
+        circuit: &Circuit,
+        opts: &ExecOptions,
+    ) -> Result<(), XaccError> {
+        if circuit.num_qubits() > buffer.size() {
+            return Err(XaccError::Execution(format!(
+                "kernel uses {} qubits but the buffer has {}",
+                circuit.num_qubits(),
+                buffer.size()
+            )));
+        }
+        let config = RunConfig { shots: opts.shots, seed: opts.seed, par_threshold: self.par_threshold };
+        let counts = run_shots(circuit, Arc::clone(&self.pool), &config);
+        buffer.merge_counts(&counts);
+        Ok(())
+    }
+
+    fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcor_circuit::library;
+
+    #[test]
+    fn executes_bell_kernel() {
+        let acc = QppAccelerator::new(1);
+        let mut buf = AcceleratorBuffer::with_name("b", 2);
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(1))
+            .unwrap();
+        assert_eq!(buf.total_shots(), 512);
+        assert!(buf.measurements().keys().all(|k| k == "00" || k == "11"));
+    }
+
+    #[test]
+    fn rejects_undersized_buffer() {
+        let acc = QppAccelerator::new(1);
+        let mut buf = AcceleratorBuffer::with_name("b", 1);
+        let err = acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn repeated_execute_accumulates() {
+        let acc = QppAccelerator::new(1);
+        let mut buf = AcceleratorBuffer::with_name("b", 2);
+        let opts = ExecOptions::with_shots(100).seeded(3);
+        acc.execute(&mut buf, &library::bell_kernel(), &opts).unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &opts).unwrap();
+        assert_eq!(buf.total_shots(), 200);
+    }
+
+    #[test]
+    fn parallel_instance_matches_distribution() {
+        let acc = QppAccelerator::new(4);
+        assert_eq!(acc.num_threads(), 4);
+        let mut buf = AcceleratorBuffer::with_name("b", 2);
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(2))
+            .unwrap();
+        let p00 = buf.probability("00");
+        assert!((p00 - 0.5).abs() < 0.1, "p(00) = {p00}");
+    }
+}

@@ -1,0 +1,249 @@
+//! The `AcceleratorBuffer`: XACC's named results container.
+//!
+//! A buffer is created by `qalloc(n)` (see the core runtime crate), handed
+//! to an accelerator along with a kernel, and afterwards holds the
+//! measurement counts. [`AcceleratorBuffer::to_json`] renders the same
+//! shape as paper Listing 2:
+//!
+//! ```json
+//! "AcceleratorBuffer": {
+//!     "name": "qrg_bmQBh",
+//!     "size": 2,
+//!     "Information": {},
+//!     "Measurements": {
+//!         "00": 513,
+//!         "11": 511
+//!     }
+//! }
+//! ```
+
+use rand::distributions::Alphanumeric;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Measurement counts keyed by bitstring (lowest measured qubit leftmost).
+pub type Counts = BTreeMap<String, usize>;
+
+/// A named qubit-register buffer accumulating execution results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AcceleratorBuffer {
+    name: String,
+    size: usize,
+    information: BTreeMap<String, String>,
+    measurements: Counts,
+}
+
+impl AcceleratorBuffer {
+    /// Allocate a buffer of `size` qubits with a generated name
+    /// (`qrg_` + 5 random alphanumerics, like XACC's).
+    pub fn new(size: usize) -> Self {
+        let suffix: String = rand::thread_rng()
+            .sample_iter(&Alphanumeric)
+            .take(5)
+            .map(char::from)
+            .collect();
+        Self::with_name(format!("qrg_{suffix}"), size)
+    }
+
+    /// Allocate a buffer with an explicit name.
+    pub fn with_name(name: impl Into<String>, size: usize) -> Self {
+        AcceleratorBuffer {
+            name: name.into(),
+            size,
+            information: BTreeMap::new(),
+            measurements: Counts::new(),
+        }
+    }
+
+    /// Buffer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register size in qubits.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Record one observation of `bitstring`.
+    pub fn add_count(&mut self, bitstring: impl Into<String>, count: usize) {
+        *self.measurements.entry(bitstring.into()).or_insert(0) += count;
+    }
+
+    /// Merge a whole counts map (e.g. from an executor run).
+    pub fn merge_counts(&mut self, counts: &Counts) {
+        for (k, v) in counts {
+            self.add_count(k.clone(), *v);
+        }
+    }
+
+    /// Measurement counts observed so far.
+    pub fn measurements(&self) -> &Counts {
+        &self.measurements
+    }
+
+    /// Total number of recorded shots.
+    pub fn total_shots(&self) -> usize {
+        self.measurements.values().sum()
+    }
+
+    /// Observed probability of `bitstring` (0 if never observed or empty).
+    pub fn probability(&self, bitstring: &str) -> f64 {
+        let total = self.total_shots();
+        if total == 0 {
+            return 0.0;
+        }
+        self.measurements.get(bitstring).copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// Expectation of Z⊗...⊗Z over the measured bits: Σ p(s)·(−1)^{|s|}.
+    /// This is the ⟨H⟩ building block VQE derives from counts.
+    pub fn exp_val_z(&self) -> f64 {
+        let total = self.total_shots();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (bits, count) in &self.measurements {
+            let ones = bits.bytes().filter(|&b| b == b'1').count();
+            let sign = if ones % 2 == 0 { 1.0 } else { -1.0 };
+            acc += sign * *count as f64;
+        }
+        acc / total as f64
+    }
+
+    /// Attach a key/value annotation (shown under `Information`).
+    pub fn add_information(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.information.insert(key.into(), value.into());
+    }
+
+    /// Annotations.
+    pub fn information(&self) -> &BTreeMap<String, String> {
+        &self.information
+    }
+
+    /// Discard all recorded measurements (annotations are kept).
+    pub fn clear_measurements(&mut self) {
+        self.measurements.clear();
+    }
+
+    /// Render the Listing-2 style JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("\"AcceleratorBuffer\": {\n");
+        out.push_str(&format!("    \"name\": \"{}\",\n", self.name));
+        out.push_str(&format!("    \"size\": {},\n", self.size));
+        out.push_str("    \"Information\": {");
+        let mut first = true;
+        for (k, v) in &self.information {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(&format!("\n        \"{k}\": \"{v}\""));
+            first = false;
+        }
+        if !self.information.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("},\n");
+        out.push_str("    \"Measurements\": {");
+        let mut first = true;
+        for (bits, count) in &self.measurements {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(&format!("\n        \"{bits}\": {count}"));
+            first = false;
+        }
+        if !self.measurements.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("}\n}");
+        out
+    }
+
+    /// Print the buffer to stdout (the `q.print()` of paper Listing 1).
+    pub fn print(&self) {
+        println!("{}", self.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_names_have_prefix_and_differ() {
+        let a = AcceleratorBuffer::new(2);
+        let b = AcceleratorBuffer::new(2);
+        assert!(a.name().starts_with("qrg_"));
+        assert_eq!(a.name().len(), 9);
+        assert_ne!(a.name(), b.name(), "names should be distinct with overwhelming probability");
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut buf = AcceleratorBuffer::with_name("b", 2);
+        buf.add_count("00", 10);
+        buf.add_count("11", 5);
+        buf.add_count("00", 2);
+        assert_eq!(buf.measurements().get("00"), Some(&12));
+        assert_eq!(buf.total_shots(), 17);
+    }
+
+    #[test]
+    fn probability_and_expectation() {
+        let mut buf = AcceleratorBuffer::with_name("b", 2);
+        buf.add_count("00", 500);
+        buf.add_count("11", 500);
+        assert!((buf.probability("00") - 0.5).abs() < 1e-12);
+        assert!((buf.exp_val_z() - 1.0).abs() < 1e-12, "even parity on both outcomes");
+
+        let mut buf = AcceleratorBuffer::with_name("b", 1);
+        buf.add_count("0", 750);
+        buf.add_count("1", 250);
+        assert!((buf.exp_val_z() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_buffer_probability_is_zero() {
+        let buf = AcceleratorBuffer::with_name("b", 2);
+        assert_eq!(buf.probability("00"), 0.0);
+        assert_eq!(buf.exp_val_z(), 0.0);
+    }
+
+    #[test]
+    fn json_matches_listing_2_shape() {
+        let mut buf = AcceleratorBuffer::with_name("qrg_bmQBh", 2);
+        buf.add_count("00", 513);
+        buf.add_count("11", 511);
+        let json = buf.to_json();
+        assert!(json.contains("\"AcceleratorBuffer\": {"));
+        assert!(json.contains("\"name\": \"qrg_bmQBh\""));
+        assert!(json.contains("\"size\": 2"));
+        assert!(json.contains("\"Information\": {}"));
+        assert!(json.contains("\"00\": 513"));
+        assert!(json.contains("\"11\": 511"));
+    }
+
+    #[test]
+    fn merge_counts_adds_everything() {
+        let mut buf = AcceleratorBuffer::with_name("b", 2);
+        let mut counts = Counts::new();
+        counts.insert("01".to_string(), 3);
+        counts.insert("10".to_string(), 4);
+        buf.merge_counts(&counts);
+        buf.merge_counts(&counts);
+        assert_eq!(buf.total_shots(), 14);
+    }
+
+    #[test]
+    fn clear_measurements_keeps_information() {
+        let mut buf = AcceleratorBuffer::with_name("b", 1);
+        buf.add_information("backend", "qpp");
+        buf.add_count("0", 1);
+        buf.clear_measurements();
+        assert_eq!(buf.total_shots(), 0);
+        assert_eq!(buf.information().get("backend").map(String::as_str), Some("qpp"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests for the AcceleratorBuffer bookkeeping.
+
+use proptest::prelude::*;
+use qcor_xacc::AcceleratorBuffer;
+use std::collections::BTreeMap;
+
+fn counts_strategy() -> impl Strategy<Value = BTreeMap<String, usize>> {
+    prop::collection::btree_map("[01]{2}", 1usize..500, 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_total_is_sum_of_parts(a in counts_strategy(), b in counts_strategy()) {
+        let mut buf = AcceleratorBuffer::with_name("p", 2);
+        buf.merge_counts(&a);
+        buf.merge_counts(&b);
+        let expect: usize = a.values().sum::<usize>() + b.values().sum::<usize>();
+        prop_assert_eq!(buf.total_shots(), expect);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter(a in counts_strategy(), b in counts_strategy()) {
+        let mut ab = AcceleratorBuffer::with_name("ab", 2);
+        ab.merge_counts(&a);
+        ab.merge_counts(&b);
+        let mut ba = AcceleratorBuffer::with_name("ba", 2);
+        ba.merge_counts(&b);
+        ba.merge_counts(&a);
+        prop_assert_eq!(ab.measurements(), ba.measurements());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one(a in counts_strategy()) {
+        prop_assume!(!a.is_empty());
+        let mut buf = AcceleratorBuffer::with_name("p", 2);
+        buf.merge_counts(&a);
+        let total: f64 = a.keys().map(|k| buf.probability(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_val_z_is_bounded(a in counts_strategy()) {
+        let mut buf = AcceleratorBuffer::with_name("p", 2);
+        buf.merge_counts(&a);
+        let z = buf.exp_val_z();
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&z));
+    }
+
+    #[test]
+    fn json_contains_every_bitstring(a in counts_strategy()) {
+        let mut buf = AcceleratorBuffer::with_name("p", 2);
+        buf.merge_counts(&a);
+        let json = buf.to_json();
+        for (bits, count) in &a {
+            prop_assert!(json.contains(&format!("\"{bits}\": {count}")), "{json}");
+        }
+    }
+}

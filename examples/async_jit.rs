@@ -1,0 +1,64 @@
+//! Asynchronous quantum JIT compilation (paper §VII, after Shi et al.):
+//! circuit optimization is expensive, so offload it with `qcor::async_task`
+//! and overlap other quantum/classical work; launch the compiled kernel
+//! only when it is ready — `future.get()` as in Listing 5.
+//!
+//! ```text
+//! cargo run -p qcor-examples --release --bin async_jit
+//! ```
+
+use qcor::{initialize, qalloc, InitOptions, Kernel};
+use qcor_circuit::{library, passes, Circuit};
+use std::time::Instant;
+
+/// A deliberately redundant kernel, standing in for compiler-generated
+/// code: QFT·IQFT (pure identity) wrapped around a GHZ preparation.
+fn unoptimized_kernel(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.extend(&library::ghz_state(n));
+    c.extend(&library::qft(n));
+    c.extend(&library::iqft(n));
+    for q in 0..n {
+        c.rz(q, 0.4).rz(q, -0.4); // cancels
+    }
+    c.measure_all();
+    c
+}
+
+fn main() {
+    initialize(InitOptions::default().shots(512).seed(7)).unwrap();
+    let n = 10;
+
+    // Kick off "JIT compilation" (the optimizer pipeline) asynchronously.
+    let compile_task = qcor::async_task(move || {
+        let mut circuit = unoptimized_kernel(n);
+        let before = circuit.len();
+        let removed = passes::optimize(&mut circuit);
+        (circuit, before, removed)
+    });
+
+    // Overlap other classical/quantum work on the main thread
+    // (Listing 5's "Other classical/quantum work").
+    let q_bell = qalloc(2);
+    Kernel::from_xasm("H(q[0]); CX(q[0], q[1]); Measure(q[0]); Measure(q[1]);", 2)
+        .unwrap()
+        .invoke(&q_bell, &[])
+        .unwrap();
+    println!("overlapped Bell run finished: {} shots collected", q_bell.total_shots());
+
+    // Collect the compiled kernel (future.get()) and execute it.
+    let (optimized, before, removed) = compile_task.get();
+    println!("JIT pass removed {removed} of {before} instructions ({} remain)", optimized.len());
+
+    let q = qalloc(n);
+    let start = Instant::now();
+    qcor::execute(&q, &optimized).unwrap();
+    println!("optimized kernel executed in {:?}", start.elapsed());
+
+    // The optimized circuit is still the GHZ kernel: all-zeros or all-ones.
+    let counts = q.measurement_counts();
+    let zeros = "0".repeat(n);
+    let ones = "1".repeat(n);
+    assert!(counts.keys().all(|k| *k == zeros || *k == ones), "{counts:?}");
+    println!("GHZ counts intact after optimization: {counts:?}");
+}

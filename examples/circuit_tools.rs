@@ -1,0 +1,52 @@
+//! Tour of the kernel toolchain: parse an XASM kernel, draw it, run the
+//! JIT optimizer passes, export OpenQASM — the compiler-side plumbing the
+//! runtime dispatches through.
+//!
+//! ```text
+//! cargo run -p qcor-examples --bin circuit_tools
+//! ```
+
+use qcor_circuit::{draw, passes, qasm, xasm};
+
+fn main() {
+    let src = r#"
+        __qpu__ void demo(qreg q) {
+            using qcor::xasm;
+            H(q[0]);
+            CX(q[0], q[1]);
+            T(q[1]);
+            Tdg(q[1]);              // cancels with the T
+            Rz(q[2], 0.4);
+            Rz(q[2], 0.35);         // merges
+            for (int i = 0; i < q.size() - 1; i++) {
+                CX(q[i], q[i + 1]);
+                CX(q[i], q[i + 1]); // self-cancelling pair
+            }
+            Measure(q[0]);
+            Measure(q[1]);
+            Measure(q[2]);
+        }
+    "#;
+
+    let kernel = xasm::parse_kernel(src, 3).expect("valid XASM");
+    let mut circuit = kernel.bind(&[]).expect("no parameters to bind");
+
+    println!("parsed `{}` ({} instructions, depth {}):\n", kernel.name, circuit.len(), circuit.depth());
+    println!("{}", draw::draw(&circuit));
+
+    let removed = passes::optimize(&mut circuit);
+    println!(
+        "after optimizer passes (removed {removed} instructions, {} remain, depth {}):\n",
+        circuit.len(),
+        circuit.depth()
+    );
+    println!("{}", draw::draw(&circuit));
+
+    println!("OpenQASM 2 export:\n");
+    println!("{}", qasm::to_qasm(&circuit));
+
+    // Round-trip sanity: the exported text parses back to the same size.
+    let back = qasm::parse(&qasm::to_qasm(&circuit)).expect("own output parses");
+    assert_eq!(back.len(), circuit.len());
+    println!("round-trip OK ({} instructions)", back.len());
+}

@@ -1,0 +1,44 @@
+//! Quickstart: the paper's Listing 1 — allocate a register, run the Bell
+//! kernel, print the buffer (reproducing the Listing 2 output shape).
+//!
+//! ```text
+//! cargo run -p qcor-examples --bin quickstart
+//! ```
+
+use qcor::{initialize, qalloc, InitOptions, Kernel};
+
+fn main() {
+    // Select the qpp (state-vector simulator) backend for this thread.
+    initialize(InitOptions::default().shots(1024)).expect("qpp backend is built in");
+
+    // Create a two-qubit register (qalloc(2) of Listing 1).
+    let q = qalloc(2);
+
+    // The Bell kernel, written in XASM exactly as in the paper.
+    let bell = Kernel::from_xasm(
+        r#"
+        __qpu__ void bell(qreg q) {
+            using qcor::xasm;
+            H(q[0]);
+            CX(q[0], q[1]);
+            for (int i = 0; i < q.size(); i++) {
+                Measure(q[i]);
+            }
+        }
+        "#,
+        q.size(),
+    )
+    .expect("valid XASM");
+
+    // Run the quantum kernel.
+    bell.invoke(&q, &[]).expect("execution succeeds");
+
+    // Dump the results — the Listing 2 JSON document, e.g.
+    //   "Measurements": { "00": 513, "11": 511 }
+    q.print();
+
+    let p00 = q.probability("00");
+    let p11 = q.probability("11");
+    println!("\np(00) = {p00:.3}, p(11) = {p11:.3} over {} shots", q.total_shots());
+    assert!((p00 + p11 - 1.0).abs() < 1e-9, "Bell outcomes are perfectly correlated");
+}

@@ -1,0 +1,188 @@
+//! Behavioural verification of the quantum arithmetic (Draper adders and
+//! the Beauregard modular blocks) against the simulator: every block must
+//! implement its classical specification on computational basis states.
+
+use qcor_circuit::arith::{
+    c_mult_mod, cc_phi_add_mod, phi_add_const, phi_sub_const, ShorLayout,
+};
+use qcor_circuit::library::{append_iqft, append_qft};
+use qcor_circuit::Circuit;
+use qcor_sim::{run_once, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Prepare basis value `v` on the (little-endian) qubit list.
+fn encode(c: &mut Circuit, qubits: &[usize], v: u64) {
+    for (pos, &q) in qubits.iter().enumerate() {
+        if v >> pos & 1 == 1 {
+            c.x(q);
+        }
+    }
+}
+
+/// Read the (deterministic) basis state off `state`, asserting it is a
+/// computational basis state; returns the full index.
+fn decode_basis_index(state: &StateVector) -> usize {
+    let mut idx = None;
+    for i in 0..state.len() {
+        let p = state.amp(i).norm_sqr();
+        if p > 0.99 {
+            idx = Some(i);
+        } else {
+            assert!(p < 1e-6, "state is not a basis state: amp[{i}] has p={p}");
+        }
+    }
+    idx.expect("no dominant basis state")
+}
+
+fn extract(idx: usize, qubits: &[usize]) -> u64 {
+    let mut v = 0u64;
+    for (pos, &q) in qubits.iter().enumerate() {
+        if idx >> q & 1 == 1 {
+            v |= 1 << pos;
+        }
+    }
+    v
+}
+
+#[test]
+fn draper_adder_adds_constants() {
+    // b (4 qubits) += a (mod 16) for a grid of (b0, a).
+    let m = 4;
+    let qubits: Vec<usize> = (0..m).collect();
+    let mut rng = StdRng::seed_from_u64(0);
+    for b0 in [0u64, 1, 5, 9, 15] {
+        for a in [0u64, 1, 3, 7, 12, 15] {
+            let mut c = Circuit::new(m);
+            encode(&mut c, &qubits, b0);
+            append_qft(&mut c, &qubits);
+            phi_add_const(&mut c, &qubits, a);
+            append_iqft(&mut c, &qubits);
+            let mut state = StateVector::new(m);
+            run_once(&mut state, &c, &mut rng);
+            let got = extract(decode_basis_index(&state), &qubits);
+            assert_eq!(got, (b0 + a) % 16, "b0={b0} a={a}");
+        }
+    }
+}
+
+#[test]
+fn draper_subtractor_subtracts() {
+    let m = 4;
+    let qubits: Vec<usize> = (0..m).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    for b0 in [0u64, 3, 8, 15] {
+        for a in [0u64, 1, 9, 15] {
+            let mut c = Circuit::new(m);
+            encode(&mut c, &qubits, b0);
+            append_qft(&mut c, &qubits);
+            phi_sub_const(&mut c, &qubits, a);
+            append_iqft(&mut c, &qubits);
+            let mut state = StateVector::new(m);
+            run_once(&mut state, &c, &mut rng);
+            let got = extract(decode_basis_index(&state), &qubits);
+            assert_eq!(got, (b0 + 16 - a) % 16, "b0={b0} a={a}");
+        }
+    }
+}
+
+#[test]
+fn modular_adder_is_addition_mod_n() {
+    // Beauregard ΦADDMOD on N = 15 with both controls held |1⟩:
+    // b ← (b + a) mod 15, ancilla restored.
+    let n_mod = 15u64;
+    let layout = ShorLayout::for_modulus(n_mod);
+    let total = layout.num_qubits();
+    let mut rng = StdRng::seed_from_u64(2);
+    // Use x[0] and ctrl as the two controls.
+    let (c0, c1) = (layout.ctrl, layout.x[0]);
+    for b0 in [0u64, 1, 7, 14] {
+        for a in [0u64, 1, 8, 14] {
+            let mut c = Circuit::new(total);
+            c.x(c0).x(c1);
+            encode(&mut c, &layout.b, b0);
+            append_qft(&mut c, &layout.b);
+            cc_phi_add_mod(&mut c, c0, c1, &layout.b, layout.anc, a, n_mod);
+            append_iqft(&mut c, &layout.b);
+            let mut state = StateVector::new(total);
+            run_once(&mut state, &c, &mut rng);
+            let idx = decode_basis_index(&state);
+            assert_eq!(extract(idx, &layout.b), (b0 + a) % n_mod, "b0={b0} a={a}");
+            assert_eq!(idx >> layout.anc & 1, 0, "ancilla must be restored (b0={b0}, a={a})");
+        }
+    }
+}
+
+#[test]
+fn modular_adder_control_off_is_identity() {
+    let n_mod = 15u64;
+    let layout = ShorLayout::for_modulus(n_mod);
+    let total = layout.num_qubits();
+    let mut rng = StdRng::seed_from_u64(3);
+    let (c0, c1) = (layout.ctrl, layout.x[0]);
+    // Only one control set: must be the identity on b.
+    let mut c = Circuit::new(total);
+    c.x(c0);
+    encode(&mut c, &layout.b, 9);
+    append_qft(&mut c, &layout.b);
+    cc_phi_add_mod(&mut c, c0, c1, &layout.b, layout.anc, 7, n_mod);
+    append_iqft(&mut c, &layout.b);
+    let mut state = StateVector::new(total);
+    run_once(&mut state, &c, &mut rng);
+    let idx = decode_basis_index(&state);
+    assert_eq!(extract(idx, &layout.b), 9);
+    assert_eq!(idx >> layout.anc & 1, 0);
+}
+
+#[test]
+fn controlled_multiplier_accumulates_ax() {
+    // CMULT(a) mod N: b ← b + a·x (mod N) with the control set.
+    let n_mod = 15u64;
+    let layout = ShorLayout::for_modulus(n_mod);
+    let total = layout.num_qubits();
+    let mut rng = StdRng::seed_from_u64(4);
+    for x0 in [1u64, 3, 7] {
+        for b0 in [0u64, 5] {
+            for a in [2u64, 7, 11] {
+                let mut c = Circuit::new(total);
+                c.x(layout.ctrl);
+                encode(&mut c, &layout.x, x0);
+                encode(&mut c, &layout.b, b0);
+                c_mult_mod(&mut c, layout.ctrl, &layout.x, &layout.b, layout.anc, a, n_mod);
+                let mut state = StateVector::new(total);
+                run_once(&mut state, &c, &mut rng);
+                let idx = decode_basis_index(&state);
+                assert_eq!(
+                    extract(idx, &layout.b),
+                    (b0 + a * x0) % n_mod,
+                    "x={x0} b={b0} a={a}"
+                );
+                assert_eq!(extract(idx, &layout.x), x0, "x register must be preserved");
+                assert_eq!(idx >> layout.anc & 1, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn full_modexp_step_on_superposition_preserves_norm() {
+    // Not just basis states: a superposed control must still give a valid
+    // normalized state (the QPE situation).
+    let n_mod = 15u64;
+    let layout = ShorLayout::for_modulus(n_mod);
+    let step = layout.controlled_modexp_step(7, 1, n_mod); // U_{7²}=U_4
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut c = Circuit::new(layout.num_qubits());
+    c.h(layout.ctrl);
+    c.x(layout.x[0]); // x = 1
+    c.extend(&step);
+    let mut state = StateVector::new(layout.num_qubits());
+    run_once(&mut state, &c, &mut rng);
+    assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
+    // The two branches: ctrl=0 keeps x=1; ctrl=1 maps x to 4.
+    let idx_off = 1usize << layout.x[0];
+    let mut idx_on = 1usize << layout.ctrl;
+    idx_on |= 1 << layout.x[2]; // 4 = bit 2
+    assert!((state.amp(idx_off).norm_sqr() - 0.5).abs() < 1e-9);
+    assert!((state.amp(idx_on).norm_sqr() - 0.5).abs() < 1e-9);
+}

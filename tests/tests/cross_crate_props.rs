@@ -1,0 +1,83 @@
+//! Cross-crate property tests: kernels written as XASM text, compiled,
+//! executed through the accelerator stack, must behave identically to the
+//! same circuits driven directly through the simulator — at any pool size
+//! and with either cloneable backend instance.
+
+use proptest::prelude::*;
+use qcor_circuit::{xasm, Circuit};
+use qcor_pool::ThreadPool;
+use qcor_sim::{run_shots, RunConfig};
+use qcor_xacc::{registry, AcceleratorBuffer, ExecOptions, HetMap};
+use std::sync::Arc;
+
+/// Generate a small random XASM kernel source over 3 qubits ending with
+/// measurements.
+fn xasm_source() -> impl Strategy<Value = String> {
+    let gate = prop_oneof![
+        (0usize..3).prop_map(|q| format!("H(q[{q}]);")),
+        (0usize..3).prop_map(|q| format!("X(q[{q}]);")),
+        (0usize..3).prop_map(|q| format!("T(q[{q}]);")),
+        ((0usize..3), (-3.0f64..3.0)).prop_map(|(q, t)| format!("Ry(q[{q}], {t});")),
+        ((0usize..3), (0usize..3)).prop_filter_map("distinct", |(a, b)| {
+            (a != b).then(|| format!("CX(q[{a}], q[{b}]);"))
+        }),
+    ];
+    prop::collection::vec(gate, 0..12).prop_map(|gates| {
+        format!(
+            "__qpu__ void k(qreg q) {{ {} for (int i = 0; i < q.size(); i++) {{ Measure(q[i]); }} }}",
+            gates.join(" ")
+        )
+    })
+}
+
+fn counts_via_accelerator(circuit: &Circuit, threads: usize, seed: u64) -> qcor_sim::Counts {
+    let params = HetMap::new().with("threads", threads);
+    let acc = registry::get_accelerator("qpp", &params).unwrap();
+    let mut buf = AcceleratorBuffer::with_name("prop", circuit.num_qubits());
+    acc.execute(&mut buf, circuit, &ExecOptions::with_shots(64).seeded(seed)).unwrap();
+    buf.measurements().clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn accelerator_matches_direct_simulation(src in xasm_source(), seed in 0u64..500) {
+        let circuit = xasm::parse_kernel(&src, 3).unwrap().bind(&[]).unwrap();
+        let direct = run_shots(
+            &circuit,
+            Arc::new(ThreadPool::new(1)),
+            &RunConfig { shots: 64, seed: Some(seed), par_threshold: 2 },
+        );
+        let via_acc = counts_via_accelerator(&circuit, 1, seed);
+        prop_assert_eq!(direct, via_acc);
+    }
+
+    #[test]
+    fn pool_size_does_not_change_seeded_counts(src in xasm_source(), seed in 0u64..500) {
+        let circuit = xasm::parse_kernel(&src, 3).unwrap().bind(&[]).unwrap();
+        let config = RunConfig { shots: 48, seed: Some(seed), par_threshold: 2 };
+        let seq = run_shots(&circuit, Arc::new(ThreadPool::new(1)), &config);
+        let par = run_shots(&circuit, Arc::new(ThreadPool::new(3)), &config);
+        prop_assert_eq!(seq, par, "thread count must never affect results");
+    }
+
+    #[test]
+    fn distinct_cloneable_instances_agree(src in xasm_source(), seed in 0u64..500) {
+        let circuit = xasm::parse_kernel(&src, 3).unwrap().bind(&[]).unwrap();
+        let a = counts_via_accelerator(&circuit, 1, seed);
+        let b = counts_via_accelerator(&circuit, 2, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_shots_always_conserved(src in xasm_source(), seed in 0u64..500) {
+        let circuit = xasm::parse_kernel(&src, 3).unwrap().bind(&[]).unwrap();
+        let counts = counts_via_accelerator(&circuit, 1, seed);
+        let total: usize = counts.values().sum();
+        prop_assert_eq!(total, 64);
+        for bits in counts.keys() {
+            prop_assert_eq!(bits.len(), 3, "every qubit is measured exactly once");
+        }
+    }
+}

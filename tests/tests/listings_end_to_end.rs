@@ -1,0 +1,182 @@
+//! End-to-end reproductions of the paper's code listings through the
+//! public API: Listing 1 (Bell + print), Listing 4 (std::thread),
+//! Listing 5 (std::async / future).
+
+use qcor::{initialize, qalloc, ExecOptions, InitOptions, Kernel, QReg};
+
+const BELL: &str = r#"
+__qpu__ void bell(qreg q) {
+    using qcor::xasm;
+    H(q[0]);
+    CX(q[0], q[1]);
+    for (int i = 0; i < q.size(); i++) { Measure(q[i]); }
+}
+"#;
+
+/// The `foo()` of Listing 4.
+fn foo() -> QReg {
+    let q = qalloc(2);
+    Kernel::from_xasm(BELL, 2).unwrap().invoke(&q, &[]).unwrap();
+    q
+}
+
+#[test]
+fn listing_1_bell_and_listing_2_output() {
+    std::thread::spawn(|| {
+        initialize(InitOptions::default().threads(1).shots(1024).seed(2023)).unwrap();
+        let q = foo();
+        // Listing 2: 1024 shots split between "00" and "11" near 50/50.
+        assert_eq!(q.total_shots(), 1024);
+        let counts = q.measurement_counts();
+        assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+        let c00 = *counts.get("00").unwrap_or(&0);
+        assert!((380..=640).contains(&c00), "00 count {c00} out of statistical range");
+        // And the JSON document has the Listing-2 shape.
+        let json = q.to_json();
+        assert!(json.contains("\"AcceleratorBuffer\": {"));
+        assert!(json.contains("\"size\": 2"));
+        assert!(json.contains("\"Measurements\": {"));
+    })
+    .join()
+    .unwrap();
+}
+
+#[test]
+fn listing_4_two_threads() {
+    // thread t0(foo); thread t1(foo); ... t0.join(); t1.join();
+    // With manual per-thread initialize, exactly as the paper's current
+    // implementation status (§V-C) requires.
+    let spawn_foo = |seed: u64| {
+        std::thread::spawn(move || {
+            initialize(InitOptions::default().threads(1).shots(256).seed(seed)).unwrap();
+            foo()
+        })
+    };
+    let t0 = spawn_foo(1);
+    let t1 = spawn_foo(2);
+    for q in [t0.join().unwrap(), t1.join().unwrap()] {
+        assert_eq!(q.total_shots(), 256);
+        assert!(q.measurement_counts().keys().all(|k| k == "00" || k == "11"));
+    }
+}
+
+#[test]
+fn listing_5_async_future() {
+    // std::future<int> f = async(launch::async, [=]() -> int { foo(); return 1; });
+    std::thread::spawn(|| {
+        initialize(InitOptions::default().threads(1).shots(128).seed(3)).unwrap();
+        let f = qcor::async_task(|| {
+            foo();
+            1
+        });
+        // "Other classical/quantum work" overlaps here.
+        let overlapped = foo();
+        assert_eq!(f.get(), 1);
+        assert_eq!(overlapped.total_shots(), 128);
+    })
+    .join()
+    .unwrap();
+}
+
+#[test]
+fn results_equivalent_across_parallel_and_sequential() {
+    // The same seeded kernels produce identical counts whether run
+    // one-by-one or in parallel — user-level threading must not change
+    // results, only timing.
+    let sequential: Vec<_> = (0..3)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                initialize(InitOptions::default().threads(1).shots(512).seed(seed)).unwrap();
+                foo().measurement_counts()
+            })
+            .join()
+            .unwrap()
+        })
+        .collect();
+    let handles: Vec<_> = (0..3)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                initialize(InitOptions::default().threads(1).shots(512).seed(seed)).unwrap();
+                foo().measurement_counts()
+            })
+        })
+        .collect();
+    let parallel: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn execute_with_override_and_accumulation() {
+    std::thread::spawn(|| {
+        initialize(InitOptions::default().threads(1).shots(1024).seed(5)).unwrap();
+        let q = qalloc(2);
+        let bell = Kernel::from_xasm(BELL, 2).unwrap();
+        let circuit = bell.bind(&[]).unwrap();
+        qcor::execute_with(&q, &circuit, &ExecOptions::with_shots(10).seeded(1)).unwrap();
+        qcor::execute_with(&q, &circuit, &ExecOptions::with_shots(15).seeded(2)).unwrap();
+        assert_eq!(q.total_shots(), 25);
+    })
+    .join()
+    .unwrap();
+}
+
+#[test]
+fn remote_backend_overlaps_latency_with_async() {
+    // Task-level parallelism pays off even on one CPU when the backend has
+    // queueing/network latency (§IV-A's cloud scenario): two concurrent
+    // remote kernels overlap their latencies.
+    use std::time::Instant;
+    std::thread::spawn(|| {
+        initialize(
+            InitOptions::default()
+                .backend("remote")
+                .threads(1)
+                .shots(4)
+                .seed(1)
+                .param("latency-ms", 120usize),
+        )
+        .unwrap();
+
+        let sequential = Instant::now();
+        foo();
+        foo();
+        let sequential = sequential.elapsed();
+
+        let parallel = Instant::now();
+        let a = qcor::async_task(foo);
+        let b = qcor::async_task(foo);
+        a.get();
+        b.get();
+        let parallel = parallel.elapsed();
+
+        assert!(
+            parallel.as_secs_f64() < sequential.as_secs_f64() * 0.8,
+            "latency overlap should speed up concurrent remote kernels: \
+             sequential {sequential:?} vs parallel {parallel:?}"
+        );
+    })
+    .join()
+    .unwrap();
+}
+
+#[test]
+fn noisy_backend_through_public_api() {
+    std::thread::spawn(|| {
+        initialize(
+            InitOptions::default()
+                .backend("qpp-noisy")
+                .shots(512)
+                .seed(4)
+                .param("depolarizing", 0.02)
+                .param("readout-error", 0.0),
+        )
+        .unwrap();
+        let q = foo();
+        assert_eq!(q.total_shots(), 512);
+        // Noise leaks probability outside {00, 11} but the signal dominates.
+        let clean = q.probability("00") + q.probability("11");
+        assert!(clean > 0.7 && clean <= 1.0, "clean mass {clean}");
+    })
+    .join()
+    .unwrap();
+}

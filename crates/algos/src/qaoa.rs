@@ -31,11 +31,7 @@ impl Graph {
 
     /// Cut value of an assignment (`true`/`false` per vertex).
     pub fn cut_value(&self, assignment: &[bool]) -> f64 {
-        self.edges
-            .iter()
-            .filter(|&&(u, v, _)| assignment[u] != assignment[v])
-            .map(|&(_, _, w)| w)
-            .sum()
+        self.edges.iter().filter(|&&(u, v, _)| assignment[u] != assignment[v]).map(|&(_, _, w)| w).sum()
     }
 
     /// Brute-force maximum cut: `(value, assignment)`. Exponential — for
@@ -111,12 +107,7 @@ pub fn solve_maxcut(g: &Graph, p: usize, x0: &[f64]) -> Result<QaoaResult, QcorE
     assert_eq!(x0.len(), 2 * p, "need 2p initial parameters");
     let result = crate::vqe::run_vqe(qaoa_ansatz(g, p), maxcut_hamiltonian(g), 2 * p, "nelder-mead", x0)?;
     let (optimal_cut, _) = g.brute_force_maxcut();
-    Ok(QaoaResult {
-        energy: result.energy,
-        params: result.params,
-        expected_cut: -result.energy,
-        optimal_cut,
-    })
+    Ok(QaoaResult { energy: result.energy, params: result.params, expected_cut: -result.energy, optimal_cut })
 }
 
 #[cfg(test)]

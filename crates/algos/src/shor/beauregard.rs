@@ -35,9 +35,7 @@ impl ModExpEngine {
         assert_eq!(qcor_circuit::arith::gcd(a % n_mod, n_mod), 1, "base must be coprime with N");
         let layout = ShorLayout::for_modulus(n_mod);
         let t_bits = 2 * bit_width(n_mod);
-        let steps = (0..t_bits as u32)
-            .map(|k| layout.controlled_modexp_step(a, k, n_mod))
-            .collect();
+        let steps = (0..t_bits as u32).map(|k| layout.controlled_modexp_step(a, k, n_mod)).collect();
         ModExpEngine { layout, n_mod, steps, t_bits }
     }
 
@@ -68,6 +66,7 @@ impl ModExpEngine {
             let mut round = Circuit::new(self.num_qubits());
             round.h(ctrl);
             round.extend(&self.steps[i - 1]); // controlled U^{2^{i-1}}
+
             // Semiclassical correction from the already-measured lower bits.
             let mut angle = 0.0;
             for (l, &bit) in bits.iter().enumerate().take(t + 1).skip(i + 1) {

@@ -131,7 +131,7 @@ pub fn factorize(n: u64, config: &ShorConfig) -> Option<Factors> {
     if n < 4 {
         return None;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return Some(ordered(2, n / 2, 0, 0));
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -157,7 +157,7 @@ pub fn factorize_parallel(n: u64, config: &ShorConfig, tasks: usize) -> Option<F
     if n < 4 {
         return None;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return Some(ordered(2, n / 2, 0, 0));
     }
     let mut rng = StdRng::seed_from_u64(config.seed);

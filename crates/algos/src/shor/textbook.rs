@@ -39,13 +39,7 @@ pub fn sample_phase(a: u64, n_mod: u64, t_bits: u32, pool: Arc<ThreadPool>, rng:
     for j in 0..t {
         let a_pow = mod_pow(a, 1u64 << j, n_mod);
         let perm: Vec<usize> = (0..space)
-            .map(|x| {
-                if (x as u64) < n_mod {
-                    (a_pow * x as u64 % n_mod) as usize
-                } else {
-                    x
-                }
-            })
+            .map(|x| if (x as u64) < n_mod { (a_pow * x as u64 % n_mod) as usize } else { x })
             .collect();
         state.apply_controlled_permutation(1 << (n + j), &work, &perm);
     }
@@ -123,11 +117,7 @@ mod tests {
         let shots = 40;
         for _ in 0..shots {
             let y = sample_phase(7, 15, 8, seq_pool(), &mut rng);
-            let nearest = [0u64, 64, 128, 192, 256]
-                .iter()
-                .map(|p| p.abs_diff(y))
-                .min()
-                .unwrap();
+            let nearest = [0u64, 64, 128, 192, 256].iter().map(|p| p.abs_diff(y)).min().unwrap();
             if nearest <= 2 {
                 near_peak += 1;
             }

@@ -5,8 +5,8 @@
 //! θ-space").
 
 use qcor::{
-    create_objective_function, create_optimizer, qalloc, HetMap, Kernel, ObjectiveFunction,
-    OptimizerResult, QcorError,
+    create_objective_function, create_optimizer, qalloc, HetMap, Kernel, ObjectiveFunction, OptimizerResult,
+    QcorError,
 };
 use qcor_pauli::{deuteron_hamiltonian, PauliSum};
 
@@ -113,10 +113,7 @@ mod tests {
     fn all_optimizers_reach_ground_state() {
         for name in ["l-bfgs", "nelder-mead", "adam"] {
             let r = run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, name, &[0.1]).unwrap();
-            assert!(
-                (r.energy - DEUTERON_GROUND_STATE).abs() < 5e-3,
-                "{name}: {r:?}"
-            );
+            assert!((r.energy - DEUTERON_GROUND_STATE).abs() < 5e-3, "{name}: {r:?}");
         }
     }
 

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qcor_circuit::{library, Circuit};
+use qcor_circuit::{GateKind, Instruction};
 use qcor_pool::ThreadPool;
 use qcor_sim::{gates, run_once, StateVector};
-use qcor_circuit::{GateKind, Instruction};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;

@@ -22,13 +22,8 @@ const SHOTS: usize = 10;
 const KERNELS: usize = 2;
 
 /// The paper's reference series, for the printed comparison column.
-const PAPER_POINTS: [(usize, f64, f64); 5] = [
-    (2, 1.72, 1.89),
-    (4, 3.06, 3.27),
-    (6, 4.18, 4.72),
-    (12, 6.53, 7.69),
-    (24, 6.53, 7.82),
-];
+const PAPER_POINTS: [(usize, f64, f64); 5] =
+    [(2, 1.72, 1.89), (4, 3.06, 3.27), (6, 4.18, 4.72), (12, 6.53, 7.69), (24, 6.53, 7.82)];
 
 fn make_tasks() -> Vec<KernelTask> {
     (0..KERNELS)

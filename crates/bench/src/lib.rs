@@ -51,9 +51,8 @@ impl VariantTimer {
         for _ in 0..self.reps {
             let tasks = make_tasks();
             // Pools are constructed before the clock starts.
-            let pools: Vec<Arc<ThreadPool>> = (0..tasks.len())
-                .map(|_| Arc::new(ThreadPool::new(threads_per_kernel)))
-                .collect();
+            let pools: Vec<Arc<ThreadPool>> =
+                (0..tasks.len()).map(|_| Arc::new(ThreadPool::new(threads_per_kernel))).collect();
             let elapsed = time_once(|| {
                 for (task, pool) in tasks.into_iter().zip(pools) {
                     task(pool);
@@ -73,9 +72,8 @@ impl VariantTimer {
         let mut best = Duration::MAX;
         for _ in 0..self.reps {
             let tasks = make_tasks();
-            let pools: Vec<Arc<ThreadPool>> = (0..tasks.len())
-                .map(|_| Arc::new(ThreadPool::new(threads_per_kernel)))
-                .collect();
+            let pools: Vec<Arc<ThreadPool>> =
+                (0..tasks.len()).map(|_| Arc::new(ThreadPool::new(threads_per_kernel))).collect();
             let elapsed = time_once(|| {
                 let handles: Vec<_> = tasks
                     .into_iter()

@@ -199,7 +199,15 @@ pub fn c_mult_mod(c: &mut Circuit, ctrl: usize, x: &[usize], b: &[usize], anc: u
 }
 
 /// Inverse of [`c_mult_mod`].
-pub fn c_mult_mod_inverse(c: &mut Circuit, ctrl: usize, x: &[usize], b: &[usize], anc: usize, a: u64, n_mod: u64) {
+pub fn c_mult_mod_inverse(
+    c: &mut Circuit,
+    ctrl: usize,
+    x: &[usize],
+    b: &[usize],
+    anc: usize,
+    a: u64,
+    n_mod: u64,
+) {
     let mut tmp = Circuit::new(c.num_qubits());
     c_mult_mod(&mut tmp, ctrl, x, b, anc, a, n_mod);
     c.extend(&tmp.inverse().expect("multiplier is unitary"));
@@ -244,13 +252,7 @@ impl ShorLayout {
     /// anc = 2n+1, ctrl = 2n+2.
     pub fn for_modulus(n_mod: u64) -> Self {
         let n = bit_width(n_mod);
-        ShorLayout {
-            n,
-            x: (0..n).collect(),
-            b: (n..2 * n + 1).collect(),
-            anc: 2 * n + 1,
-            ctrl: 2 * n + 2,
-        }
+        ShorLayout { n, x: (0..n).collect(), b: (n..2 * n + 1).collect(), anc: 2 * n + 1, ctrl: 2 * n + 2 }
     }
 
     /// Total number of qubits (2n + 3).
@@ -330,10 +332,7 @@ mod tests {
     fn phi_add_emits_only_phases() {
         let mut c = Circuit::new(4);
         phi_add_const(&mut c, &[0, 1, 2, 3], 5);
-        assert!(c
-            .instructions()
-            .iter()
-            .all(|i| i.gate == crate::GateKind::Phase));
+        assert!(c.instructions().iter().all(|i| i.gate == crate::GateKind::Phase));
     }
 
     #[test]

@@ -165,19 +165,10 @@ impl Circuit {
         for inst in &self.instructions {
             if inst.gate == GateKind::Barrier {
                 barrier_level = level.iter().copied().max().unwrap_or(0).max(barrier_level);
-                for l in &mut level {
-                    *l = barrier_level;
-                }
+                level.fill(barrier_level);
                 continue;
             }
-            let next = inst
-                .qubits
-                .iter()
-                .map(|&q| level[q])
-                .max()
-                .unwrap_or(0)
-                .max(barrier_level)
-                + 1;
+            let next = inst.qubits.iter().map(|&q| level[q]).max().unwrap_or(0).max(barrier_level) + 1;
             for &q in &inst.qubits {
                 level[q] = next;
             }

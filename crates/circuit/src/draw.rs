@@ -41,9 +41,8 @@ pub fn draw(circuit: &Circuit) -> String {
     }
 
     let cols = wire_cells[0].len();
-    let widths: Vec<usize> = (0..cols)
-        .map(|c| wire_cells.iter().map(|row| row[c].chars().count()).max().unwrap_or(1))
-        .collect();
+    let widths: Vec<usize> =
+        (0..cols).map(|c| wire_cells.iter().map(|row| row[c].chars().count()).max().unwrap_or(1)).collect();
 
     let mut out = String::new();
     for q in 0..n {
@@ -95,8 +94,8 @@ fn cells_for(inst: &crate::gate::Instruction, n: usize) -> (Vec<String>, Vec<boo
     let mut links = vec![false; n.saturating_sub(1)];
     let mark_span = |links: &mut Vec<bool>, a: usize, b: usize| {
         let (lo, hi) = (a.min(b), a.max(b));
-        for gap in lo..hi {
-            links[gap] = true;
+        for link in &mut links[lo..hi] {
+            *link = true;
         }
     };
     let q = &inst.qubits;
@@ -121,7 +120,11 @@ fn cells_for(inst: &crate::gate::Instruction, n: usize) -> (Vec<String>, Vec<boo
         }
         GateKind::CPhase | GateKind::CRz => {
             labels[q[0]] = "●".to_string();
-            labels[q[1]] = format!("[{}({:.2})]", if inst.gate == GateKind::CPhase { "P" } else { "Rz" }, inst.params[0]);
+            labels[q[1]] = format!(
+                "[{}({:.2})]",
+                if inst.gate == GateKind::CPhase { "P" } else { "Rz" },
+                inst.params[0]
+            );
             mark_span(&mut links, q[0], q[1]);
         }
         GateKind::Swap => {

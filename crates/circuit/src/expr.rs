@@ -212,12 +212,10 @@ impl<'a> ExprParser<'a> {
                 let start = self.pos;
                 while self.pos < self.src.len() {
                     let c = self.src[self.pos];
-                    if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' {
-                        self.pos += 1;
-                    } else if (c == b'+' || c == b'-')
+                    let exp_sign = (c == b'+' || c == b'-')
                         && self.pos > start
-                        && matches!(self.src[self.pos - 1], b'e' | b'E')
-                    {
+                        && matches!(self.src[self.pos - 1], b'e' | b'E');
+                    if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || exp_sign {
                         self.pos += 1;
                     } else {
                         break;

@@ -254,7 +254,11 @@ impl Instruction {
             }
             U3 => {
                 // U3(θ,φ,λ)⁻¹ = U3(-θ,-λ,-φ)
-                Instruction::new(U3, self.qubits.clone(), vec![-self.params[0], -self.params[2], -self.params[1]])
+                Instruction::new(
+                    U3,
+                    self.qubits.clone(),
+                    vec![-self.params[0], -self.params[2], -self.params[1]],
+                )
             }
             _ => self.clone(), // self-inverse gates and Barrier
         };

@@ -21,13 +21,13 @@
 
 pub mod arith;
 mod circuit;
+pub mod draw;
 mod expr;
 mod gate;
 pub mod library;
 pub mod passes;
 pub mod qasm;
 pub mod xasm;
-pub mod draw;
 
 pub use circuit::{Circuit, ParamCircuit, ParamInstruction};
 pub use expr::{EvalError, ParamExpr};

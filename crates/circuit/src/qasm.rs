@@ -83,9 +83,8 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
         }
         if lower.starts_with("measure") {
             let rest = stmt["measure".len()..].trim();
-            let (lhs, rhs) = rest
-                .split_once("->")
-                .ok_or_else(|| err(stmt_line, "measure requires `-> creg`"))?;
+            let (lhs, rhs) =
+                rest.split_once("->").ok_or_else(|| err(stmt_line, "measure requires `-> creg`"))?;
             let qs = parse_operand_list(lhs.trim(), &qregs, stmt_line)?;
             let cs = parse_operand_list(rhs.trim(), &cregs, stmt_line)?;
             if qs.len() != cs.len() {
@@ -109,9 +108,8 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
         let (head, operands) = split_gate_head(stmt, stmt_line)?;
         let (gate_name, params_src) = match head.find('(') {
             Some(open) => {
-                let close = head
-                    .rfind(')')
-                    .ok_or_else(|| err(stmt_line, "missing `)` in gate parameters"))?;
+                let close =
+                    head.rfind(')').ok_or_else(|| err(stmt_line, "missing `)` in gate parameters"))?;
                 (head[..open].trim(), Some(&head[open + 1..close]))
             }
             None => (head.trim(), None),
@@ -123,10 +121,7 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
             for piece in src.split(',') {
                 let e = ParamExpr::parse(piece.trim())
                     .map_err(|m| err(stmt_line, format!("bad parameter `{piece}`: {m}")))?;
-                params.push(
-                    e.eval_const()
-                        .map_err(|e| CircuitError::UnboundParam(e.unbound))?,
-                );
+                params.push(e.eval_const().map_err(|e| CircuitError::UnboundParam(e.unbound))?);
             }
         }
         if params.len() != gate.num_params() {
@@ -157,15 +152,11 @@ fn split_gate_head(stmt: &str, line: usize) -> Result<(&str, &str), CircuitError
     // The operands start after the closing paren (if parameters exist) or
     // after the first whitespace run.
     if let Some(open) = stmt.find('(') {
-        let close = stmt[open..]
-            .find(')')
-            .map(|i| open + i)
-            .ok_or_else(|| err(line, "missing `)`"))?;
+        let close = stmt[open..].find(')').map(|i| open + i).ok_or_else(|| err(line, "missing `)`"))?;
         Ok((&stmt[..=close], stmt[close + 1..].trim()))
     } else {
-        let split = stmt
-            .find(char::is_whitespace)
-            .ok_or_else(|| err(line, "gate statement missing operands"))?;
+        let split =
+            stmt.find(char::is_whitespace).ok_or_else(|| err(line, "gate statement missing operands"))?;
         Ok((&stmt[..split], stmt[split..].trim()))
     }
 }
@@ -178,10 +169,7 @@ fn parse_decl(rest: &str, line: usize) -> Result<(String, usize), CircuitError> 
     if name.is_empty() {
         return Err(err(line, "register declaration missing a name"));
     }
-    let size: usize = rest[open + 1..close]
-        .trim()
-        .parse()
-        .map_err(|_| err(line, "bad register size"))?;
+    let size: usize = rest[open + 1..close].trim().parse().map_err(|_| err(line, "bad register size"))?;
     Ok((name, size))
 }
 
@@ -200,21 +188,15 @@ fn parse_operand_list(
         if let Some(open) = piece.find('[') {
             let close = piece.find(']').ok_or_else(|| err(line, "missing `]`"))?;
             let name = piece[..open].trim();
-            let reg = regs
-                .get(name)
-                .ok_or_else(|| err(line, format!("unknown register `{name}`")))?;
-            let idx: usize = piece[open + 1..close]
-                .trim()
-                .parse()
-                .map_err(|_| err(line, "bad operand index"))?;
+            let reg = regs.get(name).ok_or_else(|| err(line, format!("unknown register `{name}`")))?;
+            let idx: usize =
+                piece[open + 1..close].trim().parse().map_err(|_| err(line, "bad operand index"))?;
             if idx >= reg.size {
                 return Err(err(line, format!("index {idx} out of range for `{name}[{}]`", reg.size)));
             }
             out.push(reg.offset + idx);
         } else {
-            let reg = regs
-                .get(piece)
-                .ok_or_else(|| err(line, format!("unknown register `{piece}`")))?;
+            let reg = regs.get(piece).ok_or_else(|| err(line, format!("unknown register `{piece}`")))?;
             out.extend(reg.offset..reg.offset + reg.size);
         }
     }

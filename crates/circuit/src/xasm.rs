@@ -120,9 +120,8 @@ fn tokenize(src: &str) -> Result<Vec<Token>, CircuitError> {
                 let start = i;
                 while i < bytes.len() {
                     let c = bytes[i];
-                    if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' {
-                        i += 1;
-                    } else if (c == b'+' || c == b'-') && matches!(bytes[i - 1], b'e' | b'E') {
+                    let exp_sign = (c == b'+' || c == b'-') && matches!(bytes[i - 1], b'e' | b'E');
+                    if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || exp_sign {
                         i += 1;
                     } else {
                         break;
@@ -196,9 +195,9 @@ impl IntExpr {
     fn eval(&self, env: &HashMap<String, i64>, qsize: usize, line: usize) -> Result<i64, CircuitError> {
         Ok(match self {
             IntExpr::Num(v) => *v,
-            IntExpr::Var(name) => *env
-                .get(name)
-                .ok_or_else(|| err(line, format!("unknown integer variable `{name}`")))?,
+            IntExpr::Var(name) => {
+                *env.get(name).ok_or_else(|| err(line, format!("unknown integer variable `{name}`")))?
+            }
             IntExpr::QSize => qsize as i64,
             IntExpr::Neg(e) => -e.eval(env, qsize, line)?,
             IntExpr::Add(a, b) => a.eval(env, qsize, line)? + b.eval(env, qsize, line)?,
@@ -236,9 +235,10 @@ struct Parser {
 
 impl Parser {
     fn line(&self) -> usize {
-        self.tokens.get(self.pos).map(|t| t.line).unwrap_or_else(|| {
-            self.tokens.last().map(|t| t.line).unwrap_or(1)
-        })
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.line)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.line).unwrap_or(1))
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -400,9 +400,9 @@ impl Parser {
             if self.eat_punct("++") {
                 // i++
             } else if self.eat_punct("+=") {
-                match self.next() {
-                    Some(Tok::Number(v)) if v == 1.0 => {}
-                    _ => return Err(err(line, "only unit-stride loops are supported")),
+                let step = self.next();
+                if !matches!(step, Some(Tok::Number(v)) if v == 1.0) {
+                    return Err(err(line, "only unit-stride loops are supported"));
                 }
             } else {
                 return Err(err(line, "loop step must be `++` or `+= 1`"));
@@ -568,8 +568,8 @@ fn expand(
     for stmt in stmts {
         match stmt {
             Stmt::Gate { name, args, line } => {
-                let gate = GateKind::from_name(name)
-                    .ok_or_else(|| err(*line, format!("unknown gate `{name}`")))?;
+                let gate =
+                    GateKind::from_name(name).ok_or_else(|| err(*line, format!("unknown gate `{name}`")))?;
                 let mut qubits = Vec::new();
                 let mut angles = Vec::new();
                 for arg in args {
@@ -589,10 +589,16 @@ fn expand(
                     }
                 }
                 if qubits.len() != gate.arity() {
-                    return Err(err(*line, format!("{gate} expects {} qubit(s), got {}", gate.arity(), qubits.len())));
+                    return Err(err(
+                        *line,
+                        format!("{gate} expects {} qubit(s), got {}", gate.arity(), qubits.len()),
+                    ));
                 }
                 if angles.len() != gate.num_params() {
-                    return Err(err(*line, format!("{gate} expects {} parameter(s), got {}", gate.num_params(), angles.len())));
+                    return Err(err(
+                        *line,
+                        format!("{gate} expects {} parameter(s), got {}", gate.num_params(), angles.len()),
+                    ));
                 }
                 out.push(ParamInstruction { gate, qubits, params: angles });
             }

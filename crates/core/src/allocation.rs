@@ -104,10 +104,7 @@ pub fn qalloc(n: usize) -> QReg {
 /// Allocate with an explicit buffer name (useful in tests).
 pub fn qalloc_named(name: impl Into<String>, n: usize) -> QReg {
     let name = name.into();
-    let qreg = QReg {
-        buffer: Arc::new(Mutex::new(AcceleratorBuffer::with_name(name.clone(), n))),
-        size: n,
-    };
+    let qreg = QReg { buffer: Arc::new(Mutex::new(AcceleratorBuffer::with_name(name.clone(), n))), size: n };
     // The Listing-6 critical section.
     let mut table = ALLOCATED_BUFFERS.lock();
     table.get_or_insert_with(HashMap::new).insert(name, qreg.clone());

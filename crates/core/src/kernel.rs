@@ -28,10 +28,7 @@ pub struct Kernel {
 
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Kernel")
-            .field("name", &self.name)
-            .field("num_params", &self.num_params())
-            .finish()
+        f.debug_struct("Kernel").field("name", &self.name).field("num_params", &self.num_params()).finish()
     }
 }
 
@@ -119,8 +116,8 @@ impl Kernel {
 mod tests {
     use super::*;
     use crate::allocation::qalloc;
-    use crate::runtime::{initialize, InitOptions};
     use crate::qpu_manager::QPUManager;
+    use crate::runtime::{initialize, InitOptions};
 
     const BELL_SRC: &str = r#"
         __qpu__ void bell(qreg q) {

@@ -47,12 +47,16 @@ mod qpu_manager;
 mod runtime;
 mod threading;
 
-pub use allocation::{allocated_buffer_count, clear_allocated_buffers, find_buffer, qalloc, qalloc_named, QReg};
+pub use allocation::{
+    allocated_buffer_count, clear_allocated_buffers, find_buffer, qalloc, qalloc_named, QReg,
+};
 pub use kernel::Kernel;
 pub use objective::{create_objective_function, EvalStrategy, ObjectiveFunction};
 pub use optim::{create_optimizer, Optimizer, OptimizerResult};
 pub use qpu_manager::QPUManager;
-pub use runtime::{current_options, execute, execute_with, initialize, initialize_legacy_shared, InitOptions};
+pub use runtime::{
+    current_options, execute, execute_with, initialize, initialize_legacy_shared, InitOptions,
+};
 pub use threading::{async_task, spawn, TaskFuture};
 
 pub use qcor_xacc::{Accelerator, AcceleratorBuffer, ExecOptions, HetMap, HetValue};

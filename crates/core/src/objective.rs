@@ -253,14 +253,8 @@ mod tests {
     #[test]
     fn measured_ansatz_is_rejected() {
         let k = Kernel::from_xasm("H(q[0]); Measure(q[0]);", 1).unwrap();
-        let obj = ObjectiveFunction::new(
-            k,
-            qcor_pauli::PauliSum::z(0),
-            qalloc(1),
-            0,
-            EvalStrategy::Exact,
-            1e-3,
-        );
+        let obj =
+            ObjectiveFunction::new(k, qcor_pauli::PauliSum::z(0), qalloc(1), 0, EvalStrategy::Exact, 1e-3);
         assert!(obj.evaluate(&[]).is_err());
     }
 

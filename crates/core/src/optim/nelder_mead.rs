@@ -82,7 +82,8 @@ impl Optimizer for NelderMead {
                 simplex[n] = (reflect, f_reflect);
             } else {
                 // Contract toward the better of (worst, reflected).
-                let (base, f_base) = if f_reflect < worst.1 { (&reflect, f_reflect) } else { (&worst.0, worst.1) };
+                let (base, f_base) =
+                    if f_reflect < worst.1 { (&reflect, f_reflect) } else { (&worst.0, worst.1) };
                 let contract: Vec<f64> =
                     (0..n).map(|i| centroid[i] + RHO * (base[i] - centroid[i])).collect();
                 let f_contract = eval(&contract, &mut evals);
@@ -92,8 +93,8 @@ impl Optimizer for NelderMead {
                     // Shrink everything toward the best vertex.
                     let best = simplex[0].0.clone();
                     for entry in simplex.iter_mut().skip(1) {
-                        for i in 0..n {
-                            entry.0[i] = best[i] + SIGMA * (entry.0[i] - best[i]);
+                        for (x, b) in entry.0.iter_mut().zip(&best) {
+                            *x = b + SIGMA * (*x - b);
                         }
                         entry.1 = eval(&entry.0, &mut evals);
                     }

@@ -33,7 +33,13 @@ pub struct InitOptions {
 
 impl Default for InitOptions {
     fn default() -> Self {
-        InitOptions { backend: "qpp".to_string(), threads: None, shots: 1024, seed: None, params: HetMap::new() }
+        InitOptions {
+            backend: "qpp".to_string(),
+            threads: None,
+            shots: 1024,
+            seed: None,
+            params: HetMap::new(),
+        }
     }
 }
 

@@ -4,8 +4,8 @@
 use crate::grouping::group_qubit_wise;
 use crate::ops::{Pauli, PauliString, PauliSum};
 use qcor_circuit::Circuit;
-use qcor_sim::{gates, Counts, StateVector};
 use qcor_sim::{c64, Complex64};
+use qcor_sim::{gates, Counts, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,10 +80,7 @@ pub fn term_from_counts(term: &PauliString, counts: &Counts, measured_qubits: &[
     let mut total = 0usize;
     let mut acc = 0.0f64;
     for (bits, &count) in counts {
-        let ones = positions
-            .iter()
-            .filter(|&&p| bits.as_bytes().get(p).copied() == Some(b'1'))
-            .count();
+        let ones = positions.iter().filter(|&&p| bits.as_bytes().get(p).copied() == Some(b'1')).count();
         let sign = if ones % 2 == 0 { 1.0 } else { -1.0 };
         acc += sign * count as f64;
         total += count;
@@ -206,13 +203,14 @@ mod tests {
         let mut seed = 1000u64;
         let estimated = estimate_with(&h, &prep, |circuit| {
             seed += 1;
-            run_shots(circuit, Arc::clone(&pool), &RunConfig { shots: 20_000, seed: Some(seed), par_threshold: 2 })
+            run_shots(
+                circuit,
+                Arc::clone(&pool),
+                &RunConfig { shots: 20_000, seed: Some(seed), par_threshold: 2 },
+            )
         });
         let exact_e = exact(&prepare(&prep), &h);
-        assert!(
-            (estimated - exact_e).abs() < 0.15,
-            "sampled {estimated} vs exact {exact_e}"
-        );
+        assert!((estimated - exact_e).abs() < 0.15, "sampled {estimated} vs exact {exact_e}");
     }
 
     #[test]

@@ -131,9 +131,7 @@ impl PauliString {
     /// every shared qubit) — the condition for simultaneous measurement in
     /// a single rotated basis.
     pub fn qubit_wise_commutes(&self, other: &PauliString) -> bool {
-        self.factors
-            .iter()
-            .all(|(q, p)| other.factors.get(q).map_or(true, |op| op == p))
+        self.factors.iter().all(|(q, p)| other.factors.get(q).is_none_or(|op| op == p))
     }
 }
 
@@ -403,9 +401,9 @@ impl<'a> SumParser<'a> {
         let start = self.pos;
         while self.pos < self.src.len() {
             let c = self.src[self.pos];
-            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' {
-                self.pos += 1;
-            } else if (c == b'+' || c == b'-') && self.pos > start && matches!(self.src[self.pos - 1], b'e' | b'E') {
+            let exp_sign =
+                (c == b'+' || c == b'-') && self.pos > start && matches!(self.src[self.pos - 1], b'e' | b'E');
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || exp_sign {
                 self.pos += 1;
             } else {
                 break;

@@ -11,8 +11,7 @@ fn pauli_strategy() -> impl Strategy<Value = Pauli> {
 }
 
 fn string_strategy() -> impl Strategy<Value = PauliString> {
-    prop::collection::btree_map(0usize..4, pauli_strategy(), 0..4)
-        .prop_map(|m| PauliString::from_pairs(m))
+    prop::collection::btree_map(0usize..4, pauli_strategy(), 0..4).prop_map(PauliString::from_pairs)
 }
 
 fn sum_strategy() -> impl Strategy<Value = PauliSum> {

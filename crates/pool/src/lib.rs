@@ -45,9 +45,7 @@ pub const NUM_THREADS_ENV: &str = "QCOR_NUM_THREADS";
 
 /// Number of logical CPUs visible to the process (at least 1).
 pub fn available_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
 /// Resolve the default thread count: `QCOR_NUM_THREADS` if set and valid,

@@ -301,11 +301,8 @@ impl ThreadPool {
         job.work();
         job.latch.wait();
         if job.panicked.load(Ordering::Acquire) {
-            let payload = job
-                .panic_payload
-                .lock()
-                .take()
-                .unwrap_or_else(|| Box::new("parallel_for worker panicked"));
+            let payload =
+                job.panic_payload.lock().take().unwrap_or_else(|| Box::new("parallel_for worker panicked"));
             resume_unwind(payload);
         }
     }
@@ -336,10 +333,7 @@ impl ThreadPool {
             let part = map(chunk);
             partials.lock().push(part);
         });
-        partials
-            .into_inner()
-            .into_iter()
-            .fold(identity, &reduce)
+        partials.into_inner().into_iter().fold(identity, &reduce)
     }
 
     /// Fork/join task region: tasks spawned on the [`Scope`] may borrow from

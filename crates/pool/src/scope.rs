@@ -83,12 +83,7 @@ pub(crate) fn run_scope<'env, F, R>(pool: &ThreadPool, f: F) -> R
 where
     F: FnOnce(&Scope<'env>) -> R,
 {
-    let scope = Scope {
-        pool,
-        wg: WaitGroup::new(),
-        panic_payload: Mutex::new(None),
-        _marker: PhantomData,
-    };
+    let scope = Scope { pool, wg: WaitGroup::new(), panic_payload: Mutex::new(None), _marker: PhantomData };
     let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
     // Always drain spawned tasks, even if the scope body panicked, so that
     // borrowed data is not freed while tasks still reference it.
@@ -113,7 +108,7 @@ mod tests {
     #[test]
     fn scope_tasks_borrow_stack_data() {
         let pool = ThreadPool::new(4);
-        let data = vec![1u64, 2, 3, 4, 5];
+        let data = [1u64, 2, 3, 4, 5];
         let sum = AtomicUsize::new(0);
         pool.scope(|s| {
             for chunk in data.chunks(2) {

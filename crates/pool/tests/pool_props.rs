@@ -6,11 +6,7 @@ use qcor_pool::{Schedule, ThreadPool};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 fn schedule_strategy() -> impl Strategy<Value = Schedule> {
-    prop_oneof![
-        Just(Schedule::Static),
-        Just(Schedule::Auto),
-        (1usize..64).prop_map(Schedule::Dynamic),
-    ]
+    prop_oneof![Just(Schedule::Static), Just(Schedule::Auto), (1usize..64).prop_map(Schedule::Dynamic),]
 }
 
 proptest! {

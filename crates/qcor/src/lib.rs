@@ -1,0 +1,47 @@
+//! # qcor — the user-facing facade
+//!
+//! This crate is the `qcor::` namespace that application code, the
+//! examples, and the integration tests import — the Rust analogue of the
+//! single `qcor` C++ namespace in the paper. It contains no logic of its
+//! own: everything is re-exported from the layer crates
+//!
+//! ```text
+//! qcor-pool → qcor-sim / qcor-circuit → qcor-xacc → qcor-pauli → qcor-core → qcor
+//! ```
+//!
+//! The paper's Bell kernel (Listing 4) through this facade:
+//!
+//! ```
+//! use qcor::{initialize, qalloc, InitOptions, Kernel};
+//!
+//! initialize(InitOptions::default().threads(1)).unwrap();
+//! let q = qalloc(2);
+//! let bell = Kernel::from_xasm(
+//!     "__qpu__ void bell(qreg q) {
+//!          H(q[0]); CX(q[0], q[1]);
+//!          for (int i = 0; i < q.size(); i++) { Measure(q[i]); }
+//!      }",
+//!     2,
+//! )
+//! .unwrap();
+//! bell.invoke(&q, &[]).unwrap();
+//! assert_eq!(q.total_shots(), 1024);
+//! ```
+
+// The runtime API: initialize / initialize_legacy_shared, qalloc, QReg,
+// Kernel, QPUManager, spawn / async_task, execute / execute_with,
+// objective functions, optimizers, and QcorError.
+pub use qcor_core::*;
+
+// Kernel-language and circuit tooling, addressable as `qcor::xasm::…`
+// just like the `qcor::` JIT utilities in the paper's listings.
+pub use qcor_circuit::{draw, library, passes, qasm, xasm};
+pub use qcor_circuit::{Circuit, CircuitError, GateKind, Instruction, ParamCircuit};
+
+// The accelerator service registry (XACC's `getAccelerator` analogue) and
+// its error type, for code that registers custom backends.
+pub use qcor_xacc::{registry, XaccError};
+
+// The threading substrate, exposed for advanced users who tune pool sizes
+// the way the paper tunes OMP_NUM_THREADS.
+pub use qcor_pool::{available_parallelism, num_threads_from_env, PoolBuilder, Schedule, ThreadPool};

@@ -140,10 +140,7 @@ impl Div for Complex64 {
     #[inline]
     fn div(self, rhs: Complex64) -> Complex64 {
         let d = rhs.norm_sqr();
-        c64(
-            (self.re * rhs.re + self.im * rhs.im) / d,
-            (self.im * rhs.re - self.re * rhs.im) / d,
-        )
+        c64((self.re * rhs.re + self.im * rhs.im) / d, (self.im * rhs.re - self.re * rhs.im) / d)
     }
 }
 

@@ -94,15 +94,12 @@ impl DensityMatrix {
     /// Apply a unitary instruction (measurements/resets are rejected —
     /// use [`DensityMatrix::measure_probabilities`] and channels instead).
     pub fn apply_unitary(&mut self, inst: &Instruction) {
-        assert!(
-            inst.gate.is_unitary(),
-            "apply_unitary cannot process {}",
-            inst.gate
-        );
+        assert!(inst.gate.is_unitary(), "apply_unitary cannot process {}", inst.gate);
         if inst.gate == GateKind::Barrier {
             return;
         }
         let mut rng = StdRng::seed_from_u64(0); // unitaries never consult it
+
         // Ket side: the instruction as-is on the low qubits.
         apply_instruction(&mut self.vec_state, inst, &mut rng);
         // Bra side: the conjugated instruction on the high qubits.
@@ -178,10 +175,7 @@ impl DensityMatrix {
             let mut branch = StateVector::raw_with_amplitudes(original.clone());
             // K on the ket qubit, conj(K) on the bra qubit.
             branch.apply_single(q, *k, 0);
-            let conj = [
-                [k[0][0].conj(), k[0][1].conj()],
-                [k[1][0].conj(), k[1][1].conj()],
-            ];
+            let conj = [[k[0][0].conj(), k[0][1].conj()], [k[1][0].conj(), k[1][1].conj()]];
             branch.apply_single(q + self.n, conj, 0);
             match &mut accumulated {
                 None => accumulated = Some(branch.amplitudes().to_vec()),
@@ -204,10 +198,7 @@ impl DensityMatrix {
         let kraus = [
             [[Complex64::from_real(s0), Complex64::ZERO], [Complex64::ZERO, Complex64::from_real(s0)]],
             [[Complex64::ZERO, Complex64::from_real(s1)], [Complex64::from_real(s1), Complex64::ZERO]], // √w·X
-            [
-                [Complex64::ZERO, Complex64::new(0.0, -s1)],
-                [Complex64::new(0.0, s1), Complex64::ZERO],
-            ], // √w·Y
+            [[Complex64::ZERO, Complex64::new(0.0, -s1)], [Complex64::new(0.0, s1), Complex64::ZERO]], // √w·Y
             [[Complex64::from_real(s1), Complex64::ZERO], [Complex64::ZERO, Complex64::from_real(-s1)]], // √w·Z
         ];
         self.apply_kraus_1q(q, &kraus);
@@ -221,10 +212,7 @@ impl DensityMatrix {
                 [Complex64::ONE, Complex64::ZERO],
                 [Complex64::ZERO, Complex64::from_real((1.0 - gamma).sqrt())],
             ],
-            [
-                [Complex64::ZERO, Complex64::from_real(gamma.sqrt())],
-                [Complex64::ZERO, Complex64::ZERO],
-            ],
+            [[Complex64::ZERO, Complex64::from_real(gamma.sqrt())], [Complex64::ZERO, Complex64::ZERO]],
         ];
         self.apply_kraus_1q(q, &kraus);
     }
@@ -244,10 +232,7 @@ impl DensityMatrix {
     /// P(qubit `q` measures 1) from the diagonal.
     pub fn prob_one(&self, q: usize) -> f64 {
         let dim = 1usize << self.n;
-        (0..dim)
-            .filter(|r| r >> q & 1 == 1)
-            .map(|r| self.entry(r, r).re)
-            .sum()
+        (0..dim).filter(|r| r >> q & 1 == 1).map(|r| self.entry(r, r).re).sum()
     }
 
     /// Exact outcome distribution over the given measured qubits
@@ -427,8 +412,7 @@ mod tests {
         let mut circuit = library::ghz_state(2);
         circuit.measure_all();
         let noise = NoiseModel { depolarizing: 0.05, ..Default::default() };
-        let dist =
-            DensityMatrix::run_noisy_circuit(&circuit, Arc::new(ThreadPool::new(1)), &noise).unwrap();
+        let dist = DensityMatrix::run_noisy_circuit(&circuit, Arc::new(ThreadPool::new(1)), &noise).unwrap();
         let total: f64 = dist.values().sum();
         assert!((total - 1.0).abs() < 1e-9);
         let clean = dist.get("00").copied().unwrap_or(0.0) + dist.get("11").copied().unwrap_or(0.0);
@@ -439,12 +423,9 @@ mod tests {
     #[test]
     fn noiseless_run_matches_exact_distribution() {
         let circuit = library::bell_kernel();
-        let dist = DensityMatrix::run_noisy_circuit(
-            &circuit,
-            Arc::new(ThreadPool::new(1)),
-            &NoiseModel::default(),
-        )
-        .unwrap();
+        let dist =
+            DensityMatrix::run_noisy_circuit(&circuit, Arc::new(ThreadPool::new(1)), &NoiseModel::default())
+                .unwrap();
         assert!((dist["00"] - 0.5).abs() < 1e-10);
         assert!((dist["11"] - 0.5).abs() < 1e-10);
     }
@@ -462,11 +443,7 @@ mod tests {
     fn mid_circuit_measurement_rejected() {
         let mut c = Circuit::new(1);
         c.measure(0).h(0);
-        assert!(DensityMatrix::run_noisy_circuit(
-            &c,
-            Arc::new(ThreadPool::new(1)),
-            &NoiseModel::default()
-        )
-        .is_err());
+        assert!(DensityMatrix::run_noisy_circuit(&c, Arc::new(ThreadPool::new(1)), &NoiseModel::default())
+            .is_err());
     }
 }

@@ -146,7 +146,8 @@ pub fn run_shots_task_parallel(
         .map(|t| {
             let circuit = circuit.clone();
             let shots = base + usize::from(t < remainder);
-            let seed = config.seed.map(|s| s.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+            let seed =
+                config.seed.map(|s| s.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
             let par_threshold = config.par_threshold;
             std::thread::spawn(move || {
                 let pool = Arc::new(ThreadPool::new(threads_per_task));

@@ -38,19 +38,15 @@ pub fn single_qubit_matrix(kind: GateKind, params: &[f64]) -> Option<[[Complex64
                 [Complex64::ZERO, Complex64::from_polar_unit(half)],
             ]
         }
-        Phase => [
-            [Complex64::ONE, Complex64::ZERO],
-            [Complex64::ZERO, Complex64::from_polar_unit(params[0])],
-        ],
+        Phase => {
+            [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::from_polar_unit(params[0])]]
+        }
         U3 => {
             let (theta, phi, lambda) = (params[0], params[1], params[2]);
             let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
             [
                 [c64(c, 0.0), Complex64::from_polar_unit(lambda).scale(-s)],
-                [
-                    Complex64::from_polar_unit(phi).scale(s),
-                    Complex64::from_polar_unit(phi + lambda).scale(c),
-                ],
+                [Complex64::from_polar_unit(phi).scale(s), Complex64::from_polar_unit(phi + lambda).scale(c)],
             ]
         }
         _ => return None,

@@ -15,9 +15,9 @@
 //! overhead that the paper's evaluation (§VI-A) observes when oversubscribing
 //! a kernel with threads.
 
-use crate::complex::Complex64;
 #[cfg(test)]
 use crate::complex::c64;
+use crate::complex::Complex64;
 use qcor_pool::ThreadPool;
 use rand::Rng;
 use std::ops::Range;
@@ -160,8 +160,7 @@ impl StateVector {
     #[inline]
     fn reduce<F: Fn(Range<usize>) -> f64 + Sync>(&self, len: usize, f: F) -> f64 {
         if self.pool.num_threads() > 1 && len >= self.par_threshold {
-            self.pool
-                .parallel_reduce(0..len, qcor_pool::Schedule::Auto, 0.0, f, |a, b| a + b)
+            self.pool.parallel_reduce(0..len, qcor_pool::Schedule::Auto, 0.0, f, |a, b| a + b)
         } else {
             f(0..len)
         }
@@ -419,12 +418,8 @@ mod tests {
 
     #[test]
     fn phase_where_applies_to_selected_states() {
-        let mut sv = StateVector::from_amplitudes(vec![
-            c64(0.5, 0.0),
-            c64(0.5, 0.0),
-            c64(0.5, 0.0),
-            c64(0.5, 0.0),
-        ]);
+        let mut sv =
+            StateVector::from_amplitudes(vec![c64(0.5, 0.0), c64(0.5, 0.0), c64(0.5, 0.0), c64(0.5, 0.0)]);
         sv.phase_where(0b11, 0, std::f64::consts::PI); // CZ
         assert!(sv.amp(0b11).approx_eq(c64(-0.5, 0.0), 1e-12));
         assert!(sv.amp(0b01).approx_eq(c64(0.5, 0.0), 1e-12));

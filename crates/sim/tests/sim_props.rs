@@ -60,10 +60,7 @@ fn unitary_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
 }
 
 fn states_close(a: &StateVector, b: &StateVector, eps: f64) -> bool {
-    a.amplitudes()
-        .iter()
-        .zip(b.amplitudes())
-        .all(|(x, y)| x.approx_eq(*y, eps))
+    a.amplitudes().iter().zip(b.amplitudes()).all(|(x, y)| x.approx_eq(*y, eps))
 }
 
 proptest! {

@@ -102,8 +102,7 @@ mod tests {
     fn noiseless_bell_counts_are_clean() {
         let acc = DensityAccelerator::new(1, NoiseModel::default());
         let mut buf = AcceleratorBuffer::with_name("b", 2);
-        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(1))
-            .unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(1)).unwrap();
         assert_eq!(buf.total_shots(), 512);
         assert!(buf.measurements().keys().all(|k| k == "00" || k == "11"));
     }
@@ -113,8 +112,7 @@ mod tests {
         let noise = NoiseModel { depolarizing: 0.05, ..Default::default() };
         let acc = DensityAccelerator::new(1, noise);
         let mut buf = AcceleratorBuffer::with_name("b", 2);
-        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(4096).seeded(2))
-            .unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(4096).seeded(2)).unwrap();
         let clean = buf.probability("00") + buf.probability("11");
         assert!(clean < 0.999 && clean > 0.8, "clean mass {clean}");
     }
@@ -133,10 +131,7 @@ mod tests {
         trajectory.execute(&mut b, &circuit, &ExecOptions::with_shots(8192).seeded(4)).unwrap();
         let clean_a = a.probability("000") + a.probability("111");
         let clean_b = b.probability("000") + b.probability("111");
-        assert!(
-            (clean_a - clean_b).abs() < 0.05,
-            "exact {clean_a} vs trajectory {clean_b}"
-        );
+        assert!((clean_a - clean_b).abs() < 0.05, "exact {clean_a} vs trajectory {clean_b}");
     }
 
     #[test]

@@ -128,8 +128,7 @@ mod tests {
     fn noiseless_configuration_matches_ideal_bell() {
         let acc = NoisyQppAccelerator::new(1, 0.0, 0.0);
         let mut buf = AcceleratorBuffer::with_name("b", 2);
-        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(256).seeded(5))
-            .unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(256).seeded(5)).unwrap();
         assert!(buf.measurements().keys().all(|k| k == "00" || k == "11"), "{:?}", buf.measurements());
     }
 
@@ -137,8 +136,7 @@ mod tests {
     fn readout_error_produces_odd_parity_outcomes() {
         let acc = NoisyQppAccelerator::new(1, 0.0, 0.25);
         let mut buf = AcceleratorBuffer::with_name("b", 2);
-        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(2048).seeded(6))
-            .unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(2048).seeded(6)).unwrap();
         let odd: usize = buf
             .measurements()
             .iter()
@@ -152,8 +150,7 @@ mod tests {
     fn depolarizing_noise_reduces_ghz_purity() {
         let acc = NoisyQppAccelerator::new(1, 0.05, 0.0);
         let mut buf = AcceleratorBuffer::with_name("b", 4);
-        acc.execute(&mut buf, &library::ghz_kernel(4), &ExecOptions::with_shots(1024).seeded(7))
-            .unwrap();
+        acc.execute(&mut buf, &library::ghz_kernel(4), &ExecOptions::with_shots(1024).seeded(7)).unwrap();
         let clean = buf.probability("0000") + buf.probability("1111");
         assert!(clean < 0.999, "5% depolarizing noise must leak probability, got {clean}");
         assert!(clean > 0.5, "but the signal should survive, got {clean}");

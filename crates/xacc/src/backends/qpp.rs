@@ -23,9 +23,7 @@ pub struct QppAccelerator {
 impl QppAccelerator {
     /// A backend simulating with `threads` simulator threads.
     pub fn new(threads: usize) -> Self {
-        Self::with_pool(Arc::new(
-            qcor_pool::PoolBuilder::new().num_threads(threads).name("qpp").build(),
-        ))
+        Self::with_pool(Arc::new(qcor_pool::PoolBuilder::new().num_threads(threads).name("qpp").build()))
     }
 
     /// A backend sharing an existing pool.
@@ -89,8 +87,7 @@ mod tests {
     fn executes_bell_kernel() {
         let acc = QppAccelerator::new(1);
         let mut buf = AcceleratorBuffer::with_name("b", 2);
-        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(1))
-            .unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(1)).unwrap();
         assert_eq!(buf.total_shots(), 512);
         assert!(buf.measurements().keys().all(|k| k == "00" || k == "11"));
     }
@@ -118,8 +115,7 @@ mod tests {
         let acc = QppAccelerator::new(4);
         assert_eq!(acc.num_threads(), 4);
         let mut buf = AcceleratorBuffer::with_name("b", 2);
-        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(2))
-            .unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(2)).unwrap();
         let p00 = buf.probability("00");
         assert!((p00 - 0.5).abs() < 0.1, "p(00) = {p00}");
     }

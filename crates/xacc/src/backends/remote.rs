@@ -73,8 +73,7 @@ mod tests {
         let acc = RemoteAccelerator::new(1, Duration::from_millis(30));
         let mut buf = AcceleratorBuffer::with_name("b", 2);
         let start = Instant::now();
-        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(16).seeded(1))
-            .unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(16).seeded(1)).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(30));
         assert_eq!(buf.total_shots(), 16);
     }

@@ -36,9 +36,7 @@ impl SharedQueueAccelerator {
     /// A shared-queue backend simulating with `threads` threads.
     pub fn new(threads: usize) -> Self {
         SharedQueueAccelerator {
-            pool: Arc::new(
-                qcor_pool::PoolBuilder::new().num_threads(threads).name("qpp-legacy").build(),
-            ),
+            pool: Arc::new(qcor_pool::PoolBuilder::new().num_threads(threads).name("qpp-legacy").build()),
             queue: Mutex::new(Vec::new()),
         }
     }
@@ -67,18 +65,11 @@ impl Accelerator for SharedQueueAccelerator {
         // it as "the" circuit. Under concurrency this is an interleaving of
         // several kernels (or empty, if another thread drained first).
         let drained: Vec<Instruction> = std::mem::take(&mut *self.queue.lock());
-        let width = drained
-            .iter()
-            .filter_map(|i| i.max_qubit())
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(0)
-            .max(buffer.size());
+        let width =
+            drained.iter().filter_map(|i| i.max_qubit()).max().map(|m| m + 1).unwrap_or(0).max(buffer.size());
         let mut assembled = Circuit::new(width);
         for inst in drained {
-            assembled
-                .try_push(inst)
-                .map_err(|e| XaccError::Execution(e.to_string()))?;
+            assembled.try_push(inst).map_err(|e| XaccError::Execution(e.to_string()))?;
         }
         let config = RunConfig { shots: opts.shots, seed: opts.seed, par_threshold: 2 };
         let counts = run_shots(&assembled, Arc::clone(&self.pool), &config);
@@ -105,8 +96,7 @@ mod tests {
         // The legacy backend is not wrong per se — only unsafe to share.
         let acc = SharedQueueAccelerator::new(1);
         let mut buf = AcceleratorBuffer::with_name("b", 2);
-        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(256).seeded(1))
-            .unwrap();
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(256).seeded(1)).unwrap();
         assert_eq!(buf.total_shots(), 256);
         assert!(buf.measurements().keys().all(|k| k == "00" || k == "11"), "{:?}", buf.measurements());
     }
@@ -135,8 +125,8 @@ mod tests {
             }
             for h in handles {
                 let buf = h.join().unwrap();
-                let clean = buf.total_shots() == 64
-                    && buf.measurements().keys().all(|k| k == "00" || k == "11");
+                let clean =
+                    buf.total_shots() == 64 && buf.measurements().keys().all(|k| k == "00" || k == "11");
                 if !clean {
                     corrupted = true;
                 }

@@ -37,11 +37,7 @@ impl AcceleratorBuffer {
     /// Allocate a buffer of `size` qubits with a generated name
     /// (`qrg_` + 5 random alphanumerics, like XACC's).
     pub fn new(size: usize) -> Self {
-        let suffix: String = rand::thread_rng()
-            .sample_iter(&Alphanumeric)
-            .take(5)
-            .map(char::from)
-            .collect();
+        let suffix: String = rand::thread_rng().sample_iter(&Alphanumeric).take(5).map(char::from).collect();
         Self::with_name(format!("qrg_{suffix}"), size)
     }
 

@@ -4,7 +4,7 @@
 //! only when it is ready — `future.get()` as in Listing 5.
 //!
 //! ```text
-//! cargo run -p qcor-examples --release --bin async_jit
+//! cargo run -p qcor --release --example async_jit
 //! ```
 
 use qcor::{initialize, qalloc, InitOptions, Kernel};

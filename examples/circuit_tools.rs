@@ -3,7 +3,7 @@
 //! runtime dispatches through.
 //!
 //! ```text
-//! cargo run -p qcor-examples --bin circuit_tools
+//! cargo run -p qcor --example circuit_tools
 //! ```
 
 use qcor_circuit::{draw, passes, qasm, xasm};

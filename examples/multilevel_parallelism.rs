@@ -8,7 +8,7 @@
 //!   amplitude loops over its own `qcor-pool`.
 //!
 //! ```text
-//! cargo run -p qcor-examples --release --bin multilevel_parallelism
+//! cargo run -p qcor --release --example multilevel_parallelism
 //! ```
 
 use qcor_algos::shor::{estimate_order, factors_from_order};

@@ -3,7 +3,7 @@
 //! own simulator instance — the task-level parallelism of Figure 2.
 //!
 //! ```text
-//! cargo run -p qcor-examples --release --bin parallel_shor [N]
+//! cargo run -p qcor --release --example parallel_shor [N]
 //! ```
 
 use qcor_algos::shor::{factorize_parallel, shor_attempt, KernelKind, ShorConfig};

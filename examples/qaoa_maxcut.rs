@@ -2,7 +2,7 @@
 //! through the same objective/optimizer API as VQE.
 //!
 //! ```text
-//! cargo run -p qcor-examples --release --bin qaoa_maxcut
+//! cargo run -p qcor --release --example qaoa_maxcut
 //! ```
 
 use qcor_algos::qaoa::{solve_maxcut, Graph};
@@ -20,17 +20,7 @@ fn main() {
     println!("C4, p=2:  expected cut = {:.3} / optimal {}", r2.expected_cut, r2.optimal_cut);
 
     // A weighted 5-vertex graph.
-    let g = Graph::new(
-        5,
-        vec![
-            (0, 1, 1.0),
-            (0, 2, 2.0),
-            (1, 2, 1.0),
-            (1, 3, 1.5),
-            (2, 4, 1.0),
-            (3, 4, 2.0),
-        ],
-    );
+    let g = Graph::new(5, vec![(0, 1, 1.0), (0, 2, 2.0), (1, 2, 1.0), (1, 3, 1.5), (2, 4, 1.0), (3, 4, 2.0)]);
     let (best, assignment) = g.brute_force_maxcut();
     let r = solve_maxcut(&g, 2, &[0.6, 0.3, 0.4, 0.2]).unwrap();
     println!(

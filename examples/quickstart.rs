@@ -2,7 +2,7 @@
 //! kernel, print the buffer (reproducing the Listing 2 output shape).
 //!
 //! ```text
-//! cargo run -p qcor-examples --bin quickstart
+//! cargo run -p qcor --example quickstart
 //! ```
 
 use qcor::{initialize, qalloc, InitOptions, Kernel};

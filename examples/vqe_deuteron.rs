@@ -2,7 +2,7 @@
 //! two-qubit ansatz, plus the §VII asynchronous multi-start variant.
 //!
 //! ```text
-//! cargo run -p qcor-examples --release --bin vqe_deuteron
+//! cargo run -p qcor --release --example vqe_deuteron
 //! ```
 
 use qcor::{create_objective_function, create_optimizer, qalloc, HetMap, Kernel};

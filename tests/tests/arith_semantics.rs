@@ -2,9 +2,7 @@
 //! the Beauregard modular blocks) against the simulator: every block must
 //! implement its classical specification on computational basis states.
 
-use qcor_circuit::arith::{
-    c_mult_mod, cc_phi_add_mod, phi_add_const, phi_sub_const, ShorLayout,
-};
+use qcor_circuit::arith::{c_mult_mod, cc_phi_add_mod, phi_add_const, phi_sub_const, ShorLayout};
 use qcor_circuit::library::{append_iqft, append_qft};
 use qcor_circuit::Circuit;
 use qcor_sim::{run_once, StateVector};
@@ -152,11 +150,7 @@ fn controlled_multiplier_accumulates_ax() {
                 let mut state = StateVector::new(total);
                 run_once(&mut state, &c, &mut rng);
                 let idx = decode_basis_index(&state);
-                assert_eq!(
-                    extract(idx, &layout.b),
-                    (b0 + a * x0) % n_mod,
-                    "x={x0} b={b0} a={a}"
-                );
+                assert_eq!(extract(idx, &layout.b), (b0 + a * x0) % n_mod, "x={x0} b={b0} a={a}");
                 assert_eq!(extract(idx, &layout.x), x0, "x register must be preserved");
                 assert_eq!(idx >> layout.anc & 1, 0);
             }

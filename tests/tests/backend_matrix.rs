@@ -57,10 +57,8 @@ fn noisy_backend_zero_noise_is_ideal() {
 #[test]
 fn density_and_trajectory_noise_agree() {
     let p = 0.04;
-    let exact = run_backend(
-        InitOptions::default().backend("qpp-density").seed(4).param("depolarizing", p),
-        4096,
-    );
+    let exact =
+        run_backend(InitOptions::default().backend("qpp-density").seed(4).param("depolarizing", p), 4096);
     let traj = run_backend(
         InitOptions::default()
             .backend("qpp-noisy")
@@ -71,10 +69,7 @@ fn density_and_trajectory_noise_agree() {
     );
     let clean_exact = exact.probability("00") + exact.probability("11");
     let clean_traj = traj.probability("00") + traj.probability("11");
-    assert!(
-        (clean_exact - clean_traj).abs() < 0.05,
-        "exact {clean_exact} vs trajectory {clean_traj}"
-    );
+    assert!((clean_exact - clean_traj).abs() < 0.05, "exact {clean_exact} vs trajectory {clean_traj}");
     assert!(clean_exact < 0.999, "noise must be visible");
 }
 

@@ -18,9 +18,8 @@ fn xasm_source() -> impl Strategy<Value = String> {
         (0usize..3).prop_map(|q| format!("X(q[{q}]);")),
         (0usize..3).prop_map(|q| format!("T(q[{q}]);")),
         ((0usize..3), (-3.0f64..3.0)).prop_map(|(q, t)| format!("Ry(q[{q}], {t});")),
-        ((0usize..3), (0usize..3)).prop_filter_map("distinct", |(a, b)| {
-            (a != b).then(|| format!("CX(q[{a}], q[{b}]);"))
-        }),
+        ((0usize..3), (0usize..3))
+            .prop_filter_map("distinct", |(a, b)| { (a != b).then(|| format!("CX(q[{a}], q[{b}]);")) }),
     ];
     prop::collection::vec(gate, 0..12).prop_map(|gates| {
         format!(

@@ -38,9 +38,8 @@ fn is_clean_bell(q: &QReg, shots: usize) -> bool {
 fn legacy_shared_backend_corrupts_concurrent_kernels() {
     let mut corrupted = false;
     for attempt in 0..25 {
-        let handles: Vec<_> = (0..2)
-            .map(|t| std::thread::spawn(move || bell_run(64, attempt * 10 + t, true)))
-            .collect();
+        let handles: Vec<_> =
+            (0..2).map(|t| std::thread::spawn(move || bell_run(64, attempt * 10 + t, true))).collect();
         for h in handles {
             let q = h.join().unwrap();
             if !is_clean_bell(&q, 64) {
@@ -75,9 +74,8 @@ fn legacy_shared_backend_is_fine_single_threaded() {
 fn qpu_manager_fix_isolates_concurrent_kernels() {
     // Many rounds of 4 concurrent kernels: never a corrupted result.
     for round in 0..10 {
-        let handles: Vec<_> = (0..4)
-            .map(|t| std::thread::spawn(move || bell_run(64, round * 100 + t, false)))
-            .collect();
+        let handles: Vec<_> =
+            (0..4).map(|t| std::thread::spawn(move || bell_run(64, round * 100 + t, false))).collect();
         for h in handles {
             let q = h.join().unwrap();
             assert!(

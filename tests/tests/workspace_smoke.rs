@@ -1,0 +1,58 @@
+//! Workspace smoke test: the quickstart Bell kernel driven entirely through
+//! the `qcor::` facade — `initialize` → `qalloc` → XASM parse → `execute` —
+//! proving the whole crate stack (pool → sim → xacc → circuit → core →
+//! facade) links and runs. If this test compiles, every `use qcor::…` the
+//! examples rely on resolves.
+
+use qcor::{execute, execute_with, initialize, qalloc, xasm, ExecOptions, InitOptions};
+
+const BELL_XASM: &str = r#"
+    __qpu__ void bell(qreg q) {
+        H(q[0]);
+        CX(q[0], q[1]);
+        for (int i = 0; i < q.size(); i++) {
+            Measure(q[i]);
+        }
+    }
+"#;
+
+#[test]
+fn quickstart_bell_through_facade() {
+    const SHOTS: usize = 1024;
+    initialize(InitOptions::default().shots(SHOTS)).expect("qpp backend is built in");
+
+    let q = qalloc(2);
+    let bell = xasm::parse_kernel(BELL_XASM, q.size())
+        .expect("valid XASM")
+        .bind(&[])
+        .expect("kernel takes no parameters");
+
+    execute(&q, &bell).expect("execution succeeds");
+
+    let counts = q.measurement_counts();
+    let total: usize = counts.values().sum();
+    assert_eq!(total, SHOTS, "every shot lands in exactly one bitstring");
+    assert_eq!(q.total_shots(), SHOTS);
+
+    // A Bell state only ever measures 00 or 11.
+    for bits in counts.keys() {
+        assert!(bits == "00" || bits == "11", "unexpected Bell outcome {bits:?}");
+    }
+    assert!((q.probability("00") + q.probability("11") - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn seeded_execute_with_is_reproducible() {
+    initialize(InitOptions::default()).expect("qpp backend is built in");
+
+    let bell = xasm::parse_kernel(BELL_XASM, 2).unwrap().bind(&[]).unwrap();
+    let opts = ExecOptions::with_shots(256).seeded(7);
+
+    let a = qalloc(2);
+    execute_with(&a, &bell, &opts).unwrap();
+    let b = qalloc(2);
+    execute_with(&b, &bell, &opts).unwrap();
+
+    assert_eq!(a.measurement_counts(), b.measurement_counts(), "same seed, same counts");
+    assert_eq!(a.total_shots(), 256);
+}

@@ -1,0 +1,252 @@
+//! Minimal stand-in for the `criterion` benchmark harness. The container
+//! building this workspace has no access to crates.io, so the subset the
+//! benches use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — is reimplemented as a
+//! plain wall-clock timer.
+//!
+//! Measurement model: after one warm-up call, each benchmark runs up to
+//! `sample_size` samples or until `measurement_time` elapses (whichever
+//! comes first) and reports min/mean/max per iteration. `--quick` (or
+//! `CRITERION_QUICK=1`) caps every benchmark at a single post-warm-up
+//! sample so a full baseline sweep stays cheap. Statistical machinery
+//! (outlier rejection, regressions, HTML reports) is out of scope.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and times
+/// the routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// (label, samples) — filled by `iter`, reported by the caller.
+    result: Option<Samples>,
+}
+
+struct Samples {
+    times: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` for the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, untimed
+        let budget = self.config.measurement_time;
+        let max_samples = if self.config.quick { 1 } else { self.config.sample_size.max(1) };
+        let started = Instant::now();
+        let mut times = Vec::with_capacity(max_samples);
+        for done in 0..max_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed());
+            if done + 1 < max_samples && started.elapsed() >= budget {
+                break;
+            }
+        }
+        self.result = Some(Samples { times });
+    }
+
+    /// `iter` variant that takes pre-cloned input per call; the stub times
+    /// setup + routine together (benches in this workspace don't use it,
+    /// it exists for drop-in compatibility).
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(&mut self, mut setup: S, mut routine: F) {
+        let mut wrapped = || routine(setup());
+        self.iter(&mut wrapped);
+    }
+}
+
+#[derive(Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    quick: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick")
+            || std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false);
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            quick,
+        }
+    }
+}
+
+fn report(group: Option<&str>, id: &str, samples: &Samples) {
+    let times = &samples.times;
+    if times.is_empty() {
+        return;
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!("{name:<48} time: [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  samples: {}", times.len());
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { config: &self.config, result: None };
+        f(&mut b);
+        if let Some(samples) = b.result {
+            report(None, &id.id, &samples);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.config.clone(), _parent: self }
+    }
+}
+
+/// Group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { config: &self.config, result: None };
+        f(&mut b);
+        if let Some(samples) = b.result {
+            report(Some(&self.name), &id.id, &samples);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { config: &self.config, result: None };
+        f(&mut b, input);
+        if let Some(samples) = b.result {
+            report(Some(&self.name), &id.id, &samples);
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a group-runner function from a list of `fn(&mut Criterion)`
+/// targets, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `fn main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,267 @@
+//! MPMC channels with the `crossbeam::channel` surface used by the
+//! workspace: `unbounded`, `bounded`, cloneable `Sender`/`Receiver`,
+//! blocking `send`/`recv`, and disconnect errors.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// The unsent value is handed back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like real crossbeam: `Debug` without requiring `T: Debug`.
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+}
+
+impl<T> Chan<T> {
+    fn new(capacity: Option<usize>) -> Arc<Self> {
+        Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        })
+    }
+}
+
+/// Sending half of a channel. Clone freely; the channel disconnects for
+/// receivers once the last clone is dropped.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room (bounded channels), then enqueue `value`.
+    /// Fails only when every [`Receiver`] is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(cap) = self.chan.capacity {
+            while state.queue.len() >= cap && state.receivers > 0 {
+                state = self.chan.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).senders += 1;
+        Sender { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.senders -= 1;
+        let disconnected = state.senders == 0;
+        drop(state);
+        if disconnected {
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender(..)")
+    }
+}
+
+/// Receiving half of a channel. Clone freely — each message is delivered to
+/// exactly one receiver (work-stealing semantics, as in crossbeam).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives. Fails only when the channel is empty
+    /// and every [`Sender`] is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.chan.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.chan.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match state.queue.pop_front() {
+            Some(value) => {
+                drop(state);
+                self.chan.not_full.notify_one();
+                Ok(value)
+            }
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of queued messages (snapshot).
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap_or_else(PoisonError::into_inner).receivers += 1;
+        Receiver { chan: Arc::clone(&self.chan) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.receivers -= 1;
+        let disconnected = state.receivers == 0;
+        drop(state);
+        if disconnected {
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver(..)")
+    }
+}
+
+/// Channel with no capacity limit; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Chan::new(None);
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+/// Channel holding at most `cap` queued messages; `send` blocks while full.
+/// A zero capacity is clamped to 1 (this stub has no rendezvous mode; the
+/// workspace never uses `bounded(0)`).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Chan::new(Some(cap.max(1)));
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_errors_when_senders_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_when_receivers_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn cloned_receivers_split_messages() {
+        let (tx, rx1) = unbounded::<u32>();
+        let rx2 = rx1.clone();
+        let n = 1000u32;
+        let t1 = std::thread::spawn(move || (0..).map_while(|_| rx1.recv().ok()).sum::<u32>());
+        let t2 = std::thread::spawn(move || (0..).map_while(|_| rx2.recv().ok()).sum::<u32>());
+        for i in 1..=n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = t1.join().unwrap() + t2.join().unwrap();
+        assert_eq!(total, n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    }
+}

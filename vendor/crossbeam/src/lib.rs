@@ -1,0 +1,10 @@
+//! Minimal API-compatible stand-in for the `crossbeam` crate (channels
+//! only), backed by `std::sync`. The container building this workspace has
+//! no access to crates.io, so the subset the workspace uses — multi-producer
+//! **multi-consumer** `unbounded`/`bounded` channels whose `Receiver` is
+//! `Clone` — is reimplemented here with a `Mutex<VecDeque>` plus two
+//! condvars. Throughput is far below real crossbeam, but the thread-pool
+//! sends one message per parallel construct per worker, so the channel is
+//! nowhere near the hot path.
+
+pub mod channel;

@@ -1,0 +1,76 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// `Vec` of `size` elements drawn from `element`, with `size` uniform in
+/// the given range.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = sample_size(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeMap` with up to `size` entries (duplicate generated keys collapse,
+/// as in real proptest, which also treats the size as a target rather than
+/// a guarantee once keys collide).
+pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy { keys, values, size }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+        let target = sample_size(&self.size, rng);
+        let mut map = BTreeMap::new();
+        // A few extra attempts to approach the target size despite key
+        // collisions, then accept whatever landed.
+        for _ in 0..target.saturating_mul(2) {
+            if map.len() >= target {
+                break;
+            }
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        map
+    }
+}
+
+fn sample_size(range: &Range<usize>, rng: &mut StdRng) -> usize {
+    if range.is_empty() {
+        range.start
+    } else {
+        rng.gen_range(range.clone())
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimal stand-in for the `proptest` crate. The container building this
+//! workspace has no access to crates.io, so the property-test files keep
+//! their original `proptest!` sources and run against this stub instead.
+//!
+//! Semantics versus real proptest:
+//!
+//! * cases are generated from a deterministic per-test seed (test name ×
+//!   case index), so failures are reproducible run to run;
+//! * there is **no shrinking** — a failing case reports the assertion at
+//!   full size;
+//! * `prop_assert*` map to the std `assert*` macros (they panic instead of
+//!   returning `TestCaseError`, which is indistinguishable at test level);
+//! * string strategies support the tiny regex subset the workspace uses
+//!   (character classes, `{n}`/`{n,m}`, `?`, `*`, `+`, `.`, literals).
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` works after
+/// `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Entry macro: expands each `#[test] fn name(pat in strategy, ..) { body }`
+/// into a plain `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config = $cfg;
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                let ($($pat,)+) = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Union of same-valued strategies, each arm equally likely (the stub
+/// ignores proptest's optional arm weights, which the workspace never uses).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,158 @@
+//! String generation from a tiny regex subset: literals, character classes
+//! (`[01]`, `[a-z]`), `.`, escapes (`\d`, `\w`, `\\`), and the quantifiers
+//! `{n}`, `{n,m}`, `?`, `*`, `+` (star/plus capped at 8 repetitions).
+//! This covers the patterns the workspace's property tests use (e.g.
+//! `"[01]{2}"`); anything fancier panics loudly rather than mis-generating.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+enum Atom {
+    /// Set of candidate characters, sampled uniformly.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+pub fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = if piece.min == piece.max { piece.min } else { rng.gen_range(piece.min..=piece.max) };
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Class(chars) => {
+                    let i = rng.gen_range(0..chars.len());
+                    out.push(chars[i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("proptest stub: unterminated class in regex {pattern:?}"));
+                let set = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                Atom::Class((' '..='~').collect())
+            }
+            '\\' => {
+                let esc = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("proptest stub: dangling escape in regex {pattern:?}"));
+                i += 2;
+                Atom::Class(match esc {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                    other => vec![other],
+                })
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("proptest stub: regex feature {:?} not supported (pattern {pattern:?})", chars[i])
+            }
+            literal => {
+                i += 1;
+                Atom::Class(vec![literal])
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close =
+                    chars[i..].iter().position(|&c| c == '}').map(|p| i + p).unwrap_or_else(|| {
+                        panic!("proptest stub: unterminated repetition in regex {pattern:?}")
+                    });
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    None => {
+                        let n = body.parse().expect("repetition count");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo = lo.parse().expect("repetition lower bound");
+                        let hi =
+                            if hi.is_empty() { lo + 8 } else { hi.parse().expect("repetition upper bound") };
+                        (lo, hi)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(body.first() != Some(&'^'), "proptest stub: negated classes not supported (pattern {pattern:?})");
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (lo, hi) = (body[j], body[j + 2]);
+            set.extend(lo..=hi);
+            j += 3;
+        } else {
+            set.push(body[j]);
+            j += 1;
+        }
+    }
+    assert!(!set.is_empty(), "proptest stub: empty class in regex {pattern:?}");
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binary_class_repetition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = sample_regex("[01]{2}", &mut rng);
+            assert_eq!(s.len(), 2);
+            assert!(s.chars().all(|c| c == '0' || c == '1'));
+        }
+    }
+
+    #[test]
+    fn ranges_and_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = sample_regex("[a-c]+x?\\d{1,3}", &mut rng);
+            assert!(s.len() >= 2);
+        }
+    }
+}

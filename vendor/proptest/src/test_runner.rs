@@ -1,0 +1,34 @@
+//! Runner configuration and deterministic per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Subset of proptest's config the workspace uses: the case count.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG for one (test, case) pair: FNV-1a over the test name,
+/// mixed with the case index. Stable across runs and platforms so CI
+/// failures reproduce locally.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case)))
+}

@@ -1,0 +1,91 @@
+//! The distribution subset used by the workspace: [`Standard`],
+//! [`Alphanumeric`], and the [`Distribution`] trait with
+//! [`Rng::sample_iter`](crate::Rng::sample_iter) support.
+
+use crate::RngCore;
+use std::marker::PhantomData;
+
+/// Types that can produce values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution per type: `f64`/`f32` uniform in `[0, 1)`,
+/// integers over their full range, fair `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniformly distributed ASCII letters and digits, yielded as `u8` (matching
+/// rand 0.8, where callers write `.map(char::from)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Alphanumeric;
+
+const ALPHANUMERIC: &[u8; 62] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+impl Distribution<u8> for Alphanumeric {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        loop {
+            // 6 random bits, rejecting 62/63 to stay unbiased.
+            let v = (rng.next_u64() >> 58) as usize;
+            if v < ALPHANUMERIC.len() {
+                return ALPHANUMERIC[v];
+            }
+        }
+    }
+}
+
+/// Iterator returned by [`Rng::sample_iter`](crate::Rng::sample_iter).
+pub struct DistIter<D, R, T> {
+    pub(crate) distr: D,
+    pub(crate) rng: R,
+    pub(crate) _marker: PhantomData<T>,
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}

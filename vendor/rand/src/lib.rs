@@ -1,0 +1,244 @@
+//! Minimal API-compatible stand-in for the `rand` 0.8 crate. The container
+//! building this workspace has no access to crates.io, so the subset the
+//! workspace uses is reimplemented here:
+//!
+//! * [`StdRng`] — xoshiro256++ (Blackman/Vigna), seeded through SplitMix64,
+//!   so `seed_from_u64` streams are high quality and reproducible;
+//! * [`thread_rng`] — a per-thread [`StdRng`] seeded from OS entropy-ish
+//!   sources (time, ASLR, thread id);
+//! * [`Rng`] — `gen`, `gen_range`, `gen_bool`, `sample`, `sample_iter`;
+//! * [`distributions`] — `Standard`, `Alphanumeric`, `Distribution`;
+//! * [`seq::SliceRandom`] — `shuffle`, `choose`.
+//!
+//! Determinism contract: for a fixed seed, `StdRng` produces the same
+//! stream on every platform — the simulator's reproducible-shots tests
+//! rely on this, not on matching upstream `rand` output.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::{Distribution, Standard};
+pub use rngs::{StdRng, ThreadRng};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value via the [`Standard`] distribution (`f64` in `[0, 1)`,
+    /// full-range integers, fair `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive range. Panics if the
+    /// range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    fn sample_iter<T, D: Distribution<T>>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        distributions::DistIter { distr, rng: self, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable generators; [`SeedableRng::from_entropy`] draws a best-effort
+/// nondeterministic seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(rngs::entropy_seed())
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                // Rejection sampling to kill modulo bias.
+                let zone = u128::from(u64::MAX) + 1 - ((u128::from(u64::MAX) + 1) % width);
+                loop {
+                    let v = u128::from(rng.next_u64());
+                    if v < zone {
+                        return (self.start as i128 + (v % width) as i128) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                SampleRange::sample_single(start..end + 1, rng)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit: f64 = Standard.sample(rng);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit: f64 = Standard.sample(rng);
+        self.start + (self.end - self.start) * unit as f32
+    }
+}
+
+/// Per-thread generator handle; see [`rngs::ThreadRng`].
+pub fn thread_rng() -> ThreadRng {
+    rngs::thread_rng()
+}
+
+/// Convenience one-shot sample from the [`Standard`] distribution.
+pub fn random<T>() -> T
+where
+    Standard: Distribution<T>,
+{
+    thread_rng().gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_int_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_float_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-3.0..3.0);
+            assert!((-3.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn alphanumeric_sample_iter() {
+        let s: String =
+            thread_rng().sample_iter(&distributions::Alphanumeric).take(16).map(char::from).collect();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

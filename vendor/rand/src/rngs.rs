@@ -1,0 +1,88 @@
+//! Concrete generators: [`StdRng`] (xoshiro256++) and the per-thread
+//! [`ThreadRng`] handle.
+
+use crate::{RngCore, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// xoshiro256++ (Blackman & Vigna). 256-bit state, 64-bit output, passes
+/// BigCrush; more than adequate for simulator shot sampling.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 — the recommended seeder for xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Best-effort nondeterministic seed material: wall clock, monotonic clock,
+/// an ASLR-dependent address, the thread id, and a process-wide counter.
+pub(crate) fn entropy_seed() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut state = 0x243F_6A88_85A3_08D3u64; // pi digits, nothing-up-my-sleeve
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    state ^= splitmix64(&mut { nanos });
+    state ^= (&COUNTER as *const _ as u64).rotate_left(17);
+    state ^= COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+    let tid = format!("{:?}", std::thread::current().id());
+    for b in tid.bytes() {
+        state = state.rotate_left(8) ^ u64::from(b);
+    }
+    let mut sm = state;
+    splitmix64(&mut sm)
+}
+
+thread_local! {
+    static THREAD_RNG: Rc<RefCell<StdRng>> =
+        Rc::new(RefCell::new(StdRng::seed_from_u64(entropy_seed())));
+}
+
+/// Cheap handle to a lazily initialized per-thread [`StdRng`]. Not `Send`
+/// (each thread gets its own stream), matching rand 0.8.
+#[derive(Debug, Clone)]
+pub struct ThreadRng {
+    rng: Rc<RefCell<StdRng>>,
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.borrow_mut().next_u64()
+    }
+}
+
+pub(crate) fn thread_rng() -> ThreadRng {
+    ThreadRng { rng: THREAD_RNG.with(Rc::clone) }
+}

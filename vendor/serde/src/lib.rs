@@ -1,0 +1,13 @@
+//! Minimal stand-in for `serde`: the two trait names and their no-op
+//! derives. The workspace annotates circuit-IR types with
+//! `#[derive(Serialize, Deserialize)]` but nothing serializes through serde
+//! yet (the JSON the paper's Listing 2 prints is hand-rolled), so empty
+//! traits keep the annotations compiling until the real crate is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

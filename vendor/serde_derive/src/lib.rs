@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! serde stub. The workspace derives these on IR types for forward
+//! compatibility but never serializes through them, so the derives expand to
+//! nothing: the types stay annotated, and swapping in real serde later
+//! requires no source changes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,10 +1,14 @@
 //! Criterion companion to Figure 3: Bell-kernel shot loops at different
-//! simulator thread counts.
+//! simulator thread counts, with the batched shot scheduler (default) and
+//! the pre-scheduler per-gate dispatch path (`Granularity::Sequential`)
+//! side by side. The headline series is `shots512/{1,2}`: before the
+//! scheduler, `/2` was ~100× slower than `/1` on a 1-CPU host because
+//! every tiny amplitude loop paid a pool fork/join.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qcor_circuit::library;
 use qcor_pool::ThreadPool;
-use qcor_sim::{run_shots, RunConfig};
+use qcor_sim::{run_shots, Granularity, RunConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -19,7 +23,21 @@ fn bench_bell(c: &mut Criterion) {
         let pool = Arc::new(ThreadPool::new(threads));
         group.bench_with_input(BenchmarkId::new("shots512", threads), &threads, |b, _| {
             b.iter(|| {
-                let config = RunConfig { shots: 512, seed: Some(1), par_threshold: 2 };
+                let config = RunConfig { shots: 512, seed: Some(1), ..RunConfig::default() };
+                let counts = run_shots(&circuit, Arc::clone(&pool), &config);
+                assert_eq!(counts.values().sum::<usize>(), 512);
+            });
+        });
+        // The pre-scheduler path (every amplitude loop work-shared over the
+        // pool), kept measurable for the A/B trajectory.
+        group.bench_with_input(BenchmarkId::new("shots512_seq", threads), &threads, |b, _| {
+            b.iter(|| {
+                let config = RunConfig {
+                    shots: 512,
+                    seed: Some(1),
+                    granularity: Granularity::Sequential,
+                    ..RunConfig::default()
+                };
                 let counts = run_shots(&circuit, Arc::clone(&pool), &config);
                 assert_eq!(counts.values().sum::<usize>(), 512);
             });
@@ -30,7 +48,7 @@ fn bench_bell(c: &mut Criterion) {
     for tasks in [1usize, 2] {
         group.bench_with_input(BenchmarkId::new("shot_parallel_512", tasks), &tasks, |b, &tasks| {
             b.iter(|| {
-                let config = RunConfig { shots: 512, seed: Some(1), par_threshold: 2 };
+                let config = RunConfig { shots: 512, seed: Some(1), ..RunConfig::default() };
                 let counts = qcor_sim::run_shots_task_parallel(&circuit, tasks, 1, &config);
                 assert_eq!(counts.values().sum::<usize>(), 512);
             });

@@ -23,7 +23,7 @@ fn make_tasks() -> Vec<KernelTask> {
         .map(|i| {
             Box::new(move |pool: Arc<ThreadPool>| {
                 let circuit = library::bell_kernel();
-                let config = RunConfig { shots: SHOTS, seed: Some(42 + i as u64), par_threshold: 2 };
+                let config = RunConfig { shots: SHOTS, seed: Some(42 + i as u64), ..RunConfig::default() };
                 let counts = run_shots(&circuit, pool, &config);
                 assert_eq!(counts.values().sum::<usize>(), SHOTS);
             }) as KernelTask

@@ -57,20 +57,32 @@ fn main() {
 
     let baseline = timer.one_by_one(make_tasks, 1);
     println!("\nbaseline: one-by-one, 1 thread = {:.1} ms", baseline.as_secs_f64() * 1e3);
-    println!("{:-<86}", "");
+    println!("{:-<110}", "");
     println!(
-        "{:>8} {:>14} {:>10} {:>8} | {:>16} {:>10} {:>8}",
-        "threads", "one-by-one ms", "speedup", "paper", "parallel 2x(T/2)", "speedup", "paper"
+        "{:>8} {:>14} {:>10} {:>8} | {:>16} {:>10} {:>8} | {:>12} {:>10}",
+        "threads",
+        "one-by-one ms",
+        "speedup",
+        "paper",
+        "parallel 2x(T/2)",
+        "speedup",
+        "paper",
+        "shared-pool",
+        "speedup"
     );
     let mut always_dominates = true;
     for &t in &ladder {
         let obo = timer.one_by_one(make_tasks, t);
         let par = timer.parallel(make_tasks, (t / 2).max(1));
+        // The batched scheduler's model: both kernels as work items on ONE
+        // shared pool of T threads (no per-task OS thread + private pool).
+        let shared = timer.parallel_shared(make_tasks, t);
         let s_obo = baseline.as_secs_f64() / obo.as_secs_f64();
         let s_par = baseline.as_secs_f64() / par.as_secs_f64();
+        let s_shared = baseline.as_secs_f64() / shared.as_secs_f64();
         let paper = PAPER_POINTS.iter().find(|&&(pt, _, _)| pt == t);
         println!(
-            "{:>8} {:>14.1} {:>10.2} {:>8} | {:>16.1} {:>10.2} {:>8}",
+            "{:>8} {:>14.1} {:>10.2} {:>8} | {:>16.1} {:>10.2} {:>8} | {:>12.1} {:>10.2}",
             t,
             obo.as_secs_f64() * 1e3,
             s_obo,
@@ -78,12 +90,14 @@ fn main() {
             par.as_secs_f64() * 1e3,
             s_par,
             paper.map(|&(_, _, p)| format!("{p:.2}")).unwrap_or_else(|| "-".into()),
+            shared.as_secs_f64() * 1e3,
+            s_shared,
         );
         if s_par < s_obo * 0.95 {
             always_dominates = false;
         }
     }
-    println!("{:-<86}", "");
+    println!("{:-<110}", "");
     println!(
         "shape check: parallel {} one-by-one at every ladder point (paper: parallel always wins)",
         if always_dominates { "matches/dominates" } else { "DOES NOT dominate" }

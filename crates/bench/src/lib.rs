@@ -88,6 +88,34 @@ impl VariantTimer {
         }
         best
     }
+
+    /// Shared-pool parallel (the batched shot scheduler's model): all
+    /// tasks run as work items of one [`ThreadPool::submit_batch`] on a
+    /// single pre-built pool of `total_threads` threads — no OS-thread
+    /// spawn and no private pool per task. A task running on a pool
+    /// worker executes its own parallel constructs inline.
+    pub fn parallel_shared<F>(&self, make_tasks: F, total_threads: usize) -> Duration
+    where
+        F: Fn() -> Vec<KernelTask>,
+    {
+        let mut best = Duration::MAX;
+        for _ in 0..self.reps {
+            let tasks = make_tasks();
+            let pool = Arc::new(ThreadPool::new(total_threads));
+            let elapsed = time_once(|| {
+                let jobs: Vec<_> = tasks
+                    .into_iter()
+                    .map(|task| {
+                        let pool = Arc::clone(&pool);
+                        move || task(pool)
+                    })
+                    .collect();
+                pool.submit_batch(jobs);
+            });
+            best = best.min(elapsed);
+        }
+        best
+    }
 }
 
 /// A row of a reproduction table.
@@ -177,6 +205,8 @@ mod tests {
         assert_eq!(RAN.load(Ordering::Relaxed), 3);
         timer.parallel(make, 1);
         assert_eq!(RAN.load(Ordering::Relaxed), 6);
+        timer.parallel_shared(make, 2);
+        assert_eq!(RAN.load(Ordering::Relaxed), 9);
     }
 
     #[test]

@@ -102,16 +102,19 @@ mod tests {
                 let mgr = QPUManager::instance();
                 mgr.set_qpu(ctx());
                 let mine = mgr.get_qpu().unwrap();
-                let ptr = Arc::as_ptr(&mine.qpu) as *const () as usize;
                 mgr.clear_current();
-                ptr
+                // Return the live Arc: address comparison is only meaningful
+                // while every instance is still allocated (a freed address
+                // can be reused by a later thread's allocation).
+                mine.qpu
             }));
         }
-        let ptrs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        let mut unique = ptrs.clone();
+        let instances: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut unique: Vec<usize> =
+            instances.iter().map(|qpu| Arc::as_ptr(qpu) as *const () as usize).collect();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), ptrs.len(), "each thread must own a distinct accelerator");
+        assert_eq!(unique.len(), instances.len(), "each thread must own a distinct accelerator");
     }
 
     #[test]

@@ -73,6 +73,23 @@ impl InitOptions {
         self.params.insert(key, value);
         self
     }
+
+    /// Explicit shots-per-chunk for the backend's batched shot scheduler
+    /// (see `qcor_sim::ShotPlan`); part of the determinism tuple
+    /// `(seed, tasks, chunk_shots)`. Default: adaptive granularity.
+    pub fn chunk_shots(mut self, chunk_shots: usize) -> Self {
+        self.params.insert("chunk-shots", chunk_shots.max(1));
+        self
+    }
+
+    /// Disable adaptive shot chunking: a kernel invocation runs all its
+    /// shots sequentially on the executing thread with amplitude loops
+    /// work-shared over the simulator pool (the pre-scheduler behavior,
+    /// kept for A/B comparison).
+    pub fn sequential_shots(mut self) -> Self {
+        self.params.insert("granularity", "sequential");
+        self
+    }
 }
 
 /// `quantum::initialize()` — obtain an accelerator for the calling thread

@@ -144,15 +144,19 @@ mod tests {
             let make = || {
                 spawn(|| {
                     let ctx = QPUManager::instance().get_qpu().unwrap();
-                    let ptr = std::sync::Arc::as_ptr(&ctx.qpu) as *const () as usize;
                     let q = qalloc(2);
                     execute(&q, &library::bell_kernel()).unwrap();
-                    (ptr, q.total_shots())
+                    // Hand the live Arc back so the instances can be compared
+                    // while both are still allocated (freed addresses may be
+                    // reused between non-overlapping tasks).
+                    (ctx.qpu, q.total_shots())
                 })
             };
             let (t0, t1) = (make(), make());
-            let (p0, s0) = t0.get();
-            let (p1, s1) = t1.get();
+            let (q0, s0) = t0.get();
+            let (q1, s1) = t1.get();
+            let p0 = std::sync::Arc::as_ptr(&q0) as *const () as usize;
+            let p1 = std::sync::Arc::as_ptr(&q1) as *const () as usize;
             assert_ne!(p0, p1, "parallel tasks must not share an accelerator");
             assert_eq!((s0, s1), (32, 32));
             QPUManager::instance().clear_current();

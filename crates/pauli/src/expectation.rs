@@ -206,7 +206,7 @@ mod tests {
             run_shots(
                 circuit,
                 Arc::clone(&pool),
-                &RunConfig { shots: 20_000, seed: Some(seed), par_threshold: 2 },
+                &RunConfig { shots: 20_000, seed: Some(seed), ..RunConfig::default() },
             )
         });
         let exact_e = exact(&prepare(&prep), &h);

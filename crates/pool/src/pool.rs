@@ -219,6 +219,16 @@ impl ThreadPool {
         ThreadPool { inner }
     }
 
+    /// The process-wide shared team-of-one pool: every parallel construct
+    /// runs inline on the calling thread. Use this instead of
+    /// `Arc::new(ThreadPool::new(1))` on hot paths — a team of one owns no
+    /// workers and no mutable state, so one cached instance serves every
+    /// caller without the per-construction channel/Arc allocations.
+    pub fn sequential() -> Arc<ThreadPool> {
+        static SEQUENTIAL: std::sync::OnceLock<Arc<ThreadPool>> = std::sync::OnceLock::new();
+        Arc::clone(SEQUENTIAL.get_or_init(|| Arc::new(ThreadPool::with_config(1, "qcor-seq".to_string()))))
+    }
+
     /// Total team size, including the calling thread.
     pub fn num_threads(&self) -> usize {
         self.inner.num_threads
@@ -343,6 +353,61 @@ impl ThreadPool {
         F: FnOnce(&crate::Scope<'env>) -> R,
     {
         crate::scope::run_scope(self, f)
+    }
+
+    /// Run a batch of independent jobs to completion and return their
+    /// results in submission order.
+    ///
+    /// This is the coarse-grained companion to [`ThreadPool::parallel_for`]:
+    /// each job is one pre-chunked work item (e.g. a block of simulator
+    /// shots). Jobs are claimed from a shared cursor by
+    /// `min(team, jobs)` participants — the calling thread is a full team
+    /// member and keeps claiming jobs alongside the background workers
+    /// until the batch is drained, so only `min(team, jobs) - 1` dispatch
+    /// messages are paid regardless of the batch length.
+    ///
+    /// Inline small-team path: a batch of one job, a team of one, or a call
+    /// from inside one of this pool's own workers (nested batching) runs
+    /// every job directly on the calling thread, paying zero dispatch cost.
+    ///
+    /// Panics in a job propagate to the caller after the whole batch has
+    /// drained (the [`ThreadPool::scope`] contract).
+    pub fn submit_batch<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        if jobs.len() == 1 || !self.has_workers() || self.on_worker() {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let n = jobs.len();
+        let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        let claim_and_run = || loop {
+            let index = cursor.fetch_add(1, Ordering::Relaxed);
+            if index >= n {
+                break;
+            }
+            let job = jobs[index].lock().take().expect("job claimed twice");
+            let output = job();
+            results.lock().push((index, output));
+        };
+        self.scope(|s| {
+            for _ in 0..(self.inner.num_threads - 1).min(n - 1) {
+                s.spawn(claim_and_run);
+            }
+            claim_and_run();
+        });
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for (index, output) in results.into_inner() {
+            slots[index] = Some(output);
+        }
+        slots.into_iter().map(|slot| slot.expect("batch job did not run")).collect()
     }
 
     pub(crate) fn send_task(&self, task: Box<dyn FnOnce() + Send>) {
@@ -535,6 +600,16 @@ mod tests {
     }
 
     #[test]
+    fn sequential_pool_is_shared_and_inline() {
+        let a = ThreadPool::sequential();
+        let b = ThreadPool::sequential();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert_eq!(a.num_threads(), 1);
+        let tid = std::thread::current().id();
+        a.parallel_for(0..4, |_| assert_eq!(std::thread::current().id(), tid));
+    }
+
+    #[test]
     fn builder_configures_pool() {
         let pool = PoolBuilder::new().num_threads(3).name("bench").build();
         assert_eq!(pool.num_threads(), 3);
@@ -548,5 +623,92 @@ mod tests {
             pool.parallel_for(0..64, |_| {});
             drop(pool);
         }
+    }
+
+    #[test]
+    fn submit_batch_returns_results_in_submission_order() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<_> = (0..37).map(|i| move || i * i).collect();
+        assert_eq!(pool.submit_batch(jobs), (0..37).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submit_batch_empty_and_single_job() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.submit_batch(Vec::<fn() -> i32>::new()), Vec::<i32>::new());
+        let tid = std::thread::current().id();
+        // A single job must run inline on the caller, paying no dispatch.
+        let out = pool.submit_batch(vec![move || std::thread::current().id() == tid]);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn submit_batch_single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let tid = std::thread::current().id();
+        let jobs: Vec<_> = (0..8).map(|_| move || std::thread::current().id() == tid).collect();
+        assert!(pool.submit_batch(jobs).into_iter().all(|inline| inline));
+    }
+
+    #[test]
+    fn submit_batch_jobs_may_borrow_stack_data() {
+        let pool = ThreadPool::new(4);
+        let data = [10u64, 20, 30, 40, 50];
+        let jobs: Vec<_> = data.chunks(2).map(|chunk| move || chunk.iter().sum::<u64>()).collect();
+        assert_eq!(pool.submit_batch(jobs).into_iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn nested_submit_batch_runs_inline() {
+        let pool = std::sync::Arc::new(ThreadPool::new(3));
+        let inner = std::sync::Arc::clone(&pool);
+        let jobs: Vec<_> = (0..4)
+            .map(|i| {
+                let inner = std::sync::Arc::clone(&inner);
+                move || inner.submit_batch((0..4).map(|j| move || i * 10 + j).collect()).len()
+            })
+            .collect();
+        assert_eq!(pool.submit_batch(jobs), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn submit_batch_caller_keeps_claiming_jobs() {
+        // Team of 2 (one background worker). Job 1 blocks until job 2 has
+        // run; if the caller only ever executed the first job, the lone
+        // worker would run job 1 and job 2 in order and deadlock. The
+        // caller claiming jobs beyond its first is what makes this finish.
+        let pool = ThreadPool::new(2);
+        let flag = AtomicBool::new(false);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 0),
+            Box::new(|| {
+                while !flag.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                1
+            }),
+            Box::new(|| {
+                flag.store(true, Ordering::Release);
+                2
+            }),
+        ];
+        let out = pool.submit_batch(jobs.into_iter().map(|job| move || job()).collect::<Vec<_>>());
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn submit_batch_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+                .map(|i| {
+                    Box::new(move || if i == 5 { panic!("job 5 failed") } else { i })
+                        as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            pool.submit_batch(jobs.into_iter().map(|job| move || job()).collect::<Vec<_>>());
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.submit_batch(vec![|| 1, || 2]), vec![1, 2]);
     }
 }

@@ -45,3 +45,13 @@ pub use qcor_xacc::{registry, XaccError};
 // The threading substrate, exposed for advanced users who tune pool sizes
 // the way the paper tunes OMP_NUM_THREADS.
 pub use qcor_pool::{available_parallelism, num_threads_from_env, PoolBuilder, Schedule, ThreadPool};
+
+// The simulator's batched shot scheduler: shot loops are partitioned into
+// chunks sized by an adaptive granularity heuristic and executed as work
+// items on a shared pool, with per-chunk derived RNG streams (fixed
+// `(seed, tasks, chunk_shots)` ⇒ byte-identical merged counts). Exposed
+// for programs that drive the simulator directly or tune chunking.
+pub use qcor_sim as sim;
+pub use qcor_sim::{
+    run_shots, run_shots_planned, run_shots_task_parallel, Counts, Granularity, RunConfig, ShotPlan,
+};

@@ -34,7 +34,7 @@ impl std::fmt::Debug for DensityMatrix {
 impl DensityMatrix {
     /// |0...0⟩⟨0...0| on `n` qubits.
     pub fn new(n: usize) -> Self {
-        Self::with_pool(n, Arc::new(ThreadPool::new(1)))
+        Self::with_pool(n, ThreadPool::sequential())
     }
 
     /// |0...0⟩⟨0...0| with kernels work-shared over `pool`.

@@ -1,9 +1,55 @@
-//! Circuit execution: single shots and repeated sampling.
+//! Circuit execution: single shots, repeated sampling, and the batched
+//! shot scheduler.
 //!
 //! The per-shot loop mirrors how QCOR's `QppAccelerator` services a kernel
 //! invocation with `shots` repetitions; the measurement record format
 //! matches the `AcceleratorBuffer` counts of paper Listing 2 (a map from
 //! bitstring to occurrence count).
+//!
+//! # The batched shot scheduler
+//!
+//! Repeated sampling is scheduled through a [`ShotPlan`]: the `shots`
+//! repetitions are partitioned into contiguous **chunks**, and each chunk
+//! becomes one work item on the run's shared [`ThreadPool`]
+//! (via [`ThreadPool::submit_batch`]). This replaces the original design —
+//! per-shot pool dispatch inside every amplitude loop, and one OS thread
+//! plus a *private* pool per shot task — whose fork/join overhead dominated
+//! small kernels (a Bell kernel at 512 shots ran ~100× slower on a 2-thread
+//! pool than on 1 thread).
+//!
+//! **Chunk sizing** ([`Granularity::Auto`]) is adaptive: the estimated cost
+//! of one shot (`instruction count × 2^qubits` amplitude updates) is
+//! compared against a fixed per-dispatch cost budget, and shots are grouped
+//! until a chunk is expensive enough to amortize its dispatch. Small
+//! kernels therefore run in a handful of chunks (or one, inline on the
+//! calling thread, paying **zero** dispatch cost); large state vectors fall
+//! back to a single work item whose amplitude loops are work-shared over
+//! the pool (the paper's inner simulator-level parallelism), because at
+//! that size per-gate work-sharing beats shot-level chunking.
+//!
+//! **RNG stream derivation**: every chunk seeds its own `StdRng` with
+//! [`derive_stream_seed`]`(base_seed, chunk_index)`. Chunk 0 reuses the
+//! base seed unchanged, so a single-chunk run is byte-identical to the
+//! pre-scheduler sequential executor.
+//!
+//! **Determinism contract**: for a fixed `(seed, tasks, chunk_shots)` the
+//! chunk partition and every chunk's RNG stream are fully determined, and
+//! counts merge by commutative addition — so on chunked plans the merged
+//! [`Counts`] are byte-identical across runs and across pool sizes,
+//! regardless of which worker executes which chunk (chunk states simulate
+//! on a private sequential pool, so no floating-point reduction order is
+//! in play). Changing the partition (different `chunk_shots`, `tasks`, or
+//! heuristic inputs) changes which stream each shot draws from, so counts
+//! differ in detail while the sampled distribution is identical.
+//!
+//! The single-work-item *inner-parallel* path (large states, or
+//! [`Granularity::Sequential`] with one task) is deterministic given the
+//! seed only up to the floating-point summation order of its work-shared
+//! measurement reductions: on a multi-thread pool, partial probability
+//! sums may fold in different orders between runs, and an RNG draw landing
+//! within that ulp-sized gap could in principle flip an outcome. The
+//! byte-identical guarantee is therefore stated for chunked plans (which
+//! is every plan with `tasks > 1` or an explicit `chunk_shots`).
 //!
 //! Bitstring convention: the leftmost character is the outcome of the
 //! lowest-indexed *measured* qubit.
@@ -15,6 +61,7 @@ use qcor_pool::ThreadPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Occurrence counts per measured bitstring, ordered for stable printing.
@@ -74,6 +121,26 @@ pub fn run_once(state: &mut StateVector, circuit: &Circuit, rng: &mut impl Rng) 
     record
 }
 
+/// Chunk-sizing policy of the batched shot scheduler (see the
+/// [module docs](self) for the full description).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// Adaptive: group shots until one chunk's estimated simulation cost
+    /// (`instructions × 2^qubits` amplitude updates per shot) amortizes a
+    /// pool dispatch; large states use a single inner-parallel work item.
+    #[default]
+    Auto,
+    /// Opt out of adaptive chunking. In a single-task run all shots run
+    /// sequentially on the calling thread with amplitude loops work-shared
+    /// over the pool — the pre-scheduler behavior, kept for A/B
+    /// benchmarking. When task-level parallelism is requested explicitly
+    /// ([`run_shots_task_parallel`] / [`ShotPlan::for_tasks`] with
+    /// `tasks > 1`), the task split still applies: the run becomes exactly
+    /// one chunk per task (the legacy task-parallel shape), each with its
+    /// own derived RNG stream.
+    Sequential,
+}
+
 /// Configuration for repeated sampling.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -84,17 +151,169 @@ pub struct RunConfig {
     /// Minimum loop length before kernels use the pool (see
     /// [`StateVector::set_par_threshold`]).
     pub par_threshold: usize,
+    /// Explicit shots-per-chunk override (`None` = derive the chunk size
+    /// from `granularity`). Part of the determinism tuple: fixed
+    /// `(seed, tasks, chunk_shots)` reproduces merged counts exactly.
+    pub chunk_shots: Option<usize>,
+    /// Chunk-sizing policy used when `chunk_shots` is `None`.
+    pub granularity: Granularity,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { shots: 1024, seed: None, par_threshold: 2 }
+        RunConfig {
+            shots: 1024,
+            seed: None,
+            par_threshold: 2,
+            chunk_shots: None,
+            granularity: Granularity::Auto,
+        }
     }
 }
 
-/// Execute `circuit` for `config.shots` repetitions on a state backed by
-/// `pool`, re-preparing |0...0⟩ before each shot, and accumulate the counts
+/// Derive the RNG seed of chunk `index` from a run's base seed.
+///
+/// Chunk 0 reuses the base seed unchanged (a single-chunk run is
+/// byte-identical to the pre-scheduler sequential executor); later chunks
+/// are offset by multiples of the 64-bit golden ratio so `StdRng`'s
+/// SplitMix64 seed expansion decorrelates their streams.
+pub fn derive_stream_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64))
+}
+
+/// Estimated cost budget (in amplitude updates) one chunk should reach to
+/// amortize the pool message + worker wakeup that dispatching it costs.
+/// A dispatch is ~1–10 µs; an amplitude update a few ns, so 2^18 updates
+/// keep dispatch overhead well under 1% of chunk runtime.
+const TARGET_CHUNK_AMP_OPS: u64 = 1 << 18;
+
+/// States with at least this many amplitudes stop being shot-chunked: a
+/// single gate's loop is then long enough that work-sharing the amplitude
+/// loops over the pool (the paper's inner simulator level) beats running
+/// whole shots on different workers.
+const INNER_PAR_MIN_AMPS: u64 = 1 << 14;
+
+/// Estimated simulation cost of one shot, in amplitude updates.
+fn shot_cost(circuit: &Circuit) -> u64 {
+    (circuit.len().max(1) as u64).saturating_mul(1u64 << circuit.num_qubits())
+}
+
+/// A partition of `shots` repetitions into contiguous chunks, plus the
+/// decision whether amplitude loops work-share over the run's pool.
+///
+/// The plan is a pure function of `(circuit, config, tasks)` — never of the
+/// pool size — which is what makes seeded counts invariant under the pool
+/// actually used to execute it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShotPlan {
+    shots: usize,
+    chunk_shots: usize,
+    inner_parallel: bool,
+}
+
+impl ShotPlan {
+    /// Plan a single-task run (see [`ShotPlan::for_tasks`]).
+    pub fn for_circuit(circuit: &Circuit, config: &RunConfig) -> ShotPlan {
+        Self::for_tasks(circuit, config, 1)
+    }
+
+    /// Plan a run that should expose at least `tasks`-way shot-level
+    /// parallelism: the chunk size is capped at `ceil(shots / tasks)`.
+    ///
+    /// `tasks` is clamped to `shots` first, so over-subscribed requests
+    /// (`tasks > shots`) never produce empty chunks.
+    pub fn for_tasks(circuit: &Circuit, config: &RunConfig, tasks: usize) -> ShotPlan {
+        let shots = config.shots;
+        let tasks = tasks.max(1).min(shots.max(1));
+        let per_task = shots.div_ceil(tasks).max(1);
+        let amps = 1u64 << circuit.num_qubits();
+        let requested = match (config.chunk_shots, config.granularity) {
+            (Some(k), _) => k.max(1),
+            (None, Granularity::Sequential) => shots.max(1),
+            (None, Granularity::Auto) => {
+                if amps >= INNER_PAR_MIN_AMPS {
+                    // One work item per task; amplitude loops carry the
+                    // parallelism when the whole run stays on the caller.
+                    shots.max(1)
+                } else {
+                    (TARGET_CHUNK_AMP_OPS / shot_cost(circuit)).max(1) as usize
+                }
+            }
+        };
+        let chunk_shots = requested.min(per_task).max(1);
+        // Work-sharing amplitude loops only pays off when the whole run is
+        // one work item on the calling thread; chunk jobs executing on pool
+        // workers run their loops inline anyway (nested parallelism).
+        let inner_parallel = config.chunk_shots.is_none()
+            && chunk_shots >= shots.max(1)
+            && (config.granularity == Granularity::Sequential || amps >= INNER_PAR_MIN_AMPS);
+        ShotPlan { shots, chunk_shots, inner_parallel }
+    }
+
+    /// A plan with an explicit chunk size and no inner parallelism —
+    /// the partition used by the property tests.
+    pub fn with_chunk_shots(shots: usize, chunk_shots: usize) -> ShotPlan {
+        ShotPlan { shots, chunk_shots: chunk_shots.max(1), inner_parallel: false }
+    }
+
+    /// Total shots covered by the plan.
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// Shots per chunk (the final chunk may be shorter).
+    pub fn chunk_shots(&self) -> usize {
+        self.chunk_shots
+    }
+
+    /// Number of chunks in the partition. Zero shots → zero chunks: an
+    /// over-subscribed or empty request never creates empty work items.
+    pub fn num_chunks(&self) -> usize {
+        self.shots.div_ceil(self.chunk_shots)
+    }
+
+    /// Whether the plan runs as one work item with amplitude loops
+    /// work-shared over the pool (the paper's inner simulator level).
+    pub fn inner_parallel(&self) -> bool {
+        self.inner_parallel
+    }
+
+    /// The contiguous shot ranges of the partition, in order. Together the
+    /// ranges cover `0..shots` exactly once and none is empty.
+    pub fn chunks(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        let (shots, chunk) = (self.shots, self.chunk_shots);
+        (0..shots).step_by(chunk).map(move |lo| lo..(lo + chunk).min(shots))
+    }
+}
+
+/// Run `shots` repetitions of `circuit` against `state`, drawing from
+/// `rng`, accumulating bitstring counts into `counts`.
+fn sample_into(
+    state: &mut StateVector,
+    circuit: &Circuit,
+    rng: &mut StdRng,
+    shots: usize,
+    counts: &mut Counts,
+) {
+    for shot in 0..shots {
+        if shot > 0 {
+            state.reset_to_zero();
+        }
+        let record = run_once(state, circuit, rng);
+        *counts.entry(record.bitstring()).or_insert(0) += 1;
+    }
+}
+
+/// Execute `circuit` for `config.shots` repetitions through the batched
+/// shot scheduler (see the [module docs](self)) and accumulate the counts
 /// of the measured bitstrings.
+///
+/// The [`ShotPlan`] partitions the shots into chunks, each chunk runs as
+/// one work item on `pool` with its own derived RNG stream and a private
+/// sequential state vector, and the per-chunk counts are merged. Plans
+/// that resolve to a single chunk (small kernels) run inline on the
+/// calling thread with zero dispatch cost; large states run as a single
+/// work item whose amplitude loops are work-shared over `pool`.
 ///
 /// Re-running the full circuit per shot (rather than sampling a final
 /// distribution) keeps the workload faithful to the paper's evaluation,
@@ -102,33 +321,74 @@ impl Default for RunConfig {
 /// parallelize, and is required anyway once circuits contain mid-circuit
 /// measurement or reset.
 pub fn run_shots(circuit: &Circuit, pool: Arc<ThreadPool>, config: &RunConfig) -> Counts {
-    let mut rng = match config.seed {
-        Some(s) => StdRng::seed_from_u64(s),
-        None => StdRng::from_entropy(),
-    };
-    let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
-    state.set_par_threshold(config.par_threshold);
-    let mut counts = Counts::new();
-    for shot in 0..config.shots {
-        if shot > 0 {
-            state.reset_to_zero();
-        }
-        let record = run_once(&mut state, circuit, &mut rng);
-        let key = record.bitstring();
-        *counts.entry(key).or_insert(0) += 1;
-    }
-    counts
+    let plan = ShotPlan::for_circuit(circuit, config);
+    run_shots_planned(circuit, pool, config, &plan)
 }
 
-/// Shot-level parallelism (paper §II): split `config.shots` across
-/// `tasks` OS threads, each with its **own state vector and pool** of
-/// `threads_per_task` simulator threads, and merge the counts.
+/// Execute an explicit [`ShotPlan`] (the scheduler core behind
+/// [`run_shots`] and [`run_shots_task_parallel`]).
+pub fn run_shots_planned(
+    circuit: &Circuit,
+    pool: Arc<ThreadPool>,
+    config: &RunConfig,
+    plan: &ShotPlan,
+) -> Counts {
+    let mut merged = Counts::new();
+    if plan.shots() == 0 {
+        return merged;
+    }
+    let base_seed = match config.seed {
+        Some(s) => s,
+        None => StdRng::from_entropy().gen(),
+    };
+    if plan.inner_parallel() {
+        let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
+        state.set_par_threshold(config.par_threshold);
+        let mut rng = StdRng::seed_from_u64(base_seed);
+        sample_into(&mut state, circuit, &mut rng, plan.shots(), &mut merged);
+        return merged;
+    }
+    let par_threshold = config.par_threshold;
+    let jobs: Vec<_> = plan
+        .chunks()
+        .enumerate()
+        .map(|(index, span)| {
+            let seed = derive_stream_seed(base_seed, index);
+            move || {
+                let mut state = StateVector::new(circuit.num_qubits());
+                state.set_par_threshold(par_threshold);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut counts = Counts::new();
+                sample_into(&mut state, circuit, &mut rng, span.len(), &mut counts);
+                counts
+            }
+        })
+        .collect();
+    for partial in pool.submit_batch(jobs) {
+        for (bits, count) in partial {
+            *merged.entry(bits).or_insert(0) += count;
+        }
+    }
+    merged
+}
+
+/// Shot-level parallelism (paper §II): expose at least `tasks`-way
+/// parallelism over `config.shots` repetitions on **one shared pool** of
+/// `tasks × threads_per_task` threads, and merge the counts.
 ///
-/// Each task derives its RNG stream from `config.seed` and its task index,
-/// so results are reproducible but statistically independent across tasks.
-/// Note that for a fixed seed the merged counts differ from the
-/// single-task sequence (shots are partitioned differently), while the
-/// underlying distribution is identical.
+/// Unlike the original design (one OS thread plus a private pool per
+/// task), tasks are chunks of a [`ShotPlan`] executed as work items on the
+/// shared pool — over-subscribed requests (`tasks > shots`) are clamped so
+/// no empty task ever allocates a state vector, and each chunk derives its
+/// RNG stream from `config.seed` and its chunk index, so merged counts are
+/// byte-identical across runs for a fixed `(seed, tasks, chunk_shots)`.
+/// For a fixed seed the merged counts differ from the single-task sequence
+/// (shots are partitioned differently), while the underlying distribution
+/// is identical.
+///
+/// `threads_per_task` sizes the shared pool; extra threads let more chunks
+/// run concurrently (a chunk's own amplitude loops run inline on its
+/// worker).
 pub fn run_shots_task_parallel(
     circuit: &Circuit,
     tasks: usize,
@@ -136,32 +396,11 @@ pub fn run_shots_task_parallel(
     config: &RunConfig,
 ) -> Counts {
     assert!(tasks >= 1);
-    if tasks == 1 {
-        let pool = Arc::new(ThreadPool::new(threads_per_task));
-        return run_shots(circuit, pool, config);
-    }
-    let base = config.shots / tasks;
-    let remainder = config.shots % tasks;
-    let handles: Vec<_> = (0..tasks)
-        .map(|t| {
-            let circuit = circuit.clone();
-            let shots = base + usize::from(t < remainder);
-            let seed =
-                config.seed.map(|s| s.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
-            let par_threshold = config.par_threshold;
-            std::thread::spawn(move || {
-                let pool = Arc::new(ThreadPool::new(threads_per_task));
-                run_shots(&circuit, pool, &RunConfig { shots, seed, par_threshold })
-            })
-        })
-        .collect();
-    let mut merged = Counts::new();
-    for h in handles {
-        for (bits, count) in h.join().expect("shot task panicked") {
-            *merged.entry(bits).or_insert(0) += count;
-        }
-    }
-    merged
+    let effective_tasks = tasks.min(config.shots).max(1);
+    let team = effective_tasks.saturating_mul(threads_per_task.max(1));
+    let pool = Arc::new(ThreadPool::new(team));
+    let plan = ShotPlan::for_tasks(circuit, config, tasks);
+    run_shots_planned(circuit, pool, config, &plan)
 }
 
 /// Exact output distribution of a measurement-free prefix: strips terminal
@@ -293,6 +532,110 @@ mod tests {
         let config = RunConfig { shots: 10, seed: Some(6), ..Default::default() };
         let counts = run_shots_task_parallel(&circuit, 3, 1, &config);
         assert_eq!(counts.values().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn derive_stream_seed_keeps_chunk_zero_identity() {
+        assert_eq!(derive_stream_seed(42, 0), 42);
+        assert_ne!(derive_stream_seed(42, 1), derive_stream_seed(42, 2));
+    }
+
+    #[test]
+    fn auto_plan_runs_small_kernel_in_one_inline_chunk() {
+        // Bell at 512 shots costs ~16 amplitude updates per shot — far below
+        // the dispatch budget, so the plan must collapse to a single chunk
+        // with no amplitude-loop work-sharing (the 100×-overhead fix).
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 512, seed: Some(1), ..Default::default() };
+        let plan = ShotPlan::for_circuit(&circuit, &config);
+        assert_eq!(plan.num_chunks(), 1);
+        assert!(!plan.inner_parallel());
+    }
+
+    #[test]
+    fn auto_plan_uses_inner_parallelism_for_large_states() {
+        let mut circuit = Circuit::new(15);
+        for q in 0..15 {
+            circuit.h(q);
+        }
+        let config = RunConfig { shots: 16, seed: Some(1), ..Default::default() };
+        let plan = ShotPlan::for_circuit(&circuit, &config);
+        assert!(plan.inner_parallel());
+        assert_eq!(plan.num_chunks(), 1);
+        // Asking for task-level parallelism overrides the single work item.
+        let plan2 = ShotPlan::for_tasks(&circuit, &config, 4);
+        assert!(!plan2.inner_parallel());
+        assert_eq!(plan2.num_chunks(), 4);
+    }
+
+    #[test]
+    fn sequential_granularity_preserves_legacy_path() {
+        let circuit = library::bell_kernel();
+        let config = RunConfig {
+            shots: 64,
+            seed: Some(9),
+            granularity: Granularity::Sequential,
+            ..Default::default()
+        };
+        let plan = ShotPlan::for_circuit(&circuit, &config);
+        assert!(plan.inner_parallel());
+        assert_eq!(plan.num_chunks(), 1);
+        // Single-chunk runs reuse the base seed, so the scheduler output is
+        // byte-identical to the legacy sequential executor.
+        let auto =
+            run_shots(&circuit, seq_pool(), &RunConfig { granularity: Granularity::Auto, ..config.clone() });
+        let seq = run_shots(&circuit, seq_pool(), &config);
+        assert_eq!(auto, seq);
+    }
+
+    #[test]
+    fn explicit_chunk_shots_is_honored() {
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 100, seed: Some(3), chunk_shots: Some(7), ..Default::default() };
+        let plan = ShotPlan::for_circuit(&circuit, &config);
+        assert_eq!(plan.chunk_shots(), 7);
+        assert_eq!(plan.num_chunks(), 15);
+        let spans: Vec<_> = plan.chunks().collect();
+        assert_eq!(spans.first().unwrap().clone(), 0..7);
+        assert_eq!(spans.last().unwrap().clone(), 98..100);
+        assert_eq!(spans.iter().map(|s| s.len()).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn oversubscribed_tasks_never_create_empty_work() {
+        // The pre-scheduler executor spawned `tasks` OS threads each with a
+        // pool and a full state vector even when a task had zero shots.
+        // The plan must clamp instead.
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 3, seed: Some(4), ..Default::default() };
+        let plan = ShotPlan::for_tasks(&circuit, &config, 64);
+        assert!(plan.num_chunks() <= 3, "at most one chunk per shot, got {}", plan.num_chunks());
+        assert!(plan.chunks().all(|s| !s.is_empty()));
+        let counts = run_shots_task_parallel(&circuit, 64, 1, &config);
+        assert_eq!(counts.values().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn zero_shots_zero_chunks() {
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 0, seed: Some(1), ..Default::default() };
+        let plan = ShotPlan::for_tasks(&circuit, &config, 8);
+        assert_eq!(plan.num_chunks(), 0);
+        assert_eq!(plan.chunks().count(), 0);
+        assert!(run_shots_task_parallel(&circuit, 8, 1, &config).is_empty());
+    }
+
+    #[test]
+    fn fixed_schedule_is_reproducible_across_runs_and_pools() {
+        let circuit = library::bell_kernel();
+        for (shots, tasks, chunk) in [(1000, 3, Some(16)), (10, 3, None), (5, 7, Some(2))] {
+            let config = RunConfig { shots, seed: Some(11), chunk_shots: chunk, ..Default::default() };
+            let a = run_shots_task_parallel(&circuit, tasks, 1, &config);
+            let b = run_shots_task_parallel(&circuit, tasks, 2, &config);
+            let c = run_shots_task_parallel(&circuit, tasks, 1, &config);
+            assert_eq!(a, b, "thread count must not change the schedule's counts");
+            assert_eq!(a, c, "re-running a fixed (seed, tasks, chunk_shots) must be identical");
+        }
     }
 
     #[test]

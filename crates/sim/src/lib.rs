@@ -10,7 +10,8 @@
 //! * [`Complex64`] — in-tree complex arithmetic,
 //! * [`StateVector`] — amplitudes plus primitive update kernels,
 //! * [`gates`] — gate matrices and instruction dispatch,
-//! * [`executor`] — shot loops, counts, and exact distributions.
+//! * [`executor`] — the batched shot scheduler ([`ShotPlan`]), counts,
+//!   and exact distributions.
 
 mod complex;
 pub mod density;
@@ -21,6 +22,7 @@ mod state;
 pub use complex::{c64, Complex64};
 pub use density::{DensityMatrix, NoiseModel};
 pub use executor::{
-    exact_distribution, run_once, run_shots, run_shots_task_parallel, Counts, RunConfig, ShotRecord,
+    derive_stream_seed, exact_distribution, run_once, run_shots, run_shots_planned, run_shots_task_parallel,
+    Counts, Granularity, RunConfig, ShotPlan, ShotRecord,
 };
 pub use state::StateVector;

@@ -65,7 +65,7 @@ impl std::fmt::Debug for StateVector {
 impl StateVector {
     /// |0...0⟩ on `num_qubits` qubits, simulated sequentially.
     pub fn new(num_qubits: usize) -> Self {
-        Self::with_pool(num_qubits, Arc::new(ThreadPool::new(1)))
+        Self::with_pool(num_qubits, ThreadPool::sequential())
     }
 
     /// |0...0⟩ with amplitude loops work-shared over `pool`.
@@ -83,7 +83,7 @@ impl StateVector {
         let n = amps.len().trailing_zeros() as usize;
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!((norm - 1.0).abs() < 1e-9, "state must be normalized (got norm² = {norm})");
-        StateVector { num_qubits: n, amps, pool: Arc::new(ThreadPool::new(1)), par_threshold: 2 }
+        StateVector { num_qubits: n, amps, pool: ThreadPool::sequential(), par_threshold: 2 }
     }
 
     /// Construct from raw amplitudes without the unit-norm check — used by
@@ -92,7 +92,7 @@ impl StateVector {
     pub(crate) fn raw_with_amplitudes(amps: Vec<Complex64>) -> Self {
         assert!(amps.len().is_power_of_two() && !amps.is_empty());
         let n = amps.len().trailing_zeros() as usize;
-        StateVector { num_qubits: n, amps, pool: Arc::new(ThreadPool::new(1)), par_threshold: 2 }
+        StateVector { num_qubits: n, amps, pool: ThreadPool::sequential(), par_threshold: 2 }
     }
 
     /// Reset to |0...0⟩ without reallocating.

@@ -11,13 +11,18 @@ use crate::hetmap::HetMap;
 use crate::XaccError;
 use qcor_circuit::Circuit;
 use qcor_pool::ThreadPool;
-use qcor_sim::{run_shots, RunConfig};
+use qcor_sim::{run_shots, Granularity, RunConfig};
 use std::sync::Arc;
 
 /// State-vector simulator backend.
 pub struct QppAccelerator {
     pool: Arc<ThreadPool>,
     par_threshold: usize,
+    /// Explicit shots-per-chunk for the batched shot scheduler
+    /// (`None` = adaptive granularity).
+    chunk_shots: Option<usize>,
+    /// Chunk-sizing policy when `chunk_shots` is unset.
+    granularity: Granularity,
 }
 
 impl QppAccelerator {
@@ -28,17 +33,27 @@ impl QppAccelerator {
 
     /// A backend sharing an existing pool.
     pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
-        QppAccelerator { pool, par_threshold: 2 }
+        QppAccelerator { pool, par_threshold: 2, chunk_shots: None, granularity: Granularity::Auto }
     }
 
     /// Construct from registry params: `threads` (default: all cores or
     /// `QCOR_NUM_THREADS`), `par-threshold` (see
-    /// [`qcor_sim::StateVector::set_par_threshold`]).
+    /// [`qcor_sim::StateVector::set_par_threshold`]), `chunk-shots`
+    /// (explicit scheduler chunk size) and `granularity`
+    /// (`"auto"` | `"sequential"`).
     pub fn from_params(params: &HetMap) -> Self {
         let threads = params.get_usize("threads").unwrap_or_else(qcor_pool::num_threads_from_env);
         let mut acc = Self::new(threads.max(1));
         if let Some(t) = params.get_usize("par-threshold") {
             acc.par_threshold = t.max(1);
+        }
+        acc.chunk_shots = params.get_usize("chunk-shots").map(|k| k.max(1));
+        if let Some(g) = params.get_str("granularity") {
+            acc.granularity = match g {
+                "sequential" => Granularity::Sequential,
+                "auto" => Granularity::Auto,
+                other => panic!("unknown granularity {other:?}: expected \"auto\" or \"sequential\""),
+            };
         }
         acc
     }
@@ -67,7 +82,13 @@ impl Accelerator for QppAccelerator {
                 buffer.size()
             )));
         }
-        let config = RunConfig { shots: opts.shots, seed: opts.seed, par_threshold: self.par_threshold };
+        let config = RunConfig {
+            shots: opts.shots,
+            seed: opts.seed,
+            par_threshold: self.par_threshold,
+            chunk_shots: self.chunk_shots,
+            granularity: self.granularity,
+        };
         let counts = run_shots(circuit, Arc::clone(&self.pool), &config);
         buffer.merge_counts(&counts);
         Ok(())
@@ -90,6 +111,24 @@ mod tests {
         acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(1)).unwrap();
         assert_eq!(buf.total_shots(), 512);
         assert!(buf.measurements().keys().all(|k| k == "00" || k == "11"));
+    }
+
+    #[test]
+    fn from_params_parses_scheduler_knobs() {
+        let acc = QppAccelerator::from_params(
+            &HetMap::new()
+                .with("threads", 1usize)
+                .with("chunk-shots", 8usize)
+                .with("granularity", "sequential"),
+        );
+        assert_eq!(acc.chunk_shots, Some(8));
+        assert_eq!(acc.granularity, Granularity::Sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown granularity")]
+    fn from_params_rejects_unknown_granularity() {
+        QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("granularity", "Sequential"));
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl Accelerator for SharedQueueAccelerator {
         for inst in drained {
             assembled.try_push(inst).map_err(|e| XaccError::Execution(e.to_string()))?;
         }
-        let config = RunConfig { shots: opts.shots, seed: opts.seed, par_threshold: 2 };
+        let config = RunConfig { shots: opts.shots, seed: opts.seed, ..RunConfig::default() };
         let counts = run_shots(&assembled, Arc::clone(&self.pool), &config);
         buffer.merge_counts(&counts);
         Ok(())

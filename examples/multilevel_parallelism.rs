@@ -72,7 +72,7 @@ fn main() {
     // Shot-level parallelism demonstrated standalone on the Bell kernel:
     // the same 1024 shots, one task vs two tasks, identical distribution.
     let bell = qcor_circuit::library::bell_kernel();
-    let config = RunConfig { shots: 1024, seed: Some(1), par_threshold: 2 };
+    let config = RunConfig { shots: 1024, seed: Some(1), ..RunConfig::default() };
     for tasks in [1usize, 2] {
         let t = Instant::now();
         let counts = run_shots_task_parallel(&bell, tasks, 1, &config);

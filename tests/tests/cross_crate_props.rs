@@ -4,9 +4,9 @@
 //! and with either cloneable backend instance.
 
 use proptest::prelude::*;
-use qcor_circuit::{xasm, Circuit};
+use qcor_circuit::{library, xasm, Circuit};
 use qcor_pool::ThreadPool;
-use qcor_sim::{run_shots, RunConfig};
+use qcor_sim::{run_shots, run_shots_task_parallel, RunConfig, ShotPlan};
 use qcor_xacc::{registry, AcceleratorBuffer, ExecOptions, HetMap};
 use std::sync::Arc;
 
@@ -46,7 +46,7 @@ proptest! {
         let direct = run_shots(
             &circuit,
             Arc::new(ThreadPool::new(1)),
-            &RunConfig { shots: 64, seed: Some(seed), par_threshold: 2 },
+            &RunConfig { shots: 64, seed: Some(seed), ..RunConfig::default() },
         );
         let via_acc = counts_via_accelerator(&circuit, 1, seed);
         prop_assert_eq!(direct, via_acc);
@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn pool_size_does_not_change_seeded_counts(src in xasm_source(), seed in 0u64..500) {
         let circuit = xasm::parse_kernel(&src, 3).unwrap().bind(&[]).unwrap();
-        let config = RunConfig { shots: 48, seed: Some(seed), par_threshold: 2 };
+        let config = RunConfig { shots: 48, seed: Some(seed), ..RunConfig::default() };
         let seq = run_shots(&circuit, Arc::new(ThreadPool::new(1)), &config);
         let par = run_shots(&circuit, Arc::new(ThreadPool::new(3)), &config);
         prop_assert_eq!(seq, par, "thread count must never affect results");
@@ -78,5 +78,70 @@ proptest! {
         for bits in counts.keys() {
             prop_assert_eq!(bits.len(), 3, "every qubit is measured exactly once");
         }
+    }
+
+    // ---- batched shot scheduler properties ------------------------------
+
+    /// Merged counts from the batched scheduler always sum to
+    /// `config.shots`, for arbitrary (shots, tasks, chunk_shots) — both via
+    /// the task-parallel entry point and via a plain `run_shots`.
+    #[test]
+    fn scheduler_merged_counts_sum_to_shots(
+        shots in 0usize..300,
+        tasks in 1usize..6,
+        chunk in 0usize..40,
+        seed in 0u64..500,
+    ) {
+        let circuit = library::bell_kernel();
+        // chunk 0 encodes "no explicit override" (adaptive granularity).
+        let chunk_shots = (chunk > 0).then_some(chunk);
+        let config = RunConfig { shots, seed: Some(seed), chunk_shots, ..RunConfig::default() };
+        let merged = run_shots_task_parallel(&circuit, tasks, 1, &config);
+        prop_assert_eq!(merged.values().sum::<usize>(), shots);
+        let direct = run_shots(&circuit, Arc::new(ThreadPool::new(2)), &config);
+        prop_assert_eq!(direct.values().sum::<usize>(), shots);
+    }
+
+    /// The chunk partition covers `0..shots` exactly once: chunks are
+    /// contiguous, in order, non-empty, and their lengths sum to `shots` —
+    /// for explicit chunk sizes and for the task-capped planner.
+    #[test]
+    fn shot_plan_partitions_cover_exactly_once(
+        shots in 0usize..5000,
+        tasks in 1usize..9,
+        chunk in 1usize..700,
+    ) {
+        let explicit = ShotPlan::with_chunk_shots(shots, chunk);
+        let config = RunConfig { shots, chunk_shots: Some(chunk), ..RunConfig::default() };
+        let planned = ShotPlan::for_tasks(&library::bell_kernel(), &config, tasks);
+        for plan in [explicit, planned] {
+            let mut next = 0usize;
+            let mut chunks = 0usize;
+            for span in plan.chunks() {
+                prop_assert_eq!(span.start, next, "chunks must be contiguous and ordered");
+                prop_assert!(!span.is_empty(), "no chunk may be empty");
+                next = span.end;
+                chunks += 1;
+            }
+            prop_assert_eq!(next, shots, "chunks must cover 0..shots");
+            prop_assert_eq!(chunks, plan.num_chunks());
+        }
+    }
+
+    /// A fixed (seed, tasks, chunk_shots) schedule is reproducible: two
+    /// runs merge to byte-identical counts, whatever the pool size.
+    #[test]
+    fn scheduler_is_deterministic_for_fixed_tuple(
+        shots in 0usize..200,
+        tasks in 1usize..6,
+        chunk in 0usize..30,
+        seed in 0u64..500,
+    ) {
+        let circuit = library::ghz_kernel(3);
+        let chunk_shots = (chunk > 0).then_some(chunk);
+        let config = RunConfig { shots, seed: Some(seed), chunk_shots, ..RunConfig::default() };
+        let a = run_shots_task_parallel(&circuit, tasks, 1, &config);
+        let b = run_shots_task_parallel(&circuit, tasks, 2, &config);
+        prop_assert_eq!(a, b);
     }
 }

@@ -5,8 +5,8 @@
 //! θ-space").
 
 use qcor::{
-    create_objective_function, create_optimizer, qalloc, HetMap, Kernel, ObjectiveFunction, OptimizerResult,
-    QcorError,
+    create_objective_function, create_optimizer, qalloc, ExecutionService, HetMap, Kernel, ObjectiveFunction,
+    OptimizerResult, QcorError,
 };
 use qcor_pauli::{deuteron_hamiltonian, PauliSum};
 
@@ -70,7 +70,9 @@ pub fn deuteron_vqe() -> Result<VqeResult, QcorError> {
 
 /// Multi-start VQE: one asynchronous task per starting point (each with
 /// its own objective and accelerator-independent evaluation), returning
-/// the best result. This is the §VII VQE parallelization scenario.
+/// the best result. This is the §VII VQE parallelization scenario. Tasks
+/// ride the global kernel queue (`qcor::async_task`), so an arbitrary
+/// number of starts never spawns more than the service's thread budget.
 pub fn deuteron_vqe_multistart(starts: &[f64], optimizer_name: &'static str) -> Result<VqeResult, QcorError> {
     let futures: Vec<_> = starts
         .iter()
@@ -80,9 +82,36 @@ pub fn deuteron_vqe_multistart(starts: &[f64], optimizer_name: &'static str) -> 
             })
         })
         .collect();
+    join_best(futures)
+}
+
+/// Multi-start VQE submitted to an explicit [`ExecutionService`]: heavy
+/// sweeps inherit the service's bounded queue and backpressure policy
+/// instead of the global defaults. A start that the service sheds
+/// (`ShedOldest`) surfaces as [`QcorError::TaskShed`] rather than being
+/// lost silently.
+pub fn deuteron_vqe_multistart_on(
+    service: &ExecutionService,
+    starts: &[f64],
+    optimizer_name: &'static str,
+) -> Result<VqeResult, QcorError> {
+    let futures = starts
+        .iter()
+        .map(|&theta0| {
+            service.submit(move || {
+                run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, optimizer_name, &[theta0])
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    join_best(futures)
+}
+
+fn join_best(futures: Vec<qcor::TaskFuture<Result<VqeResult, QcorError>>>) -> Result<VqeResult, QcorError> {
     let mut best: Option<VqeResult> = None;
     for f in futures {
-        let result = f.get()?;
+        // The error-aware join: queue-level outcomes (shed tasks) surface
+        // as errors instead of panics.
+        let result = f.wait()??;
         let better = match &best {
             Some(b) => result.energy < b.energy,
             None => true,
@@ -123,6 +152,19 @@ mod tests {
         let multi = deuteron_vqe_multistart(&[-2.0, 0.0, 1.0, 3.0], "l-bfgs").unwrap();
         assert!(multi.energy <= single.energy + 1e-9);
         assert!((multi.energy - DEUTERON_GROUND_STATE).abs() < 1e-3, "{multi:?}");
+    }
+
+    #[test]
+    fn multistart_on_bounded_service_matches_global_path() {
+        use qcor::{BackpressurePolicy, ExecServiceConfig};
+        // A 2-thread service with a tiny blocking queue: all four starts
+        // flow through without loss, and the best energy still lands.
+        let svc = ExecutionService::new(
+            ExecServiceConfig::default().threads(2).capacity(2).policy(BackpressurePolicy::Block),
+        );
+        let multi = deuteron_vqe_multistart_on(&svc, &[-2.0, 0.0, 1.0, 3.0], "l-bfgs").unwrap();
+        assert!((multi.energy - DEUTERON_GROUND_STATE).abs() < 1e-3, "{multi:?}");
+        assert_eq!(svc.stats().shed, 0);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Perf-regression guard for the async kernel queue.
+//!
+//! Drives the execution service to saturation — many more submissions
+//! than queue capacity, Block backpressure — and records submit latency
+//! and end-to-end throughput to `BENCH_queue.json`, mirroring
+//! `shotsched_guard`. The guard **exits non-zero** if the queued path is
+//! more than [`MAX_RATIO`]× slower than running the identical workload
+//! inline, i.e. if per-task queue overhead regresses. It also
+//! sanity-checks the backpressure contract (peak queue occupancy never
+//! exceeds capacity; nothing is shed or rejected under Block).
+//!
+//! ```text
+//! cargo run -p qcor-bench --release --bin queue_guard
+//! ```
+
+use qcor::{BackpressurePolicy, ExecServiceConfig, ExecutionService, InitOptions, Kernel};
+use std::time::{Duration, Instant};
+
+const TASKS: usize = 96;
+const SHOTS: usize = 256;
+const CAPACITY: usize = 8;
+const SERVICE_THREADS: usize = 2;
+const MAX_RATIO: f64 = 5.0;
+
+const BELL: &str = "H(q[0]); CX(q[0], q[1]); Measure(q[0]); Measure(q[1]);";
+
+fn bell_task(seed: u64) -> usize {
+    qcor::initialize(InitOptions::default().threads(1).shots(SHOTS).seed(seed)).unwrap();
+    let q = qcor::qalloc(2);
+    Kernel::from_xasm(BELL, 2).unwrap().invoke(&q, &[]).unwrap();
+    let shots = q.total_shots();
+    qcor::QPUManager::instance().clear_current();
+    shots
+}
+
+fn main() {
+    // Baseline: the identical workload inline on one thread.
+    let inline_start = Instant::now();
+    let mut total = 0usize;
+    for i in 0..TASKS {
+        total += bell_task(i as u64);
+    }
+    assert_eq!(total, TASKS * SHOTS);
+    let inline_time = inline_start.elapsed();
+
+    // Queued: saturate a small bounded queue (capacity far below the task
+    // count) so Block backpressure is actually exercised.
+    let svc = ExecutionService::new(
+        ExecServiceConfig::default()
+            .threads(SERVICE_THREADS)
+            .capacity(CAPACITY)
+            .policy(BackpressurePolicy::Block),
+    );
+    let queued_start = Instant::now();
+    let mut submit_latencies: Vec<Duration> = Vec::with_capacity(TASKS);
+    let futures: Vec<_> = (0..TASKS)
+        .map(|i| {
+            let t = Instant::now();
+            let f = svc.submit(move || bell_task(i as u64)).expect("Block submission cannot fail");
+            submit_latencies.push(t.elapsed());
+            f
+        })
+        .collect();
+    let total: usize = futures.into_iter().map(|f| f.get()).sum();
+    assert_eq!(total, TASKS * SHOTS);
+    let queued_time = queued_start.elapsed();
+
+    let stats = svc.stats();
+    assert_eq!(stats.submitted, TASKS);
+    assert_eq!(stats.completed, TASKS);
+    assert_eq!((stats.rejected, stats.shed), (0, 0), "Block policy must not lose work");
+    assert!(
+        stats.peak_queue_len <= CAPACITY,
+        "backpressure violated: peak queue {} > capacity {CAPACITY}",
+        stats.peak_queue_len
+    );
+
+    submit_latencies.sort_unstable();
+    let p50 = submit_latencies[TASKS / 2];
+    let max = *submit_latencies.last().unwrap();
+    let throughput = TASKS as f64 / queued_time.as_secs_f64();
+    let ratio = queued_time.as_secs_f64() / inline_time.as_secs_f64();
+
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"command\": \"cargo run -p qcor-bench --release --bin queue_guard\",\n    \
+         \"logical_cpus\": {},\n    \
+         \"workload\": \"{TASKS} bell tasks x {SHOTS} shots, service threads={SERVICE_THREADS}, capacity={CAPACITY}, policy=block\",\n    \
+         \"guard\": \"fail if queued wall time divided by inline wall time exceeds {MAX_RATIO}\",\n    \
+         \"note\": \"async kernel-queue overhead guard; submit latency includes time blocked by backpressure\"\n  }},\n  \
+         \"ratio_queued_over_inline\": {ratio:.3},\n  \
+         \"throughput_tasks_per_sec\": {throughput:.1},\n  \
+         \"inline_wall_ns\": {:.1},\n  \
+         \"queued_wall_ns\": {:.1},\n  \
+         \"submit_latency_p50_ns\": {:.1},\n  \
+         \"submit_latency_max_ns\": {:.1},\n  \
+         \"peak_queue_len\": {},\n  \"capacity\": {CAPACITY}\n}}\n",
+        qcor_pool::available_parallelism(),
+        inline_time.as_secs_f64() * 1e9,
+        queued_time.as_secs_f64() * 1e9,
+        p50.as_secs_f64() * 1e9,
+        max.as_secs_f64() * 1e9,
+        stats.peak_queue_len,
+    );
+    std::fs::write("BENCH_queue.json", &json).expect("failed to write BENCH_queue.json");
+
+    println!("inline  {TASKS} tasks: {:>10.1} us", inline_time.as_secs_f64() * 1e6);
+    println!(
+        "queued  {TASKS} tasks: {:>10.1} us  ({throughput:.0} tasks/s)",
+        queued_time.as_secs_f64() * 1e6
+    );
+    println!(
+        "submit latency p50 {:.1} us, max {:.1} us (includes backpressure blocking)",
+        p50.as_secs_f64() * 1e6,
+        max.as_secs_f64() * 1e6
+    );
+    println!("peak queue {} / capacity {CAPACITY}", stats.peak_queue_len);
+    qcor_bench::enforce_guard_ratio("queued / inline", ratio, MAX_RATIO, "BENCH_queue.json");
+}

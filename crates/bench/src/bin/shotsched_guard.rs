@@ -80,10 +80,6 @@ fn main() {
     for (name, time) in &rows {
         println!("{name:<38} {:>10.1} us", time.as_secs_f64() * 1e6);
     }
-    println!("\nshots512/2 ÷ shots512/1 = {ratio:.2} (limit {MAX_RATIO}, pre-scheduler ~100)");
-    if ratio > MAX_RATIO {
-        eprintln!("FAIL: dispatch-overhead regression — ratio {ratio:.2} exceeds {MAX_RATIO}");
-        std::process::exit(1);
-    }
-    println!("OK: within the regression budget; recorded to BENCH_shotsched.json");
+    println!("(pre-scheduler baseline ratio: ~100)");
+    qcor_bench::enforce_guard_ratio("shots512/2 / shots512/1", ratio, MAX_RATIO, "BENCH_shotsched.json");
 }

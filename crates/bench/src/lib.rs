@@ -26,6 +26,19 @@ pub fn time_once<F: FnOnce()>(f: F) -> Duration {
     start.elapsed()
 }
 
+/// Shared tail of a perf-guard binary (`shotsched_guard`, `queue_guard`):
+/// print `ratio` against its regression `limit` and **exit non-zero** on
+/// breach, so a CI step fails. `what` names the ratio (e.g. "queued /
+/// inline"); `recorded_to` names the BENCH_*.json the caller just wrote.
+pub fn enforce_guard_ratio(what: &str, ratio: f64, limit: f64, recorded_to: &str) {
+    println!("\n{what} = {ratio:.2} (limit {limit})");
+    if ratio > limit {
+        eprintln!("FAIL: {what} ratio {ratio:.2} exceeds the regression limit {limit}");
+        std::process::exit(1);
+    }
+    println!("OK: within the regression budget; recorded to {recorded_to}");
+}
+
 /// Run `make_tasks()` under both variants `reps` times and keep the best
 /// (minimum) wall time per variant — the standard way to suppress noise
 /// for throughput-style comparisons.

@@ -13,6 +13,13 @@
 //!    maps each OS thread to its own accelerator instance (Listing 8), so
 //!    concurrent kernels never share simulator state.
 //!
+//! Beyond the paper, the runtime scales this shape out: [`spawn`] /
+//! [`async_task`] enqueue on a bounded kernel queue drained by a shared
+//! pool ([`ExecutionService`], with block / reject / shed-oldest
+//! backpressure), and the [`QPUManager`] routes initializations across
+//! registered backends ([`RoutingPolicy`]: pinned, round-robin, or by
+//! [`BackendCapability`]).
+//!
 //! The paper's Bell example (Listing 4) translates directly:
 //!
 //! ```
@@ -40,6 +47,7 @@
 //! ```
 
 mod allocation;
+mod exec_service;
 mod kernel;
 mod objective;
 pub mod optim;
@@ -50,16 +58,29 @@ mod threading;
 pub use allocation::{
     allocated_buffer_count, clear_allocated_buffers, find_buffer, qalloc, qalloc_named, QReg,
 };
+pub use exec_service::{BackpressurePolicy, ExecServiceConfig, ExecutionService, ServiceStats};
 pub use kernel::Kernel;
 pub use objective::{create_objective_function, EvalStrategy, ObjectiveFunction};
 pub use optim::{create_optimizer, Optimizer, OptimizerResult};
-pub use qpu_manager::QPUManager;
+pub use qpu_manager::{QPUManager, RoutingPolicy};
 pub use runtime::{
     current_options, execute, execute_with, initialize, initialize_legacy_shared, InitOptions,
 };
 pub use threading::{async_task, spawn, TaskFuture};
 
-pub use qcor_xacc::{Accelerator, AcceleratorBuffer, ExecOptions, HetMap, HetValue};
+pub use qcor_xacc::{Accelerator, AcceleratorBuffer, BackendCapability, ExecOptions, HetMap, HetValue};
+
+/// Submit `f` to the global [`ExecutionService`] under its configured
+/// backpressure policy (`QCOR_QUEUE_POLICY`). Unlike [`spawn`], a full
+/// queue can surface as [`QcorError::QueueFull`] (reject) or resolve the
+/// oldest queued task as [`QcorError::TaskShed`] (shed-oldest).
+pub fn submit<F, T>(f: F) -> Result<TaskFuture<T>, QcorError>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    ExecutionService::global().submit(f)
+}
 
 /// Errors surfaced by the runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +93,15 @@ pub enum QcorError {
     Execution(String),
     /// Kernel construction/binding failed.
     Kernel(String),
+    /// The execution-service queue is at its high-water mark and the
+    /// backpressure policy is `Reject`.
+    QueueFull,
+    /// The task was shed from the queue (`ShedOldest` backpressure)
+    /// before it could run.
+    TaskShed,
+    /// Backend routing failed (bad policy parameters, or no backend
+    /// matches the requested capability).
+    Routing(String),
 }
 
 impl std::fmt::Display for QcorError {
@@ -85,6 +115,14 @@ impl std::fmt::Display for QcorError {
             QcorError::UnknownBackend(name) => write!(f, "unknown backend `{name}`"),
             QcorError::Execution(msg) => write!(f, "kernel execution failed: {msg}"),
             QcorError::Kernel(msg) => write!(f, "kernel error: {msg}"),
+            QcorError::QueueFull => write!(
+                f,
+                "kernel queue is at its high-water mark and the backpressure policy rejects new work"
+            ),
+            QcorError::TaskShed => {
+                write!(f, "task was shed from the kernel queue by the shed-oldest backpressure policy")
+            }
+            QcorError::Routing(msg) => write!(f, "backend routing failed: {msg}"),
         }
     }
 }

@@ -1,9 +1,22 @@
-//! The `QPUManager` singleton (paper Listing 8): a map from thread id to
-//! that thread's accelerator instance and execution options.
+//! The `QPUManager` singleton (paper Listing 8), grown into a router: a
+//! map from thread id to that thread's accelerator instance plus a
+//! process-wide [`RoutingPolicy`] that decides **which backend** each
+//! `initialize` call is steered to.
+//!
+//! Routing answers the multi-backend half of the scaling story: one
+//! process can serve mixed workloads across the `qpp` / `qpp-noisy` /
+//! `qpp-density` / `remote` services, either pinned (the paper's original
+//! behaviour), rotated round-robin over a named list, or matched by
+//! [`BackendCapability`]. Each distinct candidate list gets one shared
+//! process-wide rotation cursor, so concurrent initializations under the
+//! same list spread exactly evenly over its candidates, while different
+//! lists rotate independently.
 
 use crate::runtime::InitOptions;
+use crate::QcorError;
 use parking_lot::Mutex;
-use qcor_xacc::{Accelerator, ExecOptions};
+use qcor_xacc::{registry, Accelerator, BackendCapability, ExecOptions};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use std::thread::ThreadId;
@@ -16,15 +29,65 @@ use std::thread::ThreadId;
 pub struct ThreadContext {
     /// This thread's accelerator instance.
     pub qpu: Arc<dyn Accelerator>,
+    /// The **registry key** routing resolved for this context (not
+    /// necessarily `qpu.name()` — custom services may register under any
+    /// key). Child tasks re-initialize pinned to this key.
+    pub resolved_backend: String,
     /// Shots/seed used by `execute`.
     pub exec: ExecOptions,
     /// The options this context was initialized from.
     pub init: InitOptions,
 }
 
-/// Singleton mapping `thread::id -> Accelerator` (paper Listing 8).
+/// How [`crate::initialize`] picks the backend service a thread is handed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RoutingPolicy {
+    /// Use the backend named in `InitOptions::backend` verbatim (the
+    /// paper's behaviour; the default).
+    #[default]
+    Pinned,
+    /// Rotate over the named backends with a process-wide shared cursor:
+    /// successive initializations (from any thread) take successive
+    /// entries, so mixed workloads spread evenly.
+    RoundRobin(Vec<String>),
+    /// Rotate over every **cloneable** registered service advertising the
+    /// given capability (singletons are excluded — sharing one instance
+    /// across threads is the §V-A.2 race).
+    Capability(BackendCapability),
+}
+
+thread_local! {
+    /// Installed on first registration; its destructor evicts the calling
+    /// thread's map entry when the OS thread exits, so short-lived threads
+    /// that never called `clear_current` don't leak `ThreadContext`s in a
+    /// long-running service.
+    static EVICTION_GUARD: RefCell<Option<EvictionGuard>> = const { RefCell::new(None) };
+}
+
+struct EvictionGuard {
+    /// Captured at installation: `std::thread::current()` is not reliable
+    /// inside TLS destructors, so the id is stored, not re-derived.
+    id: ThreadId,
+}
+
+impl Drop for EvictionGuard {
+    fn drop(&mut self) {
+        if let Some(mgr) = INSTANCE.get() {
+            mgr.evict_thread(self.id);
+        }
+    }
+}
+
+/// Singleton mapping `thread::id -> Accelerator` (paper Listing 8) and
+/// routing `initialize` calls across backends.
 pub struct QPUManager {
     qpu_map: Mutex<HashMap<ThreadId, ThreadContext>>,
+    policy: Mutex<RoutingPolicy>,
+    /// One shared rotation cursor **per candidate list**: distinct
+    /// round-robin lists (or capability matches) rotate independently, so
+    /// two subsystems with different lists don't phase-lock each other
+    /// onto fixed entries.
+    cursors: Mutex<HashMap<String, usize>>,
 }
 
 static INSTANCE: OnceLock<QPUManager> = OnceLock::new();
@@ -32,13 +95,25 @@ static INSTANCE: OnceLock<QPUManager> = OnceLock::new();
 impl QPUManager {
     /// `QPUManager::getInstance()` — the singleton accessor.
     pub fn instance() -> &'static QPUManager {
-        INSTANCE.get_or_init(|| QPUManager { qpu_map: Mutex::new(HashMap::new()) })
+        INSTANCE.get_or_init(|| QPUManager {
+            qpu_map: Mutex::new(HashMap::new()),
+            policy: Mutex::new(RoutingPolicy::Pinned),
+            cursors: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Register the calling thread's accelerator (the setter of
     /// Listing 8, called by `quantum::initialize()`).
     pub fn set_qpu(&self, ctx: ThreadContext) {
-        self.qpu_map.lock().insert(std::thread::current().id(), ctx);
+        let id = std::thread::current().id();
+        self.qpu_map.lock().insert(id, ctx);
+        // Arm the eviction guard so the entry cannot outlive the thread.
+        EVICTION_GUARD.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(EvictionGuard { id });
+            }
+        });
     }
 
     /// The calling thread's context, if it has initialized.
@@ -63,9 +138,75 @@ impl QPUManager {
         self.qpu_map.lock().remove(&std::thread::current().id());
     }
 
+    /// Remove a specific thread's registration (the eviction/drop path for
+    /// exited threads; also usable by supervisors that track thread ids).
+    pub fn evict_thread(&self, id: ThreadId) -> bool {
+        self.qpu_map.lock().remove(&id).is_some()
+    }
+
+    /// Whether `id` currently has a registered context.
+    pub fn thread_is_registered(&self, id: ThreadId) -> bool {
+        self.qpu_map.lock().contains_key(&id)
+    }
+
     /// Number of threads currently registered.
     pub fn registered_threads(&self) -> usize {
         self.qpu_map.lock().len()
+    }
+
+    /// Set the process-wide routing policy applied to `initialize` calls
+    /// that don't carry their own (see `InitOptions::routing`).
+    pub fn set_routing_policy(&self, policy: RoutingPolicy) {
+        *self.policy.lock() = policy;
+    }
+
+    /// The process-wide routing policy.
+    pub fn routing_policy(&self) -> RoutingPolicy {
+        self.policy.lock().clone()
+    }
+
+    /// Resolve the backend service name an initialization should use.
+    ///
+    /// `policy = None` means "inherit the manager's process-wide policy";
+    /// `requested` is the `InitOptions::backend` name, honored verbatim
+    /// under [`RoutingPolicy::Pinned`].
+    pub fn route(&self, policy: Option<&RoutingPolicy>, requested: &str) -> Result<String, QcorError> {
+        let inherited;
+        let policy = match policy {
+            Some(p) => p,
+            None => {
+                inherited = self.routing_policy();
+                &inherited
+            }
+        };
+        match policy {
+            RoutingPolicy::Pinned => Ok(requested.to_string()),
+            RoutingPolicy::RoundRobin(backends) => {
+                if backends.is_empty() {
+                    return Err(QcorError::Routing("round-robin routing over an empty backend list".into()));
+                }
+                Ok(backends[self.next_slot(backends) % backends.len()].clone())
+            }
+            RoutingPolicy::Capability(cap) => {
+                let candidates = registry::global().cloneable_services_with_capability(*cap);
+                if candidates.is_empty() {
+                    return Err(QcorError::Routing(format!(
+                        "no cloneable backend advertises capability `{cap}`"
+                    )));
+                }
+                Ok(candidates[self.next_slot(&candidates) % candidates.len()].clone())
+            }
+        }
+    }
+
+    /// Atomically advance the rotation cursor for this candidate list.
+    fn next_slot(&self, candidates: &[String]) -> usize {
+        let key = candidates.join(",");
+        let mut cursors = self.cursors.lock();
+        let slot = cursors.entry(key).or_insert(0);
+        let current = *slot;
+        *slot = slot.wrapping_add(1);
+        current
     }
 }
 
@@ -77,6 +218,7 @@ mod tests {
     fn ctx() -> ThreadContext {
         ThreadContext {
             qpu: Arc::new(QppAccelerator::new(1)),
+            resolved_backend: "qpp".to_string(),
             exec: ExecOptions::default(),
             init: InitOptions::default(),
         }
@@ -126,5 +268,106 @@ mod tests {
         assert!(mgr.update_exec(ExecOptions::with_shots(5)));
         assert_eq!(mgr.get_qpu().unwrap().exec.shots, 5);
         mgr.clear_current();
+    }
+
+    #[test]
+    fn exited_thread_registration_is_evicted() {
+        let mgr = QPUManager::instance();
+        // The thread registers but never calls clear_current — the TLS
+        // eviction guard must reap the entry at thread exit.
+        let id = std::thread::spawn(|| {
+            QPUManager::instance().set_qpu(ctx());
+            assert!(QPUManager::instance().get_qpu().is_some());
+            std::thread::current().id()
+        })
+        .join()
+        .unwrap();
+        assert!(!mgr.thread_is_registered(id), "exited thread must not leak a ThreadContext");
+    }
+
+    #[test]
+    fn clear_then_exit_does_not_double_remove() {
+        // clear_current followed by thread exit: the guard's drop is a
+        // harmless no-op, and a later thread re-registering is unaffected.
+        std::thread::spawn(|| {
+            let mgr = QPUManager::instance();
+            mgr.set_qpu(ctx());
+            mgr.clear_current();
+            assert!(mgr.get_qpu().is_none());
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn pinned_routing_honors_requested_name() {
+        let mgr = QPUManager::instance();
+        assert_eq!(mgr.route(Some(&RoutingPolicy::Pinned), "qpp-noisy").unwrap(), "qpp-noisy");
+    }
+
+    #[test]
+    fn round_robin_rotates_over_backends() {
+        let mgr = QPUManager::instance();
+        let policy = RoutingPolicy::RoundRobin(vec!["a".into(), "b".into()]);
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..10 {
+            *seen.entry(mgr.route(Some(&policy), "qpp").unwrap()).or_insert(0usize) += 1;
+        }
+        // The cursor is per candidate list and this list is unique to this
+        // test, so the 10 draws are contiguous: exact 5/5 balance.
+        assert_eq!(seen.get("a").copied().unwrap_or(0), 5, "{seen:?}");
+        assert_eq!(seen.get("b").copied().unwrap_or(0), 5, "{seen:?}");
+    }
+
+    #[test]
+    fn distinct_round_robin_lists_rotate_independently() {
+        // Interleaved draws from two different lists must each alternate
+        // over their own entries (no cross-list phase locking).
+        let mgr = QPUManager::instance();
+        let pa = RoutingPolicy::RoundRobin(vec!["a1".into(), "a2".into()]);
+        let pb = RoutingPolicy::RoundRobin(vec!["b1".into(), "b2".into()]);
+        let mut a_names = Vec::new();
+        let mut b_names = Vec::new();
+        for _ in 0..2 {
+            a_names.push(mgr.route(Some(&pa), "qpp").unwrap());
+            b_names.push(mgr.route(Some(&pb), "qpp").unwrap());
+        }
+        assert_eq!(a_names, vec!["a1".to_string(), "a2".to_string()]);
+        assert_eq!(b_names, vec!["b1".to_string(), "b2".to_string()]);
+    }
+
+    #[test]
+    fn round_robin_empty_list_errors() {
+        let mgr = QPUManager::instance();
+        assert!(matches!(
+            mgr.route(Some(&RoutingPolicy::RoundRobin(Vec::new())), "qpp"),
+            Err(QcorError::Routing(_))
+        ));
+    }
+
+    #[test]
+    fn capability_routing_resolves_registered_backend() {
+        let mgr = QPUManager::instance();
+        assert_eq!(
+            mgr.route(Some(&RoutingPolicy::Capability(BackendCapability::Noisy)), "qpp").unwrap(),
+            "qpp-noisy"
+        );
+        assert_eq!(
+            mgr.route(Some(&RoutingPolicy::Capability(BackendCapability::Density)), "qpp").unwrap(),
+            "qpp-density"
+        );
+    }
+
+    #[test]
+    fn global_policy_roundtrips_and_defaults_to_pinned() {
+        let mgr = QPUManager::instance();
+        assert_eq!(mgr.route(None, "qpp").unwrap(), "qpp");
+        // Use a single-entry rotation that resolves to the default backend
+        // anyway, so a concurrently-running test that initializes during
+        // this window is routed identically to Pinned.
+        mgr.set_routing_policy(RoutingPolicy::RoundRobin(vec!["qpp".into()]));
+        assert_eq!(mgr.routing_policy(), RoutingPolicy::RoundRobin(vec!["qpp".into()]));
+        assert_eq!(mgr.route(None, "ignored-under-round-robin").unwrap(), "qpp");
+        mgr.set_routing_policy(RoutingPolicy::Pinned);
     }
 }

@@ -4,24 +4,34 @@
 //! `std::async` and require the user to call `quantum::initialize()`
 //! manually at the top of each thread (a limitation the paper notes in
 //! §V-C, proposing `qcor::thread` / `qcor::async` wrappers as the fix).
-//! These are those wrappers: they capture the parent thread's initialize
-//! options, re-initialize on the child (obtaining a *fresh* accelerator
-//! instance from the cloneable factory), run the closure, and tear the
-//! registration down.
+//! These are those wrappers. Since the async-queue rework they no longer
+//! spawn one OS thread per task: every task is enqueued on the global
+//! [`ExecutionService`](crate::ExecutionService) — a bounded kernel queue
+//! drained by a fixed-size shared pool — and still gets a *fresh*
+//! accelerator instance by replaying the parent thread's initialize
+//! options on its executor.
 //!
 //! [`TaskFuture`] plays the role of `std::future`: `get()` blocks for and
-//! returns the task's value; `is_ready()` polls without blocking.
+//! returns the task's value; `is_ready()` polls without blocking;
+//! `wait()` is the error-aware join that surfaces queue-level outcomes
+//! (a task shed by backpressure) instead of panicking.
 
-use crate::qpu_manager::QPUManager;
-use crate::runtime::{current_options, initialize};
+use crate::exec_service::ExecutionService;
+use crate::QcorError;
 use crossbeam::channel::{bounded, Receiver};
-use std::thread::JoinHandle;
+
+/// How a queued task ended: ran to completion (value or panic payload) or
+/// was shed by the queue's backpressure policy before running.
+pub(crate) enum TaskOutcome<T> {
+    Completed(std::thread::Result<T>),
+    Shed,
+}
 
 /// A handle to an asynchronously running task (the `std::future` analogue
-/// of paper Listing 5).
+/// of paper Listing 5), resolved by the execution service when the task
+/// leaves the kernel queue.
 pub struct TaskFuture<T> {
-    rx: Receiver<std::thread::Result<T>>,
-    handle: JoinHandle<()>,
+    rx: Receiver<TaskOutcome<T>>,
 }
 
 impl<T> std::fmt::Debug for TaskFuture<T> {
@@ -31,19 +41,43 @@ impl<T> std::fmt::Debug for TaskFuture<T> {
 }
 
 impl<T> TaskFuture<T> {
+    pub(crate) fn new(rx: Receiver<TaskOutcome<T>>) -> Self {
+        TaskFuture { rx }
+    }
+
+    /// An already-resolved future (used for inline nested execution).
+    pub(crate) fn ready(outcome: TaskOutcome<T>) -> Self
+    where
+        T: Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        let _ = tx.send(outcome);
+        TaskFuture { rx }
+    }
+
     /// True when the task has finished and `get` will not block.
     pub fn is_ready(&self) -> bool {
         !self.rx.is_empty()
     }
 
+    /// Block until the task completes and return its outcome: `Ok(value)`,
+    /// or [`QcorError::TaskShed`] if the queue's backpressure policy shed
+    /// this task before it ran. Re-raises the task's panic, if any.
+    pub fn wait(self) -> Result<T, QcorError> {
+        match self.rx.recv().expect("task dropped its result channel without resolving") {
+            TaskOutcome::Completed(Ok(value)) => Ok(value),
+            TaskOutcome::Completed(Err(payload)) => std::panic::resume_unwind(payload),
+            TaskOutcome::Shed => Err(QcorError::TaskShed),
+        }
+    }
+
     /// Block until the task completes and return its value
-    /// (`future.get()`). Re-raises the task's panic, if any.
+    /// (`future.get()`). Re-raises the task's panic; panics if the task
+    /// was shed (use [`TaskFuture::wait`] to observe shedding as an error).
     pub fn get(self) -> T {
-        let result = self.rx.recv().expect("task thread dropped its result channel");
-        let _ = self.handle.join();
-        match result {
-            Ok(v) => v,
-            Err(payload) => std::panic::resume_unwind(payload),
+        match self.wait() {
+            Ok(value) => value,
+            Err(err) => panic!("task did not complete: {err}"),
         }
     }
 
@@ -53,34 +87,31 @@ impl<T> TaskFuture<T> {
     }
 }
 
-/// Launch `f` on a new thread with automatic per-thread quantum
-/// initialization (the proposed `qcor::thread` wrapper).
+/// Launch `f` as a task on the global execution service with automatic
+/// per-task quantum initialization (the proposed `qcor::thread` wrapper).
 ///
-/// If the parent thread has initialized, the child re-initializes with the
-/// same options — and therefore gets its **own accelerator instance**; if
-/// not, the child starts uninitialized and `f` may call
-/// [`initialize`](crate::initialize) itself.
+/// If the parent thread has initialized, the task re-initializes with the
+/// same options on its executor — and therefore gets its **own
+/// accelerator instance**; if not, the task starts uninitialized and `f`
+/// may call [`initialize`](crate::initialize) itself.
+///
+/// Submission blocks while the kernel queue is at its high-water mark
+/// (backpressure); use [`ExecutionService::submit`] on a configured
+/// service for reject/shed semantics.
+///
+/// Tasks run on a **fixed-size** executor pool. A task may freely spawn
+/// and join its own children (they run inline on its executor), but a
+/// task that blocks on the future of a *sibling* top-level task can
+/// exhaust the executor slots if enough of its kind pile up — join
+/// sibling futures from the submitting thread instead.
 pub fn spawn<F, T>(f: F) -> TaskFuture<T>
 where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
-    let inherited = current_options();
-    let (tx, rx) = bounded(1);
-    let handle = std::thread::Builder::new()
-        .name("qcor-task".to_string())
-        .spawn(move || {
-            if let Some(opts) = inherited {
-                // Fresh instance per thread: the QPUManager registration
-                // that the paper's manual quantum::initialize() performed.
-                initialize(opts).expect("re-initializing inherited backend cannot fail");
-            }
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-            QPUManager::instance().clear_current();
-            let _ = tx.send(result);
-        })
-        .expect("failed to spawn qcor task thread");
-    TaskFuture { rx, handle }
+    ExecutionService::global()
+        .submit_blocking(f)
+        .expect("blocking submission to the global execution service cannot fail")
 }
 
 /// Asynchronously launch `f` (the `qcor::async` analogue of Listing 5).
@@ -98,6 +129,7 @@ where
 mod tests {
     use super::*;
     use crate::allocation::qalloc;
+    use crate::qpu_manager::QPUManager;
     use crate::runtime::{execute, InitOptions};
     use qcor_circuit::library;
 
@@ -183,5 +215,10 @@ mod tests {
         let task = spawn(|| panic!("deliberate"));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || task.get()));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn wait_returns_ok_for_completed_task() {
+        assert_eq!(spawn(|| 7).wait(), Ok(7));
     }
 }

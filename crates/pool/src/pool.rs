@@ -410,6 +410,25 @@ impl ThreadPool {
         slots.into_iter().map(|slot| slot.expect("batch job did not run")).collect()
     }
 
+    /// Run `f` on one of the pool's background workers as a detached
+    /// fire-and-forget task: the call returns immediately and nothing is
+    /// joined. This is the building block for external work queues (the
+    /// runtime's async execution service) that track completion themselves.
+    ///
+    /// If the pool has no workers (team of one) or the caller is already a
+    /// worker of this pool, `f` runs inline on the calling thread to
+    /// guarantee forward progress, exactly like [`crate::Scope::spawn`].
+    pub fn spawn_detached<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if !self.has_workers() || self.on_worker() {
+            f();
+            return;
+        }
+        self.send_task(Box::new(f));
+    }
+
     pub(crate) fn send_task(&self, task: Box<dyn FnOnce() + Send>) {
         self.inner.sender.send(Message::Task(task)).expect("pool workers disconnected");
     }
@@ -623,6 +642,42 @@ mod tests {
             pool.parallel_for(0..64, |_| {});
             drop(pool);
         }
+    }
+
+    #[test]
+    fn spawn_detached_runs_on_worker_and_completes() {
+        let pool = ThreadPool::new(3);
+        let done = Arc::new(AtomicUsize::new(0));
+        let caller = std::thread::current().id();
+        let off_caller = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let done = Arc::clone(&done);
+            let off_caller = Arc::clone(&off_caller);
+            pool.spawn_detached(move || {
+                if std::thread::current().id() != caller {
+                    off_caller.fetch_add(1, Ordering::Relaxed);
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        while done.load(Ordering::Relaxed) < 16 {
+            std::thread::yield_now();
+        }
+        // With workers available, detached tasks never run on the caller.
+        assert_eq!(off_caller.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn spawn_detached_team_of_one_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let tid = std::thread::current().id();
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran2 = Arc::clone(&ran);
+        pool.spawn_detached(move || {
+            assert_eq!(std::thread::current().id(), tid);
+            ran2.store(true, Ordering::Release);
+        });
+        assert!(ran.load(Ordering::Acquire), "inline path must run before returning");
     }
 
     #[test]

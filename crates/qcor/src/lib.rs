@@ -29,8 +29,10 @@
 //! ```
 
 // The runtime API: initialize / initialize_legacy_shared, qalloc, QReg,
-// Kernel, QPUManager, spawn / async_task, execute / execute_with,
-// objective functions, optimizers, and QcorError.
+// Kernel, QPUManager (+ RoutingPolicy multi-backend routing), spawn /
+// async_task / submit and the ExecutionService behind them (bounded
+// kernel queue with block / reject / shed-oldest backpressure), execute /
+// execute_with, objective functions, optimizers, and QcorError.
 pub use qcor_core::*;
 
 // Kernel-language and circuit tooling, addressable as `qcor::xasm::…`

@@ -6,7 +6,7 @@
 //! results are noisy, and doubles as a second, behaviourally distinct
 //! service in the registry for testing multi-backend dispatch.
 
-use crate::accelerator::{Accelerator, ExecOptions};
+use crate::accelerator::{Accelerator, BackendCapability, ExecOptions};
 use crate::buffer::AcceleratorBuffer;
 use crate::hetmap::HetMap;
 use crate::XaccError;
@@ -64,6 +64,10 @@ impl NoisyQppAccelerator {
 impl Accelerator for NoisyQppAccelerator {
     fn name(&self) -> String {
         "qpp-noisy".to_string()
+    }
+
+    fn capability(&self) -> BackendCapability {
+        BackendCapability::Noisy
     }
 
     fn execute(

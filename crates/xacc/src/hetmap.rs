@@ -76,6 +76,11 @@ impl HetMap {
         self.entries.get(key)
     }
 
+    /// Remove a key, returning its previous value.
+    pub fn remove(&mut self, key: &str) -> Option<HetValue> {
+        self.entries.remove(key)
+    }
+
     /// Integer lookup (accepts `Int`; `Float` values with zero fraction).
     pub fn get_int(&self, key: &str) -> Option<i64> {
         match self.entries.get(key)? {

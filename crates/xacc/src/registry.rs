@@ -13,7 +13,7 @@
 //!   Two threads driving it concurrently interleave their gate streams —
 //!   the data race of §V-A.2 (see the `qpp-legacy-shared` backend).
 
-use crate::accelerator::Accelerator;
+use crate::accelerator::{Accelerator, BackendCapability};
 use crate::backends;
 use crate::hetmap::HetMap;
 use crate::XaccError;
@@ -23,9 +23,14 @@ use std::sync::{Arc, OnceLock};
 
 type Factory = Box<dyn Fn(&HetMap) -> Arc<dyn Accelerator> + Send + Sync>;
 
-enum Entry {
+enum EntryKind {
     Factory(Factory),
     Singleton(Arc<dyn Accelerator>),
+}
+
+struct Entry {
+    kind: EntryKind,
+    capability: BackendCapability,
 }
 
 /// A named collection of accelerator services.
@@ -42,19 +47,36 @@ impl ServiceRegistry {
     }
 
     /// Register a cloneable service: every lookup constructs a fresh
-    /// instance through `factory`.
+    /// instance through `factory`. The service is advertised as
+    /// [`BackendCapability::Ideal`]; use
+    /// [`ServiceRegistry::register_factory_with_capability`] to annotate a
+    /// different routing class.
     pub fn register_factory(
         &self,
         name: impl Into<String>,
         factory: impl Fn(&HetMap) -> Arc<dyn Accelerator> + Send + Sync + 'static,
     ) {
-        self.entries.write().insert(name.into(), Entry::Factory(Box::new(factory)));
+        self.register_factory_with_capability(name, BackendCapability::Ideal, factory);
+    }
+
+    /// Register a cloneable service advertised under an explicit routing
+    /// capability (what a capability-based `RoutingPolicy` matches on).
+    pub fn register_factory_with_capability(
+        &self,
+        name: impl Into<String>,
+        capability: BackendCapability,
+        factory: impl Fn(&HetMap) -> Arc<dyn Accelerator> + Send + Sync + 'static,
+    ) {
+        self.entries
+            .write()
+            .insert(name.into(), Entry { kind: EntryKind::Factory(Box::new(factory)), capability });
     }
 
     /// Register a singleton service: every lookup returns this same
-    /// instance.
+    /// instance. Its capability is read off the instance.
     pub fn register_singleton(&self, name: impl Into<String>, instance: Arc<dyn Accelerator>) {
-        self.entries.write().insert(name.into(), Entry::Singleton(instance));
+        let capability = instance.capability();
+        self.entries.write().insert(name.into(), Entry { kind: EntryKind::Singleton(instance), capability });
     }
 
     /// Look up an accelerator. Factory services receive `params`;
@@ -63,9 +85,9 @@ impl ServiceRegistry {
     /// with threads).
     pub fn get_accelerator(&self, name: &str, params: &HetMap) -> Result<Arc<dyn Accelerator>, XaccError> {
         let entries = self.entries.read();
-        match entries.get(name) {
-            Some(Entry::Factory(factory)) => Ok(factory(params)),
-            Some(Entry::Singleton(instance)) => Ok(Arc::clone(instance)),
+        match entries.get(name).map(|e| &e.kind) {
+            Some(EntryKind::Factory(factory)) => Ok(factory(params)),
+            Some(EntryKind::Singleton(instance)) => Ok(Arc::clone(instance)),
             None => Err(XaccError::UnknownService(name.to_string())),
         }
     }
@@ -79,10 +101,29 @@ impl ServiceRegistry {
 
     /// True when `name` resolves to a cloneable (factory) service.
     pub fn is_cloneable(&self, name: &str) -> Option<bool> {
-        match self.entries.read().get(name)? {
-            Entry::Factory(_) => Some(true),
-            Entry::Singleton(_) => Some(false),
+        match &self.entries.read().get(name)?.kind {
+            EntryKind::Factory(_) => Some(true),
+            EntryKind::Singleton(_) => Some(false),
         }
+    }
+
+    /// The capability `name` was registered under.
+    pub fn capability_of(&self, name: &str) -> Option<BackendCapability> {
+        self.entries.read().get(name).map(|e| e.capability)
+    }
+
+    /// Sorted names of the **cloneable** services advertising `capability`.
+    /// Singletons are excluded on purpose: a router handing the same shared
+    /// instance to many threads would reintroduce the §V-A.2 race.
+    pub fn cloneable_services_with_capability(&self, capability: BackendCapability) -> Vec<String> {
+        let entries = self.entries.read();
+        let mut names: Vec<String> = entries
+            .iter()
+            .filter(|(_, e)| e.capability == capability && matches!(e.kind, EntryKind::Factory(_)))
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
     }
 }
 
@@ -100,16 +141,16 @@ static GLOBAL: OnceLock<ServiceRegistry> = OnceLock::new();
 pub fn global() -> &'static ServiceRegistry {
     GLOBAL.get_or_init(|| {
         let reg = ServiceRegistry::new();
-        reg.register_factory("qpp", |params| {
+        reg.register_factory_with_capability("qpp", BackendCapability::Ideal, |params| {
             Arc::new(backends::QppAccelerator::from_params(params)) as Arc<dyn Accelerator>
         });
-        reg.register_factory("qpp-noisy", |params| {
+        reg.register_factory_with_capability("qpp-noisy", BackendCapability::Noisy, |params| {
             Arc::new(backends::NoisyQppAccelerator::from_params(params)) as Arc<dyn Accelerator>
         });
-        reg.register_factory("remote", |params| {
+        reg.register_factory_with_capability("remote", BackendCapability::Remote, |params| {
             Arc::new(backends::RemoteAccelerator::from_params(params)) as Arc<dyn Accelerator>
         });
-        reg.register_factory("qpp-density", |params| {
+        reg.register_factory_with_capability("qpp-density", BackendCapability::Density, |params| {
             Arc::new(backends::DensityAccelerator::from_params(params)) as Arc<dyn Accelerator>
         });
         reg.register_singleton(
@@ -179,5 +220,51 @@ mod tests {
         let params = HetMap::new().with("threads", 3usize);
         let acc = get_accelerator("qpp", &params).unwrap();
         assert_eq!(acc.num_threads(), 3);
+    }
+
+    #[test]
+    fn builtin_capability_metadata_matches_instances() {
+        // The registry's advertised capability must agree with what a
+        // constructed instance reports, or capability routing would lie.
+        let params = HetMap::new().with("threads", 1usize);
+        for name in global().service_names() {
+            let advertised = global().capability_of(&name).unwrap();
+            let instance = get_accelerator(&name, &params).unwrap();
+            assert_eq!(advertised, instance.capability(), "capability mismatch for `{name}`");
+        }
+    }
+
+    #[test]
+    fn capability_lookup_excludes_singletons() {
+        // `qpp-legacy-shared` is Ideal but a singleton: routing over Ideal
+        // must never hand out the shared race-prone instance.
+        let ideal = global().cloneable_services_with_capability(BackendCapability::Ideal);
+        assert!(ideal.iter().any(|n| n == "qpp"), "{ideal:?}");
+        assert!(!ideal.iter().any(|n| n == "qpp-legacy-shared"), "{ideal:?}");
+        assert_eq!(
+            global().cloneable_services_with_capability(BackendCapability::Noisy),
+            vec!["qpp-noisy".to_string()]
+        );
+        assert_eq!(
+            global().cloneable_services_with_capability(BackendCapability::Density),
+            vec!["qpp-density".to_string()]
+        );
+        assert_eq!(
+            global().cloneable_services_with_capability(BackendCapability::Remote),
+            vec!["remote".to_string()]
+        );
+    }
+
+    #[test]
+    fn capability_parse_roundtrips() {
+        for cap in [
+            BackendCapability::Ideal,
+            BackendCapability::Noisy,
+            BackendCapability::Density,
+            BackendCapability::Remote,
+        ] {
+            assert_eq!(BackendCapability::parse(&cap.to_string()), Some(cap));
+        }
+        assert_eq!(BackendCapability::parse("annealer"), None);
     }
 }

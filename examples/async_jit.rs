@@ -1,7 +1,8 @@
 //! Asynchronous quantum JIT compilation (paper §VII, after Shi et al.):
 //! circuit optimization is expensive, so offload it with `qcor::async_task`
-//! and overlap other quantum/classical work; launch the compiled kernel
-//! only when it is ready — `future.get()` as in Listing 5.
+//! (one work item on the bounded kernel queue, executed by the shared
+//! service pool) and overlap other quantum/classical work; launch the
+//! compiled kernel only when it is ready — `future.get()` as in Listing 5.
 //!
 //! ```text
 //! cargo run -p qcor --release --example async_jit

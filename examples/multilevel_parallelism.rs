@@ -1,7 +1,8 @@
 //! The paper's Figure 2, executable: all three levels of parallelism in a
 //! quantum-classical program composed in one process —
 //!
-//! * **task level** — three SHOR(N=15, aₚ) tasks run as `qcor::async_task`s,
+//! * **task level** — three SHOR(N=15, aₚ) tasks run as `qcor::async_task`s
+//!   (queued on the global execution service, not thread-per-task),
 //! * **shot level**  — each task splits its shots across 2 sub-tasks
 //!   (`run_shots_task_parallel`),
 //! * **inner simulator level** — every state vector work-shares its

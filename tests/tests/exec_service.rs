@@ -1,0 +1,414 @@
+//! Integration tests for the async execution service (bounded kernel
+//! queue + backpressure) and QPUManager multi-backend routing.
+//!
+//! The routing tests rotate the QPUManager's process-wide shared cursor;
+//! a static lock serializes them within this binary so the exact-balance
+//! assertions aren't perturbed by each other.
+
+use qcor::{
+    initialize, qalloc, BackendCapability, BackpressurePolicy, ExecServiceConfig, ExecutionService,
+    InitOptions, Kernel, QPUManager, QcorError,
+};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+fn route_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+const BELL: &str = "H(q[0]); CX(q[0], q[1]); Measure(q[0]); Measure(q[1]);";
+
+fn run_bell(shots: usize, seed: u64) -> usize {
+    initialize(InitOptions::default().threads(1).shots(shots).seed(seed)).unwrap();
+    let q = qalloc(2);
+    Kernel::from_xasm(BELL, 2).unwrap().invoke(&q, &[]).unwrap();
+    q.total_shots()
+}
+
+// ---------------------------------------------------------------------------
+// Queue backpressure semantics
+// ---------------------------------------------------------------------------
+
+/// The ISSUE's saturation acceptance test: queue capacity K, block policy,
+/// far more than K in-flight submissions — the queue never exceeds K and
+/// the number of distinct executing threads never exceeds the pool size.
+#[test]
+fn saturation_respects_capacity_and_thread_budget() {
+    const K: usize = 4;
+    const TASKS: usize = 64;
+    let svc = Arc::new(ExecutionService::new(
+        ExecServiceConfig::default().threads(3).capacity(K).policy(BackpressurePolicy::Block),
+    ));
+    let executing_threads = Arc::new(Mutex::new(HashSet::new()));
+    let peak_concurrent = Arc::new(AtomicUsize::new(0));
+    let concurrent = Arc::new(AtomicUsize::new(0));
+
+    // Submit from several producer threads to actually saturate the queue.
+    let mut producers = Vec::new();
+    for p in 0..4u64 {
+        let svc = Arc::clone(&svc);
+        let executing_threads = Arc::clone(&executing_threads);
+        let peak_concurrent = Arc::clone(&peak_concurrent);
+        let concurrent = Arc::clone(&concurrent);
+        producers.push(std::thread::spawn(move || {
+            let futures: Vec<_> = (0..TASKS / 4)
+                .map(|i| {
+                    let executing_threads = Arc::clone(&executing_threads);
+                    let peak = Arc::clone(&peak_concurrent);
+                    let concurrent = Arc::clone(&concurrent);
+                    svc.submit(move || {
+                        let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        executing_threads.lock().unwrap().insert(std::thread::current().id());
+                        let shots = run_bell(32, p * 1000 + i as u64);
+                        concurrent.fetch_sub(1, Ordering::SeqCst);
+                        shots
+                    })
+                    .unwrap()
+                })
+                .collect();
+            futures.into_iter().map(|f| f.get()).sum::<usize>()
+        }));
+    }
+    let total: usize = producers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, TASKS * 32, "every submission must run exactly once");
+
+    let stats = svc.stats();
+    assert_eq!(stats.submitted, TASKS);
+    assert_eq!(stats.completed, TASKS);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.shed, 0);
+    assert!(stats.peak_queue_len <= K, "queue exceeded its high-water mark: {stats:?}");
+
+    let distinct = executing_threads.lock().unwrap().len();
+    assert!(
+        distinct <= svc.pool_threads(),
+        "{distinct} distinct executor threads for a pool of {}",
+        svc.pool_threads()
+    );
+    assert!(
+        peak_concurrent.load(Ordering::SeqCst) <= svc.pool_threads(),
+        "more tasks ran concurrently than the thread budget allows"
+    );
+}
+
+/// Reject policy: a full queue returns `QueueFull` instead of dropping
+/// work silently — and everything that *was* admitted still runs.
+#[test]
+fn reject_policy_errors_instead_of_dropping() {
+    let svc = ExecutionService::new(
+        ExecServiceConfig::default().threads(2).capacity(2).policy(BackpressurePolicy::Reject),
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let blocker = svc
+        .submit(move || {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap();
+
+    // Admitted futures must all complete; rejections must be visible.
+    let mut admitted = Vec::new();
+    let mut rejections = 0usize;
+    for i in 0..200usize {
+        match svc.submit(move || i) {
+            Ok(f) => admitted.push((i, f)),
+            Err(QcorError::QueueFull) => rejections += 1,
+            Err(other) => panic!("unexpected error: {other:?}"),
+        }
+    }
+    assert!(rejections > 0, "200 instant submissions against capacity 2 must overflow");
+    assert_eq!(svc.stats().rejected, rejections);
+
+    gate.store(true, Ordering::Release);
+    blocker.get();
+    for (i, f) in admitted {
+        assert_eq!(f.get(), i, "admitted work must never be dropped");
+    }
+}
+
+/// Shed-oldest policy: over-submission resolves the oldest queued future
+/// as `TaskShed` (observable, not silent) while the newest work runs.
+#[test]
+fn shed_oldest_policy_is_observable_and_keeps_newest() {
+    let svc = ExecutionService::new(
+        ExecServiceConfig::default().threads(2).capacity(1).policy(BackpressurePolicy::ShedOldest),
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let blocker = svc
+        .submit(move || {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap();
+    while svc.stats().running == 0 {
+        std::thread::yield_now();
+    }
+
+    let first = svc.submit(|| "first").unwrap();
+    let second = svc.submit(|| "second").unwrap(); // sheds `first`
+    assert_eq!(first.wait(), Err(QcorError::TaskShed));
+    gate.store(true, Ordering::Release);
+    blocker.get();
+    assert_eq!(second.wait(), Ok("second"));
+    let stats = svc.stats();
+    assert_eq!((stats.shed, stats.rejected), (1, 0));
+}
+
+/// Futures resolve with their own task's value regardless of completion
+/// order, and a one-executor service preserves FIFO execution order.
+#[test]
+fn task_future_completion_ordering() {
+    let svc = ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(32));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let futures: Vec<_> = (0..10usize)
+        .map(|i| {
+            let log = Arc::clone(&log);
+            svc.submit(move || {
+                // Stagger runtimes so completion wall-times scramble.
+                std::thread::sleep(Duration::from_millis(((10 - i) % 3) as u64));
+                log.lock().unwrap().push(i);
+                i * i
+            })
+            .unwrap()
+        })
+        .collect();
+    let values: Vec<usize> = futures.into_iter().map(|f| f.get()).collect();
+    assert_eq!(values, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    // threads(2) = one executor => strict FIFO queue order.
+    assert_eq!(*log.lock().unwrap(), (0..10).collect::<Vec<_>>());
+}
+
+/// Kernel workloads through the queue still get isolated accelerator
+/// instances: concurrent Bell tasks from one initialized parent see clean
+/// per-task counts.
+#[test]
+fn queued_kernel_tasks_keep_instance_isolation() {
+    std::thread::spawn(|| {
+        initialize(InitOptions::default().threads(1).shots(64).seed(7)).unwrap();
+        let tasks: Vec<_> = (0..8)
+            .map(|_| {
+                qcor::spawn(|| {
+                    let q = qalloc(2);
+                    Kernel::from_xasm(BELL, 2).unwrap().invoke(&q, &[]).unwrap();
+                    let counts = q.measurement_counts();
+                    assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+                    q.total_shots()
+                })
+            })
+            .collect();
+        for t in tasks {
+            assert_eq!(t.get(), 64);
+        }
+        QPUManager::instance().clear_current();
+    })
+    .join()
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// QPUManager routing
+// ---------------------------------------------------------------------------
+
+/// Concurrent initializations under a shared round-robin policy split
+/// exactly evenly across the named backends (the shared-cursor contract).
+#[test]
+fn round_robin_routing_balances_concurrent_registrations() {
+    let _guard = route_lock();
+    let names: Vec<String> = (0..8)
+        .map(|_| {
+            std::thread::spawn(|| {
+                initialize(
+                    InitOptions::default()
+                        .threads(1)
+                        .shots(8)
+                        .seed(1)
+                        .route_round_robin(["qpp", "qpp-density"]),
+                )
+                .unwrap();
+                let name = QPUManager::instance().get_qpu().unwrap().qpu.name();
+                QPUManager::instance().clear_current();
+                name
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+    let qpp = names.iter().filter(|n| *n == "qpp").count();
+    let density = names.iter().filter(|n| *n == "qpp-density").count();
+    assert_eq!((qpp, density), (4, 4), "shared cursor must balance exactly: {names:?}");
+}
+
+/// Capability routing resolves to the matching backend, and the routed
+/// backend actually executes kernels (noisy counts can leak outside the
+/// Bell subspace; remote reports its latency class).
+#[test]
+fn capability_routing_selects_and_executes() {
+    let _guard = route_lock();
+    std::thread::spawn(|| {
+        initialize(
+            InitOptions::default().threads(1).shots(128).seed(11).route_capability(BackendCapability::Noisy),
+        )
+        .unwrap();
+        let ctx = QPUManager::instance().get_qpu().unwrap();
+        assert_eq!(ctx.qpu.name(), "qpp-noisy");
+        assert_eq!(ctx.qpu.capability(), BackendCapability::Noisy);
+        let q = qalloc(2);
+        Kernel::from_xasm(BELL, 2).unwrap().invoke(&q, &[]).unwrap();
+        assert_eq!(q.total_shots(), 128);
+        QPUManager::instance().clear_current();
+    })
+    .join()
+    .unwrap();
+}
+
+/// Params-driven routing (the `routing*` backend params) works through
+/// `initialize` without touching the typed builder API.
+#[test]
+fn params_driven_routing_round_robins() {
+    let _guard = route_lock();
+    let names: Vec<String> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                initialize(
+                    InitOptions::default()
+                        .threads(1)
+                        .shots(8)
+                        .seed(2)
+                        .param("routing", "round-robin")
+                        .param("routing-backends", "qpp,qpp-noisy"),
+                )
+                .unwrap();
+                let name = QPUManager::instance().get_qpu().unwrap().qpu.name();
+                QPUManager::instance().clear_current();
+                name
+            })
+            .join()
+            .unwrap()
+        })
+        .collect();
+    assert_eq!(names.iter().filter(|n| *n == "qpp").count(), 2, "{names:?}");
+    assert_eq!(names.iter().filter(|n| *n == "qpp-noisy").count(), 2, "{names:?}");
+}
+
+/// A mixed fleet: tasks spawned through the kernel queue with round-robin
+/// routing land on alternating backends — one process serving
+/// heterogeneous workloads with a bounded thread budget.
+#[test]
+fn queued_tasks_route_across_backends() {
+    let _guard = route_lock();
+    let svc = ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(8));
+    let futures: Vec<_> = (0..6)
+        .map(|i| {
+            svc.submit(move || {
+                initialize(
+                    InitOptions::default()
+                        .threads(1)
+                        .shots(16)
+                        .seed(i)
+                        .route_round_robin(["qpp", "qpp-density"]),
+                )
+                .unwrap();
+                let name = QPUManager::instance().get_qpu().unwrap().qpu.name();
+                let q = qalloc(2);
+                Kernel::from_xasm(BELL, 2).unwrap().invoke(&q, &[]).unwrap();
+                (name, q.total_shots())
+            })
+            .unwrap()
+        })
+        .collect();
+    let results: Vec<(String, usize)> = futures.into_iter().map(|f| f.get()).collect();
+    assert!(results.iter().all(|(_, shots)| *shots == 16));
+    // threads(2) = serial FIFO executor, so the shared cursor alternates
+    // deterministically.
+    let qpp = results.iter().filter(|(n, _)| n == "qpp").count();
+    assert_eq!(qpp, 3, "{results:?}");
+}
+
+/// Inheritance pins to the parent's **resolved** backend: a child task of
+/// a round-robin-routed parent lands on the same backend class as the
+/// parent instead of re-routing (which would advance the rotation and mix
+/// backend types within one task family).
+#[test]
+fn spawned_tasks_inherit_resolved_backend_not_routing() {
+    let _guard = route_lock();
+    std::thread::spawn(|| {
+        initialize(
+            InitOptions::default().threads(1).shots(8).seed(3).route_round_robin(["qpp-density", "qpp"]),
+        )
+        .unwrap();
+        let parent = QPUManager::instance().get_qpu().unwrap().qpu.name();
+        let child_names: Vec<String> = (0..3)
+            .map(|_| qcor::spawn(|| QPUManager::instance().get_qpu().unwrap().qpu.name()).get())
+            .collect();
+        assert!(
+            child_names.iter().all(|n| *n == parent),
+            "children must run on the parent's backend {parent}, got {child_names:?}"
+        );
+        QPUManager::instance().clear_current();
+    })
+    .join()
+    .unwrap();
+}
+
+/// Inheritance replays the **registry key** the parent resolved, not the
+/// instance's self-reported name — a service registered under an alias
+/// whose instances report a different `name()` must still be spawnable.
+#[test]
+fn inheritance_uses_registry_key_not_instance_name() {
+    use qcor::Accelerator;
+    qcor::registry::global().register_factory("alias-sim", |params| {
+        std::sync::Arc::new(qcor_xacc::backends::QppAccelerator::from_params(params))
+            as std::sync::Arc<dyn Accelerator>
+    });
+    std::thread::spawn(|| {
+        initialize(InitOptions::default().threads(1).shots(8).seed(5).backend("alias-sim")).unwrap();
+        // The instance reports "qpp" but the registry key is "alias-sim".
+        assert_eq!(QPUManager::instance().get_qpu().unwrap().qpu.name(), "qpp");
+        let (resolved, shots) = qcor::spawn(|| {
+            let ctx = QPUManager::instance().get_qpu().unwrap();
+            let q = qalloc(2);
+            Kernel::from_xasm(BELL, 2).unwrap().invoke(&q, &[]).unwrap();
+            (ctx.resolved_backend, q.total_shots())
+        })
+        .get();
+        assert_eq!(resolved, "alias-sim");
+        assert_eq!(shots, 8);
+        QPUManager::instance().clear_current();
+    })
+    .join()
+    .unwrap();
+}
+
+/// Entries for exited threads are evicted (the ThreadContext leak fix):
+/// a thread that initializes and dies without `clear_current` leaves no
+/// registration behind.
+#[test]
+fn exited_threads_do_not_leak_registrations() {
+    let ids: Vec<std::thread::ThreadId> = (0..16)
+        .map(|i| {
+            std::thread::spawn(move || {
+                initialize(InitOptions::default().threads(1).shots(8).seed(i)).unwrap();
+                assert!(QPUManager::instance().get_qpu().is_some());
+                // Deliberately no clear_current: the eviction guard reaps it.
+                std::thread::current().id()
+            })
+            .join()
+            .unwrap()
+        })
+        .collect();
+    for id in ids {
+        assert!(
+            !QPUManager::instance().thread_is_registered(id),
+            "exited thread {id:?} leaked its ThreadContext"
+        );
+    }
+}

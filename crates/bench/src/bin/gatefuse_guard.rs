@@ -1,0 +1,208 @@
+//! Perf-regression guard for compile-then-execute (gate fusion +
+//! control-aware kernels).
+//!
+//! Three gates, all of which fail the process (non-zero exit) on breach:
+//!
+//! 1. **Runtime** — a GHZ+CX-heavy kernel with fusable single-qubit runs
+//!    is sampled through the shot scheduler with fusion on and off;
+//!    compiled ÷ interpreted must be ≤ 1.0 (the compiled path must never
+//!    lose to per-shot re-interpretation).
+//! 2. **Iteration reduction** — the control-aware kernels must execute
+//!    exactly `2^c`-fewer loop iterations per `c` control bits (asserted
+//!    via the `qcor_sim::stats` per-thread iteration counter), and a
+//!    compiled replay of the guard kernel must issue fewer total
+//!    iterations than the interpreted replay.
+//! 3. **Zero steady-state allocations** — repeated Shor-style
+//!    `apply_controlled_permutation` calls must allocate the scratch
+//!    buffer exactly once.
+//!
+//! Results land in `BENCH_gatefuse.json` (uploaded as a CI artifact; run
+//! under both `QCOR_NUM_THREADS=1` and `4` in the workflow).
+//!
+//! ```text
+//! cargo run -p qcor-bench --release --bin gatefuse_guard
+//! ```
+
+use qcor_circuit::Circuit;
+use qcor_pool::ThreadPool;
+use qcor_sim::stats::{kernel_iterations, reset_kernel_iterations};
+use qcor_sim::{run_once_interpreted, run_shots, CompiledCircuit, RunConfig, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUBITS: usize = 10;
+const SHOTS: usize = 96;
+const REPS: usize = 7;
+/// The compiled path must at worst tie the interpreted path.
+const MAX_RATIO: f64 = 1.0;
+
+/// GHZ preparation followed by CX-heavy layers interleaved with fusable
+/// single-qubit runs and phase sweeps — the workload class the compiler
+/// targets: dense entangling structure (controlled kernels) plus local
+/// gate runs (fusion).
+fn guard_kernel() -> Circuit {
+    let mut c = Circuit::new(QUBITS);
+    c.h(0);
+    for q in 0..QUBITS - 1 {
+        c.cx(q, q + 1);
+    }
+    for layer in 0..3 {
+        for q in 0..QUBITS {
+            // A 6-gate single-qubit run that fuses to one dense op.
+            c.t(q).h(q).s(q).h(q).tdg(q).rz(q, 0.11 * (layer + 1) as f64);
+        }
+        for q in 0..QUBITS - 1 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..QUBITS - 2 {
+            c.cz(q, q + 2);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Gate 2a: direct `2^c` iteration-reduction asserts against the kernel
+/// iteration counter. Returns `(uncontrolled, cx, ccx)` iteration counts
+/// for the JSON record.
+fn assert_controlled_iteration_reduction() -> (u64, u64, u64) {
+    let n = 12usize;
+    let len = 1u64 << n;
+    let x = [
+        [qcor_sim::Complex64::ZERO, qcor_sim::Complex64::ONE],
+        [qcor_sim::Complex64::ONE, qcor_sim::Complex64::ZERO],
+    ];
+    let mut sv = StateVector::new(n);
+    reset_kernel_iterations();
+    sv.apply_single(0, x, 0);
+    let plain = kernel_iterations();
+    assert_eq!(plain, len / 2, "uncontrolled kernel must visit 2^(n-1) pairs");
+    reset_kernel_iterations();
+    sv.apply_single(1, x, 1 << 0);
+    let cx = kernel_iterations();
+    assert_eq!(cx, len / 4, "1-control kernel must visit 2^(n-2) pairs (2x reduction)");
+    reset_kernel_iterations();
+    sv.apply_single(2, x, 0b11);
+    let ccx = kernel_iterations();
+    assert_eq!(ccx, len / 8, "2-control kernel must visit 2^(n-3) pairs (4x reduction)");
+    (plain, cx, ccx)
+}
+
+/// Gate 2b: a compiled replay of the guard kernel issues fewer total loop
+/// iterations than the interpreted replay (fusion removed whole passes).
+fn assert_compiled_iterations_shrink(circuit: &Circuit) -> (u64, u64) {
+    let compiled = CompiledCircuit::compile(circuit);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut state = StateVector::new(QUBITS);
+    reset_kernel_iterations();
+    run_once_interpreted(&mut state, circuit, &mut rng);
+    let interpreted = kernel_iterations();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut state = StateVector::new(QUBITS);
+    reset_kernel_iterations();
+    compiled.run_once(&mut state, &mut rng);
+    let fused = kernel_iterations();
+    assert!(
+        fused < interpreted,
+        "compiled replay must issue fewer kernel iterations ({fused} vs {interpreted})"
+    );
+    (interpreted, fused)
+}
+
+/// Gate 3: Shor-style modular-multiplication permutations must hit the
+/// scratch buffer, not the allocator, in steady state.
+fn assert_permutation_zero_steady_state_allocs() {
+    let work = 8usize;
+    let modulus = 251usize; // prime < 2^8, so ×a is a bijection on 0..251
+    let a = 7usize;
+    let perm: Vec<usize> =
+        (0..1usize << work).map(|x| if x < modulus { (x * a) % modulus } else { x }).collect();
+    let mut sv = StateVector::new(work + 1);
+    assert_eq!(sv.scratch_allocations(), 0);
+    for _ in 0..24 {
+        sv.apply_controlled_permutation(1 << work, &(0..work).collect::<Vec<_>>(), &perm);
+    }
+    assert_eq!(
+        sv.scratch_allocations(),
+        1,
+        "apply_controlled_permutation must reuse its scratch buffer across calls"
+    );
+}
+
+fn main() {
+    let circuit = guard_kernel();
+    let compiled = CompiledCircuit::compile(&circuit);
+    println!("guard kernel: {} instructions -> {} fused kernel ops", compiled.source_len(), compiled.len());
+    assert!(compiled.len() < compiled.source_len(), "fusion must shrink the guard kernel");
+
+    // Correctness gates first — no point timing a broken executor.
+    let (plain_iters, cx_iters, ccx_iters) = assert_controlled_iteration_reduction();
+    let (interp_iters, fused_iters) = assert_compiled_iterations_shrink(&circuit);
+    assert_permutation_zero_steady_state_allocs();
+    println!("iteration counts: uncontrolled {plain_iters}, CX {cx_iters} (/2), CCX {ccx_iters} (/4)");
+    println!("guard-kernel iterations per shot: interpreted {interp_iters}, compiled {fused_iters}");
+
+    // Runtime gate: same pool, same plan, fusion knob flipped.
+    let pool = Arc::new(ThreadPool::new(qcor_pool::num_threads_from_env()));
+    let base = RunConfig { shots: SHOTS, seed: Some(1), ..RunConfig::default() };
+    let interp_cfg = RunConfig { fusion: Some(false), ..base.clone() };
+    let fused_cfg = RunConfig { fusion: Some(true), ..base };
+    let expected = run_shots(&circuit, Arc::clone(&pool), &interp_cfg); // warm-up + reference
+    let mut rows: Vec<(String, Duration)> = Vec::new();
+    let interp_best = best_of(REPS, || {
+        let counts = run_shots(&circuit, Arc::clone(&pool), &interp_cfg);
+        assert_eq!(counts.values().sum::<usize>(), SHOTS);
+    });
+    rows.push(("guard_kernel/interpreted".to_string(), interp_best));
+    let fused_best = best_of(REPS, || {
+        let counts = run_shots(&circuit, Arc::clone(&pool), &fused_cfg);
+        assert_eq!(counts, expected, "fusion changed seeded counts");
+    });
+    rows.push(("guard_kernel/compiled".to_string(), fused_best));
+
+    let ratio = fused_best.as_secs_f64() / interp_best.as_secs_f64();
+
+    let benchmarks: String = rows
+        .iter()
+        .map(|(name, time)| {
+            format!(
+                "    {{ \"name\": \"{name}\", \"best_ns\": {:.1}, \"reps\": {REPS} }}",
+                time.as_secs_f64() * 1e9
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"command\": \"cargo run -p qcor-bench --release --bin gatefuse_guard\",\n    \
+         \"logical_cpus\": {},\n    \"qcor_num_threads\": {},\n    \
+         \"guard\": \"fail if compiled divided by interpreted exceeds {MAX_RATIO}\",\n    \
+         \"note\": \"compile-then-execute guard: gate fusion + control-aware kernels; also asserts 2^c iteration reduction and zero steady-state permutation allocs\"\n  }},\n  \
+         \"ratio_compiled_over_interpreted\": {ratio:.3},\n  \
+         \"source_instructions\": {},\n  \"fused_kernel_ops\": {},\n  \
+         \"iterations_per_shot\": {{ \"interpreted\": {interp_iters}, \"compiled\": {fused_iters} }},\n  \
+         \"controlled_iteration_counts\": {{ \"uncontrolled\": {plain_iters}, \"cx\": {cx_iters}, \"ccx\": {ccx_iters} }},\n  \
+         \"benchmarks\": [\n{benchmarks}\n  ]\n}}\n",
+        qcor_pool::available_parallelism(),
+        qcor_pool::num_threads_from_env(),
+        compiled.source_len(),
+        compiled.len(),
+    );
+    std::fs::write("BENCH_gatefuse.json", &json).expect("failed to write BENCH_gatefuse.json");
+
+    for (name, time) in &rows {
+        println!("{name:<38} {:>10.1} us", time.as_secs_f64() * 1e6);
+    }
+    qcor_bench::enforce_guard_ratio("compiled / interpreted", ratio, MAX_RATIO, "BENCH_gatefuse.json");
+}

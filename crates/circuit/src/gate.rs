@@ -194,6 +194,39 @@ impl GateKind {
         )
     }
 
+    /// True for gates whose matrix is diagonal in the computational basis
+    /// (pure phase action): runs of these commute freely with each other,
+    /// which is what lets a circuit compiler merge them into single
+    /// phase sweeps.
+    pub fn is_diagonal(self) -> bool {
+        matches!(
+            self,
+            GateKind::Z
+                | GateKind::S
+                | GateKind::Sdg
+                | GateKind::T
+                | GateKind::Tdg
+                | GateKind::Rz
+                | GateKind::Phase
+                | GateKind::CZ
+                | GateKind::CPhase
+                | GateKind::CRz
+                | GateKind::CCPhase
+        )
+    }
+
+    /// Number of leading qubit operands that act as controls (operand
+    /// convention: controls first). Diagonal gates report 0 — every
+    /// operand of CZ/CPhase/CCPhase is symmetric phase support, not a
+    /// control of a non-trivial target action.
+    pub fn num_controls(self) -> usize {
+        match self {
+            GateKind::CX | GateKind::CY | GateKind::CSwap => 1,
+            GateKind::CCX => 2,
+            _ => 0,
+        }
+    }
+
     /// True for parametric rotations where two consecutive applications on
     /// the same operands merge by adding angles.
     pub fn is_additive_rotation(self) -> bool {
@@ -273,6 +306,23 @@ impl Instruction {
     /// Largest qubit index used, if any operands exist.
     pub fn max_qubit(&self) -> Option<usize> {
         self.qubits.iter().copied().max()
+    }
+
+    /// Bitmask of every qubit this instruction touches (its support).
+    /// Instructions with disjoint supports act on different qubits and
+    /// therefore commute.
+    pub fn support_mask(&self) -> usize {
+        self.qubits.iter().fold(0usize, |m, &q| m | (1 << q))
+    }
+
+    /// Bitmask of the control operands (see [`GateKind::num_controls`]).
+    pub fn control_mask(&self) -> usize {
+        self.qubits[..self.gate.num_controls()].iter().fold(0usize, |m, &q| m | (1 << q))
+    }
+
+    /// The non-control operands, in order.
+    pub fn target_qubits(&self) -> &[usize] {
+        &self.qubits[self.gate.num_controls()..]
     }
 }
 
@@ -385,6 +435,25 @@ mod tests {
     fn measure_is_not_invertible() {
         let m = Instruction::new(GateKind::Measure, vec![0], vec![]);
         assert!(m.inverse().is_err());
+    }
+
+    #[test]
+    fn diagonal_classification_and_control_split() {
+        assert!(GateKind::CZ.is_diagonal());
+        assert!(GateKind::Rz.is_diagonal());
+        assert!(!GateKind::CX.is_diagonal());
+        assert!(!GateKind::H.is_diagonal());
+        let ccx = Instruction::new(GateKind::CCX, vec![4, 1, 6], vec![]);
+        assert_eq!(ccx.control_mask(), (1 << 4) | (1 << 1));
+        assert_eq!(ccx.target_qubits(), &[6]);
+        assert_eq!(ccx.support_mask(), (1 << 4) | (1 << 1) | (1 << 6));
+        let h = Instruction::new(GateKind::H, vec![2], vec![]);
+        assert_eq!(h.control_mask(), 0);
+        assert_eq!(h.target_qubits(), &[2]);
+        // CZ's operands are symmetric phase support, not controls.
+        let cz = Instruction::new(GateKind::CZ, vec![0, 3], vec![]);
+        assert_eq!(cz.control_mask(), 0);
+        assert_eq!(cz.target_qubits(), &[0, 3]);
     }
 
     #[test]

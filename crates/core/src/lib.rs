@@ -102,6 +102,11 @@ pub enum QcorError {
     /// Backend routing failed (bad policy parameters, or no backend
     /// matches the requested capability).
     Routing(String),
+    /// A backend factory rejected its construction parameters (e.g. an
+    /// unknown `granularity` or `fusion` value). Permanently invalid
+    /// configuration — retrying without fixing the params cannot succeed,
+    /// unlike [`QcorError::Execution`].
+    InvalidParam(String),
 }
 
 impl std::fmt::Display for QcorError {
@@ -123,6 +128,7 @@ impl std::fmt::Display for QcorError {
                 write!(f, "task was shed from the kernel queue by the shed-oldest backpressure policy")
             }
             QcorError::Routing(msg) => write!(f, "backend routing failed: {msg}"),
+            QcorError::InvalidParam(msg) => write!(f, "invalid backend parameter: {msg}"),
         }
     }
 }
@@ -134,6 +140,7 @@ impl From<qcor_xacc::XaccError> for QcorError {
         match e {
             qcor_xacc::XaccError::UnknownService(name) => QcorError::UnknownBackend(name),
             qcor_xacc::XaccError::Execution(msg) => QcorError::Execution(msg),
+            qcor_xacc::XaccError::InvalidParam(msg) => QcorError::InvalidParam(msg),
         }
     }
 }

@@ -5,6 +5,29 @@
 //! issued the construct blocks until the count reaches zero. This is the
 //! same completion mechanism an OpenMP runtime uses at the implicit barrier
 //! that ends a parallel region.
+//!
+//! # Lost-wakeup audit (the condvar discipline)
+//!
+//! Both latches follow the only condvar protocol that cannot lose a wakeup:
+//!
+//! 1. **Waiters re-check the predicate under the lock.** `wait` takes the
+//!    mutex and loops `while count != 0 { cond.wait(..) }` — the initial
+//!    lock-free fast-path check is an optimization only, never the decision
+//!    to sleep. A spurious wakeup or a stale fast-path read therefore can't
+//!    strand a waiter.
+//! 2. **The final decrementer notifies while holding the lock.** Taking the
+//!    mutex between the atomic decrement and `notify_all` serializes the
+//!    notification against any waiter that is between its predicate check
+//!    and its `cond.wait` — the decrementer either sees the waiter already
+//!    parked (notify wakes it) or the waiter's in-lock re-check sees the
+//!    zero count (it never parks).
+//!
+//! The counters themselves use `AcqRel`/`Acquire` orderings so a waiter
+//! that observes zero also observes every write the participants made
+//! before counting down. The `latch_wakeup_race_*` tests below hammer the
+//! narrow window between the fast-path check and `cond.wait` (set
+//! `QCOR_STRESS=1` for the multi-thousand-iteration version in
+//! `tests/tests/pool_stress.rs`, which drives the full fork/join stack).
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -164,6 +187,46 @@ mod tests {
     #[test]
     fn waitgroup_wait_on_empty_returns() {
         WaitGroup::new().wait();
+    }
+
+    /// How many wait/notify race iterations the audit tests run: a quick
+    /// default so `cargo test` stays fast, thousands under `QCOR_STRESS=1`
+    /// to actually chase the lost-wakeup window on a loaded machine.
+    fn race_iterations() -> usize {
+        if std::env::var("QCOR_STRESS").map(|v| v == "1").unwrap_or(false) {
+            20_000
+        } else {
+            500
+        }
+    }
+
+    #[test]
+    fn latch_wakeup_race_single_participant() {
+        // Tightest possible window: the waiter races a lone decrementer.
+        // A lost wakeup hangs the test (caught by the harness timeout).
+        for _ in 0..race_iterations() {
+            let latch = Arc::new(CountLatch::new(1));
+            let l = Arc::clone(&latch);
+            let t = thread::spawn(move || l.count_down());
+            latch.wait();
+            assert_eq!(latch.remaining(), 0);
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn waitgroup_wakeup_race_add_done() {
+        for _ in 0..race_iterations() {
+            let wg = Arc::new(WaitGroup::new());
+            wg.add(2);
+            let (a, b) = (Arc::clone(&wg), Arc::clone(&wg));
+            let t1 = thread::spawn(move || a.done());
+            let t2 = thread::spawn(move || b.done());
+            wg.wait();
+            assert_eq!(wg.count(), 0);
+            t1.join().unwrap();
+            t2.join().unwrap();
+        }
     }
 
     #[test]

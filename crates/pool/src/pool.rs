@@ -346,6 +346,60 @@ impl ThreadPool {
         partials.into_inner().into_iter().fold(identity, &reduce)
     }
 
+    /// Deterministic work-shared map/reduce: `range` is partitioned into
+    /// fixed chunks of `grain` iterations (the final chunk may be shorter)
+    /// and the partial results are folded **in chunk order**, regardless of
+    /// which team member computed which chunk or in what order chunks
+    /// completed.
+    ///
+    /// Because the partition is a pure function of `(range, grain)` — never
+    /// of the team size — and the fold order is fixed, a non-associative
+    /// `reduce` (floating-point addition being the motivating case) returns
+    /// **bit-identical results on any pool size, including a team of one**.
+    /// This is what lets the simulator's inner-parallel measurement sums
+    /// participate in the byte-identical determinism contract; the
+    /// unordered [`ThreadPool::parallel_reduce`] remains the cheaper choice
+    /// for genuinely associative folds.
+    pub fn parallel_reduce_ordered<T, M, R>(
+        &self,
+        range: Range<usize>,
+        grain: usize,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T,
+    {
+        if range.is_empty() {
+            return identity;
+        }
+        let grain = grain.max(1);
+        let len = range.end - range.start;
+        let num_chunks = len.div_ceil(grain);
+        let chunk_range = |c: usize| {
+            let lo = range.start + c * grain;
+            lo..(lo + grain).min(range.end)
+        };
+        if num_chunks == 1 || self.inner.num_threads <= 1 || self.on_worker() {
+            // Inline path: evaluate the *same* partition chunk by chunk so
+            // a team of one folds in exactly the same order as a team of N.
+            return (0..num_chunks).map(chunk_range).map(&map).fold(identity, reduce);
+        }
+        let partials: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(num_chunks));
+        self.parallel_for_with(0..num_chunks, Schedule::Dynamic(1), |chunks| {
+            for c in chunks {
+                let part = map(chunk_range(c));
+                partials.lock().push((c, part));
+            }
+        });
+        let mut partials = partials.into_inner();
+        partials.sort_unstable_by_key(|&(c, _)| c);
+        partials.into_iter().map(|(_, part)| part).fold(identity, reduce)
+    }
+
     /// Fork/join task region: tasks spawned on the [`Scope`] may borrow from
     /// the enclosing stack frame; `scope` blocks until all of them finish.
     pub fn scope<'env, F, R>(&self, f: F) -> R
@@ -513,6 +567,92 @@ mod tests {
             |a, b| a + b,
         );
         assert_eq!(total, seq_sum(n));
+    }
+
+    /// Sum values engineered so that fold order changes the f64 result:
+    /// alternating huge and tiny magnitudes lose different low bits
+    /// depending on association.
+    fn order_sensitive_value(i: usize) -> f64 {
+        if i.is_multiple_of(2) {
+            1e16 + i as f64
+        } else {
+            1.0 / (i as f64)
+        }
+    }
+
+    #[test]
+    fn ordered_reduce_is_bit_identical_across_pool_sizes() {
+        let n = 50_000;
+        let grain = 1024;
+        let sum_on = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            pool.parallel_reduce_ordered(
+                0..n,
+                grain,
+                0.0f64,
+                |chunk| chunk.map(order_sensitive_value).sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        let baseline = sum_on(1);
+        for threads in [2, 3, 4, 8] {
+            let sum = sum_on(threads);
+            assert_eq!(baseline.to_bits(), sum.to_bits(), "threads={threads}");
+        }
+        // And re-running on the same pool size is identical too.
+        assert_eq!(sum_on(4).to_bits(), sum_on(4).to_bits());
+    }
+
+    #[test]
+    fn ordered_reduce_matches_manual_chunked_fold() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let grain = 333;
+        let expect = (0..n)
+            .step_by(grain)
+            .map(|lo| (lo..(lo + grain).min(n)).map(order_sensitive_value).sum::<f64>())
+            .fold(0.0f64, |a, b| a + b);
+        let got = pool.parallel_reduce_ordered(
+            0..n,
+            grain,
+            0.0f64,
+            |chunk| chunk.map(order_sensitive_value).sum::<f64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(expect.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn ordered_reduce_empty_range_returns_identity() {
+        let pool = ThreadPool::new(4);
+        let got = pool.parallel_reduce_ordered(7..7, 16, -1.0f64, |_| panic!("no chunks"), |a, b| a + b);
+        assert_eq!(got, -1.0);
+    }
+
+    #[test]
+    fn ordered_reduce_nested_on_worker_runs_inline() {
+        let pool = std::sync::Arc::new(ThreadPool::new(3));
+        let inner = std::sync::Arc::clone(&pool);
+        let outer = pool.parallel_reduce_ordered(
+            0..4,
+            1,
+            0u64,
+            |chunk| {
+                chunk
+                    .map(|_| {
+                        inner.parallel_reduce_ordered(
+                            0..100,
+                            7,
+                            0u64,
+                            |c| c.map(|i| i as u64).sum::<u64>(),
+                            |a, b| a + b,
+                        )
+                    })
+                    .sum::<u64>()
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(outer, 4 * (0..100u64).sum::<u64>());
     }
 
     #[test]

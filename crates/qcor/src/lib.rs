@@ -57,3 +57,9 @@ pub use qcor_sim as sim;
 pub use qcor_sim::{
     run_shots, run_shots_planned, run_shots_task_parallel, Counts, Granularity, RunConfig, ShotPlan,
 };
+
+// Compile-then-execute: a `CompiledCircuit` lowers a circuit once into
+// fused kernel ops (precomputed matrices, merged phase sweeps,
+// control-aware kernels) and replays it per shot. `RunConfig::fusion`,
+// `InitOptions::gate_fusion` and `QCOR_GATE_FUSION` select it (default on).
+pub use qcor_sim::{fusion_env_default, CompiledCircuit, KernelOp};

@@ -1,0 +1,680 @@
+//! Compile-then-execute: lower a [`Circuit`] once into a flat list of
+//! fused kernel ops, then replay that list per shot.
+//!
+//! The interpreted executor ([`crate::run_once_interpreted`]) re-dispatches
+//! every [`Instruction`] and re-derives every gate matrix on every shot.
+//! [`CompiledCircuit::compile`] pays those costs **once**:
+//!
+//! * every gate matrix, control mask and phase factor is precomputed into a
+//!   [`KernelOp`] — replay touches no trig, no `match inst.gate`, and no
+//!   allocation;
+//! * **single-qubit fusion** — adjacent single-qubit unitaries on the same
+//!   target with the same control mask collapse via 2×2 matrix products, and
+//!   uncontrolled/same-controlled diagonal gates fold into neighbouring
+//!   dense matrices;
+//! * **phase-sweep fusion** — diagonal gates (Z/S/T/Rz/CZ/CPhase/CCPhase…)
+//!   all commute, so runs of them are reordered freely: same-mask phases
+//!   merge by angle addition and the `Rz` global phases accumulate into a
+//!   single [`KernelOp::Scale`];
+//! * fused matrices are **classified** into the cheapest kernel the state
+//!   vector offers: anti-diagonal results run the branch-free flip kernel
+//!   ([`StateVector::apply_antidiag`]), diagonal results run the phase /
+//!   diagonal kernels, exact identities are dropped entirely.
+//!
+//! Fusion never crosses a `Measure`, `Reset` or `Barrier`: those are hard
+//! scheduling points, so a compiled replay performs its RNG draws in
+//! exactly the same order as the interpreted executor.
+//!
+//! # Determinism contract
+//!
+//! A compiled replay draws from the RNG exactly once per `Measure`/`Reset`,
+//! in program order — identical to the interpreted path — so compiled and
+//! interpreted runs of the same [`crate::ShotPlan`] consume identical RNG
+//! streams and their merged [`crate::Counts`] stay inside the PR 2
+//! `(seed, tasks, chunk_shots)` byte-identical contract. Fused arithmetic
+//! rounds differently at the last ulp (a 2×2 product is not two sequential
+//! applies), so *amplitudes* agree to ~1e-12 rather than bit-for-bit; an
+//! outcome would only flip if a measurement probability and an RNG draw
+//! coincided to ~1e-12, which the equivalence property tests
+//! (`cross_crate_props`) assert never happens for seeded runs. The fusion
+//! knob ([`crate::RunConfig::fusion`], `QCOR_GATE_FUSION`) keeps the
+//! interpreted path selectable for exactly this A/B comparison.
+
+use crate::complex::Complex64;
+use crate::executor::ShotRecord;
+use crate::gates::single_qubit_matrix;
+use crate::state::StateVector;
+use qcor_circuit::{Circuit, GateKind, Instruction};
+use rand::Rng;
+
+/// One precomputed state-vector update of a compiled circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelOp {
+    /// Dense 2×2 unitary on `target`, restricted to `ctrl_mask`.
+    Dense { target: usize, ctrl_mask: usize, m: [[Complex64; 2]; 2] },
+    /// Anti-diagonal [[0, m01], [m10, 0]] — the X-like flip kernel.
+    Flip { target: usize, ctrl_mask: usize, m01: Complex64, m10: Complex64 },
+    /// diag(d0, d1) on `target` under `ctrl_mask`, both entries non-trivial.
+    Diag { target: usize, ctrl_mask: usize, d0: Complex64, d1: Complex64 },
+    /// Multiply amplitudes with `set_mask` bits set and `clear_mask` bits
+    /// clear by a precomputed unit phase.
+    Phase { set_mask: usize, clear_mask: usize, phase: Complex64 },
+    /// Multiply every amplitude by `factor` (merged global phases).
+    Scale { factor: Complex64 },
+    /// (Controlled) swap of qubits `a` and `b`.
+    Swap { a: usize, b: usize, ctrl_mask: usize },
+    /// Computational-basis measurement of `qubit`.
+    Measure { qubit: usize },
+    /// Reset `qubit` to |0⟩.
+    Reset { qubit: usize },
+}
+
+/// Intermediate form during fusion: dense matrices and *angle*-valued
+/// phases (angles merge exactly by addition; the unit complex factor is
+/// derived once at finalization).
+#[derive(Debug, Clone)]
+enum LowOp {
+    Dense {
+        target: usize,
+        ctrl_mask: usize,
+        m: [[Complex64; 2]; 2],
+    },
+    Phase {
+        set_mask: usize,
+        clear_mask: usize,
+        theta: f64,
+    },
+    Swap {
+        a: usize,
+        b: usize,
+        ctrl_mask: usize,
+    },
+    Measure {
+        qubit: usize,
+    },
+    Reset {
+        qubit: usize,
+    },
+    /// Hard fusion barrier (from `GateKind::Barrier`); dropped at
+    /// finalization.
+    Barrier,
+}
+
+/// How far backward the fusion pass searches for a merge partner while
+/// hopping over commuting ops. Bounds the pass at O(len × window).
+const FUSION_WINDOW: usize = 32;
+
+fn mat_mul(a: [[Complex64; 2]; 2], b: [[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
+    let mut out = [[Complex64::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// A circuit lowered to a flat, fused list of precomputed kernel ops.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    num_qubits: usize,
+    ops: Vec<KernelOp>,
+    source_len: usize,
+}
+
+impl CompiledCircuit {
+    /// Lower and fuse `circuit`. The result replays with
+    /// [`CompiledCircuit::run_once`].
+    pub fn compile(circuit: &Circuit) -> CompiledCircuit {
+        let mut fuser = Fuser { out: Vec::with_capacity(circuit.len()), pending_global: 0.0 };
+        for inst in circuit.instructions() {
+            fuser.push_instruction(inst);
+        }
+        let ops = fuser.finalize();
+        CompiledCircuit { num_qubits: circuit.num_qubits(), ops, source_len: circuit.len() }
+    }
+
+    /// Qubit count of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The fused op list, in execution order.
+    pub fn ops(&self) -> &[KernelOp] {
+        &self.ops
+    }
+
+    /// Number of fused kernel ops (≤ the source instruction count for any
+    /// circuit without `Barrier`s, and strictly less whenever fusion fired).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when every source instruction fused away (or the source was
+    /// empty).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of instructions in the source circuit.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// Replay the compiled ops against `state` once, recording measurement
+    /// outcomes — the compiled counterpart of
+    /// [`crate::run_once_interpreted`].
+    pub fn run_once(&self, state: &mut StateVector, rng: &mut impl Rng) -> ShotRecord {
+        assert!(
+            self.num_qubits <= state.num_qubits(),
+            "compiled circuit needs {} qubits but the state has {}",
+            self.num_qubits,
+            state.num_qubits()
+        );
+        let mut record = ShotRecord::default();
+        for op in &self.ops {
+            match *op {
+                KernelOp::Dense { target, ctrl_mask, m } => state.apply_single(target, m, ctrl_mask),
+                KernelOp::Flip { target, ctrl_mask, m01, m10 } => {
+                    state.apply_antidiag(target, m01, m10, ctrl_mask)
+                }
+                KernelOp::Diag { target, ctrl_mask, d0, d1 } => state.apply_diag(target, d0, d1, ctrl_mask),
+                KernelOp::Phase { set_mask, clear_mask, phase } => {
+                    state.mul_where(set_mask, clear_mask, phase)
+                }
+                KernelOp::Scale { factor } => state.scale_all(factor),
+                KernelOp::Swap { a, b, ctrl_mask } => state.apply_swap(a, b, ctrl_mask),
+                KernelOp::Measure { qubit } => record.outcomes.push((qubit, state.measure(qubit, rng))),
+                KernelOp::Reset { qubit } => state.reset(qubit, rng),
+            }
+        }
+        record
+    }
+}
+
+struct Fuser {
+    out: Vec<LowOp>,
+    /// Accumulated global phase (from Rz lowering); global phases commute
+    /// with every unitary, so they are hoisted and flushed as one
+    /// [`KernelOp::Scale`] at measure/reset/barrier boundaries.
+    pending_global: f64,
+}
+
+impl Fuser {
+    fn push_instruction(&mut self, inst: &Instruction) {
+        use GateKind::*;
+        let q = &inst.qubits;
+        match inst.gate {
+            // Diagonal gates lower to angle-valued phase ops, exactly
+            // mirroring the interpreted fast path in `apply_instruction`.
+            Z => self.push_phase(1 << q[0], 0, std::f64::consts::PI),
+            S => self.push_phase(1 << q[0], 0, std::f64::consts::FRAC_PI_2),
+            Sdg => self.push_phase(1 << q[0], 0, -std::f64::consts::FRAC_PI_2),
+            T => self.push_phase(1 << q[0], 0, std::f64::consts::FRAC_PI_4),
+            Tdg => self.push_phase(1 << q[0], 0, -std::f64::consts::FRAC_PI_4),
+            Phase => self.push_phase(1 << q[0], 0, inst.params[0]),
+            Rz => {
+                self.pending_global += -inst.params[0] / 2.0;
+                self.push_phase(1 << q[0], 0, inst.params[0]);
+            }
+            CZ => self.push_phase((1 << q[0]) | (1 << q[1]), 0, std::f64::consts::PI),
+            CPhase => self.push_phase((1 << q[0]) | (1 << q[1]), 0, inst.params[0]),
+            CCPhase => self.push_phase((1 << q[0]) | (1 << q[1]) | (1 << q[2]), 0, inst.params[0]),
+            CRz => {
+                let half = inst.params[0] / 2.0;
+                self.push_phase((1 << q[0]) | (1 << q[1]), 0, half);
+                self.push_phase(1 << q[0], 1 << q[1], -half);
+            }
+            H | X | Y | Rx | Ry | U3 => {
+                let m = single_qubit_matrix(inst.gate, &inst.params).expect("single-qubit gate");
+                self.push_dense(q[0], 0, m);
+            }
+            // Controlled single-qubit gates: the operand split (controls
+            // first) comes from the instruction's own introspection.
+            CX | CY | CCX => {
+                let base = if inst.gate == CY { Y } else { X };
+                let m = single_qubit_matrix(base, &[]).expect("single-qubit gate");
+                self.push_dense(inst.target_qubits()[0], inst.control_mask(), m);
+            }
+            Swap | CSwap => {
+                let t = inst.target_qubits();
+                self.push_boundary(LowOp::Swap { a: t[0], b: t[1], ctrl_mask: inst.control_mask() });
+            }
+            Measure => self.push_hard_boundary(LowOp::Measure { qubit: q[0] }),
+            Reset => self.push_hard_boundary(LowOp::Reset { qubit: q[0] }),
+            Barrier => self.push_hard_boundary(LowOp::Barrier),
+        }
+    }
+
+    /// Push an op that fusion never merges into but that unitary ops may
+    /// still commute past in later scans (currently: swaps stop scans, so
+    /// this is a plain push).
+    fn push_boundary(&mut self, op: LowOp) {
+        self.out.push(op);
+    }
+
+    /// Push a non-unitary op (or barrier): flush the accumulated global
+    /// phase first so replay applies it before any RNG draw.
+    fn push_hard_boundary(&mut self, op: LowOp) {
+        self.flush_global();
+        self.out.push(op);
+    }
+
+    fn flush_global(&mut self) {
+        if self.pending_global != 0.0 {
+            // Represent as an unconditional phase over zero fixed bits —
+            // finalization emits it as a `Scale`.
+            let theta = std::mem::take(&mut self.pending_global);
+            self.out.push(LowOp::Phase { set_mask: usize::MAX, clear_mask: 0, theta });
+        }
+    }
+
+    /// True when a diagonal op with the given masks is independent of
+    /// `bit`: its phase factor is then identical on both halves of any
+    /// amplitude pair over that bit, so it commutes with any (controlled)
+    /// single-qubit op targeting the bit.
+    fn phase_independent_of(set_mask: usize, clear_mask: usize, bit: usize) -> bool {
+        set_mask != usize::MAX && (set_mask | clear_mask) & bit == 0
+    }
+
+    /// Append a dense single-qubit op, merging backward where valid.
+    fn push_dense(&mut self, target: usize, ctrl_mask: usize, mut m: [[Complex64; 2]; 2]) {
+        let bit = 1usize << target;
+        let mut idx = self.out.len();
+        let mut scanned = 0;
+        while idx > 0 && scanned < FUSION_WINDOW {
+            scanned += 1;
+            match self.out[idx - 1] {
+                LowOp::Dense { target: t2, ctrl_mask: c2, m: m2 } if t2 == target && c2 == ctrl_mask => {
+                    // Same target, same controls: collapse to one matrix
+                    // (this op applied after the existing one).
+                    m = mat_mul(m, m2);
+                    self.out.remove(idx - 1);
+                    self.out.push(LowOp::Dense { target, ctrl_mask, m });
+                    return;
+                }
+                LowOp::Dense { target: t2, ctrl_mask: c2, .. }
+                    if t2 != target && c2 & bit == 0 && ctrl_mask & (1 << t2) == 0 =>
+                {
+                    // Controlled single-qubit ops commute when neither
+                    // target appears in the other op's support (shared
+                    // control bits are diagonal for both and don't matter).
+                    idx -= 1;
+                    continue;
+                }
+                LowOp::Phase { set_mask, clear_mask, theta } => {
+                    // A diagonal on exactly this target under the same
+                    // controls folds into the matrix as diag(·) applied
+                    // first (right multiplication).
+                    if set_mask == (ctrl_mask | bit) && clear_mask == 0 {
+                        let p = Complex64::from_polar_unit(theta);
+                        m = mat_mul(m, [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]]);
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    if set_mask == ctrl_mask && clear_mask == bit {
+                        let p = Complex64::from_polar_unit(theta);
+                        m = mat_mul(m, [[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]]);
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    // Otherwise hop over it only if it cannot see the
+                    // target bit.
+                    if Self::phase_independent_of(set_mask, clear_mask, bit) {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.out.insert(idx, LowOp::Dense { target, ctrl_mask, m });
+    }
+
+    /// Append a diagonal phase op, merging backward where valid. Diagonal
+    /// ops all commute, so the scan may hop over any of them.
+    fn push_phase(&mut self, set_mask: usize, clear_mask: usize, theta: f64) {
+        let mut idx = self.out.len();
+        let mut scanned = 0;
+        while idx > 0 && scanned < FUSION_WINDOW {
+            scanned += 1;
+            match self.out[idx - 1] {
+                LowOp::Phase { set_mask: s2, clear_mask: c2, theta: t2 } => {
+                    if s2 == set_mask && c2 == clear_mask {
+                        self.out[idx - 1] = LowOp::Phase { set_mask, clear_mask, theta: t2 + theta };
+                        return;
+                    }
+                    // Distinct diagonal ops commute.
+                    idx -= 1;
+                }
+                LowOp::Dense { target, ctrl_mask, m } => {
+                    let bit = 1usize << target;
+                    // Fold onto the dense op as diag applied *after* it
+                    // (left multiplication).
+                    if set_mask == (ctrl_mask | bit) && clear_mask == 0 {
+                        let p = Complex64::from_polar_unit(theta);
+                        let fused = mat_mul([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]], m);
+                        self.out[idx - 1] = LowOp::Dense { target, ctrl_mask, m: fused };
+                        return;
+                    }
+                    if set_mask == ctrl_mask && clear_mask == bit {
+                        let p = Complex64::from_polar_unit(theta);
+                        let fused = mat_mul([[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]], m);
+                        self.out[idx - 1] = LowOp::Dense { target, ctrl_mask, m: fused };
+                        return;
+                    }
+                    if Self::phase_independent_of(set_mask, clear_mask, bit) {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.out.insert(idx, LowOp::Phase { set_mask, clear_mask, theta });
+    }
+
+    /// Classify the fused low ops into the cheapest kernels, dropping
+    /// identities.
+    fn finalize(mut self) -> Vec<KernelOp> {
+        self.flush_global();
+        let mut ops = Vec::with_capacity(self.out.len());
+        for low in self.out {
+            match low {
+                LowOp::Dense { target, ctrl_mask, m } => {
+                    if let Some(op) = classify_dense(target, ctrl_mask, m) {
+                        ops.push(op);
+                    }
+                }
+                LowOp::Phase { set_mask, clear_mask, theta } => {
+                    if theta != 0.0 {
+                        let phase = Complex64::from_polar_unit(theta);
+                        if set_mask == usize::MAX {
+                            ops.push(KernelOp::Scale { factor: phase });
+                        } else {
+                            ops.push(KernelOp::Phase { set_mask, clear_mask, phase });
+                        }
+                    }
+                }
+                LowOp::Swap { a, b, ctrl_mask } => ops.push(KernelOp::Swap { a, b, ctrl_mask }),
+                LowOp::Measure { qubit } => ops.push(KernelOp::Measure { qubit }),
+                LowOp::Reset { qubit } => ops.push(KernelOp::Reset { qubit }),
+                LowOp::Barrier => {}
+            }
+        }
+        ops
+    }
+}
+
+/// Pick the cheapest kernel for a fused 2×2 matrix; `None` for an exact
+/// identity (which only arises from symbolic cancellations like X·X — the
+/// float products of e.g. H·H are *near*-identity and stay dense).
+fn classify_dense(target: usize, ctrl_mask: usize, m: [[Complex64; 2]; 2]) -> Option<KernelOp> {
+    let bit = 1usize << target;
+    let diagonal = m[0][1] == Complex64::ZERO && m[1][0] == Complex64::ZERO;
+    let anti_diagonal = m[0][0] == Complex64::ZERO && m[1][1] == Complex64::ZERO;
+    if diagonal {
+        if m[0][0] == Complex64::ONE && m[1][1] == Complex64::ONE {
+            return None;
+        }
+        if m[0][0] == Complex64::ONE {
+            return Some(KernelOp::Phase { set_mask: ctrl_mask | bit, clear_mask: 0, phase: m[1][1] });
+        }
+        if m[1][1] == Complex64::ONE {
+            return Some(KernelOp::Phase { set_mask: ctrl_mask, clear_mask: bit, phase: m[0][0] });
+        }
+        return Some(KernelOp::Diag { target, ctrl_mask, d0: m[0][0], d1: m[1][1] });
+    }
+    if anti_diagonal {
+        return Some(KernelOp::Flip { target, ctrl_mask, m01: m[0][1], m10: m[1][0] });
+    }
+    Some(KernelOp::Dense { target, ctrl_mask, m })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::run_once_interpreted;
+    use qcor_circuit::library;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_states_agree(circuit: &Circuit, eps: f64) {
+        let mut interp = StateVector::new(circuit.num_qubits());
+        let mut fused = StateVector::new(circuit.num_qubits());
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let rec1 = run_once_interpreted(&mut interp, circuit, &mut rng1);
+        let compiled = CompiledCircuit::compile(circuit);
+        let rec2 = compiled.run_once(&mut fused, &mut rng2);
+        assert_eq!(rec1, rec2, "measurement records must match");
+        for (a, b) in interp.amplitudes().iter().zip(fused.amplitudes()) {
+            assert!(a.approx_eq(*b, eps), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn adjacent_singles_on_same_target_fuse() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).h(0).x(1);
+        let compiled = CompiledCircuit::compile(&c);
+        // H·T·H collapses to one dense op; X classifies as a flip.
+        assert_eq!(compiled.len(), 2, "{:?}", compiled.ops());
+        assert_states_agree(&c, 1e-12);
+    }
+
+    #[test]
+    fn x_x_cancels_to_identity() {
+        let mut c = Circuit::new(1);
+        c.x(0).x(0);
+        let compiled = CompiledCircuit::compile(&c);
+        assert!(compiled.is_empty(), "{:?}", compiled.ops());
+    }
+
+    #[test]
+    fn phase_runs_merge_by_mask() {
+        let mut c = Circuit::new(3);
+        // T(0); CZ(1,2); T(0); S(0) — the qubit-0 phases merge across the
+        // commuting CZ into one phase op.
+        c.t(0).cz(1, 2).t(0).s(0);
+        let compiled = CompiledCircuit::compile(&c);
+        assert_eq!(compiled.len(), 2, "{:?}", compiled.ops());
+        assert_states_agree(&c, 1e-12);
+    }
+
+    #[test]
+    fn t_tdg_cancel_exactly() {
+        let mut c = Circuit::new(1);
+        c.t(0).tdg(0);
+        let compiled = CompiledCircuit::compile(&c);
+        assert!(compiled.is_empty(), "{:?}", compiled.ops());
+    }
+
+    #[test]
+    fn barrier_blocks_fusion() {
+        let mut c = Circuit::new(1);
+        c.t(0);
+        c.push(Instruction::new(GateKind::Barrier, vec![0], vec![]));
+        c.t(0);
+        let compiled = CompiledCircuit::compile(&c);
+        assert_eq!(compiled.len(), 2, "{:?}", compiled.ops());
+    }
+
+    #[test]
+    fn measure_blocks_fusion_and_replays_identically() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0).h(0).measure(0);
+        let compiled = CompiledCircuit::compile(&c);
+        assert_eq!(compiled.len(), 4);
+        for seed in 0..20 {
+            let mut a = StateVector::new(1);
+            let mut b = StateVector::new(1);
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let rec_a = run_once_interpreted(&mut a, &c, &mut r1);
+            let rec_b = compiled.run_once(&mut b, &mut r2);
+            assert_eq!(rec_a, rec_b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn controlled_gates_keep_control_masks() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).ccx(0, 1, 2);
+        let compiled = CompiledCircuit::compile(&c);
+        assert_eq!(
+            compiled.ops(),
+            &[
+                KernelOp::Flip { target: 1, ctrl_mask: 1, m01: Complex64::ONE, m10: Complex64::ONE },
+                KernelOp::Flip { target: 2, ctrl_mask: 0b11, m01: Complex64::ONE, m10: Complex64::ONE },
+            ]
+        );
+    }
+
+    #[test]
+    fn rz_global_phase_is_preserved() {
+        let mut c = Circuit::new(2);
+        c.h(0).rz(0, 0.83).rz(1, -0.21);
+        assert_states_agree(&c, 1e-12);
+        let compiled = CompiledCircuit::compile(&c);
+        assert!(compiled.ops().iter().any(|op| matches!(op, KernelOp::Scale { .. })), "{:?}", compiled.ops());
+    }
+
+    #[test]
+    fn library_kernels_replay_equivalently() {
+        assert_states_agree(&library::bell_kernel(), 1e-12);
+        assert_states_agree(&library::ghz_kernel(5), 1e-12);
+        assert_states_agree(&library::qft(4), 1e-12);
+    }
+
+    #[test]
+    fn fused_qft_is_shorter_than_source() {
+        let qft = library::qft(5);
+        let compiled = CompiledCircuit::compile(&qft);
+        assert!(compiled.len() <= compiled.source_len());
+    }
+
+    #[test]
+    fn diag_classification_uses_phase_kernel_for_s_under_control() {
+        // CX-sandwiched diagonal: S(1) compiles to a Phase kernel op, not a
+        // dense matrix.
+        let mut c = Circuit::new(2);
+        c.s(1);
+        let compiled = CompiledCircuit::compile(&c);
+        assert!(
+            matches!(compiled.ops(), [KernelOp::Phase { set_mask: 0b10, clear_mask: 0, .. }]),
+            "{:?}",
+            compiled.ops()
+        );
+    }
+
+    #[test]
+    fn dense_commutes_over_disjoint_dense_to_fuse() {
+        // H(0); H(1); H(0) — the two H(0)s fuse across the commuting H(1).
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).h(0);
+        let compiled = CompiledCircuit::compile(&c);
+        assert_eq!(compiled.len(), 2, "{:?}", compiled.ops());
+        assert_states_agree(&c, 1e-12);
+    }
+
+    /// One sample instruction per unitary gate kind, on 3 qubits.
+    fn sample_unitaries() -> Vec<Instruction> {
+        use GateKind::*;
+        [
+            (H, vec![0], vec![]),
+            (X, vec![1], vec![]),
+            (Y, vec![2], vec![]),
+            (Z, vec![0], vec![]),
+            (S, vec![1], vec![]),
+            (Sdg, vec![2], vec![]),
+            (T, vec![0], vec![]),
+            (Tdg, vec![1], vec![]),
+            (Rx, vec![2], vec![0.3]),
+            (Ry, vec![0], vec![-0.4]),
+            (Rz, vec![1], vec![0.5]),
+            (Phase, vec![2], vec![0.6]),
+            (U3, vec![0], vec![0.1, 0.2, 0.3]),
+            (CX, vec![0, 1], vec![]),
+            (CY, vec![1, 2], vec![]),
+            (CZ, vec![0, 2], vec![]),
+            (CPhase, vec![1, 0], vec![0.7]),
+            (CRz, vec![2, 1], vec![-0.8]),
+            (Swap, vec![0, 2], vec![]),
+            (CCX, vec![0, 1, 2], vec![]),
+            (CSwap, vec![2, 0, 1], vec![]),
+            (CCPhase, vec![0, 1, 2], vec![0.9]),
+        ]
+        .into_iter()
+        .map(|(g, qs, ps)| Instruction::new(g, qs, ps))
+        .collect()
+    }
+
+    #[test]
+    fn is_diagonal_is_the_spec_for_phase_sweep_lowering() {
+        // `GateKind::is_diagonal` and the compiler's lowering must agree:
+        // exactly the diagonal gates compile to pure Phase/Scale ops (the
+        // property that lets runs of them merge into phase sweeps). If a
+        // new gate kind diverges between the two encodings, this fails.
+        for inst in sample_unitaries() {
+            let mut c = Circuit::new(3);
+            c.push(inst.clone());
+            let compiled = CompiledCircuit::compile(&c);
+            let pure_phase =
+                compiled.ops().iter().all(|op| matches!(op, KernelOp::Phase { .. } | KernelOp::Scale { .. }));
+            assert_eq!(
+                pure_phase,
+                inst.gate.is_diagonal(),
+                "{}: lowering and is_diagonal() disagree ({:?})",
+                inst.gate,
+                compiled.ops()
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_masks_stay_within_instruction_support() {
+        // Every compiled op's qubit footprint must be contained in the
+        // source instruction's `support_mask` (Scale excepted: the global
+        // phase has no qubit footprint).
+        for inst in sample_unitaries() {
+            let support = inst.support_mask();
+            let mut c = Circuit::new(3);
+            c.push(inst.clone());
+            for op in CompiledCircuit::compile(&c).ops() {
+                let footprint = match *op {
+                    KernelOp::Dense { target, ctrl_mask, .. }
+                    | KernelOp::Flip { target, ctrl_mask, .. }
+                    | KernelOp::Diag { target, ctrl_mask, .. } => (1 << target) | ctrl_mask,
+                    KernelOp::Phase { set_mask, clear_mask, .. } => set_mask | clear_mask,
+                    KernelOp::Swap { a, b, ctrl_mask } => (1 << a) | (1 << b) | ctrl_mask,
+                    KernelOp::Scale { .. } => 0,
+                    KernelOp::Measure { qubit } | KernelOp::Reset { qubit } => 1 << qubit,
+                };
+                assert_eq!(
+                    footprint & !support,
+                    0,
+                    "{}: op {op:?} escapes the instruction support {support:#b}",
+                    inst.gate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_gates_compile_to_swap_ops() {
+        let mut c = Circuit::new(3);
+        c.swap(0, 1);
+        c.push(Instruction::new(GateKind::CSwap, vec![2, 0, 1], vec![]));
+        let compiled = CompiledCircuit::compile(&c);
+        assert_eq!(
+            compiled.ops(),
+            &[KernelOp::Swap { a: 0, b: 1, ctrl_mask: 0 }, KernelOp::Swap { a: 0, b: 1, ctrl_mask: 1 << 2 },]
+        );
+        assert_states_agree(&c, 1e-12);
+    }
+}

@@ -43,17 +43,30 @@
 //! differ in detail while the sampled distribution is identical.
 //!
 //! The single-work-item *inner-parallel* path (large states, or
-//! [`Granularity::Sequential`] with one task) is deterministic given the
-//! seed only up to the floating-point summation order of its work-shared
-//! measurement reductions: on a multi-thread pool, partial probability
-//! sums may fold in different orders between runs, and an RNG draw landing
-//! within that ulp-sized gap could in principle flip an outcome. The
-//! byte-identical guarantee is therefore stated for chunked plans (which
-//! is every plan with `tasks > 1` or an explicit `chunk_shots`).
+//! [`Granularity::Sequential`] with one task) historically fell outside
+//! the byte-identical guarantee because its work-shared measurement
+//! reductions folded partial probability sums in scheduling order. Since
+//! the reductions moved onto the **ordered** reduce
+//! ([`qcor_pool::ThreadPool::parallel_reduce_ordered`]) — a fixed chunk
+//! partition folded in a fixed order, independent of the pool size — the
+//! inner-parallel path's sums are bit-identical on any team, and the
+//! byte-identical contract extends to it as well.
+//!
+//! # Compile-then-execute
+//!
+//! Each call compiles the circuit **once per plan** into a
+//! [`CompiledCircuit`] (gate fusion, precomputed matrices and control
+//! masks — see [`crate::compile`]) and replays the fused op list per shot;
+//! per-shot instruction dispatch and matrix re-derivation are gone.
+//! [`RunConfig::fusion`] / `QCOR_GATE_FUSION` select the legacy
+//! interpreted executor for A/B comparison; compiled and interpreted runs
+//! consume identical RNG streams (same draw count and order), so seeded
+//! counts agree between them.
 //!
 //! Bitstring convention: the leftmost character is the outcome of the
 //! lowest-indexed *measured* qubit.
 
+use crate::compile::CompiledCircuit;
 use crate::gates::apply_instruction;
 use crate::state::StateVector;
 use qcor_circuit::{Circuit, GateKind};
@@ -105,7 +118,26 @@ impl ShotRecord {
 }
 
 /// Run `circuit` once against `state`, recording measurement outcomes.
+///
+/// Honors the process-wide fusion default (`QCOR_GATE_FUSION`): by default
+/// the circuit is compiled (gate fusion + kernel classification, see
+/// [`CompiledCircuit`]) and replayed; with fusion disabled this is
+/// [`run_once_interpreted`]. Callers running the same circuit repeatedly
+/// should compile once and call [`CompiledCircuit::run_once`] per shot —
+/// that is what the shot scheduler does.
 pub fn run_once(state: &mut StateVector, circuit: &Circuit, rng: &mut impl Rng) -> ShotRecord {
+    if fusion_env_default() {
+        CompiledCircuit::compile(circuit).run_once(state, rng)
+    } else {
+        run_once_interpreted(state, circuit, rng)
+    }
+}
+
+/// Run `circuit` once by interpreting each instruction in turn — the
+/// pre-compilation executor, kept selectable (`QCOR_GATE_FUSION=0`,
+/// [`RunConfig::fusion`]) as the A/B baseline the `gatefuse_guard` CI gate
+/// and the fused-vs-unfused equivalence tests compare against.
+pub fn run_once_interpreted(state: &mut StateVector, circuit: &Circuit, rng: &mut impl Rng) -> ShotRecord {
     assert!(
         circuit.num_qubits() <= state.num_qubits(),
         "circuit needs {} qubits but the state has {}",
@@ -119,6 +151,36 @@ pub fn run_once(state: &mut StateVector, circuit: &Circuit, rng: &mut impl Rng) 
         }
     }
     record
+}
+
+/// Resolve the process-wide gate-fusion default from `QCOR_GATE_FUSION`.
+/// Unset means **enabled**; `0`/`false`/`off` disable, `1`/`true`/`on`
+/// enable, anything else panics loudly (misconfiguration should never
+/// silently change which executor benchmarks measure).
+///
+/// The variable is read and parsed **once** per process: `run_once` sits
+/// in per-shot hot loops (Shor's semiclassical QPE, QAOA sampling), and a
+/// mid-process env change flipping the executor would break the
+/// documented process-wide-default semantics anyway.
+pub fn fusion_env_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("QCOR_GATE_FUSION") {
+        Err(_) => true,
+        Ok(v) => parse_fusion_token(&v).unwrap_or_else(|| {
+            panic!("invalid QCOR_GATE_FUSION value {v:?}: expected 0/1/true/false/on/off")
+        }),
+    })
+}
+
+/// Parse one gate-fusion token — the single vocabulary shared by the
+/// `QCOR_GATE_FUSION` environment variable and the qpp backend's string
+/// `fusion` param, so the two can never drift apart. `None` = unrecognized.
+pub fn parse_fusion_token(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "" | "1" | "true" | "on" => Some(true),
+        "0" | "false" | "off" => Some(false),
+        _ => None,
+    }
 }
 
 /// Chunk-sizing policy of the batched shot scheduler (see the
@@ -157,6 +219,21 @@ pub struct RunConfig {
     pub chunk_shots: Option<usize>,
     /// Chunk-sizing policy used when `chunk_shots` is `None`.
     pub granularity: Granularity,
+    /// Gate fusion: compile the circuit once per [`ShotPlan`] (fused kernel
+    /// ops, precomputed matrices/masks — see [`CompiledCircuit`]) and
+    /// replay it per shot, instead of re-interpreting every instruction.
+    /// `None` defers to the `QCOR_GATE_FUSION` environment default
+    /// (enabled); `Some(false)` forces the interpreted executor for A/B
+    /// comparison.
+    pub fusion: Option<bool>,
+}
+
+impl RunConfig {
+    /// Resolve the effective fusion setting ([`RunConfig::fusion`], falling
+    /// back to [`fusion_env_default`]).
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion.unwrap_or_else(fusion_env_default)
+    }
 }
 
 impl Default for RunConfig {
@@ -167,6 +244,7 @@ impl Default for RunConfig {
             par_threshold: 2,
             chunk_shots: None,
             granularity: Granularity::Auto,
+            fusion: None,
         }
     }
 }
@@ -286,11 +364,36 @@ impl ShotPlan {
     }
 }
 
-/// Run `shots` repetitions of `circuit` against `state`, drawing from
-/// `rng`, accumulating bitstring counts into `counts`.
+/// The executor a shot plan replays per shot: the circuit compiled once
+/// into fused kernel ops, or the interpreted per-instruction dispatcher
+/// (fusion off).
+enum ShotExec<'c> {
+    Compiled(CompiledCircuit),
+    Interpreted(&'c Circuit),
+}
+
+impl ShotExec<'_> {
+    fn for_config<'c>(circuit: &'c Circuit, config: &RunConfig) -> ShotExec<'c> {
+        if config.fusion_enabled() {
+            ShotExec::Compiled(CompiledCircuit::compile(circuit))
+        } else {
+            ShotExec::Interpreted(circuit)
+        }
+    }
+
+    fn run_once(&self, state: &mut StateVector, rng: &mut impl Rng) -> ShotRecord {
+        match self {
+            ShotExec::Compiled(compiled) => compiled.run_once(state, rng),
+            ShotExec::Interpreted(circuit) => run_once_interpreted(state, circuit, rng),
+        }
+    }
+}
+
+/// Run `shots` repetitions of `exec` against `state`, drawing from `rng`,
+/// accumulating bitstring counts into `counts`.
 fn sample_into(
     state: &mut StateVector,
-    circuit: &Circuit,
+    exec: &ShotExec<'_>,
     rng: &mut StdRng,
     shots: usize,
     counts: &mut Counts,
@@ -299,7 +402,7 @@ fn sample_into(
         if shot > 0 {
             state.reset_to_zero();
         }
-        let record = run_once(state, circuit, rng);
+        let record = exec.run_once(state, rng);
         *counts.entry(record.bitstring()).or_insert(0) += 1;
     }
 }
@@ -341,14 +444,17 @@ pub fn run_shots_planned(
         Some(s) => s,
         None => StdRng::from_entropy().gen(),
     };
+    // Compile once per plan; every chunk replays the same fused op list.
+    let exec = ShotExec::for_config(circuit, config);
     if plan.inner_parallel() {
         let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
         state.set_par_threshold(config.par_threshold);
         let mut rng = StdRng::seed_from_u64(base_seed);
-        sample_into(&mut state, circuit, &mut rng, plan.shots(), &mut merged);
+        sample_into(&mut state, &exec, &mut rng, plan.shots(), &mut merged);
         return merged;
     }
     let par_threshold = config.par_threshold;
+    let exec = &exec;
     let jobs: Vec<_> = plan
         .chunks()
         .enumerate()
@@ -359,7 +465,7 @@ pub fn run_shots_planned(
                 state.set_par_threshold(par_threshold);
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut counts = Counts::new();
-                sample_into(&mut state, circuit, &mut rng, span.len(), &mut counts);
+                sample_into(&mut state, exec, &mut rng, span.len(), &mut counts);
                 counts
             }
         })
@@ -404,11 +510,11 @@ pub fn run_shots_task_parallel(
 }
 
 /// Exact output distribution of a measurement-free prefix: strips terminal
-/// measurements, evolves once, and returns the probability of each basis
-/// state. Errors if a non-terminal measurement or reset is present.
+/// measurements, evolves once (compiled when the process-wide fusion
+/// default is on), and returns the probability of each basis state. Errors
+/// if a non-terminal measurement or reset is present.
 pub fn exact_distribution(circuit: &Circuit, pool: Arc<ThreadPool>) -> Result<Vec<f64>, String> {
-    let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
-    let mut rng = StdRng::seed_from_u64(0);
+    let mut prefix = Circuit::new(circuit.num_qubits());
     let mut seen_measure = false;
     for inst in circuit.instructions() {
         match inst.gate {
@@ -419,9 +525,16 @@ pub fn exact_distribution(circuit: &Circuit, pool: Arc<ThreadPool>) -> Result<Ve
                 return Err("exact_distribution requires measurements to be terminal".to_string())
             }
             _ => {
-                apply_instruction(&mut state, inst, &mut rng);
+                prefix.push(inst.clone());
             }
         }
+    }
+    let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
+    let mut rng = StdRng::seed_from_u64(0);
+    if fusion_env_default() {
+        CompiledCircuit::compile(&prefix).run_once(&mut state, &mut rng);
+    } else {
+        run_once_interpreted(&mut state, &prefix, &mut rng);
     }
     Ok(state.probabilities())
 }

@@ -8,21 +8,31 @@
 //! [`StateVector`] whose pool has team size N.
 //!
 //! * [`Complex64`] — in-tree complex arithmetic,
-//! * [`StateVector`] — amplitudes plus primitive update kernels,
+//! * [`StateVector`] — amplitudes plus primitive update kernels
+//!   (control-aware: controlled kernels enumerate only the indices their
+//!   control masks select),
 //! * [`gates`] — gate matrices and instruction dispatch,
+//! * [`compile`] — the compile-then-execute layer: [`CompiledCircuit`]
+//!   lowers a circuit once into fused, precomputed kernel ops,
 //! * [`executor`] — the batched shot scheduler ([`ShotPlan`]), counts,
-//!   and exact distributions.
+//!   and exact distributions,
+//! * [`stats`] — per-thread kernel iteration counters backing the
+//!   `gatefuse_guard` CI gate.
 
+pub mod compile;
 mod complex;
 pub mod density;
 pub mod executor;
 pub mod gates;
 mod state;
+pub mod stats;
 
+pub use compile::{CompiledCircuit, KernelOp};
 pub use complex::{c64, Complex64};
 pub use density::{DensityMatrix, NoiseModel};
 pub use executor::{
-    derive_stream_seed, exact_distribution, run_once, run_shots, run_shots_planned, run_shots_task_parallel,
-    Counts, Granularity, RunConfig, ShotPlan, ShotRecord,
+    derive_stream_seed, exact_distribution, fusion_env_default, parse_fusion_token, run_once,
+    run_once_interpreted, run_shots, run_shots_planned, run_shots_task_parallel, Counts, Granularity,
+    RunConfig, ShotPlan, ShotRecord,
 };
 pub use state::StateVector;

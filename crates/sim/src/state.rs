@@ -14,6 +14,25 @@
 //! [`StateVector::set_par_threshold`]), so small registers pay the fork/join
 //! overhead that the paper's evaluation (§VI-A) observes when oversubscribing
 //! a kernel with threads.
+//!
+//! # Control-aware index enumeration
+//!
+//! Unlike Quantum++ (and our earlier port of it), controlled kernels do not
+//! scan all indices and branch-skip the ones whose control bits are unset.
+//! Instead they enumerate exactly the indices that satisfy the control
+//! mask, by inserting the fixed bits (controls = 1, cleared bits = 0) into
+//! a compressed loop counter at their sorted positions ([`BitInserts`]).
+//! A kernel with `c` control bits therefore executes `2^(n-1-c)` loop
+//! iterations instead of `2^(n-1)` — a CX does half the iterations of an
+//! H, a CCX a quarter — and the loop body is branch-free. The executed
+//! iteration counts are reported to [`crate::stats`], which is what the
+//! `gatefuse_guard` CI gate asserts on.
+//!
+//! Measurement reductions ([`StateVector::prob_one`], `norm_sqr`) fold
+//! fixed-size chunks in a fixed order via
+//! [`ThreadPool::parallel_reduce_ordered`], so their sums are bit-identical
+//! on any pool size — the inner-parallel path no longer depends on
+//! floating-point fold order.
 
 #[cfg(test)]
 use crate::complex::c64;
@@ -42,6 +61,65 @@ impl AmpsPtr {
     }
 }
 
+/// Bit-insertion table: expands a compressed loop counter into a full basis
+/// index by inserting fixed bits at sorted positions.
+///
+/// `ones_mask` positions are inserted as 1 (control bits), `zeros_mask`
+/// positions as 0 (the target bit of a pair loop, or cleared-control bits).
+/// Iterating `k` over `0..len >> (ones + zeros).count_ones()` and expanding
+/// enumerates exactly the indices with those bits fixed — no scan, no
+/// branch. Expansion is injective, so parallel chunks never alias a write.
+///
+/// The table is a fixed inline array (a state holds ≤ 30 qubits, so ≤ 30
+/// inserted bits): building one per kernel invocation touches no heap,
+/// keeping compiled replay genuinely allocation-free.
+#[derive(Clone, Copy, Debug)]
+struct BitInserts {
+    /// `(low_mask, fixed_bit)` per inserted position, ascending. Positions
+    /// are absolute in the progressively expanded index, which is why
+    /// ascending insertion order is correct.
+    steps: [(usize, usize); 32],
+    len: usize,
+}
+
+impl BitInserts {
+    fn new(ones_mask: usize, zeros_mask: usize) -> Self {
+        debug_assert_eq!(ones_mask & zeros_mask, 0, "a bit cannot be fixed to both 0 and 1");
+        let mut steps = [(0usize, 0usize); 32];
+        let mut len = 0usize;
+        // Merge the two mask bit-streams in ascending position order
+        // (trailing_zeros iteration yields each mask low-to-high).
+        let (mut ones, mut zeros) = (ones_mask, zeros_mask);
+        while ones != 0 || zeros != 0 {
+            let p1 = if ones != 0 { ones.trailing_zeros() as usize } else { usize::MAX };
+            let p0 = if zeros != 0 { zeros.trailing_zeros() as usize } else { usize::MAX };
+            let (p, bit) = if p1 < p0 {
+                ones &= ones - 1;
+                (p1, 1usize << p1)
+            } else {
+                zeros &= zeros - 1;
+                (p0, 0)
+            };
+            steps[len] = ((1usize << p) - 1, bit);
+            len += 1;
+        }
+        BitInserts { steps, len }
+    }
+
+    /// Number of inserted (fixed) bits.
+    fn width(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn expand(&self, mut k: usize) -> usize {
+        for &(low, bit) in &self.steps[..self.len] {
+            k = ((k & !low) << 1) | bit | (k & low);
+        }
+        k
+    }
+}
+
 /// An n-qubit pure state.
 ///
 /// Bit convention is little-endian: basis index `i` assigns qubit `q` the
@@ -51,6 +129,14 @@ pub struct StateVector {
     amps: Vec<Complex64>,
     pool: Arc<ThreadPool>,
     par_threshold: usize,
+    /// Reusable destination buffer for permutation kernels, allocated on
+    /// first use and kept for the lifetime of the state so repeated
+    /// `apply_controlled_permutation` calls (Shor's modular exponentiation)
+    /// perform zero steady-state allocations.
+    scratch: Vec<Complex64>,
+    /// How many times `scratch` has been (re)allocated — asserted by the
+    /// `gatefuse_guard` zero-steady-state-allocation check.
+    scratch_allocs: usize,
 }
 
 impl std::fmt::Debug for StateVector {
@@ -73,7 +159,7 @@ impl StateVector {
         assert!(num_qubits <= 30, "state vector of {num_qubits} qubits will not fit in memory");
         let mut amps = vec![Complex64::ZERO; 1usize << num_qubits];
         amps[0] = Complex64::ONE;
-        StateVector { num_qubits, amps, pool, par_threshold: 2 }
+        StateVector { num_qubits, amps, pool, par_threshold: 2, scratch: Vec::new(), scratch_allocs: 0 }
     }
 
     /// Construct from explicit amplitudes (must have power-of-two length and
@@ -83,7 +169,14 @@ impl StateVector {
         let n = amps.len().trailing_zeros() as usize;
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!((norm - 1.0).abs() < 1e-9, "state must be normalized (got norm² = {norm})");
-        StateVector { num_qubits: n, amps, pool: ThreadPool::sequential(), par_threshold: 2 }
+        StateVector {
+            num_qubits: n,
+            amps,
+            pool: ThreadPool::sequential(),
+            par_threshold: 2,
+            scratch: Vec::new(),
+            scratch_allocs: 0,
+        }
     }
 
     /// Construct from raw amplitudes without the unit-norm check — used by
@@ -92,7 +185,14 @@ impl StateVector {
     pub(crate) fn raw_with_amplitudes(amps: Vec<Complex64>) -> Self {
         assert!(amps.len().is_power_of_two() && !amps.is_empty());
         let n = amps.len().trailing_zeros() as usize;
-        StateVector { num_qubits: n, amps, pool: ThreadPool::sequential(), par_threshold: 2 }
+        StateVector {
+            num_qubits: n,
+            amps,
+            pool: ThreadPool::sequential(),
+            par_threshold: 2,
+            scratch: Vec::new(),
+            scratch_allocs: 0,
+        }
     }
 
     /// Reset to |0...0⟩ without reallocating.
@@ -156,42 +256,47 @@ impl StateVector {
         }
     }
 
-    /// Sum a per-index quantity over `0..len`, work-shared when profitable.
+    /// Fixed chunk size of the ordered measurement reductions. The
+    /// partition is a pure function of the loop length (never the pool
+    /// size), so reduction sums are bit-identical on any team — see
+    /// [`ThreadPool::parallel_reduce_ordered`].
+    const REDUCE_GRAIN: usize = 1 << 12;
+
+    /// Sum a per-index quantity over `0..len` with a **fixed** chunk
+    /// partition and fold order: work-shared when profitable, but
+    /// bit-identical regardless of pool size or scheduling.
     #[inline]
     fn reduce<F: Fn(Range<usize>) -> f64 + Sync>(&self, len: usize, f: F) -> f64 {
-        if self.pool.num_threads() > 1 && len >= self.par_threshold {
-            self.pool.parallel_reduce(0..len, qcor_pool::Schedule::Auto, 0.0, f, |a, b| a + b)
+        let pool = if self.pool.num_threads() > 1 && len >= self.par_threshold {
+            Arc::clone(&self.pool)
         } else {
-            f(0..len)
-        }
-    }
-
-    /// Expand a pair index `k` into the basis index with qubit `t` = 0:
-    /// inserts a zero bit at position `t`.
-    #[inline]
-    fn expand(k: usize, t: usize) -> usize {
-        let low_mask = (1usize << t) - 1;
-        ((k & !low_mask) << 1) | (k & low_mask)
+            // Same partition, evaluated inline in chunk order.
+            ThreadPool::sequential()
+        };
+        pool.parallel_reduce_ordered(0..len, Self::REDUCE_GRAIN, 0.0, f, |a, b| a + b)
     }
 
     /// Apply a single-qubit matrix `m` (row-major [[m00,m01],[m10,m11]]) to
     /// qubit `t`, restricted to basis states where every bit of
     /// `ctrl_mask` is set (`ctrl_mask` must not include bit `t`; 0 means
     /// no controls).
+    ///
+    /// Control-aware: only the `2^(n-1-c)` amplitude pairs satisfying the
+    /// `c` control bits are visited (no scan-and-skip).
     pub fn apply_single(&mut self, t: usize, m: [[Complex64; 2]; 2], ctrl_mask: usize) {
         debug_assert!(t < self.num_qubits);
         debug_assert_eq!(ctrl_mask & (1 << t), 0, "control mask must exclude the target");
-        let half = self.amps.len() / 2;
         let stride = 1usize << t;
+        let inserts = BitInserts::new(ctrl_mask, stride);
+        let pairs = self.amps.len() >> inserts.width();
+        crate::stats::record_iterations(pairs);
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
-        self.dispatch(half, |range| {
+        self.dispatch(pairs, |range| {
             for k in range {
-                let i = Self::expand(k, t);
-                if i & ctrl_mask != ctrl_mask {
-                    continue;
-                }
+                let i = inserts.expand(k);
                 let j = i | stride;
-                // SAFETY: (i, j) pairs are disjoint across k values.
+                // SAFETY: (i, j) pairs are disjoint across k values
+                // (expansion is injective).
                 let (a, b) = unsafe { (*ptr.at(i), *ptr.at(j)) };
                 unsafe {
                     *ptr.at(i) = m[0][0] * a + m[0][1] * b;
@@ -201,24 +306,88 @@ impl StateVector {
         });
     }
 
+    /// Apply the anti-diagonal matrix [[0, m01], [m10, 0]] to qubit `t`
+    /// under `ctrl_mask` — the branch-free specialization backing X / CX /
+    /// CCX (and Y up to its phases): each visited pair is exchanged with
+    /// two multiplies instead of a full 2×2 apply (zero multiplies for a
+    /// pure bit flip).
+    pub fn apply_antidiag(&mut self, t: usize, m01: Complex64, m10: Complex64, ctrl_mask: usize) {
+        debug_assert!(t < self.num_qubits);
+        debug_assert_eq!(ctrl_mask & (1 << t), 0, "control mask must exclude the target");
+        let stride = 1usize << t;
+        let inserts = BitInserts::new(ctrl_mask, stride);
+        let pairs = self.amps.len() >> inserts.width();
+        crate::stats::record_iterations(pairs);
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        let pure_flip = m01 == Complex64::ONE && m10 == Complex64::ONE;
+        self.dispatch(pairs, |range| {
+            for k in range {
+                let i = inserts.expand(k);
+                let j = i | stride;
+                // SAFETY: (i, j) pairs are disjoint across k values.
+                unsafe {
+                    if pure_flip {
+                        std::ptr::swap(ptr.at(i), ptr.at(j));
+                    } else {
+                        let (a, b) = (*ptr.at(i), *ptr.at(j));
+                        *ptr.at(i) = m01 * b;
+                        *ptr.at(j) = m10 * a;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Apply the diagonal matrix diag(d0, d1) to qubit `t` under
+    /// `ctrl_mask`: visited pairs multiply their |0⟩ amplitude by `d0` and
+    /// their |1⟩ amplitude by `d1`, branch-free.
+    pub fn apply_diag(&mut self, t: usize, d0: Complex64, d1: Complex64, ctrl_mask: usize) {
+        debug_assert!(t < self.num_qubits);
+        debug_assert_eq!(ctrl_mask & (1 << t), 0, "control mask must exclude the target");
+        let stride = 1usize << t;
+        let inserts = BitInserts::new(ctrl_mask, stride);
+        let pairs = self.amps.len() >> inserts.width();
+        crate::stats::record_iterations(pairs);
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        self.dispatch(pairs, |range| {
+            for k in range {
+                let i = inserts.expand(k);
+                // SAFETY: disjoint pairs across k values.
+                unsafe {
+                    *ptr.at(i) *= d0;
+                    *ptr.at(i | stride) *= d1;
+                }
+            }
+        });
+    }
+
     /// Multiply amplitudes by e^{iθ} on basis states where all bits of
     /// `set_mask` are 1 and all bits of `clear_mask` are 0.
     pub fn phase_where(&mut self, set_mask: usize, clear_mask: usize, theta: f64) {
+        self.mul_where(set_mask, clear_mask, Complex64::from_polar_unit(theta));
+    }
+
+    /// Multiply amplitudes by `z` on basis states where all bits of
+    /// `set_mask` are 1 and all bits of `clear_mask` are 0 — the phase
+    /// kernel behind every diagonal gate, control-aware: only the
+    /// `2^(n-s-c)` matching indices are visited.
+    pub fn mul_where(&mut self, set_mask: usize, clear_mask: usize, z: Complex64) {
         debug_assert_eq!(set_mask & clear_mask, 0);
-        let phase = Complex64::from_polar_unit(theta);
+        let inserts = BitInserts::new(set_mask, clear_mask);
+        let matching = self.amps.len() >> inserts.width();
+        crate::stats::record_iterations(matching);
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
-        self.dispatch(self.amps.len(), |range| {
-            for i in range {
-                if i & set_mask == set_mask && i & clear_mask == 0 {
-                    // SAFETY: disjoint indices per chunk.
-                    unsafe { *ptr.at(i) *= phase };
-                }
+        self.dispatch(matching, |range| {
+            for k in range {
+                // SAFETY: disjoint indices per chunk (expansion injective).
+                unsafe { *ptr.at(inserts.expand(k)) *= z };
             }
         });
     }
 
     /// Multiply every amplitude by `z` (used for the global phase of Rz).
     pub fn scale_all(&mut self, z: Complex64) {
+        crate::stats::record_iterations(self.amps.len());
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
         self.dispatch(self.amps.len(), |range| {
             for i in range {
@@ -230,21 +399,25 @@ impl StateVector {
 
     /// Swap qubits `a` and `b`, restricted to basis states where
     /// `ctrl_mask` bits are all set (0 = unconditional).
+    ///
+    /// Control-aware: enumerates only the `2^(n-2-c)` indices with
+    /// `a = 1`, `b = 0` and every control bit set — each swapped pair is
+    /// visited exactly once from its (a=1, b=0) side.
     pub fn apply_swap(&mut self, a: usize, b: usize, ctrl_mask: usize) {
         assert_ne!(a, b, "swap requires distinct qubits");
         debug_assert_eq!(ctrl_mask & ((1 << a) | (1 << b)), 0);
         let (bit_a, bit_b) = (1usize << a, 1usize << b);
+        let inserts = BitInserts::new(ctrl_mask | bit_a, bit_b);
+        let count = self.amps.len() >> inserts.width();
+        crate::stats::record_iterations(count);
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
-        self.dispatch(self.amps.len(), |range| {
-            for i in range {
-                // Visit each pair once: from the (a=1, b=0) side.
-                if i & bit_a != 0 && i & bit_b == 0 && i & ctrl_mask == ctrl_mask {
-                    let j = i ^ bit_a ^ bit_b;
-                    // SAFETY: i and j=partner are swapped exactly once and
-                    // only the thread owning index i touches the pair (the
-                    // partner index j fails the visit condition).
-                    unsafe { std::ptr::swap(ptr.at(i), ptr.at(j)) };
-                }
+        self.dispatch(count, |range| {
+            for k in range {
+                let i = inserts.expand(k);
+                let j = i ^ bit_a ^ bit_b;
+                // SAFETY: each (i, j) pair is enumerated exactly once (only
+                // from its a=1, b=0 side) and pairs are disjoint across k.
+                unsafe { std::ptr::swap(ptr.at(i), ptr.at(j)) };
             }
         });
     }
@@ -261,10 +434,34 @@ impl StateVector {
             assert!(y < perm.len() && inv[y] == usize::MAX, "perm is not a bijection");
             inv[y] = x;
         }
+        self.apply_permutation_with_inverse(ctrl_mask, targets, &inv);
+    }
+
+    /// [`StateVector::apply_controlled_permutation`] with the inverse
+    /// permutation already computed — the replay path of a compiled
+    /// circuit, which inverts the table once at compile time instead of
+    /// allocating and inverting on every shot.
+    ///
+    /// Uses the state's reusable scratch buffer as the destination, so
+    /// repeated calls perform **zero steady-state allocations**, and
+    /// enumerates only the control-satisfying indices (everything else is
+    /// a bulk copy).
+    pub fn apply_permutation_with_inverse(&mut self, ctrl_mask: usize, targets: &[usize], inv: &[usize]) {
+        assert_eq!(inv.len(), 1usize << targets.len(), "permutation table size mismatch");
+        if self.scratch.len() != self.amps.len() {
+            self.scratch = vec![Complex64::ZERO; self.amps.len()];
+            self.scratch_allocs += 1;
+        }
+        if ctrl_mask != 0 {
+            // Indices failing the controls keep their amplitude.
+            self.scratch.copy_from_slice(&self.amps);
+        }
+        let inserts = BitInserts::new(ctrl_mask, 0);
+        let matching = self.amps.len() >> inserts.width();
+        crate::stats::record_iterations(matching);
+        let out_ptr = AmpsPtr(self.scratch.as_mut_ptr());
+        let amps = &self.amps;
         let src_of = |i: usize| -> usize {
-            if i & ctrl_mask != ctrl_mask {
-                return i;
-            }
             let mut x = 0usize;
             for (pos, &q) in targets.iter().enumerate() {
                 x |= ((i >> q) & 1) << pos;
@@ -276,16 +473,21 @@ impl StateVector {
             }
             j
         };
-        let mut out = vec![Complex64::ZERO; self.amps.len()];
-        let out_ptr = AmpsPtr(out.as_mut_ptr());
-        let amps = &self.amps;
-        self.dispatch(self.amps.len(), |range| {
-            for i in range {
+        self.dispatch(matching, |range| {
+            for k in range {
+                let i = inserts.expand(k);
                 // SAFETY: each output index written once; reads are shared.
                 unsafe { *out_ptr.at(i) = amps[src_of(i)] };
             }
         });
-        self.amps = out;
+        std::mem::swap(&mut self.amps, &mut self.scratch);
+    }
+
+    /// How many times the permutation scratch buffer has been allocated
+    /// over this state's lifetime (1 after any number of permutation calls
+    /// = zero steady-state allocations).
+    pub fn scratch_allocations(&self) -> usize {
+        self.scratch_allocs
     }
 
     /// Probability of measuring |1⟩ on qubit `q`.
@@ -350,8 +552,7 @@ impl StateVector {
 
     /// Apply X to qubit `q` by index pairing (internal fast path for reset).
     fn apply_swap_bitflip(&mut self, q: usize) {
-        let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
-        self.apply_single(q, x, 0);
+        self.apply_antidiag(q, Complex64::ONE, Complex64::ONE, 0);
     }
 
     /// ⟨self|other⟩.
@@ -535,5 +736,193 @@ mod tests {
     fn bad_permutation_panics() {
         let mut sv = StateVector::new(2);
         sv.apply_controlled_permutation(0, &[0, 1], &[0, 0, 1, 2]);
+    }
+
+    // ---- control-aware enumeration vs the old scan-and-skip kernels ----
+    //
+    // Reference implementations of the pre-PR-4 kernels: scan every index
+    // (or pair) and branch-skip the ones failing the control mask. The
+    // control-aware kernels must produce bit-identical amplitudes.
+
+    fn insert_zero_at(k: usize, t: usize) -> usize {
+        let low = (1usize << t) - 1;
+        ((k & !low) << 1) | (k & low)
+    }
+
+    fn scan_apply_single(amps: &mut [Complex64], t: usize, m: [[Complex64; 2]; 2], ctrl: usize) {
+        let stride = 1usize << t;
+        for k in 0..amps.len() / 2 {
+            let i = insert_zero_at(k, t);
+            if i & ctrl != ctrl {
+                continue;
+            }
+            let (a, b) = (amps[i], amps[i | stride]);
+            amps[i] = m[0][0] * a + m[0][1] * b;
+            amps[i | stride] = m[1][0] * a + m[1][1] * b;
+        }
+    }
+
+    fn scan_mul_where(amps: &mut [Complex64], set: usize, clear: usize, z: Complex64) {
+        for (i, amp) in amps.iter_mut().enumerate() {
+            if i & set == set && i & clear == 0 {
+                *amp *= z;
+            }
+        }
+    }
+
+    fn scan_swap(amps: &mut [Complex64], a: usize, b: usize, ctrl: usize) {
+        let (bit_a, bit_b) = (1usize << a, 1usize << b);
+        for i in 0..amps.len() {
+            if i & bit_a != 0 && i & bit_b == 0 && i & ctrl == ctrl {
+                amps.swap(i, i ^ bit_a ^ bit_b);
+            }
+        }
+    }
+
+    /// A deterministic non-trivial 6-qubit state to run kernels against.
+    fn scrambled_state() -> StateVector {
+        let mut sv = StateVector::new(6);
+        for q in 0..6 {
+            sv.apply_single(q, h_matrix(), 0);
+            sv.phase_where(1 << q, 0, 0.17 * (q as f64 + 1.0));
+        }
+        for q in 0..5 {
+            let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+            sv.apply_single(q + 1, x, 1 << q);
+        }
+        sv
+    }
+
+    #[test]
+    fn control_aware_single_matches_scan_and_skip() {
+        let u = [[c64(0.6, 0.0), c64(0.0, 0.8)], [c64(0.0, 0.8), c64(0.6, 0.0)]];
+        for ctrl in [0usize, 1 << 0, (1 << 0) | (1 << 4), (1 << 1) | (1 << 3) | (1 << 5)] {
+            let base = scrambled_state();
+            let mut expect: Vec<Complex64> = base.amplitudes().to_vec();
+            scan_apply_single(&mut expect, 2, u, ctrl);
+            let mut got = scrambled_state();
+            got.apply_single(2, u, ctrl);
+            for (e, g) in expect.iter().zip(got.amplitudes()) {
+                assert_eq!(e.re.to_bits(), g.re.to_bits(), "ctrl={ctrl:#b}");
+                assert_eq!(e.im.to_bits(), g.im.to_bits(), "ctrl={ctrl:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn control_aware_mul_where_matches_scan_and_skip() {
+        let z = Complex64::from_polar_unit(1.234);
+        for (set, clear) in [(1usize << 1, 0usize), ((1 << 0) | (1 << 3), 1 << 5), (0, (1 << 2) | (1 << 4))] {
+            let base = scrambled_state();
+            let mut expect: Vec<Complex64> = base.amplitudes().to_vec();
+            scan_mul_where(&mut expect, set, clear, z);
+            let mut got = scrambled_state();
+            got.mul_where(set, clear, z);
+            for (e, g) in expect.iter().zip(got.amplitudes()) {
+                assert_eq!(e.re.to_bits(), g.re.to_bits(), "set={set:#b} clear={clear:#b}");
+                assert_eq!(e.im.to_bits(), g.im.to_bits(), "set={set:#b} clear={clear:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn control_aware_swap_matches_scan_and_skip() {
+        for ctrl in [0usize, 1 << 2, (1 << 2) | (1 << 5)] {
+            let base = scrambled_state();
+            let mut expect: Vec<Complex64> = base.amplitudes().to_vec();
+            scan_swap(&mut expect, 0, 3, ctrl);
+            let mut got = scrambled_state();
+            got.apply_swap(0, 3, ctrl);
+            for (e, g) in expect.iter().zip(got.amplitudes()) {
+                assert_eq!(e.re.to_bits(), g.re.to_bits(), "ctrl={ctrl:#b}");
+                assert_eq!(e.im.to_bits(), g.im.to_bits(), "ctrl={ctrl:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn antidiag_and_diag_kernels_match_dense_apply() {
+        // X via the anti-diagonal kernel vs the dense matrix.
+        let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+        let mut a = scrambled_state();
+        let mut b = scrambled_state();
+        a.apply_single(3, x, 1 << 1);
+        b.apply_antidiag(3, Complex64::ONE, Complex64::ONE, 1 << 1);
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!(x.approx_eq(*y, 1e-15));
+        }
+        // diag(d0, d1) via the diagonal kernel vs the dense matrix.
+        let (d0, d1) = (Complex64::from_polar_unit(-0.4), Complex64::from_polar_unit(0.9));
+        let dm = [[d0, Complex64::ZERO], [Complex64::ZERO, d1]];
+        let mut a = scrambled_state();
+        let mut b = scrambled_state();
+        a.apply_single(2, dm, 1 << 4);
+        b.apply_diag(2, d0, d1, 1 << 4);
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!(x.approx_eq(*y, 1e-15));
+        }
+    }
+
+    #[test]
+    fn controlled_kernels_iterate_exponentially_less() {
+        use crate::stats::{kernel_iterations, reset_kernel_iterations};
+        let mut sv = StateVector::new(8);
+        let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+        reset_kernel_iterations();
+        sv.apply_single(0, x, 0);
+        assert_eq!(kernel_iterations(), 128); // 2^(8-1)
+        reset_kernel_iterations();
+        sv.apply_single(1, x, 1 << 0); // CX
+        assert_eq!(kernel_iterations(), 64); // 2^(8-2)
+        reset_kernel_iterations();
+        sv.apply_single(2, x, 0b11); // CCX
+        assert_eq!(kernel_iterations(), 32); // 2^(8-3)
+        reset_kernel_iterations();
+        sv.apply_swap(0, 1, 1 << 7); // CSwap
+        assert_eq!(kernel_iterations(), 32); // 2^(8-3)
+        reset_kernel_iterations();
+        sv.mul_where(0b101, 0, Complex64::I);
+        assert_eq!(kernel_iterations(), 64); // 2^(8-2)
+    }
+
+    #[test]
+    fn permutation_scratch_allocates_once() {
+        let mut sv = StateVector::new(6);
+        let perm: Vec<usize> = (0..16).map(|x| (x + 3) % 16).collect();
+        assert_eq!(sv.scratch_allocations(), 0);
+        for _ in 0..20 {
+            sv.apply_controlled_permutation(1 << 5, &[0, 1, 2, 3], &perm);
+        }
+        assert_eq!(sv.scratch_allocations(), 1, "steady-state permutations must not allocate");
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precomputed_inverse_matches_public_permutation() {
+        let perm: Vec<usize> = vec![2, 0, 3, 1];
+        let mut inv = vec![0usize; 4];
+        for (x, &y) in perm.iter().enumerate() {
+            inv[y] = x;
+        }
+        let mut a = scrambled_state();
+        let mut b = scrambled_state();
+        a.apply_controlled_permutation(1 << 4, &[1, 2], &perm);
+        b.apply_permutation_with_inverse(1 << 4, &[1, 2], &inv);
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn bit_inserts_enumerate_exactly_the_matching_indices() {
+        let ones = (1usize << 1) | (1 << 4);
+        let zeros = 1usize << 2;
+        let inserts = BitInserts::new(ones, zeros);
+        let n = 6;
+        let mut seen: Vec<usize> = (0..(1usize << n) >> inserts.width()).map(|k| inserts.expand(k)).collect();
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..1usize << n).filter(|i| i & ones == ones && i & zeros == 0).collect();
+        assert_eq!(seen, expect);
     }
 }

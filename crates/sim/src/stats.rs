@@ -1,0 +1,67 @@
+//! Per-thread kernel instrumentation counters.
+//!
+//! The control-aware state-vector kernels enumerate only the amplitude
+//! indices that satisfy their control masks, so a CX visits 2× fewer and a
+//! CCX 4× fewer indices than a full scan. That claim is load-bearing for
+//! the `gatefuse_guard` perf gate, so every kernel reports the exact number
+//! of loop iterations it executes to a counter that the guard (and the
+//! unit tests) can reset and read.
+//!
+//! The counter is **thread-local** and recorded once per kernel invocation
+//! on the thread that *issued* the kernel (before any work-sharing), which
+//! makes it race-free against concurrently running tests and free of
+//! atomic contention; the cost of one `Cell` add per kernel call is
+//! unmeasurable next to the amplitude loop, so the instrumentation is
+//! compiled in unconditionally rather than hidden behind a feature gate.
+//! To audit a multi-threaded run, read the counter on the thread that
+//! drives the kernels (chunked shot plans record on whichever worker runs
+//! the chunk — drive the plan through a 1-thread pool, or call
+//! [`crate::run_once`] directly, when exact totals matter).
+
+use std::cell::Cell;
+
+thread_local! {
+    static KERNEL_ITERS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Record `n` loop iterations executed by a state-vector kernel.
+#[inline]
+pub(crate) fn record_iterations(n: usize) {
+    KERNEL_ITERS.with(|c| c.set(c.get() + n as u64));
+}
+
+/// Total loop iterations issued by state-vector update kernels from this
+/// thread since the last [`reset_kernel_iterations`].
+pub fn kernel_iterations() -> u64 {
+    KERNEL_ITERS.with(Cell::get)
+}
+
+/// Reset this thread's kernel iteration counter to zero.
+pub fn reset_kernel_iterations() {
+    KERNEL_ITERS.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        reset_kernel_iterations();
+        record_iterations(3);
+        record_iterations(4);
+        assert_eq!(kernel_iterations(), 7);
+        reset_kernel_iterations();
+        record_iterations(1);
+        assert_eq!(kernel_iterations(), 1);
+    }
+
+    #[test]
+    fn counter_is_thread_local() {
+        reset_kernel_iterations();
+        record_iterations(5);
+        let other = std::thread::spawn(kernel_iterations).join().unwrap();
+        assert_eq!(other, 0, "another thread's counter must be independent");
+        assert_eq!(kernel_iterations(), 5);
+    }
+}

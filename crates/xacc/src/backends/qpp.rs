@@ -15,6 +15,7 @@ use qcor_sim::{run_shots, Granularity, RunConfig};
 use std::sync::Arc;
 
 /// State-vector simulator backend.
+#[derive(Debug)]
 pub struct QppAccelerator {
     pool: Arc<ThreadPool>,
     par_threshold: usize,
@@ -23,6 +24,9 @@ pub struct QppAccelerator {
     chunk_shots: Option<usize>,
     /// Chunk-sizing policy when `chunk_shots` is unset.
     granularity: Granularity,
+    /// Gate fusion (compile-then-execute) override; `None` defers to the
+    /// `QCOR_GATE_FUSION` process default.
+    fusion: Option<bool>,
 }
 
 impl QppAccelerator {
@@ -33,15 +37,26 @@ impl QppAccelerator {
 
     /// A backend sharing an existing pool.
     pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
-        QppAccelerator { pool, par_threshold: 2, chunk_shots: None, granularity: Granularity::Auto }
+        QppAccelerator {
+            pool,
+            par_threshold: 2,
+            chunk_shots: None,
+            granularity: Granularity::Auto,
+            fusion: None,
+        }
     }
 
     /// Construct from registry params: `threads` (default: all cores or
     /// `QCOR_NUM_THREADS`), `par-threshold` (see
     /// [`qcor_sim::StateVector::set_par_threshold`]), `chunk-shots`
-    /// (explicit scheduler chunk size) and `granularity`
-    /// (`"auto"` | `"sequential"`).
-    pub fn from_params(params: &HetMap) -> Self {
+    /// (explicit scheduler chunk size), `granularity`
+    /// (`"auto"` | `"sequential"`) and `fusion` (bool, or `"on"`/`"off"`;
+    /// default: the `QCOR_GATE_FUSION` process default).
+    ///
+    /// Bad parameter values are rejected with
+    /// [`XaccError::InvalidParam`] — surfaced as an `Err` through
+    /// `get_accelerator`/`initialize`, like the routing params.
+    pub fn from_params(params: &HetMap) -> Result<Self, XaccError> {
         let threads = params.get_usize("threads").unwrap_or_else(qcor_pool::num_threads_from_env);
         let mut acc = Self::new(threads.max(1));
         if let Some(t) = params.get_usize("par-threshold") {
@@ -52,10 +67,34 @@ impl QppAccelerator {
             acc.granularity = match g {
                 "sequential" => Granularity::Sequential,
                 "auto" => Granularity::Auto,
-                other => panic!("unknown granularity {other:?}: expected \"auto\" or \"sequential\""),
+                other => {
+                    return Err(XaccError::InvalidParam(format!(
+                        "unknown granularity {other:?}: expected \"auto\" or \"sequential\""
+                    )))
+                }
             };
         }
-        acc
+        // String values share the `QCOR_GATE_FUSION` token vocabulary
+        // (`qcor_sim::parse_fusion_token`); plain bools pass through; any
+        // other value or type is a hard configuration error.
+        acc.fusion = match params.get("fusion") {
+            None => None,
+            Some(&crate::HetValue::Bool(b)) => Some(b),
+            Some(crate::HetValue::Str(s)) => match qcor_sim::parse_fusion_token(s) {
+                Some(b) => Some(b),
+                None => {
+                    return Err(XaccError::InvalidParam(format!(
+                        "unknown fusion setting {s:?}: expected a bool or 0/1/true/false/on/off"
+                    )))
+                }
+            },
+            Some(other) => {
+                return Err(XaccError::InvalidParam(format!(
+                    "fusion must be a bool or string, got {other:?}"
+                )))
+            }
+        };
+        Ok(acc)
     }
 
     /// The simulator thread pool.
@@ -88,6 +127,7 @@ impl Accelerator for QppAccelerator {
             par_threshold: self.par_threshold,
             chunk_shots: self.chunk_shots,
             granularity: self.granularity,
+            fusion: self.fusion,
         };
         let counts = run_shots(circuit, Arc::clone(&self.pool), &config);
         buffer.merge_counts(&counts);
@@ -119,16 +159,64 @@ mod tests {
             &HetMap::new()
                 .with("threads", 1usize)
                 .with("chunk-shots", 8usize)
-                .with("granularity", "sequential"),
-        );
+                .with("granularity", "sequential")
+                .with("fusion", false),
+        )
+        .unwrap();
         assert_eq!(acc.chunk_shots, Some(8));
         assert_eq!(acc.granularity, Granularity::Sequential);
+        assert_eq!(acc.fusion, Some(false));
+        let on =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("fusion", "on")).unwrap();
+        assert_eq!(on.fusion, Some(true));
     }
 
     #[test]
-    #[should_panic(expected = "unknown granularity")]
-    fn from_params_rejects_unknown_granularity() {
-        QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("granularity", "Sequential"));
+    fn from_params_rejects_unknown_granularity_as_err() {
+        let err = QppAccelerator::from_params(
+            &HetMap::new().with("threads", 1usize).with("granularity", "Sequential"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("granularity")), "{err}");
+    }
+
+    #[test]
+    fn from_params_fusion_accepts_env_token_set() {
+        // The param accepts exactly what QCOR_GATE_FUSION accepts.
+        for (token, expect) in
+            [("1", true), ("true", true), ("on", true), ("0", false), ("false", false), ("off", false)]
+        {
+            let acc =
+                QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("fusion", token))
+                    .unwrap();
+            assert_eq!(acc.fusion, Some(expect), "token {token:?}");
+        }
+    }
+
+    #[test]
+    fn from_params_rejects_unknown_fusion_as_err() {
+        let err = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("fusion", "maybe"))
+            .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("fusion")), "{err}");
+        // Wrong-typed values are rejected too, not silently ignored.
+        let err = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("fusion", 3usize))
+            .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("fusion")), "{err}");
+    }
+
+    #[test]
+    fn fused_and_unfused_execute_identical_seeded_counts() {
+        let fused =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("fusion", true)).unwrap();
+        let unfused =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("fusion", false))
+                .unwrap();
+        let opts = ExecOptions::with_shots(256).seeded(12);
+        let mut buf_a = AcceleratorBuffer::with_name("a", 3);
+        let mut buf_b = AcceleratorBuffer::with_name("b", 3);
+        fused.execute(&mut buf_a, &library::ghz_kernel(3), &opts).unwrap();
+        unfused.execute(&mut buf_b, &library::ghz_kernel(3), &opts).unwrap();
+        assert_eq!(buf_a.measurements(), buf_b.measurements());
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub enum XaccError {
     UnknownService(String),
     /// The backend rejected the circuit or configuration.
     Execution(String),
+    /// A factory rejected its construction parameters. Surfaced as an
+    /// `Err` through `get_accelerator`/`initialize` — fallible
+    /// construction, not a panic deep inside the factory.
+    InvalidParam(String),
 }
 
 impl std::fmt::Display for XaccError {
@@ -45,6 +49,7 @@ impl std::fmt::Display for XaccError {
         match self {
             XaccError::UnknownService(name) => write!(f, "no accelerator service named `{name}`"),
             XaccError::Execution(msg) => write!(f, "accelerator execution failed: {msg}"),
+            XaccError::InvalidParam(msg) => write!(f, "invalid accelerator parameter: {msg}"),
         }
     }
 }

@@ -21,7 +21,11 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-type Factory = Box<dyn Fn(&HetMap) -> Arc<dyn Accelerator> + Send + Sync>;
+/// Factories are **fallible**: bad construction parameters surface as an
+/// `Err` through [`get_accelerator`] (and therefore through
+/// `quantum::initialize`) instead of panicking inside the factory — the
+/// same contract the routing parameters follow.
+type Factory = Box<dyn Fn(&HetMap) -> Result<Arc<dyn Accelerator>, XaccError> + Send + Sync>;
 
 enum EntryKind {
     Factory(Factory),
@@ -47,14 +51,15 @@ impl ServiceRegistry {
     }
 
     /// Register a cloneable service: every lookup constructs a fresh
-    /// instance through `factory`. The service is advertised as
-    /// [`BackendCapability::Ideal`]; use
+    /// instance through `factory`, which may reject bad parameters with an
+    /// `Err` (surfaced through [`get_accelerator`]). The service is
+    /// advertised as [`BackendCapability::Ideal`]; use
     /// [`ServiceRegistry::register_factory_with_capability`] to annotate a
     /// different routing class.
     pub fn register_factory(
         &self,
         name: impl Into<String>,
-        factory: impl Fn(&HetMap) -> Arc<dyn Accelerator> + Send + Sync + 'static,
+        factory: impl Fn(&HetMap) -> Result<Arc<dyn Accelerator>, XaccError> + Send + Sync + 'static,
     ) {
         self.register_factory_with_capability(name, BackendCapability::Ideal, factory);
     }
@@ -65,7 +70,7 @@ impl ServiceRegistry {
         &self,
         name: impl Into<String>,
         capability: BackendCapability,
-        factory: impl Fn(&HetMap) -> Arc<dyn Accelerator> + Send + Sync + 'static,
+        factory: impl Fn(&HetMap) -> Result<Arc<dyn Accelerator>, XaccError> + Send + Sync + 'static,
     ) {
         self.entries
             .write()
@@ -79,14 +84,14 @@ impl ServiceRegistry {
         self.entries.write().insert(name.into(), Entry { kind: EntryKind::Singleton(instance), capability });
     }
 
-    /// Look up an accelerator. Factory services receive `params`;
-    /// singleton services ignore them (they were configured at
-    /// registration — another aspect of why shared services compose badly
-    /// with threads).
+    /// Look up an accelerator. Factory services receive `params` and may
+    /// reject them with an `Err`; singleton services ignore them (they
+    /// were configured at registration — another aspect of why shared
+    /// services compose badly with threads).
     pub fn get_accelerator(&self, name: &str, params: &HetMap) -> Result<Arc<dyn Accelerator>, XaccError> {
         let entries = self.entries.read();
         match entries.get(name).map(|e| &e.kind) {
-            Some(EntryKind::Factory(factory)) => Ok(factory(params)),
+            Some(EntryKind::Factory(factory)) => factory(params),
             Some(EntryKind::Singleton(instance)) => Ok(Arc::clone(instance)),
             None => Err(XaccError::UnknownService(name.to_string())),
         }
@@ -142,16 +147,16 @@ pub fn global() -> &'static ServiceRegistry {
     GLOBAL.get_or_init(|| {
         let reg = ServiceRegistry::new();
         reg.register_factory_with_capability("qpp", BackendCapability::Ideal, |params| {
-            Arc::new(backends::QppAccelerator::from_params(params)) as Arc<dyn Accelerator>
+            Ok(Arc::new(backends::QppAccelerator::from_params(params)?) as Arc<dyn Accelerator>)
         });
         reg.register_factory_with_capability("qpp-noisy", BackendCapability::Noisy, |params| {
-            Arc::new(backends::NoisyQppAccelerator::from_params(params)) as Arc<dyn Accelerator>
+            Ok(Arc::new(backends::NoisyQppAccelerator::from_params(params)) as Arc<dyn Accelerator>)
         });
         reg.register_factory_with_capability("remote", BackendCapability::Remote, |params| {
-            Arc::new(backends::RemoteAccelerator::from_params(params)) as Arc<dyn Accelerator>
+            Ok(Arc::new(backends::RemoteAccelerator::from_params(params)) as Arc<dyn Accelerator>)
         });
         reg.register_factory_with_capability("qpp-density", BackendCapability::Density, |params| {
-            Arc::new(backends::DensityAccelerator::from_params(params)) as Arc<dyn Accelerator>
+            Ok(Arc::new(backends::DensityAccelerator::from_params(params)) as Arc<dyn Accelerator>)
         });
         reg.register_singleton(
             "qpp-legacy-shared",
@@ -209,10 +214,22 @@ mod tests {
     fn custom_registration_works() {
         let reg = ServiceRegistry::new();
         reg.register_factory("custom", |_params| {
-            Arc::new(backends::QppAccelerator::new(1)) as Arc<dyn Accelerator>
+            Ok(Arc::new(backends::QppAccelerator::new(1)) as Arc<dyn Accelerator>)
         });
         assert!(reg.get_accelerator("custom", &HetMap::new()).is_ok());
         assert_eq!(reg.service_names(), vec!["custom".to_string()]);
+    }
+
+    #[test]
+    fn factory_param_rejection_surfaces_as_err() {
+        // Fallible construction: qpp's unknown-granularity rejection must
+        // come back as an Err from the lookup, not a panic in the factory.
+        let params = HetMap::new().with("threads", 1usize).with("granularity", "bogus");
+        match get_accelerator("qpp", &params) {
+            Err(XaccError::InvalidParam(msg)) => assert!(msg.contains("granularity"), "{msg}"),
+            Err(other) => panic!("expected InvalidParam, got {other:?}"),
+            Ok(_) => panic!("expected InvalidParam, got an instance"),
+        }
     }
 
     #[test]

@@ -6,8 +6,13 @@
 use proptest::prelude::*;
 use qcor_circuit::{library, xasm, Circuit};
 use qcor_pool::ThreadPool;
-use qcor_sim::{run_shots, run_shots_task_parallel, RunConfig, ShotPlan};
+use qcor_sim::{
+    run_once_interpreted, run_shots, run_shots_task_parallel, CompiledCircuit, RunConfig, ShotPlan,
+    StateVector,
+};
 use qcor_xacc::{registry, AcceleratorBuffer, ExecOptions, HetMap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Generate a small random XASM kernel source over 3 qubits ending with
@@ -143,5 +148,55 @@ proptest! {
         let a = run_shots_task_parallel(&circuit, tasks, 1, &config);
         let b = run_shots_task_parallel(&circuit, tasks, 2, &config);
         prop_assert_eq!(a, b);
+    }
+
+    // ---- compiled (fused) vs interpreted execution ----------------------
+
+    /// The compiled replay of a random kernel produces the same amplitudes
+    /// as the interpreted executor to 1e-12 — gate fusion must be exactly
+    /// circuit-equivalent, not just statistically close. (Measurements are
+    /// stripped so the comparison sees the full unitary prefix.)
+    #[test]
+    fn fused_and_unfused_amplitudes_agree(src in xasm_source(), seed in 0u64..500) {
+        let circuit = xasm::parse_kernel(&src, 3).unwrap().bind(&[]).unwrap();
+        let mut unitary = Circuit::new(circuit.num_qubits());
+        for inst in circuit.instructions() {
+            if inst.gate.is_unitary() {
+                unitary.push(inst.clone());
+            }
+        }
+        let mut interp = StateVector::new(3);
+        let mut fused = StateVector::new(3);
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        run_once_interpreted(&mut interp, &unitary, &mut rng1);
+        let compiled = CompiledCircuit::compile(&unitary);
+        prop_assert!(compiled.len() <= compiled.source_len(), "fusion must never grow the op list");
+        compiled.run_once(&mut fused, &mut rng2);
+        for (a, b) in interp.amplitudes().iter().zip(fused.amplitudes()) {
+            prop_assert!(a.approx_eq(*b, 1e-12), "fused {b} != interpreted {a}");
+        }
+    }
+
+    /// Seeded counts are identical with fusion on and off, across the full
+    /// scheduler (random circuits with mid-stream measurements included):
+    /// both executors consume the same RNG stream in the same order, so
+    /// the `(seed, tasks, chunk_shots)` determinism contract holds across
+    /// the fusion knob.
+    #[test]
+    fn fused_and_unfused_seeded_counts_identical(
+        src in xasm_source(),
+        seed in 0u64..500,
+        chunk in 0usize..20,
+    ) {
+        let circuit = xasm::parse_kernel(&src, 3).unwrap().bind(&[]).unwrap();
+        let chunk_shots = (chunk > 0).then_some(chunk);
+        let fused_cfg = RunConfig {
+            shots: 48, seed: Some(seed), chunk_shots, fusion: Some(true), ..RunConfig::default()
+        };
+        let interp_cfg = RunConfig { fusion: Some(false), ..fused_cfg.clone() };
+        let fused = run_shots(&circuit, Arc::new(ThreadPool::new(1)), &fused_cfg);
+        let interp = run_shots(&circuit, Arc::new(ThreadPool::new(2)), &interp_cfg);
+        prop_assert_eq!(fused, interp, "fusion knob must not change seeded counts");
     }
 }

@@ -366,8 +366,8 @@ fn spawned_tasks_inherit_resolved_backend_not_routing() {
 fn inheritance_uses_registry_key_not_instance_name() {
     use qcor::Accelerator;
     qcor::registry::global().register_factory("alias-sim", |params| {
-        std::sync::Arc::new(qcor_xacc::backends::QppAccelerator::from_params(params))
-            as std::sync::Arc<dyn Accelerator>
+        Ok(std::sync::Arc::new(qcor_xacc::backends::QppAccelerator::from_params(params)?)
+            as std::sync::Arc<dyn Accelerator>)
     });
     std::thread::spawn(|| {
         initialize(InitOptions::default().threads(1).shots(8).seed(5).backend("alias-sim")).unwrap();

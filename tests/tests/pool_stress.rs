@@ -1,0 +1,120 @@
+//! Opt-in stress harness for the pool fork/join layer.
+//!
+//! Background: during PR 3 a single hang of
+//! `shot_statistics.rs::scheduler_counts_…` was observed on the 1-CPU CI
+//! container — 0% CPU, the test thread **and** one `qcor-pool-0` worker
+//! both parked in futex wait on a team-2 pool, pointing at a rare lost
+//! wakeup somewhere in the `CountLatch`/`WaitGroup`/channel stack. It
+//! never reproduced in targeted re-runs, so this file turns the signature
+//! into a repeatable hammer:
+//!
+//! * thousands of team-2 fork/join cycles through the *full* stack the
+//!   hanging test exercised (`run_shots_task_parallel` → `ShotPlan` →
+//!   `submit_batch` → `scope`/`WaitGroup` → `parallel_for`/`CountLatch`),
+//! * plus tight loops on each fork/join primitive in isolation, so a hang
+//!   localizes the layer.
+//!
+//! The tests are **opt-in** (`QCOR_STRESS=1`) because they trade minutes
+//! of wall clock for wakeup-race coverage; without the variable they skip
+//! instantly and print how to enable them. A lost wakeup shows up as a
+//! hang, which the test harness timeout turns into a failure.
+//!
+//! The audit companion lives in `qcor-pool`'s `latch.rs`: the condvar
+//! discipline (predicate re-checked under the lock, final decrementer
+//! notifies while holding it) is documented there and hammered by the
+//! always-on `latch_wakeup_race_*` tests.
+
+use qcor_circuit::library;
+use qcor_pool::{CountLatch, ThreadPool, WaitGroup};
+use qcor_sim::{run_shots_task_parallel, RunConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn stress_enabled() -> bool {
+    let enabled = std::env::var("QCOR_STRESS").map(|v| v.trim() == "1").unwrap_or(false);
+    if !enabled {
+        eprintln!("skipping pool stress test (set QCOR_STRESS=1 to run)");
+    }
+    enabled
+}
+
+/// The shot_statistics hang signature, end to end: seeded Bell sampling
+/// with 2-way task parallelism on a shared team-2 pool, repeated a few
+/// thousand times. Every iteration builds a fresh pool (worker spawn +
+/// shutdown are part of the suspect window) and crosses the full
+/// `submit_batch` → `scope` → `WaitGroup` fork/join path.
+#[test]
+fn team2_fork_join_shot_sampling_stress() {
+    if !stress_enabled() {
+        return;
+    }
+    let circuit = library::bell_kernel();
+    for iter in 0..4000 {
+        let config =
+            RunConfig { shots: 16, seed: Some(iter as u64), chunk_shots: Some(1), ..RunConfig::default() };
+        let counts = run_shots_task_parallel(&circuit, 2, 1, &config);
+        assert_eq!(counts.values().sum::<usize>(), 16, "iteration {iter}");
+    }
+}
+
+/// `parallel_for` on a long-lived team-2 pool: the `CountLatch` barrier at
+/// the end of every construct is the narrowest wait in the stack.
+#[test]
+fn team2_parallel_for_latch_stress() {
+    if !stress_enabled() {
+        return;
+    }
+    let pool = ThreadPool::new(2);
+    let hits = AtomicUsize::new(0);
+    for iter in 0..200_000 {
+        hits.store(0, Ordering::Relaxed);
+        pool.parallel_for(0..8, |chunk| {
+            hits.fetch_add(chunk.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8, "iteration {iter}");
+    }
+}
+
+/// `scope`/`WaitGroup` fork/join in isolation, team of 2.
+#[test]
+fn team2_scope_waitgroup_stress() {
+    if !stress_enabled() {
+        return;
+    }
+    let pool = ThreadPool::new(2);
+    let counter = AtomicUsize::new(0);
+    for iter in 0..100_000 {
+        counter.store(0, Ordering::Relaxed);
+        pool.scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3, "iteration {iter}");
+    }
+}
+
+/// Raw latch wait/notify races without any pool machinery: one waiter, one
+/// decrementer, fresh latch per iteration.
+#[test]
+fn raw_latch_and_waitgroup_wakeup_stress() {
+    if !stress_enabled() {
+        return;
+    }
+    for _ in 0..50_000 {
+        let latch = Arc::new(CountLatch::new(1));
+        let l = Arc::clone(&latch);
+        let t = std::thread::spawn(move || l.count_down());
+        latch.wait();
+        t.join().unwrap();
+
+        let wg = Arc::new(WaitGroup::new());
+        wg.add(1);
+        let w = Arc::clone(&wg);
+        let t = std::thread::spawn(move || w.done());
+        wg.wait();
+        t.join().unwrap();
+    }
+}

@@ -174,29 +174,40 @@ pub fn factorize_parallel(n: u64, config: &ShorConfig, tasks: usize) -> Option<F
             bases.push(a);
         }
     }
-    let futures: Vec<_> = bases
-        .into_iter()
-        .enumerate()
-        .map(|(i, a)| {
-            let config = config.clone();
-            qcor::async_task(move || {
-                let pool = Arc::new(ThreadPool::new(config.threads));
-                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1 + i as u64));
-                shor_attempt(n, a, &config, pool, &mut rng)
+    // The period-finding fan-out runs as a driver task that spawns one
+    // sibling per base and joins them **in-task** — legal because
+    // `TaskFuture::wait` is work-conserving (a driver whose attempts are
+    // still queued executes them on its own permit instead of parking),
+    // so concurrent factorizations cannot exhaust the kernel queue's
+    // thread budget.
+    let config = config.clone();
+    qcor::async_task(move || {
+        let futures: Vec<_> = bases
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let config = config.clone();
+                qcor::async_task(move || {
+                    let pool = Arc::new(ThreadPool::new(config.threads));
+                    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1 + i as u64));
+                    shor_attempt(n, a, &config, pool, &mut rng)
+                })
             })
-        })
-        .collect();
-    let mut result = None;
-    for f in futures {
-        // Joining everything keeps this deterministic; a production driver
-        // could cancel the stragglers instead. The error-aware join treats
-        // a task shed by queue backpressure as "no factors from this base"
-        // rather than a panic — the remaining attempts still count.
-        if let Ok(Some(found)) = f.wait() {
-            result.get_or_insert(found);
+            .collect();
+        let mut result = None;
+        for f in futures {
+            // Joining everything keeps this deterministic; a production
+            // driver could cancel the stragglers instead. The error-aware
+            // join treats a task shed by queue backpressure as "no factors
+            // from this base" rather than a panic — the remaining attempts
+            // still count.
+            if let Ok(Some(found)) = f.wait() {
+                result.get_or_insert(found);
+            }
         }
-    }
-    result
+        result
+    })
+    .get()
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use qcor::{
     OptimizerResult, QcorError,
 };
 use qcor_pauli::{deuteron_hamiltonian, PauliSum};
+use std::sync::Arc;
 
 /// The ansatz of paper Listing 3.
 pub const DEUTERON_ANSATZ_XASM: &str = r#"
@@ -68,42 +69,56 @@ pub fn deuteron_vqe() -> Result<VqeResult, QcorError> {
     run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, "l-bfgs", &[0.0])
 }
 
-/// Multi-start VQE: one asynchronous task per starting point (each with
-/// its own objective and accelerator-independent evaluation), returning
-/// the best result. This is the §VII VQE parallelization scenario. Tasks
-/// ride the global kernel queue (`qcor::async_task`), so an arbitrary
-/// number of starts never spawns more than the service's thread budget.
+/// Multi-start VQE: an asynchronous driver task fans one task per
+/// starting point out onto the global kernel queue and joins them
+/// **in-task**, returning the best result. This is the §VII VQE
+/// parallelization scenario. The in-task sibling joins are legal because
+/// `TaskFuture::wait` is work-conserving — a driver whose starts are
+/// still queued runs them on its own executor instead of parking — so an
+/// arbitrary number of concurrent sweeps never exhausts the service's
+/// thread budget.
 pub fn deuteron_vqe_multistart(starts: &[f64], optimizer_name: &'static str) -> Result<VqeResult, QcorError> {
-    let futures: Vec<_> = starts
-        .iter()
-        .map(|&theta0| {
-            qcor::async_task(move || {
-                run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, optimizer_name, &[theta0])
+    let starts = starts.to_vec();
+    qcor::async_task(move || {
+        let futures: Vec<_> = starts
+            .iter()
+            .map(|&theta0| {
+                qcor::async_task(move || {
+                    run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, optimizer_name, &[theta0])
+                })
             })
-        })
-        .collect();
-    join_best(futures)
+            .collect();
+        join_best(futures)
+    })
+    .get()
 }
 
 /// Multi-start VQE submitted to an explicit [`ExecutionService`]: heavy
 /// sweeps inherit the service's bounded queue and backpressure policy
-/// instead of the global defaults. A start that the service sheds
-/// (`ShedOldest`) surfaces as [`QcorError::TaskShed`] rather than being
-/// lost silently.
+/// instead of the global defaults. The driver runs as a task of the
+/// service and joins its per-start siblings in-task (work-conserving
+/// join). A start that the service sheds (`ShedOldest`) surfaces as
+/// [`QcorError::TaskShed`] rather than being lost silently.
 pub fn deuteron_vqe_multistart_on(
-    service: &ExecutionService,
+    service: &Arc<ExecutionService>,
     starts: &[f64],
     optimizer_name: &'static str,
 ) -> Result<VqeResult, QcorError> {
-    let futures = starts
-        .iter()
-        .map(|&theta0| {
-            service.submit(move || {
-                run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, optimizer_name, &[theta0])
-            })
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    join_best(futures)
+    let starts = starts.to_vec();
+    let svc = Arc::clone(service);
+    service
+        .submit(move || {
+            let futures = starts
+                .iter()
+                .map(|&theta0| {
+                    svc.submit(move || {
+                        run_vqe(deuteron_ansatz(), deuteron_hamiltonian(), 1, optimizer_name, &[theta0])
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            join_best(futures)
+        })?
+        .wait()?
 }
 
 fn join_best(futures: Vec<qcor::TaskFuture<Result<VqeResult, QcorError>>>) -> Result<VqeResult, QcorError> {
@@ -158,10 +173,11 @@ mod tests {
     fn multistart_on_bounded_service_matches_global_path() {
         use qcor::{BackpressurePolicy, ExecServiceConfig};
         // A 2-thread service with a tiny blocking queue: all four starts
-        // flow through without loss, and the best energy still lands.
-        let svc = ExecutionService::new(
+        // flow through without loss (the in-task driver helps drain its
+        // own siblings), and the best energy still lands.
+        let svc = Arc::new(ExecutionService::new(
             ExecServiceConfig::default().threads(2).capacity(2).policy(BackpressurePolicy::Block),
-        );
+        ));
         let multi = deuteron_vqe_multistart_on(&svc, &[-2.0, 0.0, 1.0, 3.0], "l-bfgs").unwrap();
         assert!((multi.energy - DEUTERON_GROUND_STATE).abs() < 1e-3, "{multi:?}");
         assert_eq!(svc.stats().shed, 0);

@@ -1,19 +1,25 @@
 //! Perf-regression guard for the async kernel queue.
 //!
-//! Drives the execution service to saturation — many more submissions
-//! than queue capacity, Block backpressure — and records submit latency
-//! and end-to-end throughput to `BENCH_queue.json`, mirroring
-//! `shotsched_guard`. The guard **exits non-zero** if the queued path is
-//! more than [`MAX_RATIO`]× slower than running the identical workload
-//! inline, i.e. if per-task queue overhead regresses. It also
-//! sanity-checks the backpressure contract (peak queue occupancy never
-//! exceeds capacity; nothing is shed or rejected under Block).
+//! Two scenarios, both guarded at [`MAX_RATIO`]× the identical inline
+//! workload and recorded to `BENCH_queue.json` (mirroring
+//! `shotsched_guard`); the guard **exits non-zero** on either regression:
+//!
+//! 1. **Saturation** — many more submissions than queue capacity under
+//!    Block backpressure: per-task queue overhead. Also sanity-checks the
+//!    backpressure contract (peak queue occupancy never exceeds capacity;
+//!    nothing is shed or rejected under Block).
+//! 2. **Join-heavy** — driver tasks that spawn sibling tasks on the same
+//!    service and `wait()` on them **in-task**: the work-conserving join
+//!    path. Before it existed this shape deadlocked outright; the guard
+//!    keeps its overhead (helping drain vs. plain inline execution)
+//!    within the same budget.
 //!
 //! ```text
 //! cargo run -p qcor-bench --release --bin queue_guard
 //! ```
 
 use qcor::{BackpressurePolicy, ExecServiceConfig, ExecutionService, InitOptions, Kernel};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const TASKS: usize = 96;
@@ -22,15 +28,50 @@ const CAPACITY: usize = 8;
 const SERVICE_THREADS: usize = 2;
 const MAX_RATIO: f64 = 5.0;
 
+// Join-heavy scenario: DRIVERS outer tasks × SIBLINGS in-task joins each.
+// DRIVERS exceeds the service's permit budget (threads − 1), so without
+// the work-conserving join the drivers alone would exhaust every executor
+// slot and deadlock.
+const DRIVERS: usize = 12;
+const SIBLINGS: usize = 4;
+const JOIN_SHOTS: usize = 64;
+
 const BELL: &str = "H(q[0]); CX(q[0], q[1]); Measure(q[0]); Measure(q[1]);";
 
-fn bell_task(seed: u64) -> usize {
-    qcor::initialize(InitOptions::default().threads(1).shots(SHOTS).seed(seed)).unwrap();
+fn bell_task_with(shots: usize, seed: u64) -> usize {
+    qcor::initialize(InitOptions::default().threads(1).shots(shots).seed(seed)).unwrap();
     let q = qcor::qalloc(2);
     Kernel::from_xasm(BELL, 2).unwrap().invoke(&q, &[]).unwrap();
     let shots = q.total_shots();
     qcor::QPUManager::instance().clear_current();
     shots
+}
+
+fn bell_task(seed: u64) -> usize {
+    bell_task_with(SHOTS, seed)
+}
+
+/// The join-heavy scenario: every driver task submits `SIBLINGS` bell
+/// tasks to the same service and joins them from inside its own task
+/// body (the work-conserving join path).
+fn run_join_scenario(svc: &Arc<ExecutionService>) -> usize {
+    let drivers: Vec<_> = (0..DRIVERS)
+        .map(|d| {
+            let inner = Arc::clone(svc);
+            svc.submit(move || {
+                let siblings: Vec<_> = (0..SIBLINGS)
+                    .map(|s| {
+                        inner
+                            .submit(move || bell_task_with(JOIN_SHOTS, (d * SIBLINGS + s) as u64))
+                            .expect("Block submission cannot fail")
+                    })
+                    .collect();
+                siblings.into_iter().map(|f| f.wait().expect("Block futures are infallible")).sum::<usize>()
+            })
+            .expect("Block submission cannot fail")
+        })
+        .collect();
+    drivers.into_iter().map(|f| f.get()).sum()
 }
 
 fn main() {
@@ -81,22 +122,59 @@ fn main() {
     let throughput = TASKS as f64 / queued_time.as_secs_f64();
     let ratio = queued_time.as_secs_f64() / inline_time.as_secs_f64();
 
+    // Join-heavy scenario: inline baseline first (identical work, no
+    // service), then the in-task-join version on a fresh small service.
+    let join_inline_start = Instant::now();
+    let mut join_total = 0usize;
+    for d in 0..DRIVERS {
+        for s in 0..SIBLINGS {
+            join_total += bell_task_with(JOIN_SHOTS, (d * SIBLINGS + s) as u64);
+        }
+    }
+    assert_eq!(join_total, DRIVERS * SIBLINGS * JOIN_SHOTS);
+    let join_inline_time = join_inline_start.elapsed();
+
+    let join_svc = Arc::new(ExecutionService::new(
+        ExecServiceConfig::default()
+            .threads(SERVICE_THREADS)
+            .capacity(CAPACITY)
+            .policy(BackpressurePolicy::Block),
+    ));
+    assert!(
+        DRIVERS > join_svc.permit_budget(),
+        "the join scenario must oversubscribe the permit budget to prove work conservation"
+    );
+    let join_start = Instant::now();
+    let join_total = run_join_scenario(&join_svc);
+    assert_eq!(join_total, DRIVERS * SIBLINGS * JOIN_SHOTS);
+    let join_time = join_start.elapsed();
+    let join_stats = join_svc.stats();
+    assert_eq!((join_stats.rejected, join_stats.shed), (0, 0), "Block policy must not lose work");
+    assert_eq!(join_stats.completed, DRIVERS * (SIBLINGS + 1), "every driver and sibling must run");
+    let join_ratio = join_time.as_secs_f64() / join_inline_time.as_secs_f64();
+
     let json = format!(
         "{{\n  \"meta\": {{\n    \"command\": \"cargo run -p qcor-bench --release --bin queue_guard\",\n    \
          \"logical_cpus\": {},\n    \
          \"workload\": \"{TASKS} bell tasks x {SHOTS} shots, service threads={SERVICE_THREADS}, capacity={CAPACITY}, policy=block\",\n    \
-         \"guard\": \"fail if queued wall time divided by inline wall time exceeds {MAX_RATIO}\",\n    \
+         \"join_workload\": \"{DRIVERS} driver tasks x {SIBLINGS} in-task sibling joins x {JOIN_SHOTS} shots (work-conserving join; deadlocked pre-fix)\",\n    \
+         \"guard\": \"fail if queued (or join-scenario) wall time divided by inline wall time exceeds {MAX_RATIO}\",\n    \
          \"note\": \"async kernel-queue overhead guard; submit latency includes time blocked by backpressure\"\n  }},\n  \
          \"ratio_queued_over_inline\": {ratio:.3},\n  \
+         \"ratio_join_over_inline\": {join_ratio:.3},\n  \
          \"throughput_tasks_per_sec\": {throughput:.1},\n  \
          \"inline_wall_ns\": {:.1},\n  \
          \"queued_wall_ns\": {:.1},\n  \
+         \"join_inline_wall_ns\": {:.1},\n  \
+         \"join_queued_wall_ns\": {:.1},\n  \
          \"submit_latency_p50_ns\": {:.1},\n  \
          \"submit_latency_max_ns\": {:.1},\n  \
          \"peak_queue_len\": {},\n  \"capacity\": {CAPACITY}\n}}\n",
         qcor_pool::available_parallelism(),
         inline_time.as_secs_f64() * 1e9,
         queued_time.as_secs_f64() * 1e9,
+        join_inline_time.as_secs_f64() * 1e9,
+        join_time.as_secs_f64() * 1e9,
         p50.as_secs_f64() * 1e9,
         max.as_secs_f64() * 1e9,
         stats.peak_queue_len,
@@ -114,5 +192,11 @@ fn main() {
         max.as_secs_f64() * 1e6
     );
     println!("peak queue {} / capacity {CAPACITY}", stats.peak_queue_len);
+    println!(
+        "join    {DRIVERS}x{SIBLINGS} in-task joins: inline {:>10.1} us, queued {:>10.1} us",
+        join_inline_time.as_secs_f64() * 1e6,
+        join_time.as_secs_f64() * 1e6
+    );
     qcor_bench::enforce_guard_ratio("queued / inline", ratio, MAX_RATIO, "BENCH_queue.json");
+    qcor_bench::enforce_guard_ratio("join-scenario / inline", join_ratio, MAX_RATIO, "BENCH_queue.json");
 }

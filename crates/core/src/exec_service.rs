@@ -1,5 +1,6 @@
-//! The asynchronous kernel-execution service: a bounded task queue with
-//! configurable backpressure, drained onto a shared [`ThreadPool`].
+//! The asynchronous kernel-execution service: a bounded two-lane task
+//! queue with configurable backpressure, drained onto a shared
+//! [`ThreadPool`].
 //!
 //! [`crate::async_task`] (paper Listing 5) originally spawned one OS
 //! thread per task — unbounded under submission pressure. The service
@@ -14,12 +15,43 @@
 //!   silently. Block-admitted tasks (`spawn`/`async_task`) are never
 //!   shed — their futures stay infallible; if only such tasks are queued,
 //!   the incoming shed-policy submission is itself shed instead.
+//! * **Priority lanes** — the queue has a `High` and a `Normal` lane
+//!   ([`TaskPriority`]). The dispatcher drains `High` first, FIFO within
+//!   each lane; shed-oldest victimizes the `Normal` lane first. The high
+//!   lane has its own high-water mark (`priority_capacity`,
+//!   `QCOR_QUEUE_PRIORITY_CAPACITY`) so latency-sensitive work cannot
+//!   monopolize the whole queue budget.
 //! * **Fixed thread budget** — a dispatcher thread ships queued tasks to
 //!   the workers of one shared [`ThreadPool`]
 //!   ([`ThreadPool::spawn_detached`]), one permit per worker, so no matter
 //!   how many submissions are in flight, at most *pool-size* threads ever
 //!   execute tasks. A team of one degenerates to the dispatcher draining
-//!   the queue serially.
+//!   the queue serially. The permit budget is computed **once**
+//!   ([`Inner::max_permits`]) — construction, `drain` and the dispatcher
+//!   all read the same field, so the invariant cannot drift.
+//! * **Work-conserving join** — [`crate::TaskFuture::wait`] called from
+//!   inside an executing task of the *same* service does not park while
+//!   holding its permit: it **helps drain the queue**, popping and running
+//!   queued tasks under its own permit and re-checking its future between
+//!   tasks. It parks only once the queue is empty — at which point the
+//!   awaited task is provably running on another permit (or already
+//!   resolved), so the park always terminates. Sibling joins inside tasks
+//!   therefore can never exhaust the permit budget, no matter how deep
+//!   the chains pile up (the regression test submits `permits + 2` tasks
+//!   that each join the next one's future). Cross-*service* joins still
+//!   park normally under the other service's policy and stats. The one
+//!   remaining way to stall is a genuine join **cycle** (task A waiting
+//!   on B's future while B waits on A's, futures exchanged through shared
+//!   state) — undefined for any join primitive, exactly like two OS
+//!   threads `join`ing each other.
+//! * **Cancellation and deadlines** — [`crate::TaskFuture::cancel`]
+//!   aborts a still-queued task (its future resolves as
+//!   [`QcorError::TaskCancelled`]); once dispatched, the task runs to
+//!   completion and `cancel` reports `false`. Dropping a future stays
+//!   detached (fire-and-forget). [`ExecutionService::submit_with_deadline`]
+//!   attaches a deadline that is checked **lazily at dispatch time**: an
+//!   expired task never runs — its future resolves through the existing
+//!   shed path ([`QcorError::TaskShed`]) and the `expired` counter ticks.
 //! * **Per-task quantum context** — each task replays the submitting
 //!   thread's `InitOptions` on its worker (fresh accelerator instance via
 //!   the cloneable registry, exactly like the old per-thread wrapper) and
@@ -27,19 +59,21 @@
 //!   never leaks state between tasks.
 //!
 //! Nested submissions to the **same service** from inside a running task
-//! execute inline on the worker (mirroring nested `submit_batch`), which
-//! guarantees forward progress: a task blocking on a child future can
-//! never deadlock the team. Submissions to a *different* service enqueue
-//! normally under that service's own policy and stats.
+//! enqueue normally (counted, prioritized and sheddable like any other
+//! submission) — the work-conserving join is what makes that safe. The
+//! one exception keeps `Block` non-blocking for permit holders: a nested
+//! `Block` submission against a full queue runs **inline** on the parent's
+//! permit instead of parking in `space_ready` (a submitter that holds a
+//! permit must never wait for queue space that only permit holders can
+//! free). Submissions to a *different* service enqueue under that
+//! service's own policy and stats.
 //!
-//! The one pattern a bounded executor cannot absorb (the standard
-//! trade-off of every fixed-size pool): tasks that block on futures of
-//! **sibling** top-level tasks. If every executor slot holds a task
-//! waiting on a future whose task is still queued behind it, the service
-//! stalls — the inline escape only covers submissions *created by* the
-//! running task. Keep cross-task joins in the submitting thread, or size
-//! `threads` above the depth of such chains (a work-conserving join is a
-//! recorded follow-up).
+//! All [`ServiceStats`] counters live under the queue lock and are
+//! snapshotted with a single acquisition, so a snapshot is always
+//! internally consistent:
+//! `submitted == completed + running + queue_len + shed + cancelled + expired`
+//! holds for **every** snapshot (`rejected` counts submissions that were
+//! never admitted and sits outside the identity).
 
 use crate::qpu_manager::QPUManager;
 use crate::runtime::{initialize, InitOptions};
@@ -52,14 +86,17 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// What happens to a submission once the queue is at its high-water mark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackpressurePolicy {
     /// Block the submitting thread until the queue has room (the default —
-    /// submission pressure propagates to the producers).
+    /// submission pressure propagates to the producers). Inside a task of
+    /// the same service the submission runs inline instead of blocking
+    /// (see the module docs).
     Block,
     /// Fail the submission with [`QcorError::QueueFull`].
     Reject,
@@ -67,15 +104,33 @@ pub enum BackpressurePolicy {
     /// task: its future resolves to [`QcorError::TaskShed`] instead of a
     /// value. Block-admitted tasks (`spawn`) are never shed; if none of
     /// the queued tasks is sheddable, the incoming submission itself is
-    /// shed.
+    /// shed. The `Normal` lane is victimized before the `High` lane.
     ShedOldest,
+}
+
+/// Which lane of the kernel queue a submission joins. The dispatcher
+/// drains `High` completely before touching `Normal`; order within a lane
+/// is FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskPriority {
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Dispatched before all `Normal` tasks; bounded separately by
+    /// `priority_capacity` and shed only when no `Normal` victim exists.
+    High,
 }
 
 /// Configuration for an [`ExecutionService`].
 #[derive(Debug, Clone)]
 pub struct ExecServiceConfig {
-    /// Queue high-water mark (≥ 1).
+    /// Queue high-water mark across both lanes (≥ 1).
     pub capacity: usize,
+    /// High-lane high-water mark. `None` (the default) means the high
+    /// lane is bounded only by the total `capacity`; an explicit value is
+    /// clamped to `capacity` at construction. A high submission is over
+    /// capacity when either its lane or the total is full.
+    pub priority_capacity: Option<usize>,
     /// Total pool team size, including the dispatcher (≥ 1): at most
     /// `threads` OS threads ever execute tasks.
     pub threads: usize,
@@ -88,6 +143,7 @@ impl Default for ExecServiceConfig {
     fn default() -> Self {
         ExecServiceConfig {
             capacity: 256,
+            priority_capacity: None,
             threads: num_threads_from_env().max(4),
             policy: BackpressurePolicy::Block,
         }
@@ -99,6 +155,21 @@ impl ExecServiceConfig {
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity.max(1);
         self
+    }
+
+    /// Builder-style high-lane capacity (clamped to the total capacity at
+    /// construction; unset = bounded by the total capacity alone).
+    pub fn priority_capacity(mut self, capacity: usize) -> Self {
+        self.priority_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The high-lane high-water mark this configuration resolves to: the
+    /// explicit `priority_capacity` clamped to `capacity`, or `capacity`
+    /// itself when unset. This is the value the service enforces and
+    /// reports.
+    pub fn effective_priority_capacity(&self) -> usize {
+        self.priority_capacity.unwrap_or(self.capacity).clamp(1, self.capacity.max(1))
     }
 
     /// Builder-style team size.
@@ -114,14 +185,21 @@ impl ExecServiceConfig {
     }
 
     /// The global service's configuration: `QCOR_QUEUE_CAPACITY`,
-    /// `QCOR_SERVICE_THREADS` (default: `QCOR_NUM_THREADS` with a floor of
-    /// 4, so task-level latency overlap survives 1-CPU hosts — the §IV-A
-    /// cloud scenario needs ≥ 2 concurrent tasks even without cores) and
-    /// `QCOR_QUEUE_POLICY` (`block` | `reject` | `shed-oldest`).
+    /// `QCOR_QUEUE_PRIORITY_CAPACITY` (high-lane high-water mark, default:
+    /// the total capacity), `QCOR_SERVICE_THREADS` (default:
+    /// `QCOR_NUM_THREADS` with a floor of 4, so task-level latency overlap
+    /// survives 1-CPU hosts — the §IV-A cloud scenario needs ≥ 2
+    /// concurrent tasks even without cores) and `QCOR_QUEUE_POLICY`
+    /// (`block` | `reject` | `shed-oldest`).
     pub fn from_env() -> Self {
         let mut cfg = ExecServiceConfig::default();
         if let Some(cap) = std::env::var("QCOR_QUEUE_CAPACITY").ok().and_then(|v| v.parse::<usize>().ok()) {
             cfg.capacity = cap.max(1);
+        }
+        if let Some(cap) =
+            std::env::var("QCOR_QUEUE_PRIORITY_CAPACITY").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.priority_capacity = Some(cap.max(1));
         }
         if let Some(threads) =
             std::env::var("QCOR_SERVICE_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
@@ -146,43 +224,116 @@ impl ExecServiceConfig {
     }
 }
 
-/// Snapshot of a service's counters (all monotone except the gauges
-/// `queue_len` and `running`).
+/// Snapshot of a service's counters, taken under a single lock
+/// acquisition so the monotone counters and the gauges (`running`,
+/// `queue_len`, `high_queue_len`, `normal_queue_len`) are mutually
+/// consistent: `submitted == completed + running + queue_len + shed +
+/// cancelled + expired` holds for every snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Tasks admitted to the queue.
     pub submitted: usize,
     /// Tasks that ran to completion (including panicked tasks).
     pub completed: usize,
-    /// Submissions refused under [`BackpressurePolicy::Reject`].
+    /// Submissions refused under [`BackpressurePolicy::Reject`] (never
+    /// admitted; outside the accounting identity).
     pub rejected: usize,
     /// Queued tasks dropped under [`BackpressurePolicy::ShedOldest`].
     pub shed: usize,
-    /// Highest queue occupancy observed.
+    /// Queued tasks aborted by [`crate::TaskFuture::cancel`].
+    pub cancelled: usize,
+    /// Queued tasks whose deadline passed before dispatch (resolved as
+    /// shed, never run).
+    pub expired: usize,
+    /// Highest total queue occupancy observed.
     pub peak_queue_len: usize,
     /// Tasks currently executing on the pool.
     pub running: usize,
-    /// Tasks currently queued.
+    /// Tasks currently queued (both lanes).
     pub queue_len: usize,
+    /// Tasks currently queued in the high-priority lane.
+    pub high_queue_len: usize,
+    /// Tasks currently queued in the normal lane.
+    pub normal_queue_len: usize,
 }
 
 struct QueuedTask {
+    /// Unique per-service ticket, the handle [`crate::TaskFuture::cancel`]
+    /// uses to find (and remove) this task while it is still queued.
+    ticket: u64,
     run: Box<dyn FnOnce() + Send>,
+    /// Resolves the task's future as [`TaskOutcome::Shed`].
     shed: Box<dyn FnOnce() + Send>,
+    /// Resolves the task's future as [`TaskOutcome::Cancelled`].
+    cancel: Box<dyn FnOnce() + Send>,
     /// Only submissions admitted under [`BackpressurePolicy::ShedOldest`]
     /// opt into being shed; Block-admitted tasks (`spawn`/`async_task`)
-    /// keep their infallible-future contract.
+    /// keep their infallible-future contract (cancel and deadlines are
+    /// explicit caller choices and exempt from that contract).
     sheddable: bool,
+    /// Checked lazily at dispatch: a task popped after its deadline never
+    /// runs and resolves through the shed path.
+    deadline: Option<Instant>,
 }
 
 struct QueueState {
-    queue: VecDeque<QueuedTask>,
+    /// High-priority lane, drained before `normal`. FIFO within the lane.
+    high: VecDeque<QueuedTask>,
+    /// Default lane.
+    normal: VecDeque<QueuedTask>,
     /// Free executor slots (pool workers; 1 for a team-of-one service).
     permits: usize,
     shutdown: bool,
+    // --- counters (see ServiceStats) -----------------------------------
+    submitted: usize,
+    completed: usize,
+    rejected: usize,
+    shed: usize,
+    cancelled: usize,
+    expired: usize,
+    peak_queue: usize,
+    running: usize,
 }
 
-struct Inner {
+impl QueueState {
+    fn queued(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    /// Pop the next task in dispatch order (high lane first, FIFO within
+    /// a lane), skimming off tasks whose deadline has already passed.
+    /// Expired tasks are returned separately so the caller can resolve
+    /// their futures outside the lock; their counters are updated here.
+    fn pop_ready(&mut self) -> (Vec<QueuedTask>, Option<QueuedTask>) {
+        let mut expired = Vec::new();
+        let now = Instant::now();
+        loop {
+            let task = match self.high.pop_front() {
+                Some(task) => Some(task),
+                None => self.normal.pop_front(),
+            };
+            match task {
+                Some(task) if task.deadline.is_some_and(|d| d <= now) => {
+                    self.expired += 1;
+                    expired.push(task);
+                }
+                other => return (expired, other),
+            }
+        }
+    }
+
+    /// Remove the queued task with `ticket`, if it is still queued.
+    fn remove_ticket(&mut self, ticket: u64) -> Option<QueuedTask> {
+        for lane in [&mut self.high, &mut self.normal] {
+            if let Some(index) = lane.iter().position(|t| t.ticket == ticket) {
+                return lane.remove(index);
+            }
+        }
+        None
+    }
+}
+
+pub(crate) struct Inner {
     /// Unique service id for same-service nested-submission detection.
     id: usize,
     state: Mutex<QueueState>,
@@ -191,24 +342,125 @@ struct Inner {
     /// Signals blocked submitters: queue space freed / shutdown.
     space_ready: Condvar,
     capacity: usize,
+    priority_capacity: usize,
     policy: BackpressurePolicy,
-    submitted: AtomicUsize,
-    completed: AtomicUsize,
-    rejected: AtomicUsize,
-    shed: AtomicUsize,
-    peak_queue: AtomicUsize,
-    running: AtomicUsize,
+    /// The permit budget (`pool threads − dispatcher`, floor 1), computed
+    /// once at construction. `drain`, the dispatcher shutdown wait and
+    /// the tests all read this single source of truth — independently
+    /// recomputing it in several places is how a drift deadlocks `drain`.
+    max_permits: usize,
+    /// Ticket source for [`QueuedTask::ticket`].
+    next_ticket: AtomicUsize,
+    /// [`ThreadPool::id`] of the backing pool — the work-conserving join
+    /// asserts that helping only ever happens on threads that hold one of
+    /// this service's executor slots (a pool worker, or the dispatcher /
+    /// an inline frame, which report worker-pool id 0).
+    pool_id: usize,
 }
 
 thread_local! {
     /// Id of the service whose task the current thread is executing
-    /// (0 = none). A nested submission to the **same** service runs
-    /// inline (forward progress); submissions to a *different* service
-    /// enqueue normally and keep that service's policy and stats honest.
+    /// (0 = none). `TaskFuture::wait` uses it to decide whether it holds
+    /// one of the service's permits and must help drain the queue instead
+    /// of parking.
     static IN_SERVICE_TASK: Cell<usize> = const { Cell::new(0) };
 }
 
 static NEXT_SERVICE_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// The context a [`TaskFuture`] keeps about the service that owns its
+/// task: enough to cancel the task while queued and to help drain the
+/// queue when joined from inside a task of the same service. Weak so a
+/// forgotten future never keeps a dropped service's queue alive.
+pub(crate) struct TaskServiceCtx {
+    service: Weak<Inner>,
+    service_id: usize,
+    ticket: u64,
+}
+
+impl TaskServiceCtx {
+    /// Cancel the task if it is still queued. See [`TaskFuture::cancel`].
+    pub(crate) fn cancel(&self) -> bool {
+        let Some(inner) = self.service.upgrade() else { return false };
+        let removed = {
+            let mut st = inner.state.lock();
+            let removed = st.remove_ticket(self.ticket);
+            if removed.is_some() {
+                st.cancelled += 1;
+            }
+            removed
+        };
+        match removed {
+            Some(task) => {
+                (task.cancel)();
+                inner.space_ready.notify_all();
+                // `drain` watches queue length through `task_ready`.
+                inner.task_ready.notify_all();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The work-conserving join: while `not_ready` holds and the calling
+    /// thread is executing a task of this same service, pop queued tasks
+    /// and run them under the caller's permit. Returns once the future is
+    /// ready or the queue is empty — in the latter case the awaited task
+    /// is not queued (it is running on another permit or already
+    /// resolved), so parking afterwards always terminates.
+    pub(crate) fn help_drain_while(&self, not_ready: impl Fn() -> bool) {
+        if IN_SERVICE_TASK.with(|owner| owner.get()) != self.service_id {
+            return;
+        }
+        let Some(inner) = self.service.upgrade() else { return };
+        // The current-worker check: a thread executing one of this
+        // service's tasks is either a worker of the service's own pool or
+        // the dispatcher / an inline frame (worker-pool id 0). Helping
+        // from anywhere else would run tasks outside the permit budget.
+        let worker_of = qcor_pool::current_worker_pool_id();
+        debug_assert!(
+            worker_of == 0 || worker_of == inner.pool_id,
+            "work-conserving join helping from a foreign pool worker"
+        );
+        let _ = worker_of;
+        while not_ready() {
+            let (expired, task) = {
+                let mut st = inner.state.lock();
+                let (expired, task) = st.pop_ready();
+                if task.is_some() {
+                    // Queue→running transition inside the pop critical
+                    // section, so no snapshot sees the task in neither
+                    // gauge. The task's closure retires the pair before
+                    // resolving its future.
+                    st.running += 1;
+                }
+                (expired, task)
+            };
+            let popped_any = !expired.is_empty() || task.is_some();
+            resolve_expired(expired);
+            let Some(task) = task else {
+                if popped_any {
+                    inner.space_ready.notify_all();
+                    inner.task_ready.notify_all();
+                }
+                return;
+            };
+            inner.space_ready.notify_all();
+            (task.run)();
+            // `drain` and the dispatcher re-check queue state on this
+            // signal; the helper freed queue space without moving permits.
+            inner.task_ready.notify_all();
+        }
+    }
+}
+
+/// Resolve the futures of deadline-expired tasks (outside the queue lock —
+/// the resolution sends on the result channels).
+fn resolve_expired(expired: Vec<QueuedTask>) {
+    for task in expired {
+        (task.shed)();
+    }
+}
 
 /// The async kernel-execution service. See the [module docs](self).
 pub struct ExecutionService {
@@ -221,33 +473,52 @@ impl std::fmt::Debug for ExecutionService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExecutionService")
             .field("capacity", &self.inner.capacity)
+            .field("priority_capacity", &self.inner.priority_capacity)
             .field("policy", &self.inner.policy)
             .field("threads", &self.pool.num_threads())
             .finish()
     }
 }
 
+/// Options attached to one submission.
+struct SubmitOptions {
+    policy: BackpressurePolicy,
+    priority: TaskPriority,
+    deadline: Option<Instant>,
+}
+
 impl ExecutionService {
     /// Build a service with its own pool and dispatcher.
     pub fn new(config: ExecServiceConfig) -> Self {
         let pool = Arc::new(PoolBuilder::new().num_threads(config.threads.max(1)).name("qcor-svc").build());
+        // The one place the permit budget is computed: every worker of the
+        // pool is an executor slot; a team of one leaves the dispatcher
+        // itself as the single (inline) executor.
+        let max_permits = pool.num_threads().saturating_sub(1).max(1);
         let inner = Arc::new(Inner {
             id: NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(QueueState {
-                queue: VecDeque::new(),
-                permits: pool.num_threads().saturating_sub(1).max(1),
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+                permits: max_permits,
                 shutdown: false,
+                submitted: 0,
+                completed: 0,
+                rejected: 0,
+                shed: 0,
+                cancelled: 0,
+                expired: 0,
+                peak_queue: 0,
+                running: 0,
             }),
             task_ready: Condvar::new(),
             space_ready: Condvar::new(),
             capacity: config.capacity.max(1),
+            priority_capacity: config.effective_priority_capacity(),
             policy: config.policy,
-            submitted: AtomicUsize::new(0),
-            completed: AtomicUsize::new(0),
-            rejected: AtomicUsize::new(0),
-            shed: AtomicUsize::new(0),
-            peak_queue: AtomicUsize::new(0),
-            running: AtomicUsize::new(0),
+            max_permits,
+            next_ticket: AtomicUsize::new(1),
+            pool_id: pool.id(),
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
@@ -279,7 +550,10 @@ impl ExecutionService {
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        self.submit_with(self.inner.policy, f)
+        self.submit_with(
+            SubmitOptions { policy: self.inner.policy, priority: TaskPriority::Normal, deadline: None },
+            f,
+        )
     }
 
     /// Submit with [`BackpressurePolicy::Block`] regardless of the
@@ -289,38 +563,104 @@ impl ExecutionService {
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        self.submit_with(BackpressurePolicy::Block, f)
+        self.submit_with(
+            SubmitOptions {
+                policy: BackpressurePolicy::Block,
+                priority: TaskPriority::Normal,
+                deadline: None,
+            },
+            f,
+        )
     }
 
-    fn submit_with<F, T>(&self, policy: BackpressurePolicy, f: F) -> Result<TaskFuture<T>, QcorError>
+    /// Submit into the given priority lane under the configured policy.
+    /// `High` tasks are dispatched before all `Normal` tasks (FIFO within
+    /// a lane) and are bounded by `priority_capacity`.
+    pub fn submit_prioritized<F, T>(&self, priority: TaskPriority, f: F) -> Result<TaskFuture<T>, QcorError>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        self.submit_with(SubmitOptions { policy: self.inner.policy, priority, deadline: None }, f)
+    }
+
+    /// Submit with a deadline: if the task is still queued when `timeout`
+    /// has elapsed, it never runs — at dispatch time it is lazily expired,
+    /// its future resolves as [`QcorError::TaskShed`] and the `expired`
+    /// counter ticks. A task dispatched before the deadline runs to
+    /// completion regardless of how long it takes.
+    pub fn submit_with_deadline<F, T>(&self, timeout: Duration, f: F) -> Result<TaskFuture<T>, QcorError>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        self.submit_with(
+            SubmitOptions {
+                policy: self.inner.policy,
+                priority: TaskPriority::Normal,
+                deadline: Some(Instant::now() + timeout),
+            },
+            f,
+        )
+    }
+
+    fn submit_with<F, T>(&self, opts: SubmitOptions, f: F) -> Result<TaskFuture<T>, QcorError>
     where
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
         let inherited = inherited_task_options();
-        if IN_SERVICE_TASK.with(|owner| owner.get()) == self.inner.id {
-            // Nested submission to the *same* service from inside one of
-            // its running tasks: execute inline so a parent blocking on
-            // this future cannot starve the team. Submissions to other
-            // services enqueue normally (their policy and stats apply).
-            return Ok(TaskFuture::ready(run_task_body(self.inner.id, inherited, f)));
-        }
+        let in_own_task = IN_SERVICE_TASK.with(|owner| owner.get()) == self.inner.id;
 
+        let ticket = self.inner.next_ticket.fetch_add(1, Ordering::Relaxed) as u64;
         let (tx, rx) = bounded::<TaskOutcome<T>>(1);
         let shed_tx = tx.clone();
-        let inner = Arc::clone(&self.inner);
+        let cancel_tx = tx.clone();
+        let service_id = self.inner.id;
+        let inner_for_run = Arc::downgrade(&self.inner);
         let run = Box::new(move || {
-            inner.running.fetch_add(1, Ordering::Relaxed);
-            let outcome = run_task_body(inner.id, inherited, f);
-            inner.running.fetch_sub(1, Ordering::Relaxed);
-            inner.completed.fetch_add(1, Ordering::Relaxed);
+            let outcome = run_task_body(service_id, inherited, f);
+            // Move the task from `running` to `completed` in one lock
+            // acquisition BEFORE publishing the result: once a future
+            // resolves, every stats snapshot must already count the task
+            // as completed. (Weak: the service outlives all running tasks
+            // — Drop joins the dispatcher — so this only fails if the
+            // process is tearing the service down anyway.)
+            if let Some(inner) = inner_for_run.upgrade() {
+                let mut st = inner.state.lock();
+                st.running -= 1;
+                st.completed += 1;
+            }
             // The receiver may already be dropped (fire-and-forget).
             let _ = tx.send(outcome);
         });
         let shed = Box::new(move || {
             let _ = shed_tx.send(TaskOutcome::Shed);
         });
-        let task = QueuedTask { run, shed, sheddable: policy == BackpressurePolicy::ShedOldest };
+        let cancel = Box::new(move || {
+            let _ = cancel_tx.send(TaskOutcome::Cancelled);
+        });
+        let task = QueuedTask {
+            ticket,
+            run,
+            shed,
+            cancel,
+            sheddable: opts.policy == BackpressurePolicy::ShedOldest,
+            deadline: opts.deadline,
+        };
+        let ctx = TaskServiceCtx { service: Arc::downgrade(&self.inner), service_id, ticket };
+
+        let lane_cap = match opts.priority {
+            TaskPriority::High => self.inner.priority_capacity,
+            TaskPriority::Normal => self.inner.capacity,
+        };
+        let over_capacity = |st: &QueueState| {
+            st.queued() >= self.inner.capacity
+                || match opts.priority {
+                    TaskPriority::High => st.high.len() >= lane_cap,
+                    TaskPriority::Normal => false,
+                }
+        };
 
         let victim = {
             let mut st = self.inner.state.lock();
@@ -328,10 +668,22 @@ impl ExecutionService {
                 return Err(QcorError::Execution("execution service is shut down".into()));
             }
             let mut victim = None;
-            if st.queue.len() >= self.inner.capacity {
-                match policy {
+            if over_capacity(&st) {
+                match opts.policy {
+                    BackpressurePolicy::Block if in_own_task => {
+                        // A permit holder must never park in `space_ready`:
+                        // queue space is freed by dispatch, which needs
+                        // permits. Run the task inline on our own permit —
+                        // the work-conserving overflow path (equivalent to
+                        // enqueueing it and immediately helping it drain).
+                        st.submitted += 1;
+                        st.running += 1;
+                        drop(st);
+                        run_queued_task_prelocked(&self.inner, task);
+                        return Ok(TaskFuture::with_ctx(rx, ctx));
+                    }
                     BackpressurePolicy::Block => {
-                        while st.queue.len() >= self.inner.capacity && !st.shutdown {
+                        while over_capacity(&st) && !st.shutdown {
                             self.inner.space_ready.wait(&mut st);
                         }
                         if st.shutdown {
@@ -339,48 +691,76 @@ impl ExecutionService {
                         }
                     }
                     BackpressurePolicy::Reject => {
-                        self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                        st.rejected += 1;
                         return Err(QcorError::QueueFull);
                     }
                     BackpressurePolicy::ShedOldest => {
-                        // Shed the oldest task that opted into shedding.
+                        // Shed the oldest task that opted into shedding,
+                        // victimizing the lane whose limit binds: a full
+                        // high lane can only be relieved by a high victim;
+                        // otherwise normal-lane victims go first.
                         // Block-admitted tasks are untouchable; if nothing
                         // sheddable is queued, the incoming submission is
                         // the only sheddable work item — it is shed itself
                         // (observable via its future), never enqueued.
-                        match st.queue.iter().position(|t| t.sheddable) {
-                            Some(index) => victim = st.queue.remove(index),
+                        let high_full = opts.priority == TaskPriority::High && st.high.len() >= lane_cap;
+                        let position = if high_full {
+                            st.high.iter().position(|t| t.sheddable).map(|i| (TaskPriority::High, i))
+                        } else {
+                            st.normal
+                                .iter()
+                                .position(|t| t.sheddable)
+                                .map(|i| (TaskPriority::Normal, i))
+                                .or_else(|| {
+                                    st.high.iter().position(|t| t.sheddable).map(|i| (TaskPriority::High, i))
+                                })
+                        };
+                        match position {
+                            Some((TaskPriority::High, index)) => victim = st.high.remove(index),
+                            Some((TaskPriority::Normal, index)) => victim = st.normal.remove(index),
                             None => {
+                                // Admitted, then instantly shed: both
+                                // counters tick so the accounting identity
+                                // holds.
+                                st.submitted += 1;
+                                st.shed += 1;
                                 drop(st);
-                                self.inner.shed.fetch_add(1, Ordering::Relaxed);
                                 (task.shed)();
-                                return Ok(TaskFuture::new(rx));
+                                return Ok(TaskFuture::with_ctx(rx, ctx));
                             }
                         }
+                        st.shed += 1;
                     }
                 }
             }
-            st.queue.push_back(task);
-            self.inner.submitted.fetch_add(1, Ordering::Relaxed);
-            self.inner.peak_queue.fetch_max(st.queue.len(), Ordering::Relaxed);
+            match opts.priority {
+                TaskPriority::High => st.high.push_back(task),
+                TaskPriority::Normal => st.normal.push_back(task),
+            }
+            st.submitted += 1;
+            st.peak_queue = st.peak_queue.max(st.queued());
             victim
         };
         if let Some(victim) = victim {
-            self.inner.shed.fetch_add(1, Ordering::Relaxed);
             (victim.shed)();
         }
         self.inner.task_ready.notify_all();
-        Ok(TaskFuture::new(rx))
+        Ok(TaskFuture::with_ctx(rx, ctx))
     }
 
-    /// Current queue occupancy.
+    /// Current total queue occupancy (both lanes).
     pub fn queue_len(&self) -> usize {
-        self.inner.state.lock().queue.len()
+        self.inner.state.lock().queued()
     }
 
     /// Queue high-water mark.
     pub fn capacity(&self) -> usize {
         self.inner.capacity
+    }
+
+    /// High-lane high-water mark.
+    pub fn priority_capacity(&self) -> usize {
+        self.inner.priority_capacity
     }
 
     /// The configured backpressure policy.
@@ -393,25 +773,46 @@ impl ExecutionService {
         self.pool.num_threads()
     }
 
-    /// Counter snapshot.
+    /// The executor-permit budget: how many tasks can run concurrently.
+    /// Computed once at construction ([`Inner::max_permits`]); everything
+    /// that needs the invariant reads this field.
+    pub fn permit_budget(&self) -> usize {
+        self.inner.max_permits
+    }
+
+    /// Consistent counter snapshot (single lock acquisition; see
+    /// [`ServiceStats`] for the invariant).
     pub fn stats(&self) -> ServiceStats {
+        let st = self.inner.state.lock();
         ServiceStats {
-            submitted: self.inner.submitted.load(Ordering::Relaxed),
-            completed: self.inner.completed.load(Ordering::Relaxed),
-            rejected: self.inner.rejected.load(Ordering::Relaxed),
-            shed: self.inner.shed.load(Ordering::Relaxed),
-            peak_queue_len: self.inner.peak_queue.load(Ordering::Relaxed),
-            running: self.inner.running.load(Ordering::Relaxed),
-            queue_len: self.queue_len(),
+            submitted: st.submitted,
+            completed: st.completed,
+            rejected: st.rejected,
+            shed: st.shed,
+            cancelled: st.cancelled,
+            expired: st.expired,
+            peak_queue_len: st.peak_queue,
+            running: st.running,
+            queue_len: st.queued(),
+            high_queue_len: st.high.len(),
+            normal_queue_len: st.normal.len(),
         }
     }
 
     /// Block until every queued and running task has finished (queue empty
     /// and all permits free). Mainly for tests and orderly shutdowns.
+    ///
+    /// Must not be called from inside one of this service's own tasks —
+    /// the caller would wait for its own permit to free. That misuse is
+    /// detected and panics instead of deadlocking.
     pub fn drain(&self) {
-        let max_permits = self.pool.num_threads().saturating_sub(1).max(1);
+        assert!(
+            IN_SERVICE_TASK.with(|owner| owner.get()) != self.inner.id,
+            "ExecutionService::drain called from inside one of the service's own tasks \
+             (it would wait for its own permit and deadlock)"
+        );
         let mut st = self.inner.state.lock();
-        while !st.queue.is_empty() || st.permits < max_permits {
+        while st.queued() != 0 || st.permits < self.inner.max_permits || st.running != 0 {
             self.inner.task_ready.wait(&mut st);
         }
     }
@@ -434,6 +835,15 @@ impl Drop for ExecutionService {
     }
 }
 
+/// [`run_queued_task`] for the inline-overflow path, where the caller has
+/// already incremented `running` under the submission lock (so the
+/// admission and the gauge move atomically). The task closure itself
+/// retires the `running`/`completed` pair.
+fn run_queued_task_prelocked(inner: &Inner, task: QueuedTask) {
+    (task.run)();
+    inner.task_ready.notify_all();
+}
+
 /// Execute one task body with the per-task quantum context protocol:
 /// replay the inherited `InitOptions` (fresh accelerator instance), run,
 /// and always clear the executor thread's registration so worker reuse
@@ -443,8 +853,9 @@ where
     F: FnOnce() -> T,
 {
     let previous_owner = IN_SERVICE_TASK.with(|owner| owner.replace(service_id));
-    // A nested inline task shares its parent's OS thread: remember the
-    // parent's registration so the child's `initialize` doesn't clobber it.
+    // A task run inline under another task's permit (work-conserving join
+    // or inline overflow) shares its parent's OS thread: remember the
+    // parent's registration so this task's `initialize` doesn't clobber it.
     let saved = if previous_owner != 0 { QPUManager::instance().get_qpu() } else { None };
     let result = catch_unwind(AssertUnwindSafe(|| {
         if let Some(opts) = inherited {
@@ -485,28 +896,52 @@ fn inherited_task_options() -> Option<InitOptions> {
 /// to a pool worker, and lets the worker hand its permit back on
 /// completion. Admission control therefore travels all the way down: the
 /// pool's internal channel never holds more tasks than there are permits.
+/// Deadline-expired tasks are skimmed off here (and by helping joiners)
+/// without consuming a permit.
 fn dispatcher_loop(inner: Arc<Inner>, pool: Arc<ThreadPool>) {
-    let max_permits = pool.num_threads().saturating_sub(1).max(1);
     loop {
-        let task = {
+        let (expired, task) = {
             let mut st = inner.state.lock();
             loop {
-                if !st.queue.is_empty() && st.permits > 0 {
-                    st.permits -= 1;
-                    break st.queue.pop_front();
+                if st.queued() != 0 && st.permits > 0 {
+                    let (expired, task) = st.pop_ready();
+                    if let Some(_task) = &task {
+                        st.permits -= 1;
+                        st.running += 1;
+                    }
+                    if task.is_some() || !expired.is_empty() {
+                        break (expired, task);
+                    }
+                    // Everything queued had expired; loop to re-evaluate.
+                    continue;
                 }
-                if st.shutdown && st.queue.is_empty() {
-                    break None;
+                if st.shutdown && st.queued() == 0 {
+                    break (Vec::new(), None);
                 }
                 inner.task_ready.wait(&mut st);
             }
         };
-        let Some(task) = task else { break };
+        let had_expired = !expired.is_empty();
+        resolve_expired(expired);
+        if had_expired {
+            inner.space_ready.notify_all();
+            inner.task_ready.notify_all();
+        }
+        let Some(task) = task else {
+            if had_expired {
+                // Only expirations were skimmed this round; keep going
+                // unless shutdown + empty queue ends the loop above.
+                continue;
+            }
+            break;
+        };
         inner.space_ready.notify_all();
         let inner_done = Arc::clone(&inner);
         // Team of one: spawn_detached runs inline on this thread, so the
         // dispatcher itself is the (serial) executor.
         pool.spawn_detached(move || {
+            // The task closure retires `running`/`completed` itself before
+            // resolving its future; only the permit return lives here.
             (task.run)();
             let mut st = inner_done.state.lock();
             st.permits += 1;
@@ -517,7 +952,7 @@ fn dispatcher_loop(inner: Arc<Inner>, pool: Arc<ThreadPool>) {
     // Graceful shutdown: wait for in-flight tasks before the service drops
     // the pool.
     let mut st = inner.state.lock();
-    while st.permits < max_permits {
+    while st.permits < inner.max_permits {
         inner.task_ready.wait(&mut st);
     }
 }
@@ -526,7 +961,6 @@ fn dispatcher_loop(inner: Arc<Inner>, pool: Arc<ThreadPool>) {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
-    use std::time::Duration;
 
     #[test]
     fn submit_returns_value() {
@@ -653,13 +1087,40 @@ mod tests {
     }
 
     #[test]
-    fn nested_submission_runs_inline_and_cannot_deadlock() {
+    fn nested_submission_joins_without_deadlock() {
         // Team of 2 ⇒ one executor. The outer task consumes it, then
-        // submits and joins a child — which must run inline.
+        // submits and joins a child — the child enqueues and the join
+        // helps drain it onto the outer task's own permit.
         let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(4)));
         let svc2 = Arc::clone(&svc);
         let outer = svc.submit(move || svc2.submit(|| 21).unwrap().get() * 2).unwrap();
         assert_eq!(outer.get(), 42);
+        // The nested submission is a real, counted queue citizen now.
+        assert_eq!(svc.stats().submitted, 2);
+        assert_eq!(svc.stats().completed, 2);
+    }
+
+    #[test]
+    fn nested_block_submission_on_full_queue_runs_inline() {
+        // Capacity 1, one executor. The outer task fills the queue with a
+        // sibling it never joins, then over-submits under Block: instead
+        // of parking in space_ready with the only permit held (deadlock),
+        // the overflow submission runs inline on the outer task's permit.
+        let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(1)));
+        let svc2 = Arc::clone(&svc);
+        let outer = svc
+            .submit(move || {
+                let filler = svc2.submit(|| 1).unwrap();
+                let inline = svc2.submit(|| 2).unwrap(); // queue full ⇒ inline
+                assert!(inline.is_ready(), "overflow submission must have run inline");
+                inline.get() + filler.get()
+            })
+            .unwrap();
+        assert_eq!(outer.get(), 3);
+        svc.drain();
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 3);
     }
 
     #[test]
@@ -734,5 +1195,92 @@ mod tests {
         let futures: Vec<_> = (0..6).map(|i| svc.submit(move || i * i).unwrap()).collect();
         let got: Vec<usize> = futures.into_iter().map(|f| f.get()).collect();
         assert_eq!(got, vec![0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn team_of_one_in_task_join_drains_inline() {
+        // The dispatcher itself is the executor; an in-task sibling join
+        // must still make progress through the drain loop.
+        let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(1).capacity(8)));
+        let svc2 = Arc::clone(&svc);
+        let outer = svc
+            .submit(move || {
+                let a = svc2.submit(|| 3).unwrap();
+                let b = svc2.submit(|| 4).unwrap();
+                a.get() * b.get()
+            })
+            .unwrap();
+        assert_eq!(outer.get(), 12);
+    }
+
+    #[test]
+    fn permit_budget_is_single_sourced() {
+        // The invariant the satellite pins: the stored budget equals the
+        // (single) formula, `drain` restores it, and it is what the
+        // public accessor reports.
+        for threads in [1usize, 2, 3, 4, 8] {
+            let svc = ExecutionService::new(ExecServiceConfig::default().threads(threads).capacity(16));
+            assert_eq!(svc.permit_budget(), threads.saturating_sub(1).max(1), "threads={threads}");
+            assert_eq!(svc.inner.max_permits, svc.permit_budget());
+            let futures: Vec<_> = (0..8).map(|i| svc.submit(move || i).unwrap()).collect();
+            for f in futures {
+                f.get();
+            }
+            svc.drain();
+            let st = svc.inner.state.lock();
+            assert_eq!(st.permits, svc.inner.max_permits, "drain must restore the full budget");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drain called from inside")]
+    fn drain_from_inside_a_task_panics() {
+        let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(4)));
+        let svc2 = Arc::clone(&svc);
+        svc.submit(move || svc2.drain()).unwrap().get();
+    }
+
+    #[test]
+    fn stats_snapshot_is_internally_consistent() {
+        // Hammer the service from several submitters while polling stats:
+        // every snapshot must satisfy the accounting identity exactly.
+        let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(3).capacity(8)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let poller = {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut snapshots = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let s = svc.stats();
+                    assert_eq!(
+                        s.submitted,
+                        s.completed + s.running + s.queue_len + s.shed + s.cancelled + s.expired,
+                        "inconsistent snapshot: {s:?}"
+                    );
+                    assert_eq!(s.queue_len, s.high_queue_len + s.normal_queue_len);
+                    snapshots += 1;
+                }
+                snapshots
+            })
+        };
+        let submitters: Vec<_> = (0..3)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        svc.submit(move || i).unwrap().get();
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        assert!(poller.join().unwrap() > 0);
+        svc.drain();
+        let s = svc.stats();
+        assert_eq!((s.submitted, s.completed), (600, 600));
     }
 }

@@ -58,7 +58,7 @@ mod threading;
 pub use allocation::{
     allocated_buffer_count, clear_allocated_buffers, find_buffer, qalloc, qalloc_named, QReg,
 };
-pub use exec_service::{BackpressurePolicy, ExecServiceConfig, ExecutionService, ServiceStats};
+pub use exec_service::{BackpressurePolicy, ExecServiceConfig, ExecutionService, ServiceStats, TaskPriority};
 pub use kernel::Kernel;
 pub use objective::{create_objective_function, EvalStrategy, ObjectiveFunction};
 pub use optim::{create_optimizer, Optimizer, OptimizerResult};
@@ -96,9 +96,12 @@ pub enum QcorError {
     /// The execution-service queue is at its high-water mark and the
     /// backpressure policy is `Reject`.
     QueueFull,
-    /// The task was shed from the queue (`ShedOldest` backpressure)
-    /// before it could run.
+    /// The task was shed from the queue (`ShedOldest` backpressure, or a
+    /// per-task deadline that expired while queued) before it could run.
     TaskShed,
+    /// The task was cancelled via `TaskFuture::cancel` while it was still
+    /// queued; it never ran.
+    TaskCancelled,
     /// Backend routing failed (bad policy parameters, or no backend
     /// matches the requested capability).
     Routing(String),
@@ -125,7 +128,13 @@ impl std::fmt::Display for QcorError {
                 "kernel queue is at its high-water mark and the backpressure policy rejects new work"
             ),
             QcorError::TaskShed => {
-                write!(f, "task was shed from the kernel queue by the shed-oldest backpressure policy")
+                write!(
+                    f,
+                    "task was shed from the kernel queue (shed-oldest backpressure or expired deadline)"
+                )
+            }
+            QcorError::TaskCancelled => {
+                write!(f, "task was cancelled while queued and never ran")
             }
             QcorError::Routing(msg) => write!(f, "backend routing failed: {msg}"),
             QcorError::InvalidParam(msg) => write!(f, "invalid backend parameter: {msg}"),

@@ -7,7 +7,12 @@
 //! [`execute`] then routes every kernel invocation from this thread to its
 //! own instance. The [`crate::spawn`]/[`crate::async_task`] wrappers do the
 //! initialize call automatically, which is the convenience the paper
-//! proposes as `qcor::thread` / `qcor::async`.
+//! proposes as `qcor::thread` / `qcor::async`; behind them sits the
+//! bounded kernel queue of [`crate::ExecutionService`] (configured by
+//! `QCOR_SERVICE_THREADS`, `QCOR_QUEUE_CAPACITY`,
+//! `QCOR_QUEUE_PRIORITY_CAPACITY` and `QCOR_QUEUE_POLICY`), whose
+//! work-conserving joins make it safe to `wait` on sibling task futures
+//! from inside a task.
 
 use crate::allocation::QReg;
 use crate::qpu_manager::{QPUManager, RoutingPolicy, ThreadContext};

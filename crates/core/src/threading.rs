@@ -16,22 +16,31 @@
 //! `wait()` is the error-aware join that surfaces queue-level outcomes
 //! (a task shed by backpressure) instead of panicking.
 
-use crate::exec_service::ExecutionService;
+use crate::exec_service::{ExecutionService, TaskServiceCtx};
 use crate::QcorError;
-use crossbeam::channel::{bounded, Receiver};
+use crossbeam::channel::Receiver;
 
-/// How a queued task ended: ran to completion (value or panic payload) or
-/// was shed by the queue's backpressure policy before running.
+/// How a queued task ended: ran to completion (value or panic payload),
+/// was shed by the queue's backpressure policy (or an expired deadline)
+/// before running, or was explicitly cancelled while queued.
 pub(crate) enum TaskOutcome<T> {
     Completed(std::thread::Result<T>),
     Shed,
+    Cancelled,
 }
 
 /// A handle to an asynchronously running task (the `std::future` analogue
 /// of paper Listing 5), resolved by the execution service when the task
 /// leaves the kernel queue.
+///
+/// Dropping the future detaches the task (fire-and-forget: it still
+/// runs); use [`TaskFuture::cancel`] to abort it while it is queued.
 pub struct TaskFuture<T> {
     rx: Receiver<TaskOutcome<T>>,
+    /// Backlink to the owning service: cancellation while queued, and the
+    /// work-conserving join when waited from inside a task of the same
+    /// service.
+    ctx: TaskServiceCtx,
 }
 
 impl<T> std::fmt::Debug for TaskFuture<T> {
@@ -41,18 +50,8 @@ impl<T> std::fmt::Debug for TaskFuture<T> {
 }
 
 impl<T> TaskFuture<T> {
-    pub(crate) fn new(rx: Receiver<TaskOutcome<T>>) -> Self {
-        TaskFuture { rx }
-    }
-
-    /// An already-resolved future (used for inline nested execution).
-    pub(crate) fn ready(outcome: TaskOutcome<T>) -> Self
-    where
-        T: Send + 'static,
-    {
-        let (tx, rx) = bounded(1);
-        let _ = tx.send(outcome);
-        TaskFuture { rx }
+    pub(crate) fn with_ctx(rx: Receiver<TaskOutcome<T>>, ctx: TaskServiceCtx) -> Self {
+        TaskFuture { rx, ctx }
     }
 
     /// True when the task has finished and `get` will not block.
@@ -60,14 +59,35 @@ impl<T> TaskFuture<T> {
         !self.rx.is_empty()
     }
 
+    /// Abort the task if it is **still queued**: the task never runs and
+    /// [`TaskFuture::wait`] resolves as [`QcorError::TaskCancelled`].
+    /// Returns `true` exactly when this call removed the task from the
+    /// queue. Once the task has been dispatched (or already finished, was
+    /// shed, or was cancelled before), `cancel` returns `false` and the
+    /// task's outcome is unaffected — there is no mid-execution abort.
+    pub fn cancel(&self) -> bool {
+        self.ctx.cancel()
+    }
+
     /// Block until the task completes and return its outcome: `Ok(value)`,
-    /// or [`QcorError::TaskShed`] if the queue's backpressure policy shed
-    /// this task before it ran. Re-raises the task's panic, if any.
+    /// [`QcorError::TaskShed`] if the queue's backpressure policy (or an
+    /// expired deadline) shed this task before it ran, or
+    /// [`QcorError::TaskCancelled`] after a successful
+    /// [`TaskFuture::cancel`]. Re-raises the task's panic, if any.
+    ///
+    /// Called from inside an executing task of the same service, `wait`
+    /// is **work-conserving**: instead of parking while holding an
+    /// executor permit, it pops and runs queued tasks of the service until
+    /// this future resolves (see the `ExecutionService` module docs) — so
+    /// sibling-future joins inside tasks can never exhaust the permit
+    /// budget.
     pub fn wait(self) -> Result<T, QcorError> {
+        self.ctx.help_drain_while(|| self.rx.is_empty());
         match self.rx.recv().expect("task dropped its result channel without resolving") {
             TaskOutcome::Completed(Ok(value)) => Ok(value),
             TaskOutcome::Completed(Err(payload)) => std::panic::resume_unwind(payload),
             TaskOutcome::Shed => Err(QcorError::TaskShed),
+            TaskOutcome::Cancelled => Err(QcorError::TaskCancelled),
         }
     }
 
@@ -99,11 +119,11 @@ impl<T> TaskFuture<T> {
 /// (backpressure); use [`ExecutionService::submit`] on a configured
 /// service for reject/shed semantics.
 ///
-/// Tasks run on a **fixed-size** executor pool. A task may freely spawn
-/// and join its own children (they run inline on its executor), but a
-/// task that blocks on the future of a *sibling* top-level task can
-/// exhaust the executor slots if enough of its kind pile up — join
-/// sibling futures from the submitting thread instead.
+/// Tasks run on a **fixed-size** executor pool, and joins are
+/// **work-conserving**: a task that `wait`s on the future of another task
+/// of the same service helps drain the kernel queue on its own executor
+/// instead of parking, so in-task sibling joins can never exhaust the
+/// executor slots (see the `ExecutionService` module docs).
 pub fn spawn<F, T>(f: F) -> TaskFuture<T>
 where
     F: FnOnce() -> T + Send + 'static,

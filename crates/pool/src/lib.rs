@@ -34,7 +34,7 @@ mod pool;
 mod scope;
 
 pub use latch::{CountLatch, WaitGroup};
-pub use pool::{PoolBuilder, Schedule, ThreadPool};
+pub use pool::{current_worker_pool_id, PoolBuilder, Schedule, ThreadPool};
 pub use scope::Scope;
 
 use std::num::NonZeroUsize;

@@ -42,6 +42,18 @@ thread_local! {
 
 static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
 
+/// Id of the pool the current thread is a background worker of, or 0 when
+/// the thread is not a pool worker (callers' threads, dispatcher threads
+/// and team-of-one inline execution all report 0).
+///
+/// This is the current-worker check external executors build on: the
+/// runtime's execution service uses it (together with [`ThreadPool::id`])
+/// to assert that its work-conserving join only ever runs queued tasks on
+/// threads that already hold one of the service's executor slots.
+pub fn current_worker_pool_id() -> usize {
+    WORKER_OF.with(|w| w.get())
+}
+
 /// Type-erased reference to an in-flight parallel construct.
 ///
 /// The pointee is a stack-allocated job descriptor in the frame of the
@@ -232,6 +244,13 @@ impl ThreadPool {
     /// Total team size, including the calling thread.
     pub fn num_threads(&self) -> usize {
         self.inner.num_threads
+    }
+
+    /// This pool's process-unique id (nonzero); compare against
+    /// [`current_worker_pool_id`] to check whether an arbitrary thread is
+    /// one of this pool's background workers.
+    pub fn id(&self) -> usize {
+        self.inner.id
     }
 
     /// Name given to the worker threads.
@@ -766,6 +785,30 @@ mod tests {
         assert_eq!(a.num_threads(), 1);
         let tid = std::thread::current().id();
         a.parallel_for(0..4, |_| assert_eq!(std::thread::current().id(), tid));
+    }
+
+    #[test]
+    fn worker_pool_id_identifies_workers() {
+        let pool = ThreadPool::new(3);
+        assert!(pool.id() != 0);
+        // The calling thread is the master, not a background worker.
+        assert_eq!(crate::current_worker_pool_id(), 0);
+        let (ids, expected) = (Arc::new(Mutex::new(Vec::new())), pool.id());
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let (ids, done) = (Arc::clone(&ids), Arc::clone(&done));
+            pool.spawn_detached(move || {
+                ids.lock().push(crate::current_worker_pool_id());
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+        while done.load(Ordering::Acquire) < 4 {
+            std::thread::yield_now();
+        }
+        assert!(ids.lock().iter().all(|&id| id == expected), "workers must report their pool's id");
+        // A different pool's workers report a different id.
+        let other = ThreadPool::new(2);
+        assert_ne!(other.id(), expected);
     }
 
     #[test]

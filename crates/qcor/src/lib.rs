@@ -31,8 +31,10 @@
 // The runtime API: initialize / initialize_legacy_shared, qalloc, QReg,
 // Kernel, QPUManager (+ RoutingPolicy multi-backend routing), spawn /
 // async_task / submit and the ExecutionService behind them (bounded
-// kernel queue with block / reject / shed-oldest backpressure), execute /
-// execute_with, objective functions, optimizers, and QcorError.
+// two-lane kernel queue with block / reject / shed-oldest backpressure,
+// work-conserving in-task joins, TaskFuture::cancel, per-task deadlines
+// and TaskPriority lanes), execute / execute_with, objective functions,
+// optimizers, and QcorError.
 pub use qcor_core::*;
 
 // Kernel-language and circuit tooling, addressable as `qcor::xasm::…`

@@ -7,12 +7,12 @@
 
 use qcor::{
     initialize, qalloc, BackendCapability, BackpressurePolicy, ExecServiceConfig, ExecutionService,
-    InitOptions, Kernel, QPUManager, QcorError,
+    InitOptions, Kernel, QPUManager, QcorError, TaskFuture, TaskPriority,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn route_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -211,6 +211,271 @@ fn queued_kernel_tasks_keep_instance_isolation() {
     })
     .join()
     .unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Work-conserving joins, cancellation, deadlines, priority lanes
+// ---------------------------------------------------------------------------
+
+/// Run `scenario` on a helper thread under a deadlock watchdog: if it has
+/// not finished within `limit`, the test fails instead of hanging the
+/// whole suite. The regression scenarios below deadlocked forever before
+/// the work-conserving join.
+fn with_watchdog(limit: Duration, name: &str, scenario: impl FnOnce() + Send + 'static) {
+    let done = Arc::new(AtomicBool::new(false));
+    let d = Arc::clone(&done);
+    let runner = std::thread::spawn(move || {
+        scenario();
+        d.store(true, Ordering::Release);
+    });
+    let start = Instant::now();
+    while !done.load(Ordering::Acquire) {
+        assert!(
+            start.elapsed() < limit,
+            "{name}: watchdog fired after {limit:?} — the service deadlocked \
+             (the pre-work-conserving-join failure mode)"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    runner.join().unwrap();
+}
+
+/// The ISSUE's acceptance scenario, shape 1 (deadlocks the pre-fix
+/// service): `permit_budget + 2` top-level tasks where task *i* `wait()`s
+/// on the future of its **sibling** *i + 1*. Pre-fix, the first
+/// `permit_budget` tasks park on futures of tasks stuck in the queue
+/// behind them, every permit is held, and nothing ever runs again.
+/// Post-fix, each waiter helps drain the queue on its own permit.
+fn sibling_chain_scenario(threads: usize) {
+    let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(threads).capacity(64)));
+    let n = svc.permit_budget() + 2;
+    let handoff: Arc<Mutex<HashMap<usize, TaskFuture<usize>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut head = None;
+    for i in 0..n {
+        let handoff_in = Arc::clone(&handoff);
+        let f = svc
+            .submit(move || {
+                if i + 1 == n {
+                    return 0usize;
+                }
+                // Spin until the main thread has parked the sibling's
+                // future in the handoff map (it is submitted after us).
+                let sibling = loop {
+                    if let Some(f) = handoff_in.lock().unwrap().remove(&(i + 1)) {
+                        break f;
+                    }
+                    std::thread::yield_now();
+                };
+                sibling.wait().expect("Block-admitted sibling cannot fail") + 1
+            })
+            .unwrap();
+        if i == 0 {
+            head = Some(f);
+        } else {
+            handoff.lock().unwrap().insert(i, f);
+        }
+    }
+    assert_eq!(head.unwrap().get(), n - 1, "the whole join chain must resolve");
+    svc.drain();
+    let stats = svc.stats();
+    assert_eq!(stats.completed, n);
+    assert_eq!(stats.shed + stats.cancelled + stats.expired, 0);
+}
+
+/// Shape 2: `permit_budget + 2` driver tasks that each **spawn** siblings
+/// on the same service and join them in-task (the fan-out/fan-in shape
+/// vqe multistart and parallel Shor now use).
+fn spawn_and_join_scenario(threads: usize) {
+    let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(threads).capacity(8)));
+    let drivers = svc.permit_budget() + 2;
+    let futures: Vec<_> = (0..drivers)
+        .map(|d| {
+            let inner = Arc::clone(&svc);
+            svc.submit(move || {
+                let children: Vec<_> = (0..3).map(|c| inner.submit(move || d * 10 + c).unwrap()).collect();
+                children.into_iter().map(|f| f.wait().unwrap()).sum::<usize>()
+            })
+            .unwrap()
+        })
+        .collect();
+    let got: Vec<usize> = futures.into_iter().map(|f| f.get()).collect();
+    let expect: Vec<usize> = (0..drivers).map(|d| 3 * (d * 10) + 3).collect();
+    assert_eq!(got, expect);
+}
+
+/// The always-on deadlock regression (both shapes, several team sizes —
+/// including a team of one, where the dispatcher itself is the only
+/// executor). Each shape submits more joining tasks than there are
+/// permits; pre-fix this test hangs, which the watchdog converts into a
+/// failure.
+#[test]
+fn in_task_sibling_joins_cannot_exhaust_permits() {
+    for threads in [1usize, 2, 4] {
+        with_watchdog(Duration::from_secs(60), "sibling chain", move || sibling_chain_scenario(threads));
+        with_watchdog(Duration::from_secs(60), "spawn and join", move || spawn_and_join_scenario(threads));
+    }
+}
+
+/// In-task joins with real kernel workloads: a driver task fans Bell
+/// kernels out over the same service and merges their counts in-task,
+/// with fewer permits than siblings.
+#[test]
+fn in_task_join_runs_kernel_siblings() {
+    with_watchdog(Duration::from_secs(120), "kernel fan-in", || {
+        let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(16)));
+        let inner = Arc::clone(&svc);
+        let total = svc
+            .submit(move || {
+                let children: Vec<_> =
+                    (0..4).map(|i| inner.submit(move || run_bell(32, 40 + i)).unwrap()).collect();
+                children.into_iter().map(|f| f.wait().unwrap()).sum::<usize>()
+            })
+            .unwrap()
+            .get();
+        assert_eq!(total, 4 * 32);
+    });
+}
+
+/// Cancel before dispatch: the task never runs, the future resolves as
+/// `TaskCancelled`, and the `cancelled` counter ticks. Cancel after
+/// dispatch: a no-op (`false`), the task completes normally.
+#[test]
+fn cancel_before_vs_after_dispatch_is_observable() {
+    let svc = ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(8));
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let blocker = svc
+        .submit(move || {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap();
+    while svc.stats().running == 0 {
+        std::thread::yield_now();
+    }
+    // After dispatch: the running blocker is past cancellation.
+    assert!(!blocker.cancel(), "a dispatched task must not be cancellable");
+
+    let ran = Arc::new(AtomicBool::new(false));
+    let r = Arc::clone(&ran);
+    let queued = svc.submit(move || r.store(true, Ordering::Release)).unwrap();
+    assert!(queued.cancel(), "a queued task must cancel");
+    assert!(!queued.cancel(), "double-cancel reports false");
+    assert_eq!(queued.wait(), Err(QcorError::TaskCancelled));
+
+    gate.store(true, Ordering::Release);
+    blocker.get();
+    svc.drain();
+    assert!(!ran.load(Ordering::Acquire), "cancelled tasks must never run");
+    let stats = svc.stats();
+    assert_eq!((stats.cancelled, stats.completed), (1, 1));
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.running + stats.queue_len + stats.shed + stats.cancelled + stats.expired
+    );
+}
+
+/// A task whose deadline lapses while queued resolves as shed (the
+/// existing shed path), never runs, and ticks the `expired` counter.
+#[test]
+fn expired_deadline_feeds_the_shed_path() {
+    let svc = ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(8));
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let blocker = svc
+        .submit(move || {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap();
+    while svc.stats().running == 0 {
+        std::thread::yield_now();
+    }
+    let ran = Arc::new(AtomicBool::new(false));
+    let r = Arc::clone(&ran);
+    let doomed =
+        svc.submit_with_deadline(Duration::from_millis(1), move || r.store(true, Ordering::Release)).unwrap();
+    let kept = svc.submit_with_deadline(Duration::from_secs(600), || 5usize).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    gate.store(true, Ordering::Release);
+    blocker.get();
+    assert_eq!(doomed.wait(), Err(QcorError::TaskShed), "expired deadlines resolve through the shed path");
+    assert_eq!(kept.wait(), Ok(5), "an unexpired deadline runs normally");
+    svc.drain();
+    assert!(!ran.load(Ordering::Acquire), "expired tasks must never run");
+    let stats = svc.stats();
+    assert_eq!((stats.expired, stats.completed), (1, 2));
+}
+
+/// High-lane tasks dispatch before queued normal-lane tasks (FIFO within
+/// each lane), and the lane-depth gauges are observable.
+#[test]
+fn priority_lane_dispatches_first_and_is_observable() {
+    let svc = ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(16));
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let blocker = svc
+        .submit(move || {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap();
+    while svc.stats().running == 0 {
+        std::thread::yield_now();
+    }
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let mut futures = Vec::new();
+    for (priority, name) in [
+        (TaskPriority::Normal, "n1"),
+        (TaskPriority::Normal, "n2"),
+        (TaskPriority::High, "h1"),
+        (TaskPriority::High, "h2"),
+    ] {
+        let order = Arc::clone(&order);
+        futures.push(svc.submit_prioritized(priority, move || order.lock().unwrap().push(name)).unwrap());
+    }
+    let stats = svc.stats();
+    assert_eq!((stats.high_queue_len, stats.normal_queue_len, stats.queue_len), (2, 2, 4));
+    gate.store(true, Ordering::Release);
+    blocker.get();
+    for f in futures {
+        f.get();
+    }
+    // One permit (threads=2) ⇒ deterministic dispatch order.
+    assert_eq!(*order.lock().unwrap(), vec!["h1", "h2", "n1", "n2"]);
+}
+
+/// Shed-oldest victimizes the normal lane before the high lane, even when
+/// the high task is older.
+#[test]
+fn shed_oldest_prefers_normal_lane_victims() {
+    let svc = ExecutionService::new(
+        ExecServiceConfig::default().threads(2).capacity(2).policy(BackpressurePolicy::ShedOldest),
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let blocker = svc
+        .submit(move || {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap();
+    while svc.stats().running == 0 {
+        std::thread::yield_now();
+    }
+    let high_first = svc.submit_prioritized(TaskPriority::High, || "high").unwrap();
+    let normal_victim = svc.submit(|| "normal").unwrap();
+    let newcomer = svc.submit(|| "newcomer").unwrap(); // over capacity: sheds the normal task
+    assert_eq!(normal_victim.wait(), Err(QcorError::TaskShed));
+    gate.store(true, Ordering::Release);
+    blocker.get();
+    assert_eq!(high_first.wait(), Ok("high"));
+    assert_eq!(newcomer.wait(), Ok("newcomer"));
+    assert_eq!(svc.stats().shed, 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -12,7 +12,10 @@
 //!   hanging test exercised (`run_shots_task_parallel` → `ShotPlan` →
 //!   `submit_batch` → `scope`/`WaitGroup` → `parallel_for`/`CountLatch`),
 //! * plus tight loops on each fork/join primitive in isolation, so a hang
-//!   localizes the layer.
+//!   localizes the layer,
+//! * plus a ping-pong/MPMC hammer over the vendored crossbeam channel
+//!   stub — the flake's remaining suspect, audited and hardened (notify
+//!   under the lock + wakeup chaining) in `vendor/crossbeam/src/channel.rs`.
 //!
 //! The tests are **opt-in** (`QCOR_STRESS=1`) because they trade minutes
 //! of wall clock for wakeup-race coverage; without the variable they skip
@@ -93,6 +96,64 @@ fn team2_scope_waitgroup_stress() {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 3, "iteration {iter}");
+    }
+}
+
+/// Channel ping-pong hammer over the vendored crossbeam stub (the
+/// ROADMAP flake's remaining suspect, audited + hardened in the channel
+/// module): two threads bounce a token through a pair of bounded(1)
+/// channels tens of thousands of times — every round trip crosses the
+/// park/notify window twice, so a lost wakeup hangs within seconds.
+/// A second phase hammers the MPMC shape the pool actually uses (several
+/// cloned receivers racing one sender on an unbounded channel).
+#[test]
+fn channel_ping_pong_stress() {
+    if !stress_enabled() {
+        return;
+    }
+    use crossbeam::channel::{bounded, unbounded};
+
+    // Phase 1: strict ping-pong, fresh channels every few thousand rounds
+    // so construction/teardown join the suspect window.
+    for round in 0..8 {
+        let (ping_tx, ping_rx) = bounded::<u64>(1);
+        let (pong_tx, pong_rx) = bounded::<u64>(1);
+        let pong = std::thread::spawn(move || {
+            while let Ok(v) = ping_rx.recv() {
+                if pong_tx.send(v + 1).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut value = 0u64;
+        for i in 0..25_000u64 {
+            ping_tx.send(value).unwrap();
+            value = pong_rx.recv().unwrap();
+            assert_eq!(value, 2 * i + 1, "round {round}, iteration {i}");
+            value += 1;
+        }
+        drop(ping_tx);
+        pong.join().unwrap();
+    }
+
+    // Phase 2: the worker_loop shape — one producer, a team of cloned
+    // receivers splitting messages, repeated with fresh channels.
+    for iter in 0..2_000 {
+        let (tx, rx) = unbounded::<u64>();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || (0..).map_while(|_| rx.recv().ok()).sum::<u64>())
+            })
+            .collect();
+        drop(rx);
+        let n = 64u64;
+        for v in 1..=n {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, n * (n + 1) / 2, "iteration {iter}");
     }
 }
 

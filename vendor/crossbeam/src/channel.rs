@@ -1,6 +1,38 @@
 //! MPMC channels with the `crossbeam::channel` surface used by the
 //! workspace: `unbounded`, `bounded`, cloneable `Sender`/`Receiver`,
 //! blocking `send`/`recv`, and disconnect errors.
+//!
+//! # Lost-wakeup audit (the condvar discipline)
+//!
+//! This stub was audited against the `shot_statistics` futex-hang
+//! signature (both threads parked, 0 CPU) after `CountLatch`/`WaitGroup`
+//! were cleared in the pool's `latch.rs` audit. Findings: every wait loop
+//! already re-checked its predicate under the lock (correct), but
+//! notifications were issued **after** dropping the state lock, and pops
+//! relied on a single `notify_one` per state change. On std's condvar
+//! semantics that is sufficient; it is nevertheless hardened here to the
+//! same discipline `latch.rs` documents, closing the two theoretical
+//! windows a conforming-but-unhelpful condvar implementation leaves open:
+//!
+//! 1. **Notify while holding the lock.** A signal sent between a waiter's
+//!    in-lock predicate check and its park cannot exist when the signaler
+//!    holds the same lock — the waiter is either already parked (signal
+//!    wakes it) or has not yet re-checked (it sees the new state and
+//!    never parks).
+//! 2. **Wakeup chaining (baton passing).** `notify_one` wakes *a* waiter,
+//!    not necessarily one that can make progress, and a signal delivered
+//!    to an already-woken thread is absorbed. Every consumer therefore
+//!    re-notifies when it leaves observable work behind: a `recv` that
+//!    pops while more messages remain passes the baton to the next parked
+//!    receiver, and a bounded `send` that still leaves free capacity
+//!    passes the baton to the next parked sender. A stranded waiter with
+//!    satisfiable work is then impossible regardless of how signals were
+//!    paired with threads.
+//!
+//! Disconnect paths (`Sender`/`Receiver` drop) use `notify_all`, also
+//! under the lock. The always-on `*_wakeup_race_*` tests below mirror the
+//! `latch_wakeup_race_*` hammers; `tests/tests/pool_stress.rs` adds the
+//! `QCOR_STRESS=1` ping-pong hammer over this module.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -91,8 +123,17 @@ impl<T> Sender<T> {
             return Err(SendError(value));
         }
         state.queue.push_back(value);
-        drop(state);
+        // Notify while holding the lock (see the module audit), and pass
+        // the not-full baton on: if capacity remains after this push,
+        // another parked sender can make progress right now and must not
+        // depend on a signal that may have been absorbed elsewhere.
         self.chan.not_empty.notify_one();
+        if let Some(cap) = self.chan.capacity {
+            if state.queue.len() < cap {
+                self.chan.not_full.notify_one();
+            }
+        }
+        drop(state);
         Ok(())
     }
 }
@@ -108,11 +149,13 @@ impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.senders -= 1;
-        let disconnected = state.senders == 0;
-        drop(state);
-        if disconnected {
+        if state.senders == 0 {
+            // Under the lock: a receiver between its predicate check and
+            // its park must either see the zero count or be parked when
+            // this fires.
             self.chan.not_empty.notify_all();
         }
+        drop(state);
     }
 }
 
@@ -135,8 +178,8 @@ impl<T> Receiver<T> {
         let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(value) = state.queue.pop_front() {
+                self.notify_after_pop(&state);
                 drop(state);
-                self.chan.not_full.notify_one();
                 return Ok(value);
             }
             if state.senders == 0 {
@@ -151,12 +194,23 @@ impl<T> Receiver<T> {
         let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
         match state.queue.pop_front() {
             Some(value) => {
+                self.notify_after_pop(&state);
                 drop(state);
-                self.chan.not_full.notify_one();
                 Ok(value)
             }
             None if state.senders == 0 => Err(TryRecvError::Disconnected),
             None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// The post-pop notification protocol, run while still holding the
+    /// state lock: one slot was freed (wake a parked sender), and if
+    /// messages remain queued the not-empty baton is passed to the next
+    /// parked receiver (see the module audit).
+    fn notify_after_pop(&self, state: &State<T>) {
+        self.chan.not_full.notify_one();
+        if !state.queue.is_empty() {
+            self.chan.not_empty.notify_one();
         }
     }
 
@@ -181,11 +235,12 @@ impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         let mut state = self.chan.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.receivers -= 1;
-        let disconnected = state.receivers == 0;
-        drop(state);
-        if disconnected {
+        if state.receivers == 0 {
+            // Under the lock, like Sender::drop: blocked senders must
+            // observe the disconnect or be parked when this fires.
             self.chan.not_full.notify_all();
         }
+        drop(state);
     }
 }
 
@@ -263,5 +318,89 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         t.join().unwrap();
+    }
+
+    /// How many wait/notify race iterations the audit tests run — same
+    /// scheme as `latch.rs`: a quick always-on default, thousands under
+    /// `QCOR_STRESS=1`. A lost wakeup shows up as a hang, which the test
+    /// harness timeout turns into a failure.
+    fn race_iterations() -> usize {
+        if std::env::var("QCOR_STRESS").map(|v| v == "1").unwrap_or(false) {
+            20_000
+        } else {
+            500
+        }
+    }
+
+    #[test]
+    fn channel_wakeup_race_single_send_recv() {
+        // Tightest window: the receiver races a lone sender between its
+        // empty-queue check and its park (the shot_statistics hang shape:
+        // one worker blocked in recv, one producer sending).
+        for i in 0..race_iterations() {
+            let (tx, rx) = unbounded::<usize>();
+            let t = std::thread::spawn(move || tx.send(i).unwrap());
+            assert_eq!(rx.recv(), Ok(i));
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn channel_wakeup_race_two_receivers_two_sends() {
+        // Two parked receivers, two back-to-back sends: if a second
+        // notify_one were absorbed by the first (already-woken) receiver,
+        // the second receiver would sleep forever next to a queued item.
+        // The baton pass in `recv` makes that impossible.
+        for _ in 0..race_iterations() {
+            let (tx, rx1) = unbounded::<u8>();
+            let rx2 = rx1.clone();
+            let r1 = std::thread::spawn(move || rx1.recv().unwrap());
+            let r2 = std::thread::spawn(move || rx2.recv().unwrap());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let got = r1.join().unwrap() + r2.join().unwrap();
+            assert_eq!(got, 3);
+        }
+    }
+
+    #[test]
+    fn channel_wakeup_race_two_blocked_senders() {
+        // Bounded(1) with two parked senders and one receiver draining
+        // three items: each pop frees one slot; the send-side baton pass
+        // keeps both senders progressing even if a signal lands on an
+        // already-woken thread.
+        for _ in 0..race_iterations() {
+            let (tx1, rx) = bounded::<u8>(1);
+            let tx2 = tx1.clone();
+            tx1.send(0).unwrap(); // fill the slot so both senders park
+            let s1 = std::thread::spawn(move || tx1.send(1).unwrap());
+            let s2 = std::thread::spawn(move || tx2.send(2).unwrap());
+            let mut got = 0u8;
+            for _ in 0..3 {
+                got += rx.recv().unwrap();
+            }
+            assert_eq!(got, 3);
+            s1.join().unwrap();
+            s2.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn channel_wakeup_race_disconnect_while_parked() {
+        // A receiver parked on an empty channel must observe the last
+        // sender's drop (and vice versa for a sender parked on a full
+        // bounded channel whose receiver drops).
+        for _ in 0..race_iterations() {
+            let (tx, rx) = unbounded::<u8>();
+            let r = std::thread::spawn(move || rx.recv());
+            drop(tx);
+            assert_eq!(r.join().unwrap(), Err(RecvError));
+
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(9).unwrap();
+            let s = std::thread::spawn(move || tx.send(10));
+            drop(rx);
+            assert_eq!(s.join().unwrap(), Err(SendError(10)));
+        }
     }
 }

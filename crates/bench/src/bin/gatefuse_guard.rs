@@ -1,7 +1,7 @@
 //! Perf-regression guard for compile-then-execute (gate fusion +
 //! control-aware kernels).
 //!
-//! Three gates, all of which fail the process (non-zero exit) on breach:
+//! Four gates, all of which fail the process (non-zero exit) on breach:
 //!
 //! 1. **Runtime** — a GHZ+CX-heavy kernel with fusable single-qubit runs
 //!    is sampled through the shot scheduler with fusion on and off;
@@ -9,12 +9,22 @@
 //!    lose to per-shot re-interpretation).
 //! 2. **Iteration reduction** — the control-aware kernels must execute
 //!    exactly `2^c`-fewer loop iterations per `c` control bits (asserted
-//!    via the `qcor_sim::stats` per-thread iteration counter), and a
+//!    via the `qcor_sim::stats` per-thread iteration counter), the fused
+//!    `Dense2` pair kernel must visit exactly `2^(n-2-c)` quads, and a
 //!    compiled replay of the guard kernel must issue fewer total
-//!    iterations than the interpreted replay.
+//!    iterations than the interpreted replay. The per-kernel-class
+//!    iteration breakdown (dense/dense2/flip/diag/phase/swap) of one
+//!    compiled replay is recorded in the JSON.
 //! 3. **Zero steady-state allocations** — repeated Shor-style
 //!    `apply_controlled_permutation` calls must allocate the scratch
-//!    buffer exactly once.
+//!    buffer exactly once, and a compiled replay never touches the
+//!    scratch allocator at all.
+//! 4. **Deep-circuit runtime** — a 20-qubit kernel whose single-qubit
+//!    runs fuse into two-qubit `Dense2` blocks (and whose replay is
+//!    cache-block segmented at that state size) must run at
+//!    ≤ 0.43× the interpreted time: at this depth fusion removes enough
+//!    full-state sweeps that anything slower means the pair-fusion or
+//!    blocking machinery regressed.
 //!
 //! Results land in `BENCH_gatefuse.json` (uploaded as a CI artifact; run
 //! under both `QCOR_NUM_THREADS=1` and `4` in the workflow).
@@ -25,8 +35,11 @@
 
 use qcor_circuit::Circuit;
 use qcor_pool::ThreadPool;
-use qcor_sim::stats::{kernel_iterations, reset_kernel_iterations};
-use qcor_sim::{run_once_interpreted, run_shots, CompiledCircuit, RunConfig, StateVector};
+use qcor_sim::stats::{
+    kernel_class_iterations, kernel_iteration_breakdown, kernel_iterations, reset_kernel_iterations,
+    KernelClass,
+};
+use qcor_sim::{run_once_interpreted, run_shots, CompiledCircuit, Complex64, RunConfig, StateVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -37,6 +50,13 @@ const SHOTS: usize = 96;
 const REPS: usize = 7;
 /// The compiled path must at worst tie the interpreted path.
 const MAX_RATIO: f64 = 1.0;
+
+const DEEP_QUBITS: usize = 20;
+const DEEP_REPS: usize = 3;
+/// The deep kernel's compiled replay must beat the interpreted replay by
+/// better than 2.3× — pair fusion collapses each qubit's gate runs into
+/// `Dense2` blocks, so most full-state sweeps disappear outright.
+const MAX_DEEP_RATIO: f64 = 0.43;
 
 /// GHZ preparation followed by CX-heavy layers interleaved with fusable
 /// single-qubit runs and phase sweeps — the workload class the compiler
@@ -61,6 +81,34 @@ fn guard_kernel() -> Circuit {
         }
     }
     c.measure_all();
+    c
+}
+
+/// The deep-circuit scenario: 20 qubits (2^20 amplitudes, past the
+/// cache-blocking threshold), GHZ skeleton plus layers of 8-gate
+/// single-qubit runs — each run fuses to one dense op, and adjacent
+/// qubits' dense ops pair into `Dense2` blocks — interleaved with CX
+/// chains and CZ layers. No terminal measurement: the scenario times the
+/// replay itself (measurement reductions cost the same on both paths and
+/// would only dilute the ratio being guarded).
+fn deep_kernel() -> Circuit {
+    let mut c = Circuit::new(DEEP_QUBITS);
+    c.h(0);
+    for q in 0..DEEP_QUBITS - 1 {
+        c.cx(q, q + 1);
+    }
+    for layer in 0..2 {
+        let theta = 0.07 * (layer + 1) as f64;
+        for q in 0..DEEP_QUBITS {
+            c.t(q).h(q).s(q).rx(q, theta).h(q).tdg(q).ry(q, 1.3 * theta).rz(q, theta);
+        }
+        for q in 0..DEEP_QUBITS - 1 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..DEEP_QUBITS - 2 {
+            c.cz(q, q + 2);
+        }
+    }
     c
 }
 
@@ -100,7 +148,40 @@ fn assert_controlled_iteration_reduction() -> (u64, u64, u64) {
     (plain, cx, ccx)
 }
 
-/// Gate 2b: a compiled replay of the guard kernel issues fewer total loop
+/// Gate 2b: the fused two-qubit `Dense2` kernel must visit exactly
+/// `2^(n-2-c)` amplitude quads — one sweep replaces every gate folded
+/// into the block, at a quarter (uncontrolled) of the full state in quad
+/// steps. Returns `(uncontrolled, one_control)` quad counts.
+fn assert_pair_iteration_reduction() -> (u64, u64) {
+    let n = 12usize;
+    let len = 1u64 << n;
+    let mut m = [[Complex64::ZERO; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = Complex64::ONE;
+    }
+    let mut sv = StateVector::new(n);
+    reset_kernel_iterations();
+    sv.apply_pair(0, 1, &m, 0);
+    let quads = kernel_class_iterations(KernelClass::Dense2);
+    assert_eq!(quads, len / 4, "uncontrolled Dense2 must visit exactly 2^(n-2) quads");
+    reset_kernel_iterations();
+    sv.apply_pair(0, 1, &m, 1 << 2);
+    let ctrl_quads = kernel_class_iterations(KernelClass::Dense2);
+    assert_eq!(ctrl_quads, len / 8, "1-control Dense2 must visit exactly 2^(n-2-1) quads");
+    (quads, ctrl_quads)
+}
+
+/// Per-kernel-class iteration counts of one compiled replay of `circuit`
+/// (zero-count classes included, so the JSON schema is stable).
+fn class_breakdown(compiled: &CompiledCircuit, num_qubits: usize) -> Vec<(&'static str, u64)> {
+    let mut state = StateVector::new(num_qubits);
+    let mut rng = StdRng::seed_from_u64(5);
+    reset_kernel_iterations();
+    compiled.run_once(&mut state, &mut rng);
+    kernel_iteration_breakdown().iter().map(|&(class, count)| (class.label(), count)).collect()
+}
+
+/// Gate 2c: a compiled replay of the guard kernel issues fewer total loop
 /// iterations than the interpreted replay (fusion removed whole passes).
 fn assert_compiled_iterations_shrink(circuit: &Circuit) -> (u64, u64) {
     let compiled = CompiledCircuit::compile(circuit);
@@ -141,6 +222,29 @@ fn assert_permutation_zero_steady_state_allocs() {
     );
 }
 
+/// Gate 4: time the deep 20-qubit kernel compiled vs interpreted (one
+/// shot per rep — at 2^20 amplitudes a single replay is the workload).
+/// Also asserts the compiled replay never touches the scratch allocator.
+fn deep_scenario(pool: &Arc<ThreadPool>) -> (Duration, Duration, f64, usize, usize) {
+    let circuit = deep_kernel();
+    let compiled = CompiledCircuit::compile(&circuit);
+    assert!(compiled.len() < compiled.source_len(), "fusion must shrink the deep kernel");
+    let mut state = StateVector::with_pool(DEEP_QUBITS, Arc::clone(pool));
+    let interp_best = best_of(DEEP_REPS, || {
+        state.reset_to_zero();
+        let mut rng = StdRng::seed_from_u64(3);
+        run_once_interpreted(&mut state, &circuit, &mut rng);
+    });
+    let fused_best = best_of(DEEP_REPS, || {
+        state.reset_to_zero();
+        let mut rng = StdRng::seed_from_u64(3);
+        compiled.run_once(&mut state, &mut rng);
+    });
+    assert_eq!(state.scratch_allocations(), 0, "compiled replay must not touch the scratch allocator");
+    let ratio = fused_best.as_secs_f64() / interp_best.as_secs_f64();
+    (interp_best, fused_best, ratio, compiled.source_len(), compiled.len())
+}
+
 fn main() {
     let circuit = guard_kernel();
     let compiled = CompiledCircuit::compile(&circuit);
@@ -149,10 +253,18 @@ fn main() {
 
     // Correctness gates first — no point timing a broken executor.
     let (plain_iters, cx_iters, ccx_iters) = assert_controlled_iteration_reduction();
+    let (pair_iters, pair_ctrl_iters) = assert_pair_iteration_reduction();
     let (interp_iters, fused_iters) = assert_compiled_iterations_shrink(&circuit);
     assert_permutation_zero_steady_state_allocs();
+    let breakdown = class_breakdown(&compiled, QUBITS);
     println!("iteration counts: uncontrolled {plain_iters}, CX {cx_iters} (/2), CCX {ccx_iters} (/4)");
+    println!(
+        "dense2 quad counts: uncontrolled {pair_iters} (2^(n-2)), 1-control {pair_ctrl_iters} (2^(n-3))"
+    );
     println!("guard-kernel iterations per shot: interpreted {interp_iters}, compiled {fused_iters}");
+    let shown: Vec<String> =
+        breakdown.iter().filter(|(_, c)| *c > 0).map(|(l, c)| format!("{l} {c}")).collect();
+    println!("compiled per-class iterations: {}", shown.join(", "));
 
     // Runtime gate: same pool, same plan, fusion knob flipped.
     let pool = Arc::new(ThreadPool::new(qcor_pool::num_threads_from_env()));
@@ -174,6 +286,12 @@ fn main() {
 
     let ratio = fused_best.as_secs_f64() / interp_best.as_secs_f64();
 
+    // Deep-circuit gate: 20 qubits, one shot per rep, Dense2-heavy.
+    let (deep_interp, deep_fused, deep_ratio, deep_src, deep_ops) = deep_scenario(&pool);
+    println!("deep kernel: {deep_src} instructions -> {deep_ops} fused kernel ops");
+    rows.push(("deep_kernel/interpreted".to_string(), deep_interp));
+    rows.push(("deep_kernel/compiled".to_string(), deep_fused));
+
     let benchmarks: String = rows
         .iter()
         .map(|(name, time)| {
@@ -184,15 +302,21 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let breakdown_json: String =
+        breakdown.iter().map(|(label, count)| format!("\"{label}\": {count}")).collect::<Vec<_>>().join(", ");
     let json = format!(
         "{{\n  \"meta\": {{\n    \"command\": \"cargo run -p qcor-bench --release --bin gatefuse_guard\",\n    \
          \"logical_cpus\": {},\n    \"qcor_num_threads\": {},\n    \
-         \"guard\": \"fail if compiled divided by interpreted exceeds {MAX_RATIO}\",\n    \
-         \"note\": \"compile-then-execute guard: gate fusion + control-aware kernels; also asserts 2^c iteration reduction and zero steady-state permutation allocs\"\n  }},\n  \
+         \"guard\": \"fail if compiled divided by interpreted exceeds {MAX_RATIO}, or deep-kernel ratio exceeds {MAX_DEEP_RATIO}\",\n    \
+         \"note\": \"compile-then-execute guard: gate fusion + two-qubit block fusion + control-aware kernels; also asserts 2^c iteration reduction, exact 2^(n-2-c) Dense2 quad counts, and zero steady-state allocations\"\n  }},\n  \
          \"ratio_compiled_over_interpreted\": {ratio:.3},\n  \
+         \"deep_ratio_compiled_over_interpreted\": {deep_ratio:.3},\n  \
          \"source_instructions\": {},\n  \"fused_kernel_ops\": {},\n  \
+         \"deep_source_instructions\": {deep_src},\n  \"deep_fused_kernel_ops\": {deep_ops},\n  \
          \"iterations_per_shot\": {{ \"interpreted\": {interp_iters}, \"compiled\": {fused_iters} }},\n  \
+         \"compiled_class_iterations\": {{ {breakdown_json} }},\n  \
          \"controlled_iteration_counts\": {{ \"uncontrolled\": {plain_iters}, \"cx\": {cx_iters}, \"ccx\": {ccx_iters} }},\n  \
+         \"dense2_quad_counts\": {{ \"uncontrolled\": {pair_iters}, \"one_control\": {pair_ctrl_iters} }},\n  \
          \"benchmarks\": [\n{benchmarks}\n  ]\n}}\n",
         qcor_pool::available_parallelism(),
         qcor_pool::num_threads_from_env(),
@@ -205,4 +329,10 @@ fn main() {
         println!("{name:<38} {:>10.1} us", time.as_secs_f64() * 1e6);
     }
     qcor_bench::enforce_guard_ratio("compiled / interpreted", ratio, MAX_RATIO, "BENCH_gatefuse.json");
+    qcor_bench::enforce_guard_ratio(
+        "deep compiled / interpreted",
+        deep_ratio,
+        MAX_DEEP_RATIO,
+        "BENCH_gatefuse.json",
+    );
 }

@@ -1,0 +1,172 @@
+//! Amplitude-layout probe: measures whether the state vector should keep
+//! its interleaved `Complex64` (AoS) layout or switch to split re/im
+//! planes (SoA) for the uncontrolled dense sweep — the hottest loop of
+//! compiled execution.
+//!
+//! Three variants of one full dense layer (a 2×2 matrix applied to every
+//! qubit of a 2^20-amplitude state):
+//!
+//! * `aos_runs` — the shipped kernel shape: interleaved `Complex64`,
+//!   maximal contiguous runs, unit-stride inner loop (autovectorizable).
+//! * `aos_expand` — interleaved `Complex64`, per-pair index expansion
+//!   (the pre-run-loop shape, kept as the baseline the run loop beat).
+//! * `soa_runs` — split re/im `f64` planes, same contiguous-run loop.
+//!   SoA removes the re/im interleave from each cache line but doubles
+//!   the live streams per loop (4 instead of 2), so it must win clearly
+//!   to justify converting every kernel and the `measure`/BLAS-style
+//!   readout paths.
+//!
+//! Records `BENCH_layout.json`. This probe is **record-only** (no
+//! pass/fail gate): single-run timings inside a 1-CPU CI container are
+//! too noisy to gate a layout decision on; the JSON documents the
+//! measured ratio that justified keeping AoS.
+//!
+//! ```text
+//! cargo run -p qcor-bench --release --bin layout_probe
+//! ```
+
+use qcor_sim::{c64, Complex64};
+use std::time::{Duration, Instant};
+
+const QUBITS: usize = 20;
+const REPS: usize = 5;
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// A dense 2×2 with no zero entries, so no variant can shortcut.
+fn probe_matrix() -> [[Complex64; 2]; 2] {
+    let h = std::f64::consts::FRAC_1_SQRT_2;
+    [[c64(h, 0.1), c64(h, -0.1)], [c64(h, -0.1), c64(-h, 0.1)]]
+}
+
+/// Shipped shape: interleaved amplitudes, contiguous-run sweep.
+fn dense_aos_runs(amps: &mut [Complex64], t: usize, m: &[[Complex64; 2]; 2]) {
+    let stride = 1usize << t;
+    let low_mask = stride - 1;
+    let pairs = amps.len() >> 1;
+    let mut k = 0;
+    while k < pairs {
+        let run = stride - (k & low_mask);
+        let i0 = ((k & !low_mask) << 1) | (k & low_mask);
+        for i in i0..i0 + run {
+            let j = i | stride;
+            let (a, b) = (amps[i], amps[j]);
+            amps[i] = m[0][0] * a + m[0][1] * b;
+            amps[j] = m[1][0] * a + m[1][1] * b;
+        }
+        k += run;
+    }
+}
+
+/// Baseline shape: interleaved amplitudes, per-pair index expansion.
+fn dense_aos_expand(amps: &mut [Complex64], t: usize, m: &[[Complex64; 2]; 2]) {
+    let stride = 1usize << t;
+    let low_mask = stride - 1;
+    let pairs = amps.len() >> 1;
+    for k in 0..pairs {
+        let i = ((k & !low_mask) << 1) | (k & low_mask);
+        let j = i | stride;
+        let (a, b) = (amps[i], amps[j]);
+        amps[i] = m[0][0] * a + m[0][1] * b;
+        amps[j] = m[1][0] * a + m[1][1] * b;
+    }
+}
+
+/// Candidate shape: split re/im planes, contiguous-run sweep.
+fn dense_soa_runs(re: &mut [f64], im: &mut [f64], t: usize, m: &[[Complex64; 2]; 2]) {
+    let stride = 1usize << t;
+    let low_mask = stride - 1;
+    let pairs = re.len() >> 1;
+    let mut k = 0;
+    while k < pairs {
+        let run = stride - (k & low_mask);
+        let i0 = ((k & !low_mask) << 1) | (k & low_mask);
+        for i in i0..i0 + run {
+            let j = i | stride;
+            let (ar, ai, br, bi) = (re[i], im[i], re[j], im[j]);
+            re[i] = m[0][0].re * ar - m[0][0].im * ai + m[0][1].re * br - m[0][1].im * bi;
+            im[i] = m[0][0].re * ai + m[0][0].im * ar + m[0][1].re * bi + m[0][1].im * br;
+            re[j] = m[1][0].re * ar - m[1][0].im * ai + m[1][1].re * br - m[1][1].im * bi;
+            im[j] = m[1][0].re * ai + m[1][0].im * ar + m[1][1].re * bi + m[1][1].im * br;
+        }
+        k += run;
+    }
+}
+
+fn main() {
+    let n = 1usize << QUBITS;
+    let m = probe_matrix();
+    let norm = 1.0 / (n as f64).sqrt();
+
+    let mut aos: Vec<Complex64> = (0..n).map(|i| c64(norm, (i % 7) as f64 * 1e-7)).collect();
+    let mut soa_re: Vec<f64> = aos.iter().map(|z| z.re).collect();
+    let mut soa_im: Vec<f64> = aos.iter().map(|z| z.im).collect();
+    let mut aos2 = aos.clone();
+
+    let layer_aos_runs = best_of(REPS, || {
+        for t in 0..QUBITS {
+            dense_aos_runs(&mut aos, t, &m);
+        }
+    });
+    let layer_aos_expand = best_of(REPS, || {
+        for t in 0..QUBITS {
+            dense_aos_expand(&mut aos2, t, &m);
+        }
+    });
+    let layer_soa_runs = best_of(REPS, || {
+        for t in 0..QUBITS {
+            dense_soa_runs(&mut soa_re, &mut soa_im, t, &m);
+        }
+    });
+
+    // Keep the results observable so the loops cannot be optimized away.
+    let checksum: f64 = aos.iter().map(|z| z.norm_sqr()).sum::<f64>()
+        + aos2.iter().map(|z| z.norm_sqr()).sum::<f64>()
+        + soa_re.iter().zip(&soa_im).map(|(r, i)| r * r + i * i).sum::<f64>();
+    println!("checksum {checksum:.3e}");
+
+    let rows = [
+        ("dense_layer/aos_runs", layer_aos_runs),
+        ("dense_layer/aos_expand", layer_aos_expand),
+        ("dense_layer/soa_runs", layer_soa_runs),
+    ];
+    for (name, time) in &rows {
+        println!("{name:<28} {:>10.1} us", time.as_secs_f64() * 1e6);
+    }
+    let soa_over_aos = layer_soa_runs.as_secs_f64() / layer_aos_runs.as_secs_f64();
+    let expand_over_runs = layer_aos_expand.as_secs_f64() / layer_aos_runs.as_secs_f64();
+    let winner = if soa_over_aos < 1.0 { "soa_runs" } else { "aos_runs" };
+    println!("soa/aos = {soa_over_aos:.2}, expand/runs = {expand_over_runs:.2} -> winner {winner}");
+
+    let benchmarks: String = rows
+        .iter()
+        .map(|(name, time)| {
+            format!(
+                "    {{ \"name\": \"{name}\", \"best_ns\": {:.1}, \"reps\": {REPS} }}",
+                time.as_secs_f64() * 1e9
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"command\": \"cargo run -p qcor-bench --release --bin layout_probe\",\n    \
+         \"logical_cpus\": {},\n    \"qubits\": {QUBITS},\n    \
+         \"note\": \"record-only probe of amplitude layout for the uncontrolled dense sweep; the shipped kernels keep interleaved Complex64 (AoS) with contiguous-run loops unless split re/im (SoA) wins decisively\",\n    \
+         \"caveat\": \"measured in a CI container that may expose a single logical CPU; absolute times are noisy, the layout decision rests on the ratio across repeated local runs\"\n  }},\n  \
+         \"ratio_soa_over_aos\": {soa_over_aos:.3},\n  \
+         \"ratio_expand_over_runs\": {expand_over_runs:.3},\n  \
+         \"winner\": \"{winner}\",\n  \
+         \"benchmarks\": [\n{benchmarks}\n  ]\n}}\n",
+        qcor_pool::available_parallelism(),
+    );
+    std::fs::write("BENCH_layout.json", &json).expect("failed to write BENCH_layout.json");
+    println!("recorded to BENCH_layout.json");
+}

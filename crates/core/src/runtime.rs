@@ -114,6 +114,16 @@ impl InitOptions {
         self
     }
 
+    /// Select the backend's amplitude precision: `"f64"` (default) or
+    /// `"f32"` — the single-precision compiled replay (`qcor_sim::fp32`),
+    /// which halves state memory and agrees with f64 amplitudes to ~1e-4.
+    /// Unknown tokens are rejected by the backend as `InvalidParam`, like
+    /// `gate_fusion`. Defaults to the `QCOR_PRECISION` process default.
+    pub fn precision(mut self, precision: impl Into<String>) -> Self {
+        self.params.insert("precision", precision.into());
+        self
+    }
+
     /// Pin this initialization to `backend` verbatim (explicitly override
     /// any process-wide routing policy).
     pub fn route_pinned(mut self) -> Self {
@@ -404,6 +414,29 @@ mod tests {
             QPUManager::instance().clear_current();
 
             assert_eq!(fused, interp, "fusion must not change seeded counts");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn precision_knob_reaches_backend_and_samples_distribution() {
+        std::thread::spawn(|| {
+            initialize(InitOptions::default().threads(1).shots(256).seed(8).precision("f32")).unwrap();
+            let q = qalloc(2);
+            execute(&q, &library::bell_kernel()).unwrap();
+            let counts = q.measurement_counts();
+            assert_eq!(counts.values().sum::<usize>(), 256);
+            assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+            QPUManager::instance().clear_current();
+
+            // Unknown tokens surface as InvalidParam through initialize,
+            // exactly like fusion.
+            let err = initialize(InitOptions::default().threads(1).precision("f16"));
+            assert!(
+                matches!(err, Err(QcorError::InvalidParam(ref msg)) if msg.contains("precision")),
+                "{err:?}"
+            );
         })
         .join()
         .unwrap();

@@ -61,7 +61,14 @@ pub use qcor_sim::{
 };
 
 // Compile-then-execute: a `CompiledCircuit` lowers a circuit once into
-// fused kernel ops (precomputed matrices, merged phase sweeps,
-// control-aware kernels) and replays it per shot. `RunConfig::fusion`,
-// `InitOptions::gate_fusion` and `QCOR_GATE_FUSION` select it (default on).
+// fused kernel ops (precomputed matrices, merged phase sweeps, two-qubit
+// block fusion, control-aware kernels) and replays it per shot.
+// `RunConfig::fusion`, `InitOptions::gate_fusion` and `QCOR_GATE_FUSION`
+// select it (default on).
 pub use qcor_sim::{fusion_env_default, CompiledCircuit, KernelOp};
+
+// Amplitude precision: `RunConfig::precision`, `InitOptions::precision`
+// and `QCOR_PRECISION` select between the full f64 executor and the
+// single-precision compiled replay (`qcor_sim::fp32`), which halves state
+// memory and matches f64 amplitudes to ~1e-4.
+pub use qcor_sim::{precision_env_default, CompiledCircuit32, Precision, StateVector32};

@@ -16,14 +16,48 @@
 //!   all commute, so runs of them are reordered freely: same-mask phases
 //!   merge by angle addition and the `Rz` global phases accumulate into a
 //!   single [`KernelOp::Scale`];
+//! * **two-qubit block fusion** — a second pass collapses adjacent gate
+//!   runs sharing a qubit pair (with equal *outer* control masks) into one
+//!   [`KernelOp::Dense2`] 4×4 block, and keeps absorbing single-qubit
+//!   matrices, in-pair controlled gates, in-pair diagonals and in-pair
+//!   swaps into that block. One `Dense2` sweep visits `2^(n-2-c)` quads —
+//!   one pass over the state for the whole fused run instead of one pass
+//!   per gate. Runs where *every* matrix is cheap (exactly diagonal or
+//!   anti-diagonal — X/CX ladders) are deliberately **not** paired: the
+//!   flip/phase kernels already beat a 4×4 mat-vec for those;
+//! * **swap relabeling** — an uncontrolled `Swap` never executes during the
+//!   circuit body. The compiler tracks a logical→physical qubit map
+//!   instead, relabels every later operand through it, and flushes the
+//!   residual permutation as at most `n-1` swap ops at the end of the
+//!   circuit (where trailing `Dense2` blocks can still absorb them).
+//!   Mid-circuit `Measure`/`Reset` carry both the *logical* qubit (for the
+//!   shot record) and the current *physical* location (for the state
+//!   update), so relabeling is exact bookkeeping, not a reorder;
 //! * fused matrices are **classified** into the cheapest kernel the state
 //!   vector offers: anti-diagonal results run the branch-free flip kernel
 //!   ([`StateVector::apply_antidiag`]), diagonal results run the phase /
-//!   diagonal kernels, exact identities are dropped entirely.
+//!   diagonal kernels, a `Dense2` that collapses to the swap permutation
+//!   runs the swap kernel, exact identities are dropped entirely.
 //!
 //! Fusion never crosses a `Measure`, `Reset` or `Barrier`: those are hard
 //! scheduling points, so a compiled replay performs its RNG draws in
 //! exactly the same order as the interpreted executor.
+//!
+//! # Cache-blocked replay
+//!
+//! Compilation also plans **cache blocking**: consecutive runs of ops whose
+//! whole support (targets, controls, phase masks) lies below
+//! [`CACHE_BLOCK_QUBITS`] are grouped into a blockable segment. On states
+//! of at least `2^CACHE_BLOCK_MIN_QUBITS` amplitudes, replay walks such a
+//! segment block-by-block: each `2^15`-amplitude block (512 KiB — sized to
+//! sit in a per-core L2 while leaving room for the read+write streams)
+//! streams through the cache **once for the whole run of fused ops**
+//! instead of once per op. Block-local ops cannot reach across a block
+//! boundary, and the per-amplitude arithmetic is expression-identical to
+//! the full-state kernels, so blocked replay is bit-identical to unblocked
+//! replay — only the traversal order changes. Segments containing a
+//! `Measure`/`Reset` or any op touching a qubit ≥ 15 replay through the
+//! ordinary full-state kernels.
 //!
 //! # Determinism contract
 //!
@@ -33,25 +67,35 @@
 //! streams and their merged [`crate::Counts`] stay inside the PR 2
 //! `(seed, tasks, chunk_shots)` byte-identical contract. Fused arithmetic
 //! rounds differently at the last ulp (a 2×2 product is not two sequential
-//! applies), so *amplitudes* agree to ~1e-12 rather than bit-for-bit; an
-//! outcome would only flip if a measurement probability and an RNG draw
-//! coincided to ~1e-12, which the equivalence property tests
+//! applies, and a relabeled measurement sums the same probabilities in a
+//! different order), so *amplitudes* agree to ~1e-12 rather than
+//! bit-for-bit; an outcome would only flip if a measurement probability and
+//! an RNG draw coincided to ~1e-12, which the equivalence property tests
 //! (`cross_crate_props`) assert never happens for seeded runs. The fusion
 //! knob ([`crate::RunConfig::fusion`], `QCOR_GATE_FUSION`) keeps the
 //! interpreted path selectable for exactly this A/B comparison.
 
 use crate::complex::Complex64;
 use crate::executor::ShotRecord;
-use crate::gates::single_qubit_matrix;
-use crate::state::StateVector;
+use crate::gates::{
+    embed_pair_single, identity4, mat2_mul, mat4_mul, pair_phase_matrix, single_qubit_matrix, swap4,
+};
+use crate::state::{BitInserts, StateVector};
+use crate::stats::{record_iterations, KernelClass};
 use qcor_circuit::{Circuit, GateKind, Instruction};
 use rand::Rng;
+use std::ops::Range;
 
 /// One precomputed state-vector update of a compiled circuit.
 #[derive(Debug, Clone, PartialEq)]
 pub enum KernelOp {
     /// Dense 2×2 unitary on `target`, restricted to `ctrl_mask`.
     Dense { target: usize, ctrl_mask: usize, m: [[Complex64; 2]; 2] },
+    /// Fused dense 4×4 unitary on the qubit pair `(t0, t1)` with `t0 < t1`
+    /// (pair-basis index `s = bit(t1) << 1 | bit(t0)`), restricted to
+    /// `ctrl_mask` (which excludes both pair bits). Boxed: the 256-byte
+    /// matrix would otherwise dominate the enum size.
+    Dense2 { t0: usize, t1: usize, ctrl_mask: usize, m: Box<[[Complex64; 4]; 4]> },
     /// Anti-diagonal [[0, m01], [m10, 0]] — the X-like flip kernel.
     Flip { target: usize, ctrl_mask: usize, m01: Complex64, m10: Complex64 },
     /// diag(d0, d1) on `target` under `ctrl_mask`, both entries non-trivial.
@@ -63,10 +107,11 @@ pub enum KernelOp {
     Scale { factor: Complex64 },
     /// (Controlled) swap of qubits `a` and `b`.
     Swap { a: usize, b: usize, ctrl_mask: usize },
-    /// Computational-basis measurement of `qubit`.
-    Measure { qubit: usize },
-    /// Reset `qubit` to |0⟩.
-    Reset { qubit: usize },
+    /// Computational-basis measurement of logical `qubit`, currently living
+    /// at physical bit `loc` (they differ when swap relabeling is active).
+    Measure { qubit: usize, loc: usize },
+    /// Reset logical `qubit` (at physical bit `loc`) to |0⟩.
+    Reset { qubit: usize, loc: usize },
 }
 
 /// Intermediate form during fusion: dense matrices and *angle*-valued
@@ -78,6 +123,12 @@ enum LowOp {
         target: usize,
         ctrl_mask: usize,
         m: [[Complex64; 2]; 2],
+    },
+    Dense2 {
+        t0: usize,
+        t1: usize,
+        ctrl_mask: usize,
+        m: Box<[[Complex64; 4]; 4]>,
     },
     Phase {
         set_mask: usize,
@@ -91,27 +142,60 @@ enum LowOp {
     },
     Measure {
         qubit: usize,
+        loc: usize,
     },
     Reset {
         qubit: usize,
+        loc: usize,
     },
     /// Hard fusion barrier (from `GateKind::Barrier`); dropped at
     /// finalization.
     Barrier,
 }
 
-/// How far backward the fusion pass searches for a merge partner while
-/// hopping over commuting ops. Bounds the pass at O(len × window).
+/// How far backward the fusion passes search for a merge partner while
+/// hopping over commuting ops. Bounds each pass at O(len × window).
 const FUSION_WINDOW: usize = 32;
 
-fn mat_mul(a: [[Complex64; 2]; 2], b: [[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
-    let mut out = [[Complex64::ZERO; 2]; 2];
-    for (i, row) in out.iter_mut().enumerate() {
-        for (j, cell) in row.iter_mut().enumerate() {
-            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
-        }
-    }
-    out
+/// Block size (in qubits) for cache-blocked replay: `2^15` amplitudes =
+/// 512 KiB of `Complex64`, sized to stay resident in a per-core L2 (typical
+/// 1–2 MiB) with headroom for the streamed read+write halves of a sweep.
+pub(crate) const CACHE_BLOCK_QUBITS: usize = 15;
+
+/// Minimum state size (in qubits) before blocking pays: below `2^18`
+/// amplitudes (4 MiB) the whole state fits in L2/L3 anyway and the extra
+/// dispatch would only cost.
+const CACHE_BLOCK_MIN_QUBITS: usize = 18;
+
+/// True when a diagonal op with the given masks is independent of `bit`:
+/// its phase factor is then identical on both halves of any amplitude pair
+/// over that bit, so it commutes with any (controlled) single-qubit op
+/// targeting the bit. (`set_mask == usize::MAX` is the global-scale
+/// sentinel, handled separately where a hop over it is safe.)
+fn phase_independent_of(set_mask: usize, clear_mask: usize, bit: usize) -> bool {
+    set_mask != usize::MAX && (set_mask | clear_mask) & bit == 0
+}
+
+/// Map a physical-bit mask contained in the pair `{t0, t1}` to the 2-bit
+/// pair-basis mask (bit `t0` → 1, bit `t1` → 2).
+fn pair_s_mask(mask: usize, t0: usize, t1: usize) -> usize {
+    ((mask >> t0) & 1) | (((mask >> t1) & 1) << 1)
+}
+
+/// A matrix the cheap kernels (flip / diag / phase) already handle in a
+/// single multiply or swap per pair — exactly diagonal or exactly
+/// anti-diagonal. Runs made solely of these are not worth a 4×4 block.
+fn is_cheap(m: &[[Complex64; 2]; 2]) -> bool {
+    let diagonal = m[0][1] == Complex64::ZERO && m[1][0] == Complex64::ZERO;
+    let anti_diagonal = m[0][0] == Complex64::ZERO && m[1][1] == Complex64::ZERO;
+    diagonal || anti_diagonal
+}
+
+fn is_identity2(m: &[[Complex64; 2]; 2]) -> bool {
+    m[0][0] == Complex64::ONE
+        && m[1][1] == Complex64::ONE
+        && m[0][1] == Complex64::ZERO
+        && m[1][0] == Complex64::ZERO
 }
 
 /// A circuit lowered to a flat, fused list of precomputed kernel ops.
@@ -119,6 +203,10 @@ fn mat_mul(a: [[Complex64; 2]; 2], b: [[Complex64; 2]; 2]) -> [[Complex64; 2]; 2
 pub struct CompiledCircuit {
     num_qubits: usize,
     ops: Vec<KernelOp>,
+    /// Consecutive op ranges with a `blockable` flag: a blockable segment
+    /// is a run of ≥ 2 ops whose whole support sits below
+    /// [`CACHE_BLOCK_QUBITS`], replayed block-by-block on large states.
+    segments: Vec<(Range<usize>, bool)>,
     source_len: usize,
 }
 
@@ -126,12 +214,17 @@ impl CompiledCircuit {
     /// Lower and fuse `circuit`. The result replays with
     /// [`CompiledCircuit::run_once`].
     pub fn compile(circuit: &Circuit) -> CompiledCircuit {
-        let mut fuser = Fuser { out: Vec::with_capacity(circuit.len()), pending_global: 0.0 };
+        let mut fuser = Fuser {
+            out: Vec::with_capacity(circuit.len()),
+            pending_global: 0.0,
+            loc: (0..circuit.num_qubits()).collect(),
+        };
         for inst in circuit.instructions() {
             fuser.push_instruction(inst);
         }
         let ops = fuser.finalize();
-        CompiledCircuit { num_qubits: circuit.num_qubits(), ops, source_len: circuit.len() }
+        let segments = plan_segments(&ops);
+        CompiledCircuit { num_qubits: circuit.num_qubits(), ops, segments, source_len: circuit.len() }
     }
 
     /// Qubit count of the source circuit.
@@ -172,83 +265,331 @@ impl CompiledCircuit {
             state.num_qubits()
         );
         let mut record = ShotRecord::default();
-        for op in &self.ops {
-            match *op {
-                KernelOp::Dense { target, ctrl_mask, m } => state.apply_single(target, m, ctrl_mask),
-                KernelOp::Flip { target, ctrl_mask, m01, m10 } => {
-                    state.apply_antidiag(target, m01, m10, ctrl_mask)
+        let total = state.amplitudes().len();
+        let use_blocks = total >= (1usize << CACHE_BLOCK_MIN_QUBITS);
+        for (range, blockable) in &self.segments {
+            let ops = &self.ops[range.clone()];
+            if *blockable && use_blocks {
+                // Record the same iteration counts the full-state kernels
+                // would, on the issuing thread (blocks run on the pool).
+                for op in ops {
+                    record_blocked_op_stats(op, total);
                 }
-                KernelOp::Diag { target, ctrl_mask, d0, d1 } => state.apply_diag(target, d0, d1, ctrl_mask),
-                KernelOp::Phase { set_mask, clear_mask, phase } => {
-                    state.mul_where(set_mask, clear_mask, phase)
+                state.for_each_block(CACHE_BLOCK_QUBITS, |block| {
+                    for op in ops {
+                        apply_op_to_slice(block, op);
+                    }
+                });
+            } else {
+                for op in ops {
+                    match op {
+                        KernelOp::Dense { target, ctrl_mask, m } => {
+                            state.apply_single(*target, *m, *ctrl_mask)
+                        }
+                        KernelOp::Dense2 { t0, t1, ctrl_mask, m } => {
+                            state.apply_pair(*t0, *t1, m, *ctrl_mask)
+                        }
+                        KernelOp::Flip { target, ctrl_mask, m01, m10 } => {
+                            state.apply_antidiag(*target, *m01, *m10, *ctrl_mask)
+                        }
+                        KernelOp::Diag { target, ctrl_mask, d0, d1 } => {
+                            state.apply_diag(*target, *d0, *d1, *ctrl_mask)
+                        }
+                        KernelOp::Phase { set_mask, clear_mask, phase } => {
+                            state.mul_where(*set_mask, *clear_mask, *phase)
+                        }
+                        KernelOp::Scale { factor } => state.scale_all(*factor),
+                        KernelOp::Swap { a, b, ctrl_mask } => state.apply_swap(*a, *b, *ctrl_mask),
+                        KernelOp::Measure { qubit, loc } => {
+                            record.outcomes.push((*qubit, state.measure(*loc, rng)))
+                        }
+                        KernelOp::Reset { qubit: _, loc } => state.reset(*loc, rng),
+                    }
                 }
-                KernelOp::Scale { factor } => state.scale_all(factor),
-                KernelOp::Swap { a, b, ctrl_mask } => state.apply_swap(a, b, ctrl_mask),
-                KernelOp::Measure { qubit } => record.outcomes.push((qubit, state.measure(qubit, rng))),
-                KernelOp::Reset { qubit } => state.reset(qubit, rng),
             }
         }
         record
     }
 }
 
+/// Whole-support footprint check: can this op run inside a
+/// `2^CACHE_BLOCK_QUBITS`-amplitude block without reaching across it?
+fn is_block_local(op: &KernelOp) -> bool {
+    let footprint = match op {
+        KernelOp::Dense { target, ctrl_mask, .. }
+        | KernelOp::Flip { target, ctrl_mask, .. }
+        | KernelOp::Diag { target, ctrl_mask, .. } => (1usize << target) | ctrl_mask,
+        KernelOp::Dense2 { t0, t1, ctrl_mask, .. } => (1usize << t0) | (1usize << t1) | ctrl_mask,
+        KernelOp::Phase { set_mask, clear_mask, .. } => set_mask | clear_mask,
+        KernelOp::Scale { .. } => 0,
+        KernelOp::Swap { a, b, ctrl_mask } => (1usize << a) | (1usize << b) | ctrl_mask,
+        KernelOp::Measure { .. } | KernelOp::Reset { .. } => return false,
+    };
+    footprint < (1usize << CACHE_BLOCK_QUBITS)
+}
+
+/// Group the op list into maximal runs of block-local / non-local ops. A
+/// run is marked blockable only when it is block-local and has ≥ 2 ops —
+/// a single op already streams the state exactly once either way.
+fn plan_segments(ops: &[KernelOp]) -> Vec<(Range<usize>, bool)> {
+    let mut segments = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        let local = is_block_local(&ops[i]);
+        let mut j = i + 1;
+        while j < ops.len() && is_block_local(&ops[j]) == local {
+            j += 1;
+        }
+        segments.push((i..j, local && j - i >= 2));
+        i = j;
+    }
+    segments
+}
+
+/// Record the iteration counts the full-state kernels would have recorded
+/// for `op` on an `n`-amplitude state. Blocked replay bypasses those
+/// kernels, so the compiled executor keeps the counters (and the guard's
+/// exact `2^(n-2-c)` Dense2 assert) identical between both replay shapes.
+fn record_blocked_op_stats(op: &KernelOp, n: usize) {
+    match op {
+        KernelOp::Dense { ctrl_mask, .. } => {
+            record_iterations(KernelClass::Dense, n >> (1 + ctrl_mask.count_ones() as usize))
+        }
+        KernelOp::Dense2 { ctrl_mask, .. } => {
+            record_iterations(KernelClass::Dense2, n >> (2 + ctrl_mask.count_ones() as usize))
+        }
+        KernelOp::Flip { ctrl_mask, .. } => {
+            record_iterations(KernelClass::Flip, n >> (1 + ctrl_mask.count_ones() as usize))
+        }
+        KernelOp::Diag { ctrl_mask, .. } => {
+            record_iterations(KernelClass::Diag, n >> (1 + ctrl_mask.count_ones() as usize))
+        }
+        KernelOp::Phase { set_mask, clear_mask, .. } => {
+            record_iterations(KernelClass::Phase, n >> (set_mask | clear_mask).count_ones() as usize)
+        }
+        KernelOp::Scale { .. } => record_iterations(KernelClass::Scale, n),
+        KernelOp::Swap { ctrl_mask, .. } => {
+            record_iterations(KernelClass::Swap, n >> (2 + ctrl_mask.count_ones() as usize))
+        }
+        KernelOp::Measure { .. } | KernelOp::Reset { .. } => {
+            unreachable!("non-unitary ops are never in a blockable segment")
+        }
+    }
+}
+
+/// Apply one unitary kernel op to a contiguous amplitude block. Every
+/// support bit of `op` must lie below `log2(amps.len())` (guaranteed by
+/// [`plan_segments`]), so the op cannot reach outside the slice. The
+/// per-amplitude arithmetic is expression-identical to the corresponding
+/// [`StateVector`] kernels, making blocked replay bit-identical.
+fn apply_op_to_slice(amps: &mut [Complex64], op: &KernelOp) {
+    let n = amps.len();
+    let p = amps.as_mut_ptr();
+    match op {
+        KernelOp::Dense { target, ctrl_mask, m } => {
+            let stride = 1usize << target;
+            let inserts = BitInserts::new(*ctrl_mask, stride);
+            let pairs = n >> inserts.width();
+            if *ctrl_mask == 0 {
+                // Contiguous-run sweep, as in `StateVector::apply_single`.
+                let low_mask = stride - 1;
+                let mut k = 0;
+                while k < pairs {
+                    let run = (stride - (k & low_mask)).min(pairs - k);
+                    let i0 = ((k & !low_mask) << 1) | (k & low_mask);
+                    for i in i0..i0 + run {
+                        let j = i | stride;
+                        // SAFETY: pair indices are in bounds and disjoint.
+                        unsafe {
+                            let (a, b) = (*p.add(i), *p.add(j));
+                            *p.add(i) = m[0][0] * a + m[0][1] * b;
+                            *p.add(j) = m[1][0] * a + m[1][1] * b;
+                        }
+                    }
+                    k += run;
+                }
+            } else {
+                for k in 0..pairs {
+                    let i = inserts.expand(k);
+                    let j = i | stride;
+                    // SAFETY: pair indices are in bounds and disjoint.
+                    unsafe {
+                        let (a, b) = (*p.add(i), *p.add(j));
+                        *p.add(i) = m[0][0] * a + m[0][1] * b;
+                        *p.add(j) = m[1][0] * a + m[1][1] * b;
+                    }
+                }
+            }
+        }
+        KernelOp::Dense2 { t0, t1, ctrl_mask, m } => {
+            let (s0, s1) = (1usize << t0, 1usize << t1);
+            let inserts = BitInserts::new(*ctrl_mask, s0 | s1);
+            let quads = n >> inserts.width();
+            for k in 0..quads {
+                let i00 = inserts.expand(k);
+                let (i01, i10, i11) = (i00 | s0, i00 | s1, i00 | s0 | s1);
+                // SAFETY: quad indices are in bounds and disjoint across k.
+                unsafe {
+                    let a = [*p.add(i00), *p.add(i01), *p.add(i10), *p.add(i11)];
+                    for (r, &i) in [i00, i01, i10, i11].iter().enumerate() {
+                        *p.add(i) = m[r][0] * a[0] + m[r][1] * a[1] + m[r][2] * a[2] + m[r][3] * a[3];
+                    }
+                }
+            }
+        }
+        KernelOp::Flip { target, ctrl_mask, m01, m10 } => {
+            let stride = 1usize << target;
+            let inserts = BitInserts::new(*ctrl_mask, stride);
+            let pairs = n >> inserts.width();
+            let pure_flip = *m01 == Complex64::ONE && *m10 == Complex64::ONE;
+            for k in 0..pairs {
+                let i = inserts.expand(k);
+                let j = i | stride;
+                // SAFETY: pair indices are in bounds and disjoint.
+                unsafe {
+                    if pure_flip {
+                        std::ptr::swap(p.add(i), p.add(j));
+                    } else {
+                        let (a, b) = (*p.add(i), *p.add(j));
+                        *p.add(i) = *m01 * b;
+                        *p.add(j) = *m10 * a;
+                    }
+                }
+            }
+        }
+        KernelOp::Diag { target, ctrl_mask, d0, d1 } => {
+            let stride = 1usize << target;
+            let inserts = BitInserts::new(*ctrl_mask, stride);
+            let pairs = n >> inserts.width();
+            for k in 0..pairs {
+                let i = inserts.expand(k);
+                // SAFETY: pair indices are in bounds and disjoint.
+                unsafe {
+                    *p.add(i) *= *d0;
+                    *p.add(i | stride) *= *d1;
+                }
+            }
+        }
+        KernelOp::Phase { set_mask, clear_mask, phase } => {
+            let inserts = BitInserts::new(*set_mask, *clear_mask);
+            let matching = n >> inserts.width();
+            for k in 0..matching {
+                // SAFETY: expanded indices are in bounds and distinct.
+                unsafe { *p.add(inserts.expand(k)) *= *phase };
+            }
+        }
+        KernelOp::Scale { factor } => {
+            for a in amps.iter_mut() {
+                *a *= *factor;
+            }
+        }
+        KernelOp::Swap { a, b, ctrl_mask } => {
+            let (bit_a, bit_b) = (1usize << a, 1usize << b);
+            let inserts = BitInserts::new(ctrl_mask | bit_a, bit_b);
+            let count = n >> inserts.width();
+            for k in 0..count {
+                let i = inserts.expand(k);
+                let j = i ^ bit_a ^ bit_b;
+                // SAFETY: each pair is enumerated once, from its a=1 side.
+                unsafe { std::ptr::swap(p.add(i), p.add(j)) };
+            }
+        }
+        KernelOp::Measure { .. } | KernelOp::Reset { .. } => {
+            unreachable!("non-unitary ops are never in a blockable segment")
+        }
+    }
+}
+
+/// Stage A of compilation: per-instruction lowering with single-qubit and
+/// phase-sweep fusion, plus the swap-relabeling map.
 struct Fuser {
     out: Vec<LowOp>,
     /// Accumulated global phase (from Rz lowering); global phases commute
     /// with every unitary, so they are hoisted and flushed as one
     /// [`KernelOp::Scale`] at measure/reset/barrier boundaries.
     pending_global: f64,
+    /// Logical→physical qubit map. An uncontrolled `Swap` updates this map
+    /// instead of emitting a kernel; every later operand is relabeled
+    /// through it and the residual permutation is flushed as swaps at the
+    /// end of the circuit.
+    loc: Vec<usize>,
 }
 
 impl Fuser {
+    fn map_mask(&self, mask: usize) -> usize {
+        let mut out = 0usize;
+        let mut m = mask;
+        while m != 0 {
+            let q = m.trailing_zeros() as usize;
+            out |= 1 << self.loc[q];
+            m &= m - 1;
+        }
+        out
+    }
+
     fn push_instruction(&mut self, inst: &Instruction) {
         use GateKind::*;
         let q = &inst.qubits;
         match inst.gate {
             // Diagonal gates lower to angle-valued phase ops, exactly
             // mirroring the interpreted fast path in `apply_instruction`.
-            Z => self.push_phase(1 << q[0], 0, std::f64::consts::PI),
-            S => self.push_phase(1 << q[0], 0, std::f64::consts::FRAC_PI_2),
-            Sdg => self.push_phase(1 << q[0], 0, -std::f64::consts::FRAC_PI_2),
-            T => self.push_phase(1 << q[0], 0, std::f64::consts::FRAC_PI_4),
-            Tdg => self.push_phase(1 << q[0], 0, -std::f64::consts::FRAC_PI_4),
-            Phase => self.push_phase(1 << q[0], 0, inst.params[0]),
+            Z => self.push_phase(1 << self.loc[q[0]], 0, std::f64::consts::PI),
+            S => self.push_phase(1 << self.loc[q[0]], 0, std::f64::consts::FRAC_PI_2),
+            Sdg => self.push_phase(1 << self.loc[q[0]], 0, -std::f64::consts::FRAC_PI_2),
+            T => self.push_phase(1 << self.loc[q[0]], 0, std::f64::consts::FRAC_PI_4),
+            Tdg => self.push_phase(1 << self.loc[q[0]], 0, -std::f64::consts::FRAC_PI_4),
+            Phase => self.push_phase(1 << self.loc[q[0]], 0, inst.params[0]),
             Rz => {
                 self.pending_global += -inst.params[0] / 2.0;
-                self.push_phase(1 << q[0], 0, inst.params[0]);
+                self.push_phase(1 << self.loc[q[0]], 0, inst.params[0]);
             }
-            CZ => self.push_phase((1 << q[0]) | (1 << q[1]), 0, std::f64::consts::PI),
-            CPhase => self.push_phase((1 << q[0]) | (1 << q[1]), 0, inst.params[0]),
-            CCPhase => self.push_phase((1 << q[0]) | (1 << q[1]) | (1 << q[2]), 0, inst.params[0]),
+            CZ => self.push_phase((1 << self.loc[q[0]]) | (1 << self.loc[q[1]]), 0, std::f64::consts::PI),
+            CPhase => self.push_phase((1 << self.loc[q[0]]) | (1 << self.loc[q[1]]), 0, inst.params[0]),
+            CCPhase => self.push_phase(
+                (1 << self.loc[q[0]]) | (1 << self.loc[q[1]]) | (1 << self.loc[q[2]]),
+                0,
+                inst.params[0],
+            ),
             CRz => {
                 let half = inst.params[0] / 2.0;
-                self.push_phase((1 << q[0]) | (1 << q[1]), 0, half);
-                self.push_phase(1 << q[0], 1 << q[1], -half);
+                self.push_phase((1 << self.loc[q[0]]) | (1 << self.loc[q[1]]), 0, half);
+                self.push_phase(1 << self.loc[q[0]], 1 << self.loc[q[1]], -half);
             }
             H | X | Y | Rx | Ry | U3 => {
                 let m = single_qubit_matrix(inst.gate, &inst.params).expect("single-qubit gate");
-                self.push_dense(q[0], 0, m);
+                self.push_dense(self.loc[q[0]], 0, m);
             }
             // Controlled single-qubit gates: the operand split (controls
             // first) comes from the instruction's own introspection.
             CX | CY | CCX => {
                 let base = if inst.gate == CY { Y } else { X };
                 let m = single_qubit_matrix(base, &[]).expect("single-qubit gate");
-                self.push_dense(inst.target_qubits()[0], inst.control_mask(), m);
+                self.push_dense(self.loc[inst.target_qubits()[0]], self.map_mask(inst.control_mask()), m);
             }
-            Swap | CSwap => {
+            Swap => {
+                // Relabel instead of executing: zero kernel ops now, at
+                // most one flushed swap at the end of the circuit.
                 let t = inst.target_qubits();
-                self.push_boundary(LowOp::Swap { a: t[0], b: t[1], ctrl_mask: inst.control_mask() });
+                self.loc.swap(t[0], t[1]);
             }
-            Measure => self.push_hard_boundary(LowOp::Measure { qubit: q[0] }),
-            Reset => self.push_hard_boundary(LowOp::Reset { qubit: q[0] }),
+            CSwap => {
+                let t = inst.target_qubits();
+                let (pa, pb) = (self.loc[t[0]], self.loc[t[1]]);
+                self.push_boundary(LowOp::Swap {
+                    a: pa.min(pb),
+                    b: pa.max(pb),
+                    ctrl_mask: self.map_mask(inst.control_mask()),
+                });
+            }
+            Measure => self.push_hard_boundary(LowOp::Measure { qubit: q[0], loc: self.loc[q[0]] }),
+            Reset => self.push_hard_boundary(LowOp::Reset { qubit: q[0], loc: self.loc[q[0]] }),
             Barrier => self.push_hard_boundary(LowOp::Barrier),
         }
     }
 
     /// Push an op that fusion never merges into but that unitary ops may
-    /// still commute past in later scans (currently: swaps stop scans, so
-    /// this is a plain push).
+    /// still commute past in later scans (currently: swaps stop stage-A
+    /// scans, so this is a plain push).
     fn push_boundary(&mut self, op: LowOp) {
         self.out.push(op);
     }
@@ -269,12 +610,30 @@ impl Fuser {
         }
     }
 
-    /// True when a diagonal op with the given masks is independent of
-    /// `bit`: its phase factor is then identical on both halves of any
-    /// amplitude pair over that bit, so it commutes with any (controlled)
-    /// single-qubit op targeting the bit.
-    fn phase_independent_of(set_mask: usize, clear_mask: usize, bit: usize) -> bool {
-        set_mask != usize::MAX && (set_mask | clear_mask) & bit == 0
+    /// Emit the residual relabeling permutation as at most `n-1`
+    /// uncontrolled swaps at the end of the op list, restoring every
+    /// logical qubit to its home bit so the final state matches the
+    /// interpreted executor's exactly.
+    fn flush_permutation(&mut self) {
+        let n = self.loc.len();
+        let mut loc = self.loc.clone();
+        // Physical→logical inverse of `loc`.
+        let mut at = vec![0usize; n];
+        for (q, &p) in loc.iter().enumerate() {
+            at[p] = q;
+        }
+        for q in 0..n {
+            let p = loc[q];
+            if p != q {
+                let r = at[q];
+                self.out.push(LowOp::Swap { a: q.min(p), b: q.max(p), ctrl_mask: 0 });
+                loc[q] = q;
+                at[q] = q;
+                loc[r] = p;
+                at[p] = r;
+            }
+        }
+        self.loc = loc;
     }
 
     /// Append a dense single-qubit op, merging backward where valid.
@@ -287,11 +646,12 @@ impl Fuser {
             match self.out[idx - 1] {
                 LowOp::Dense { target: t2, ctrl_mask: c2, m: m2 } if t2 == target && c2 == ctrl_mask => {
                     // Same target, same controls: collapse to one matrix
-                    // (this op applied after the existing one).
-                    m = mat_mul(m, m2);
+                    // (this op applied after the existing one), then keep
+                    // scanning with the merged matrix.
+                    m = mat2_mul(m, m2);
                     self.out.remove(idx - 1);
-                    self.out.push(LowOp::Dense { target, ctrl_mask, m });
-                    return;
+                    idx -= 1;
+                    continue;
                 }
                 LowOp::Dense { target: t2, ctrl_mask: c2, .. }
                     if t2 != target && c2 & bit == 0 && ctrl_mask & (1 << t2) == 0 =>
@@ -308,21 +668,21 @@ impl Fuser {
                     // first (right multiplication).
                     if set_mask == (ctrl_mask | bit) && clear_mask == 0 {
                         let p = Complex64::from_polar_unit(theta);
-                        m = mat_mul(m, [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]]);
+                        m = mat2_mul(m, [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]]);
                         self.out.remove(idx - 1);
                         idx -= 1;
                         continue;
                     }
                     if set_mask == ctrl_mask && clear_mask == bit {
                         let p = Complex64::from_polar_unit(theta);
-                        m = mat_mul(m, [[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]]);
+                        m = mat2_mul(m, [[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]]);
                         self.out.remove(idx - 1);
                         idx -= 1;
                         continue;
                     }
                     // Otherwise hop over it only if it cannot see the
                     // target bit.
-                    if Self::phase_independent_of(set_mask, clear_mask, bit) {
+                    if phase_independent_of(set_mask, clear_mask, bit) {
                         idx -= 1;
                         continue;
                     }
@@ -331,7 +691,9 @@ impl Fuser {
                 _ => break,
             }
         }
-        self.out.insert(idx, LowOp::Dense { target, ctrl_mask, m });
+        if !is_identity2(&m) {
+            self.out.insert(idx, LowOp::Dense { target, ctrl_mask, m });
+        }
     }
 
     /// Append a diagonal phase op, merging backward where valid. Diagonal
@@ -356,17 +718,17 @@ impl Fuser {
                     // (left multiplication).
                     if set_mask == (ctrl_mask | bit) && clear_mask == 0 {
                         let p = Complex64::from_polar_unit(theta);
-                        let fused = mat_mul([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]], m);
+                        let fused = mat2_mul([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]], m);
                         self.out[idx - 1] = LowOp::Dense { target, ctrl_mask, m: fused };
                         return;
                     }
                     if set_mask == ctrl_mask && clear_mask == bit {
                         let p = Complex64::from_polar_unit(theta);
-                        let fused = mat_mul([[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]], m);
+                        let fused = mat2_mul([[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]], m);
                         self.out[idx - 1] = LowOp::Dense { target, ctrl_mask, m: fused };
                         return;
                     }
-                    if Self::phase_independent_of(set_mask, clear_mask, bit) {
+                    if phase_independent_of(set_mask, clear_mask, bit) {
                         idx -= 1;
                         continue;
                     }
@@ -378,15 +740,22 @@ impl Fuser {
         self.out.insert(idx, LowOp::Phase { set_mask, clear_mask, theta });
     }
 
-    /// Classify the fused low ops into the cheapest kernels, dropping
-    /// identities.
+    /// Flush pending state, run the pair-fusion pass, and classify the
+    /// result into the cheapest kernels, dropping identities.
     fn finalize(mut self) -> Vec<KernelOp> {
         self.flush_global();
-        let mut ops = Vec::with_capacity(self.out.len());
-        for low in self.out {
+        self.flush_permutation();
+        let fused = pair_fuse(std::mem::take(&mut self.out));
+        let mut ops = Vec::with_capacity(fused.len());
+        for low in fused {
             match low {
                 LowOp::Dense { target, ctrl_mask, m } => {
                     if let Some(op) = classify_dense(target, ctrl_mask, m) {
+                        ops.push(op);
+                    }
+                }
+                LowOp::Dense2 { t0, t1, ctrl_mask, m } => {
+                    if let Some(op) = classify_dense2(t0, t1, ctrl_mask, m) {
                         ops.push(op);
                     }
                 }
@@ -401,12 +770,328 @@ impl Fuser {
                     }
                 }
                 LowOp::Swap { a, b, ctrl_mask } => ops.push(KernelOp::Swap { a, b, ctrl_mask }),
-                LowOp::Measure { qubit } => ops.push(KernelOp::Measure { qubit }),
-                LowOp::Reset { qubit } => ops.push(KernelOp::Reset { qubit }),
+                LowOp::Measure { qubit, loc } => ops.push(KernelOp::Measure { qubit, loc }),
+                LowOp::Reset { qubit, loc } => ops.push(KernelOp::Reset { qubit, loc }),
                 LowOp::Barrier => {}
             }
         }
         ops
+    }
+}
+
+/// Stage B of compilation: re-push the stage-A output through the
+/// pair-fusion rules, collapsing runs sharing a qubit pair into `Dense2`
+/// blocks and absorbing in-pair gates, diagonals and swaps into them.
+struct PairFuser {
+    out: Vec<LowOp>,
+}
+
+fn pair_fuse(ops: Vec<LowOp>) -> Vec<LowOp> {
+    let mut fuser = PairFuser { out: Vec::with_capacity(ops.len()) };
+    for op in ops {
+        match op {
+            LowOp::Dense { target, ctrl_mask, m } => fuser.push_dense(target, ctrl_mask, m),
+            LowOp::Phase { set_mask, clear_mask, theta } => fuser.push_phase(set_mask, clear_mask, theta),
+            LowOp::Swap { a, b, ctrl_mask } => fuser.push_swap(a, b, ctrl_mask),
+            // Measure / Reset / Barrier (stage A emits no Dense2) pass
+            // through; the scans above never hop them.
+            other => fuser.out.push(other),
+        }
+    }
+    fuser.out
+}
+
+impl PairFuser {
+    fn push_dense(&mut self, target: usize, ctrl_mask: usize, mut m: [[Complex64; 2]; 2]) {
+        let bit = 1usize << target;
+        let mut idx = self.out.len();
+        let mut scanned = 0;
+        while idx > 0 && scanned < FUSION_WINDOW {
+            scanned += 1;
+            match &self.out[idx - 1] {
+                LowOp::Dense2 { t0, t1, ctrl_mask: c2, .. } => {
+                    let (t0, t1, c2) = (*t0, *t1, *c2);
+                    let pb = (1usize << t0) | (1usize << t1);
+                    if bit & pb != 0 && ctrl_mask & !pb == c2 {
+                        // In-pair single (possibly controlled on the other
+                        // pair qubit) with matching outer controls: absorb
+                        // as applied-after (left multiplication).
+                        let e = embed_pair_single(
+                            usize::from(target == t1),
+                            pair_s_mask(ctrl_mask & pb, t0, t1),
+                            m,
+                        );
+                        if let LowOp::Dense2 { m: m4, .. } = &mut self.out[idx - 1] {
+                            **m4 = mat4_mul(&e, m4);
+                        }
+                        return;
+                    }
+                    if bit & (pb | c2) == 0 && ctrl_mask & pb == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Dense { target: t2, ctrl_mask: c2, m: m2 } => {
+                    let (t2, c2, m2) = (*t2, *c2, *m2);
+                    if t2 == target && c2 == ctrl_mask {
+                        m = mat2_mul(m, m2);
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    let bit2 = 1usize << t2;
+                    let pb = bit | bit2;
+                    if t2 != target && c2 & !pb == ctrl_mask & !pb && !(is_cheap(&m) && is_cheap(&m2)) {
+                        // Pair up: equal outer controls, and at least one
+                        // matrix the cheap kernels can't already beat.
+                        let (t0, t1) = (target.min(t2), target.max(t2));
+                        let e_new = embed_pair_single(
+                            usize::from(target == t1),
+                            pair_s_mask(ctrl_mask & pb, t0, t1),
+                            m,
+                        );
+                        let e_old =
+                            embed_pair_single(usize::from(t2 == t1), pair_s_mask(c2 & pb, t0, t1), m2);
+                        let m4 = mat4_mul(&e_new, &e_old);
+                        self.out.remove(idx - 1);
+                        self.insert_dense2(idx - 1, t0, t1, ctrl_mask & !pb, m4);
+                        return;
+                    }
+                    if t2 != target && c2 & bit == 0 && ctrl_mask & bit2 == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Phase { set_mask, clear_mask, theta } => {
+                    let (s, c, th) = (*set_mask, *clear_mask, *theta);
+                    if s == (ctrl_mask | bit) && c == 0 {
+                        let p = Complex64::from_polar_unit(th);
+                        m = mat2_mul(m, [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]]);
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    if s == ctrl_mask && c == bit {
+                        let p = Complex64::from_polar_unit(th);
+                        m = mat2_mul(m, [[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]]);
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    if phase_independent_of(s, c, bit) {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if !is_identity2(&m) {
+            self.out.insert(idx, LowOp::Dense { target, ctrl_mask, m });
+        }
+    }
+
+    /// Insert a freshly formed pair block at `idx`, continuing the backward
+    /// scan so the block keeps absorbing earlier in-pair ops.
+    fn insert_dense2(
+        &mut self,
+        mut idx: usize,
+        t0: usize,
+        t1: usize,
+        ctrl_mask: usize,
+        mut m4: [[Complex64; 4]; 4],
+    ) {
+        let pb = (1usize << t0) | (1usize << t1);
+        let mut scanned = 0;
+        while idx > 0 && scanned < FUSION_WINDOW {
+            scanned += 1;
+            match &self.out[idx - 1] {
+                LowOp::Dense2 { t0: u0, t1: u1, ctrl_mask: c2, m: m2 } => {
+                    if *u0 == t0 && *u1 == t1 && *c2 == ctrl_mask {
+                        m4 = mat4_mul(&m4, m2);
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    let pb2 = (1usize << *u0) | (1usize << *u1);
+                    if pb & (pb2 | *c2) == 0 && pb2 & ctrl_mask == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Dense { target, ctrl_mask: c2, m: m2 } => {
+                    let (t2, c2, m2) = (*target, *c2, *m2);
+                    let bit2 = 1usize << t2;
+                    if bit2 & pb != 0 && c2 & !pb == ctrl_mask {
+                        // Earlier in-pair single: absorb as applied-before
+                        // (right multiplication).
+                        let e = embed_pair_single(usize::from(t2 == t1), pair_s_mask(c2 & pb, t0, t1), m2);
+                        m4 = mat4_mul(&m4, &e);
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    if bit2 & (pb | ctrl_mask) == 0 && c2 & pb == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Phase { set_mask, clear_mask, theta } => {
+                    let (s, c, th) = (*set_mask, *clear_mask, *theta);
+                    if s != usize::MAX && s & !pb == ctrl_mask && c & !pb == 0 {
+                        // Diagonal whose outer condition is exactly the
+                        // block's controls: acts only inside the block's
+                        // controlled subspace, so it folds in.
+                        let d =
+                            pair_phase_matrix(pair_s_mask(s & pb, t0, t1), pair_s_mask(c & pb, t0, t1), th);
+                        m4 = mat4_mul(&m4, &d);
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    if s == usize::MAX || (s | c) & pb == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Swap { a, b, ctrl_mask: sc } => {
+                    if *a == t0 && *b == t1 && *sc == ctrl_mask {
+                        m4 = mat4_mul(&m4, &swap4());
+                        self.out.remove(idx - 1);
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if m4 != identity4() {
+            self.out.insert(idx, LowOp::Dense2 { t0, t1, ctrl_mask, m: Box::new(m4) });
+        }
+    }
+
+    fn push_phase(&mut self, set_mask: usize, clear_mask: usize, theta: f64) {
+        let mut idx = self.out.len();
+        let mut scanned = 0;
+        while idx > 0 && scanned < FUSION_WINDOW {
+            scanned += 1;
+            match &mut self.out[idx - 1] {
+                LowOp::Phase { set_mask: s2, clear_mask: c2, theta: t2 } => {
+                    if *s2 == set_mask && *c2 == clear_mask {
+                        *t2 += theta;
+                        return;
+                    }
+                    idx -= 1;
+                }
+                LowOp::Dense { target, ctrl_mask, m } => {
+                    let bit = 1usize << *target;
+                    if set_mask == (*ctrl_mask | bit) && clear_mask == 0 {
+                        let p = Complex64::from_polar_unit(theta);
+                        *m = mat2_mul([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]], *m);
+                        return;
+                    }
+                    if set_mask == *ctrl_mask && clear_mask == bit {
+                        let p = Complex64::from_polar_unit(theta);
+                        *m = mat2_mul([[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]], *m);
+                        return;
+                    }
+                    if phase_independent_of(set_mask, clear_mask, bit) {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Dense2 { t0, t1, ctrl_mask, m } => {
+                    let (t0, t1, c2) = (*t0, *t1, *ctrl_mask);
+                    let pb = (1usize << t0) | (1usize << t1);
+                    if set_mask != usize::MAX && set_mask & !pb == c2 && clear_mask & !pb == 0 {
+                        let d = pair_phase_matrix(
+                            pair_s_mask(set_mask & pb, t0, t1),
+                            pair_s_mask(clear_mask & pb, t0, t1),
+                            theta,
+                        );
+                        **m = mat4_mul(&d, m);
+                        return;
+                    }
+                    if set_mask == usize::MAX || (set_mask | clear_mask) & pb == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Swap { a, b, .. } => {
+                    // A phase not touching the swapped bits is invariant
+                    // under the (controlled) permutation.
+                    let sb = (1usize << *a) | (1usize << *b);
+                    if set_mask == usize::MAX || (set_mask | clear_mask) & sb == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.out.insert(idx, LowOp::Phase { set_mask, clear_mask, theta });
+    }
+
+    fn push_swap(&mut self, a: usize, b: usize, ctrl_mask: usize) {
+        let sb = (1usize << a) | (1usize << b);
+        let mut idx = self.out.len();
+        let mut scanned = 0;
+        while idx > 0 && scanned < FUSION_WINDOW {
+            scanned += 1;
+            match &mut self.out[idx - 1] {
+                LowOp::Dense2 { t0, t1, ctrl_mask: c2, m } if *t0 == a && *t1 == b && *c2 == ctrl_mask => {
+                    **m = mat4_mul(&swap4(), m);
+                    return;
+                }
+                LowOp::Swap { a: a2, b: b2, ctrl_mask: c2 } if *a2 == a && *b2 == b && *c2 == ctrl_mask => {
+                    // Swap · Swap = identity.
+                    self.out.remove(idx - 1);
+                    return;
+                }
+                LowOp::Swap { a: a2, b: b2, ctrl_mask: c2 } => {
+                    let sup2 = (1usize << *a2) | (1usize << *b2) | *c2;
+                    if (sb | ctrl_mask) & sup2 == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Dense { target, ctrl_mask: c2, .. } => {
+                    if (1usize << *target) & (sb | ctrl_mask) == 0 && *c2 & sb == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Dense2 { t0, t1, ctrl_mask: c2, .. } => {
+                    let pb2 = (1usize << *t0) | (1usize << *t1);
+                    if pb2 & (sb | ctrl_mask) == 0 && *c2 & sb == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                LowOp::Phase { set_mask, clear_mask, .. } => {
+                    if *set_mask == usize::MAX || (*set_mask | *clear_mask) & sb == 0 {
+                        idx -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.out.insert(idx, LowOp::Swap { a, b, ctrl_mask });
     }
 }
 
@@ -433,6 +1118,19 @@ fn classify_dense(target: usize, ctrl_mask: usize, m: [[Complex64; 2]; 2]) -> Op
         return Some(KernelOp::Flip { target, ctrl_mask, m01: m[0][1], m10: m[1][0] });
     }
     Some(KernelOp::Dense { target, ctrl_mask, m })
+}
+
+/// Pick the cheapest kernel for a fused 4×4 pair block: exact identities
+/// drop, an exact swap permutation runs the dedicated swap kernel,
+/// everything else replays through [`StateVector::apply_pair`].
+fn classify_dense2(t0: usize, t1: usize, ctrl_mask: usize, m: Box<[[Complex64; 4]; 4]>) -> Option<KernelOp> {
+    if *m == identity4() {
+        return None;
+    }
+    if *m == swap4() {
+        return Some(KernelOp::Swap { a: t0, b: t1, ctrl_mask });
+    }
+    Some(KernelOp::Dense2 { t0, t1, ctrl_mask, m })
 }
 
 #[cfg(test)]
@@ -462,8 +1160,10 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0).t(0).h(0).x(1);
         let compiled = CompiledCircuit::compile(&c);
-        // H·T·H collapses to one dense op; X classifies as a flip.
-        assert_eq!(compiled.len(), 2, "{:?}", compiled.ops());
+        // H·T·H collapses to one dense op, and the pair pass then absorbs
+        // the X(1) flip into a single two-qubit block.
+        assert_eq!(compiled.len(), 1, "{:?}", compiled.ops());
+        assert!(matches!(compiled.ops(), [KernelOp::Dense2 { t0: 0, t1: 1, ctrl_mask: 0, .. }]));
         assert_states_agree(&c, 1e-12);
     }
 
@@ -523,6 +1223,8 @@ mod tests {
 
     #[test]
     fn controlled_gates_keep_control_masks() {
+        // Pure X/CX ladders are cheap for the flip kernel, so the pair pass
+        // deliberately leaves them unpaired.
         let mut c = Circuit::new(3);
         c.cx(0, 1).ccx(0, 1, 2);
         let compiled = CompiledCircuit::compile(&c);
@@ -574,11 +1276,61 @@ mod tests {
 
     #[test]
     fn dense_commutes_over_disjoint_dense_to_fuse() {
-        // H(0); H(1); H(0) — the two H(0)s fuse across the commuting H(1).
+        // H(0); H(1); H(0) — the two H(0)s fuse across the commuting H(1),
+        // and the pair pass then merges the lot into one two-qubit block.
         let mut c = Circuit::new(2);
         c.h(0).h(1).h(0);
         let compiled = CompiledCircuit::compile(&c);
-        assert_eq!(compiled.len(), 2, "{:?}", compiled.ops());
+        assert_eq!(compiled.len(), 1, "{:?}", compiled.ops());
+        assert!(matches!(compiled.ops(), [KernelOp::Dense2 { .. }]));
+        assert_states_agree(&c, 1e-12);
+    }
+
+    #[test]
+    fn pair_runs_fuse_into_one_dense2_block() {
+        // Single-qubit runs on both qubits of a pair plus the entangling CX
+        // collapse into a single 4×4 block: one sweep for five gates.
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).h(1).s(1).cx(0, 1);
+        let compiled = CompiledCircuit::compile(&c);
+        assert_eq!(compiled.len(), 1, "{:?}", compiled.ops());
+        assert!(matches!(compiled.ops(), [KernelOp::Dense2 { t0: 0, t1: 1, ctrl_mask: 0, .. }]));
+        assert_states_agree(&c, 1e-12);
+    }
+
+    #[test]
+    fn fusion_crosses_swap_by_relabeling() {
+        // H(0); Swap(0,1); H(0): the swap becomes a relabeling, the second
+        // H lands on physical qubit 1, both pair up, and the flushed
+        // end-of-circuit swap is absorbed into the block. One op total.
+        let mut c = Circuit::new(2);
+        c.h(0).swap(0, 1).h(0);
+        let compiled = CompiledCircuit::compile(&c);
+        assert_eq!(compiled.len(), 1, "{:?}", compiled.ops());
+        assert!(matches!(compiled.ops(), [KernelOp::Dense2 { t0: 0, t1: 1, ctrl_mask: 0, .. }]));
+        assert_states_agree(&c, 1e-12);
+    }
+
+    #[test]
+    fn swap_swap_cancels_through_relabeling() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).swap(0, 1);
+        let compiled = CompiledCircuit::compile(&c);
+        assert!(compiled.is_empty(), "{:?}", compiled.ops());
+    }
+
+    #[test]
+    fn measure_after_swap_reports_logical_qubit() {
+        // X(0); Swap(0,1); Measure(0); Measure(1) — the swap is relabeled
+        // away, so the measures read physical bits 1 and 0, but the shot
+        // record must still report logical qubits 0 and 1.
+        let mut c = Circuit::new(2);
+        c.x(0).swap(0, 1).measure(0).measure(1);
+        let compiled = CompiledCircuit::compile(&c);
+        let mut state = StateVector::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let record = compiled.run_once(&mut state, &mut rng);
+        assert_eq!(record.outcomes, vec![(0, 0), (1, 1)]);
         assert_states_agree(&c, 1e-12);
     }
 
@@ -646,14 +1398,17 @@ mod tests {
             let mut c = Circuit::new(3);
             c.push(inst.clone());
             for op in CompiledCircuit::compile(&c).ops() {
-                let footprint = match *op {
+                let footprint = match op {
                     KernelOp::Dense { target, ctrl_mask, .. }
                     | KernelOp::Flip { target, ctrl_mask, .. }
                     | KernelOp::Diag { target, ctrl_mask, .. } => (1 << target) | ctrl_mask,
+                    KernelOp::Dense2 { t0, t1, ctrl_mask, .. } => (1 << t0) | (1 << t1) | ctrl_mask,
                     KernelOp::Phase { set_mask, clear_mask, .. } => set_mask | clear_mask,
                     KernelOp::Swap { a, b, ctrl_mask } => (1 << a) | (1 << b) | ctrl_mask,
                     KernelOp::Scale { .. } => 0,
-                    KernelOp::Measure { qubit } | KernelOp::Reset { qubit } => 1 << qubit,
+                    KernelOp::Measure { qubit, loc } | KernelOp::Reset { qubit, loc } => {
+                        (1 << qubit) | (1 << loc)
+                    }
                 };
                 assert_eq!(
                     footprint & !support,
@@ -671,10 +1426,80 @@ mod tests {
         c.swap(0, 1);
         c.push(Instruction::new(GateKind::CSwap, vec![2, 0, 1], vec![]));
         let compiled = CompiledCircuit::compile(&c);
+        // The uncontrolled swap relabels: the CSwap's operands map through
+        // it (to the same pair {0,1}), and the relabeling flushes as an
+        // uncontrolled swap at the end.
         assert_eq!(
             compiled.ops(),
-            &[KernelOp::Swap { a: 0, b: 1, ctrl_mask: 0 }, KernelOp::Swap { a: 0, b: 1, ctrl_mask: 1 << 2 },]
+            &[KernelOp::Swap { a: 0, b: 1, ctrl_mask: 1 << 2 }, KernelOp::Swap { a: 0, b: 1, ctrl_mask: 0 }]
         );
         assert_states_agree(&c, 1e-12);
+    }
+
+    #[test]
+    fn blocked_replay_is_bit_identical_to_unblocked() {
+        // 18 qubits = the blocking threshold. Mix block-local ops (every
+        // class, qubits < 15) with a high-qubit op that forces a non-local
+        // segment in the middle.
+        let n = CACHE_BLOCK_MIN_QUBITS;
+        let mut c = Circuit::new(n);
+        c.h(0).t(0).h(1).s(1).cx(0, 1); // → Dense2
+        c.ry(2, 0.37); // → Dense
+        c.x(3).cx(3, 4); // → Flips
+        c.rz(5, 0.21).cz(5, 6); // → Phase + Scale
+        c.h(17).cx(17, 2); // high-qubit: non-blockable segment
+        c.swap(7, 8); // relabel + flushed swap
+        c.h(7);
+        let compiled = CompiledCircuit::compile(&c);
+        assert!(
+            compiled.ops().iter().any(|op| !is_block_local(op)),
+            "test must exercise a non-blockable segment: {:?}",
+            compiled.ops()
+        );
+
+        // Blocked replay (run_once engages blocking at 2^18 amplitudes).
+        let mut blocked = StateVector::new(n);
+        let mut rng = StdRng::seed_from_u64(11);
+        compiled.run_once(&mut blocked, &mut rng);
+
+        // Unblocked replay: the same ops through the full-state kernels.
+        let mut plain = StateVector::new(n);
+        let mut rng2 = StdRng::seed_from_u64(11);
+        for op in compiled.ops() {
+            match op {
+                KernelOp::Dense { target, ctrl_mask, m } => plain.apply_single(*target, *m, *ctrl_mask),
+                KernelOp::Dense2 { t0, t1, ctrl_mask, m } => plain.apply_pair(*t0, *t1, m, *ctrl_mask),
+                KernelOp::Flip { target, ctrl_mask, m01, m10 } => {
+                    plain.apply_antidiag(*target, *m01, *m10, *ctrl_mask)
+                }
+                KernelOp::Diag { target, ctrl_mask, d0, d1 } => {
+                    plain.apply_diag(*target, *d0, *d1, *ctrl_mask)
+                }
+                KernelOp::Phase { set_mask, clear_mask, phase } => {
+                    plain.mul_where(*set_mask, *clear_mask, *phase)
+                }
+                KernelOp::Scale { factor } => plain.scale_all(*factor),
+                KernelOp::Swap { a, b, ctrl_mask } => plain.apply_swap(*a, *b, *ctrl_mask),
+                KernelOp::Measure { loc, .. } => {
+                    plain.measure(*loc, &mut rng2);
+                }
+                KernelOp::Reset { loc, .. } => plain.reset(*loc, &mut rng2),
+            }
+        }
+        assert_eq!(blocked.amplitudes(), plain.amplitudes(), "blocked replay must be bit-identical");
+    }
+
+    #[test]
+    fn segments_group_block_local_runs() {
+        let mut c = Circuit::new(CACHE_BLOCK_MIN_QUBITS);
+        c.t(0).cz(1, 2); // two block-local phase ops (distinct masks)
+        c.measure(1); // never blockable
+        c.h(17); // non-local (can't hop back across the measure)
+        c.measure(0);
+        let compiled = CompiledCircuit::compile(&c);
+        let segments = plan_segments(compiled.ops());
+        assert_eq!(segments.len(), 2, "{segments:?} over {:?}", compiled.ops());
+        assert_eq!(segments[0], (0..2, true), "leading phase run must be blockable: {segments:?}");
+        assert!(!segments[1].1, "{segments:?}");
     }
 }

@@ -63,10 +63,24 @@
 //! consume identical RNG streams (same draw count and order), so seeded
 //! counts agree between them.
 //!
+//! # Precision
+//!
+//! [`RunConfig::precision`] / `QCOR_PRECISION` select the amplitude
+//! precision. The default [`Precision::F64`] path is everything described
+//! above. [`Precision::F32`] replays the compiled op list against a
+//! single-precision [`StateVector32`] (see [`crate::fp32`]): the circuit
+//! is still compiled in f64 and the fused matrices are narrowed once per
+//! plan, the mode is **compiled-replay-only** (the `fusion` setting is
+//! ignored — there is no f32 interpreter), and states are sequential-only
+//! (shot chunks carry the parallelism). Amplitudes agree with the f64
+//! path to ~1e-4; RNG draw count and order match exactly, but sampled
+//! counts may differ near probability boundaries.
+//!
 //! Bitstring convention: the leftmost character is the outcome of the
 //! lowest-indexed *measured* qubit.
 
 use crate::compile::CompiledCircuit;
+use crate::fp32::{CompiledCircuit32, StateVector32};
 use crate::gates::apply_instruction;
 use crate::state::StateVector;
 use qcor_circuit::{Circuit, GateKind};
@@ -183,6 +197,47 @@ pub fn parse_fusion_token(s: &str) -> Option<bool> {
     }
 }
 
+/// Amplitude precision of the state vectors a run simulates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Double precision (`Complex64` amplitudes) — the full executor:
+    /// compiled or interpreted, pool work-sharing, cache-blocked replay.
+    #[default]
+    F64,
+    /// Single precision (`Complex32` amplitudes, [`crate::fp32`]):
+    /// compiled-replay-only and sequential per state; halves the bytes per
+    /// amplitude. Amplitudes match the f64 path to ~1e-4.
+    F32,
+}
+
+/// Resolve the process-wide precision default from `QCOR_PRECISION`.
+/// Unset means **f64**; recognized tokens are those of
+/// [`parse_precision_token`]; anything else panics loudly
+/// (misconfiguration should never silently change what benchmarks
+/// measure). Read and parsed once per process, like
+/// [`fusion_env_default`].
+pub fn precision_env_default() -> Precision {
+    static DEFAULT: std::sync::OnceLock<Precision> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("QCOR_PRECISION") {
+        Err(_) => Precision::F64,
+        Ok(v) => parse_precision_token(&v).unwrap_or_else(|| {
+            panic!("invalid QCOR_PRECISION value {v:?}: expected f32/f64/single/double/32/64")
+        }),
+    })
+}
+
+/// Parse one precision token — the single vocabulary shared by the
+/// `QCOR_PRECISION` environment variable and the qpp backend's string
+/// `precision` param, so the two can never drift apart (the same
+/// discipline as [`parse_fusion_token`]). `None` = unrecognized.
+pub fn parse_precision_token(s: &str) -> Option<Precision> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "" | "f64" | "double" | "64" => Some(Precision::F64),
+        "f32" | "single" | "32" => Some(Precision::F32),
+        _ => None,
+    }
+}
+
 /// Chunk-sizing policy of the batched shot scheduler (see the
 /// [module docs](self) for the full description).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -224,8 +279,13 @@ pub struct RunConfig {
     /// replay it per shot, instead of re-interpreting every instruction.
     /// `None` defers to the `QCOR_GATE_FUSION` environment default
     /// (enabled); `Some(false)` forces the interpreted executor for A/B
-    /// comparison.
+    /// comparison. Ignored under [`Precision::F32`], which is
+    /// compiled-replay-only.
     pub fusion: Option<bool>,
+    /// Amplitude precision. `None` defers to the `QCOR_PRECISION`
+    /// environment default (f64); `Some(Precision::F32)` selects the
+    /// single-precision compiled replay (see [`crate::fp32`]).
+    pub precision: Option<Precision>,
 }
 
 impl RunConfig {
@@ -233,6 +293,12 @@ impl RunConfig {
     /// back to [`fusion_env_default`]).
     pub fn fusion_enabled(&self) -> bool {
         self.fusion.unwrap_or_else(fusion_env_default)
+    }
+
+    /// Resolve the effective precision ([`RunConfig::precision`], falling
+    /// back to [`precision_env_default`]).
+    pub fn precision_resolved(&self) -> Precision {
+        self.precision.unwrap_or_else(precision_env_default)
     }
 }
 
@@ -245,6 +311,7 @@ impl Default for RunConfig {
             chunk_shots: None,
             granularity: Granularity::Auto,
             fusion: None,
+            precision: None,
         }
     }
 }
@@ -365,26 +432,72 @@ impl ShotPlan {
 }
 
 /// The executor a shot plan replays per shot: the circuit compiled once
-/// into fused kernel ops, or the interpreted per-instruction dispatcher
-/// (fusion off).
+/// into fused kernel ops (f64 or narrowed-to-f32), or the interpreted
+/// per-instruction dispatcher (fusion off, f64 only).
 enum ShotExec<'c> {
     Compiled(CompiledCircuit),
+    CompiledF32(CompiledCircuit32),
     Interpreted(&'c Circuit),
+}
+
+/// The per-chunk simulation state matching a [`ShotExec`]'s precision.
+enum ChunkState {
+    F64(StateVector),
+    F32(StateVector32),
+}
+
+impl ChunkState {
+    fn reset_to_zero(&mut self) {
+        match self {
+            ChunkState::F64(s) => s.reset_to_zero(),
+            ChunkState::F32(s) => s.reset_to_zero(),
+        }
+    }
 }
 
 impl ShotExec<'_> {
     fn for_config<'c>(circuit: &'c Circuit, config: &RunConfig) -> ShotExec<'c> {
-        if config.fusion_enabled() {
-            ShotExec::Compiled(CompiledCircuit::compile(circuit))
-        } else {
-            ShotExec::Interpreted(circuit)
+        match config.precision_resolved() {
+            // f32 is compiled-replay-only: there is no f32 interpreter, so
+            // the fusion setting does not apply.
+            Precision::F32 => {
+                ShotExec::CompiledF32(CompiledCircuit32::narrow(&CompiledCircuit::compile(circuit)))
+            }
+            Precision::F64 if config.fusion_enabled() => {
+                ShotExec::Compiled(CompiledCircuit::compile(circuit))
+            }
+            Precision::F64 => ShotExec::Interpreted(circuit),
         }
     }
 
-    fn run_once(&self, state: &mut StateVector, rng: &mut impl Rng) -> ShotRecord {
+    /// Allocate a chunk's private state of the matching precision.
+    /// `pool` work-shares f64 amplitude loops; f32 states are
+    /// sequential-only, so the pool is not used there.
+    fn make_state(
+        &self,
+        num_qubits: usize,
+        pool: Option<Arc<ThreadPool>>,
+        par_threshold: usize,
+    ) -> ChunkState {
         match self {
-            ShotExec::Compiled(compiled) => compiled.run_once(state, rng),
-            ShotExec::Interpreted(circuit) => run_once_interpreted(state, circuit, rng),
+            ShotExec::CompiledF32(_) => ChunkState::F32(StateVector32::new(num_qubits)),
+            _ => {
+                let mut state = match pool {
+                    Some(pool) => StateVector::with_pool(num_qubits, pool),
+                    None => StateVector::new(num_qubits),
+                };
+                state.set_par_threshold(par_threshold);
+                ChunkState::F64(state)
+            }
+        }
+    }
+
+    fn run_once(&self, state: &mut ChunkState, rng: &mut impl Rng) -> ShotRecord {
+        match (self, state) {
+            (ShotExec::Compiled(compiled), ChunkState::F64(s)) => compiled.run_once(s, rng),
+            (ShotExec::Interpreted(circuit), ChunkState::F64(s)) => run_once_interpreted(s, circuit, rng),
+            (ShotExec::CompiledF32(compiled), ChunkState::F32(s)) => compiled.run_once(s, rng),
+            _ => unreachable!("chunk state precision always matches its executor"),
         }
     }
 }
@@ -392,7 +505,7 @@ impl ShotExec<'_> {
 /// Run `shots` repetitions of `exec` against `state`, drawing from `rng`,
 /// accumulating bitstring counts into `counts`.
 fn sample_into(
-    state: &mut StateVector,
+    state: &mut ChunkState,
     exec: &ShotExec<'_>,
     rng: &mut StdRng,
     shots: usize,
@@ -447,8 +560,7 @@ pub fn run_shots_planned(
     // Compile once per plan; every chunk replays the same fused op list.
     let exec = ShotExec::for_config(circuit, config);
     if plan.inner_parallel() {
-        let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
-        state.set_par_threshold(config.par_threshold);
+        let mut state = exec.make_state(circuit.num_qubits(), Some(pool), config.par_threshold);
         let mut rng = StdRng::seed_from_u64(base_seed);
         sample_into(&mut state, &exec, &mut rng, plan.shots(), &mut merged);
         return merged;
@@ -461,8 +573,7 @@ pub fn run_shots_planned(
         .map(|(index, span)| {
             let seed = derive_stream_seed(base_seed, index);
             move || {
-                let mut state = StateVector::new(circuit.num_qubits());
-                state.set_par_threshold(par_threshold);
+                let mut state = exec.make_state(circuit.num_qubits(), None, par_threshold);
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut counts = Counts::new();
                 sample_into(&mut state, exec, &mut rng, span.len(), &mut counts);
@@ -749,6 +860,66 @@ mod tests {
             assert_eq!(a, b, "thread count must not change the schedule's counts");
             assert_eq!(a, c, "re-running a fixed (seed, tasks, chunk_shots) must be identical");
         }
+    }
+
+    #[test]
+    fn precision_tokens_parse_like_the_env_var() {
+        for t in ["f64", "F64", " double ", "64", ""] {
+            assert_eq!(parse_precision_token(t), Some(Precision::F64), "{t:?}");
+        }
+        for t in ["f32", "Single", "32"] {
+            assert_eq!(parse_precision_token(t), Some(Precision::F32), "{t:?}");
+        }
+        for t in ["f16", "half", "yes", "1"] {
+            assert_eq!(parse_precision_token(t), None, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn f32_run_samples_the_same_distribution() {
+        let circuit = library::bell_kernel();
+        let config =
+            RunConfig { shots: 1024, seed: Some(1), precision: Some(Precision::F32), ..Default::default() };
+        let counts = run_shots(&circuit, seq_pool(), &config);
+        assert_eq!(counts.values().sum::<usize>(), 1024);
+        assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+        let c00 = counts.get("00").copied().unwrap_or(0) as f64;
+        assert!((c00 / 1024.0 - 0.5).abs() < 0.1, "{counts:?}");
+    }
+
+    #[test]
+    fn f32_fixed_seed_is_reproducible_across_pools_and_chunks() {
+        let circuit = library::ghz_kernel(4);
+        for chunk in [None, Some(16)] {
+            let config = RunConfig {
+                shots: 200,
+                seed: Some(5),
+                chunk_shots: chunk,
+                precision: Some(Precision::F32),
+                ..Default::default()
+            };
+            let a = run_shots(&circuit, seq_pool(), &config);
+            let b = run_shots(&circuit, Arc::new(ThreadPool::new(4)), &config);
+            assert_eq!(a, b, "chunk={chunk:?}");
+            assert_eq!(a.values().sum::<usize>(), 200);
+        }
+    }
+
+    #[test]
+    fn f32_inner_parallel_plan_still_runs_sequential_state() {
+        // A 15-qubit circuit plans as one inner-parallel work item; the
+        // f32 state ignores the pool (sequential-only) but the run must
+        // still complete and conserve shots.
+        let mut circuit = Circuit::new(15);
+        for q in 0..15 {
+            circuit.h(q);
+        }
+        circuit.measure_all();
+        let config =
+            RunConfig { shots: 8, seed: Some(2), precision: Some(Precision::F32), ..Default::default() };
+        assert!(ShotPlan::for_circuit(&circuit, &config).inner_parallel());
+        let counts = run_shots(&circuit, Arc::new(ThreadPool::new(2)), &config);
+        assert_eq!(counts.values().sum::<usize>(), 8);
     }
 
     #[test]

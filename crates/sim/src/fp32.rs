@@ -1,0 +1,467 @@
+//! Single-precision compiled replay — the `precision=f32` backend mode.
+//!
+//! [`StateVector32`] holds `Complex32` amplitudes (half the bytes per
+//! amplitude of the f64 path, so twice the state fits in each cache level
+//! and unit-stride sweeps move twice the amplitudes per cache line), and
+//! [`CompiledCircuit32`] replays a [`CompiledCircuit`]'s fused kernel ops
+//! against it. The mode is **compiled-replay-only**: circuits are always
+//! compiled (fused, classified) in f64 by [`crate::compile`], and the fused
+//! matrices are narrowed to f32 **once per plan** by
+//! [`CompiledCircuit32::narrow`] — there is no f32 interpreter and no f32
+//! compile-time arithmetic, so fusion algebra never loses precision.
+//!
+//! # Accuracy contract
+//!
+//! Amplitudes after an f32 replay agree with the f64 replay to ~1e-4
+//! (component-wise) on circuits of a few hundred fused ops; f32 has ~7
+//! significant decimal digits and kernel sweeps accumulate roundoff
+//! linearly in circuit depth. Probability reductions (measurement,
+//! [`StateVector32::prob_one`]) accumulate in **f64** so collapse
+//! renormalization does not compound single-precision sums.
+//!
+//! # Determinism
+//!
+//! The replay draws from the caller's RNG exactly like the f64 path: one
+//! `rng.gen::<f64>()` per `Measure`/`Reset`, in program order. Draw *count
+//! and order* therefore match the f64 executor for the same compiled
+//! circuit, but sampled outcomes may differ near probability boundaries
+//! (the f32 probabilities differ from the f64 ones in the last ~1e-7).
+//! Fixed-seed f32 runs are byte-identical to each other.
+//!
+//! # Scope
+//!
+//! `StateVector32` is sequential-only: its sweeps run on the calling
+//! thread (no pool work-sharing) and it has no cache-blocked segment
+//! replay. The mode targets shot-chunked sampling, where each chunk owns a
+//! private state and parallelism comes from running chunks concurrently.
+
+use crate::compile::{CompiledCircuit, KernelOp};
+use crate::complex::{Complex32, Complex64};
+use crate::executor::ShotRecord;
+use crate::state::BitInserts;
+use crate::stats::{record_iterations, KernelClass};
+use rand::Rng;
+
+/// Narrow a 2×2 complex matrix component-wise.
+fn mat2_32(m: &[[Complex64; 2]; 2]) -> [[Complex32; 2]; 2] {
+    [
+        [Complex32::from_c64(m[0][0]), Complex32::from_c64(m[0][1])],
+        [Complex32::from_c64(m[1][0]), Complex32::from_c64(m[1][1])],
+    ]
+}
+
+/// Narrow a 4×4 complex matrix component-wise.
+fn mat4_32(m: &[[Complex64; 4]; 4]) -> [[Complex32; 4]; 4] {
+    let mut out = [[Complex32::ZERO; 4]; 4];
+    for (row, src) in out.iter_mut().zip(m.iter()) {
+        for (dst, &z) in row.iter_mut().zip(src.iter()) {
+            *dst = Complex32::from_c64(z);
+        }
+    }
+    out
+}
+
+/// A [`KernelOp`] with its matrix data narrowed to f32. Variants mirror
+/// [`KernelOp`] exactly; see [`crate::compile`] for the classification.
+#[derive(Debug, Clone, PartialEq)]
+enum Op32 {
+    Dense { target: usize, ctrl_mask: usize, m: [[Complex32; 2]; 2] },
+    Dense2 { t0: usize, t1: usize, ctrl_mask: usize, m: Box<[[Complex32; 4]; 4]> },
+    Flip { target: usize, ctrl_mask: usize, m01: Complex32, m10: Complex32 },
+    Diag { target: usize, ctrl_mask: usize, d0: Complex32, d1: Complex32 },
+    Phase { set_mask: usize, clear_mask: usize, phase: Complex32 },
+    Scale { factor: Complex32 },
+    Swap { a: usize, b: usize, ctrl_mask: usize },
+    Measure { qubit: usize, loc: usize },
+    Reset { loc: usize },
+}
+
+/// A compiled circuit narrowed for single-precision replay.
+///
+/// Built once per [`crate::ShotPlan`] from the f64 [`CompiledCircuit`];
+/// replayed per shot with [`CompiledCircuit32::run_once`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCircuit32 {
+    num_qubits: usize,
+    ops: Vec<Op32>,
+}
+
+impl CompiledCircuit32 {
+    /// Narrow every fused kernel op of `compiled` to f32.
+    pub fn narrow(compiled: &CompiledCircuit) -> CompiledCircuit32 {
+        let ops = compiled
+            .ops()
+            .iter()
+            .map(|op| match op {
+                KernelOp::Dense { target, ctrl_mask, m } => {
+                    Op32::Dense { target: *target, ctrl_mask: *ctrl_mask, m: mat2_32(m) }
+                }
+                KernelOp::Dense2 { t0, t1, ctrl_mask, m } => {
+                    Op32::Dense2 { t0: *t0, t1: *t1, ctrl_mask: *ctrl_mask, m: Box::new(mat4_32(m)) }
+                }
+                KernelOp::Flip { target, ctrl_mask, m01, m10 } => Op32::Flip {
+                    target: *target,
+                    ctrl_mask: *ctrl_mask,
+                    m01: Complex32::from_c64(*m01),
+                    m10: Complex32::from_c64(*m10),
+                },
+                KernelOp::Diag { target, ctrl_mask, d0, d1 } => Op32::Diag {
+                    target: *target,
+                    ctrl_mask: *ctrl_mask,
+                    d0: Complex32::from_c64(*d0),
+                    d1: Complex32::from_c64(*d1),
+                },
+                KernelOp::Phase { set_mask, clear_mask, phase } => Op32::Phase {
+                    set_mask: *set_mask,
+                    clear_mask: *clear_mask,
+                    phase: Complex32::from_c64(*phase),
+                },
+                KernelOp::Scale { factor } => Op32::Scale { factor: Complex32::from_c64(*factor) },
+                KernelOp::Swap { a, b, ctrl_mask } => Op32::Swap { a: *a, b: *b, ctrl_mask: *ctrl_mask },
+                KernelOp::Measure { qubit, loc } => Op32::Measure { qubit: *qubit, loc: *loc },
+                KernelOp::Reset { qubit: _, loc } => Op32::Reset { loc: *loc },
+            })
+            .collect();
+        CompiledCircuit32 { num_qubits: compiled.num_qubits(), ops }
+    }
+
+    /// Qubits of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of narrowed kernel ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the circuit compiled to zero ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replay the narrowed op list once against `state`, drawing
+    /// measurement outcomes from `rng` (one `f64` draw per
+    /// `Measure`/`Reset`, in program order — the same stream discipline as
+    /// the f64 replay).
+    pub fn run_once(&self, state: &mut StateVector32, rng: &mut impl Rng) -> ShotRecord {
+        assert!(
+            self.num_qubits <= state.num_qubits(),
+            "circuit needs {} qubits but the state has {}",
+            self.num_qubits,
+            state.num_qubits()
+        );
+        let mut record = ShotRecord::default();
+        for op in &self.ops {
+            match op {
+                Op32::Dense { target, ctrl_mask, m } => state.apply_single(*target, *m, *ctrl_mask),
+                Op32::Dense2 { t0, t1, ctrl_mask, m } => state.apply_pair(*t0, *t1, m, *ctrl_mask),
+                Op32::Flip { target, ctrl_mask, m01, m10 } => {
+                    state.apply_antidiag(*target, *m01, *m10, *ctrl_mask)
+                }
+                Op32::Diag { target, ctrl_mask, d0, d1 } => state.apply_diag(*target, *d0, *d1, *ctrl_mask),
+                Op32::Phase { set_mask, clear_mask, phase } => {
+                    state.mul_where(*set_mask, *clear_mask, *phase)
+                }
+                Op32::Scale { factor } => state.scale_all(*factor),
+                Op32::Swap { a, b, ctrl_mask } => state.apply_swap(*a, *b, *ctrl_mask),
+                Op32::Measure { qubit, loc } => {
+                    record.outcomes.push((*qubit, state.measure(*loc, rng)));
+                }
+                Op32::Reset { loc } => state.reset(*loc, rng),
+            }
+        }
+        record
+    }
+}
+
+/// A single-precision state vector: `2^n` `Complex32` amplitudes plus the
+/// sequential update kernels the f32 replay needs. Index convention is the
+/// same little-endian layout as [`crate::StateVector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector32 {
+    num_qubits: usize,
+    amps: Vec<Complex32>,
+}
+
+impl StateVector32 {
+    /// |0…0⟩ on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> StateVector32 {
+        assert!(num_qubits <= 30, "state vector limited to 30 qubits");
+        let mut amps = vec![Complex32::ZERO; 1usize << num_qubits];
+        amps[0] = Complex32::ONE;
+        StateVector32 { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude slice (little-endian basis order).
+    pub fn amplitudes(&self) -> &[Complex32] {
+        &self.amps
+    }
+
+    /// Return to |0…0⟩ without reallocating.
+    pub fn reset_to_zero(&mut self) {
+        self.amps.fill(Complex32::ZERO);
+        self.amps[0] = Complex32::ONE;
+    }
+
+    /// |amp|² of each basis state, accumulated per-amplitude in f64.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr_f64()).collect()
+    }
+
+    fn apply_single(&mut self, t: usize, m: [[Complex32; 2]; 2], ctrl_mask: usize) {
+        debug_assert!(t < self.num_qubits);
+        let stride = 1usize << t;
+        let inserts = BitInserts::new(ctrl_mask, stride);
+        let pairs = self.amps.len() >> inserts.width();
+        record_iterations(KernelClass::Dense, pairs);
+        for k in 0..pairs {
+            let i = inserts.expand(k);
+            let j = i | stride;
+            let (a, b) = (self.amps[i], self.amps[j]);
+            self.amps[i] = m[0][0] * a + m[0][1] * b;
+            self.amps[j] = m[1][0] * a + m[1][1] * b;
+        }
+    }
+
+    fn apply_pair(&mut self, t0: usize, t1: usize, m: &[[Complex32; 4]; 4], ctrl_mask: usize) {
+        assert!(t0 < t1, "pair must be ordered low-to-high");
+        debug_assert!(t1 < self.num_qubits);
+        let (s0, s1) = (1usize << t0, 1usize << t1);
+        let inserts = BitInserts::new(ctrl_mask, s0 | s1);
+        let quads = self.amps.len() >> inserts.width();
+        record_iterations(KernelClass::Dense2, quads);
+        for k in 0..quads {
+            let i00 = inserts.expand(k);
+            let (i01, i10, i11) = (i00 | s0, i00 | s1, i00 | s0 | s1);
+            let a = [self.amps[i00], self.amps[i01], self.amps[i10], self.amps[i11]];
+            for (r, &i) in [i00, i01, i10, i11].iter().enumerate() {
+                self.amps[i] = m[r][0] * a[0] + m[r][1] * a[1] + m[r][2] * a[2] + m[r][3] * a[3];
+            }
+        }
+    }
+
+    fn apply_antidiag(&mut self, t: usize, m01: Complex32, m10: Complex32, ctrl_mask: usize) {
+        debug_assert!(t < self.num_qubits);
+        let stride = 1usize << t;
+        let inserts = BitInserts::new(ctrl_mask, stride);
+        let pairs = self.amps.len() >> inserts.width();
+        record_iterations(KernelClass::Flip, pairs);
+        let pure_flip = m01 == Complex32::ONE && m10 == Complex32::ONE;
+        for k in 0..pairs {
+            let i = inserts.expand(k);
+            let j = i | stride;
+            if pure_flip {
+                self.amps.swap(i, j);
+            } else {
+                let (a, b) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m01 * b;
+                self.amps[j] = m10 * a;
+            }
+        }
+    }
+
+    fn apply_diag(&mut self, t: usize, d0: Complex32, d1: Complex32, ctrl_mask: usize) {
+        debug_assert!(t < self.num_qubits);
+        let stride = 1usize << t;
+        let inserts = BitInserts::new(ctrl_mask, stride);
+        let pairs = self.amps.len() >> inserts.width();
+        record_iterations(KernelClass::Diag, pairs);
+        for k in 0..pairs {
+            let i = inserts.expand(k);
+            self.amps[i] *= d0;
+            self.amps[i | stride] *= d1;
+        }
+    }
+
+    fn mul_where(&mut self, set_mask: usize, clear_mask: usize, z: Complex32) {
+        debug_assert_eq!(set_mask & clear_mask, 0);
+        let inserts = BitInserts::new(set_mask, clear_mask);
+        let matching = self.amps.len() >> inserts.width();
+        record_iterations(KernelClass::Phase, matching);
+        for k in 0..matching {
+            let i = inserts.expand(k);
+            self.amps[i] *= z;
+        }
+    }
+
+    fn scale_all(&mut self, factor: Complex32) {
+        record_iterations(KernelClass::Scale, self.amps.len());
+        for a in &mut self.amps {
+            *a *= factor;
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize, ctrl_mask: usize) {
+        debug_assert!(a < b && b < self.num_qubits);
+        let (bit_a, bit_b) = (1usize << a, 1usize << b);
+        let inserts = BitInserts::new(ctrl_mask | bit_a, bit_b);
+        let pairs = self.amps.len() >> inserts.width();
+        record_iterations(KernelClass::Swap, pairs);
+        for k in 0..pairs {
+            let i = inserts.expand(k);
+            let j = i ^ bit_a ^ bit_b;
+            self.amps.swap(i, j);
+        }
+    }
+
+    /// Probability of measuring |1⟩ on qubit `q`, accumulated in f64.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let bit = 1usize << q;
+        let mut acc = 0.0f64;
+        for (i, a) in self.amps.iter().enumerate() {
+            if i & bit != 0 {
+                acc += a.norm_sqr_f64();
+            }
+        }
+        acc
+    }
+
+    /// Measure qubit `q`: one `f64` draw, collapse, renormalize. The draw
+    /// shape matches [`crate::StateVector::measure`] so f32 and f64 replays
+    /// of the same compiled circuit consume identical RNG streams.
+    pub fn measure(&mut self, q: usize, rng: &mut impl Rng) -> u8 {
+        let p1 = self.prob_one(q).clamp(0.0, 1.0);
+        let outcome = if rng.gen::<f64>() < p1 { 1u8 } else { 0u8 };
+        self.collapse(q, outcome, if outcome == 1 { p1 } else { 1.0 - p1 });
+        outcome
+    }
+
+    fn collapse(&mut self, q: usize, outcome: u8, prob: f64) {
+        assert!(prob > 0.0, "cannot collapse onto a zero-probability outcome");
+        let bit = 1usize << q;
+        let keep_set = outcome == 1;
+        let scale = (1.0 / prob.sqrt()) as f32;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if (i & bit != 0) == keep_set {
+                *a = *a * scale;
+            } else {
+                *a = Complex32::ZERO;
+            }
+        }
+    }
+
+    /// Reset qubit `q` to |0⟩ (measure, flip on 1) — same draw discipline
+    /// as [`crate::StateVector::reset`].
+    pub fn reset(&mut self, q: usize, rng: &mut impl Rng) {
+        if self.measure(q, rng) == 1 {
+            self.apply_antidiag(q, Complex32::ONE, Complex32::ONE, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+    use qcor_circuit::{library, Circuit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Max component-wise |f32 − f64| over all amplitudes.
+    fn max_amp_err(s32: &StateVector32, s64: &StateVector) -> f64 {
+        s32.amplitudes()
+            .iter()
+            .zip(s64.amplitudes())
+            .map(|(a, b)| {
+                let d = a.to_c64();
+                (d.re - b.re).abs().max((d.im - b.im).abs())
+            })
+            .fold(0.0, f64::max)
+    }
+
+    fn replay_both(circuit: &Circuit, seed: u64) -> (StateVector32, StateVector) {
+        let compiled = CompiledCircuit::compile(circuit);
+        let narrowed = CompiledCircuit32::narrow(&compiled);
+        let mut s32 = StateVector32::new(circuit.num_qubits());
+        let mut s64 = StateVector::new(circuit.num_qubits());
+        narrowed.run_once(&mut s32, &mut StdRng::seed_from_u64(seed));
+        compiled.run_once(&mut s64, &mut StdRng::seed_from_u64(seed));
+        (s32, s64)
+    }
+
+    #[test]
+    fn bell_replay_matches_f64_to_1e_4() {
+        let (s32, s64) = replay_both(&library::bell_kernel(), 0);
+        assert!(max_amp_err(&s32, &s64) < 1e-4);
+    }
+
+    #[test]
+    fn qft_replay_matches_f64_to_1e_4() {
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.x(q);
+        }
+        c.extend(&library::qft(5));
+        let (s32, s64) = replay_both(&c, 0);
+        assert!(max_amp_err(&s32, &s64) < 1e-4, "err={}", max_amp_err(&s32, &s64));
+    }
+
+    #[test]
+    fn mixed_kernel_classes_match_f64() {
+        // Exercises Dense2 (fused runs), Flip, Diag, Phase, Swap, Scale
+        // (global Rz phase), and mid-circuit Measure/Reset.
+        let mut c = Circuit::new(4);
+        c.h(0).t(0).h(0).s(0); // Dense2 candidates on (0, ...)
+        c.cx(0, 1).x(2).cz(1, 2);
+        c.rz(3, 0.7).swap(1, 3);
+        c.measure(0);
+        c.reset(2);
+        c.h(3).cphase(3, 0, 1.1);
+        let (s32, s64) = replay_both(&c, 42);
+        assert!(max_amp_err(&s32, &s64) < 1e-4, "err={}", max_amp_err(&s32, &s64));
+    }
+
+    #[test]
+    fn measurement_draw_order_matches_f64_path() {
+        // A circuit with deterministic outcomes: both precisions must
+        // report the same outcome sequence for the same seed.
+        let mut c = Circuit::new(3);
+        c.x(0).measure(0).reset(0).measure(0).x(2).measure(2);
+        let compiled = CompiledCircuit::compile(&c);
+        let narrowed = CompiledCircuit32::narrow(&compiled);
+        for seed in 0..20 {
+            let mut s32 = StateVector32::new(3);
+            let mut s64 = StateVector::new(3);
+            let r32 = narrowed.run_once(&mut s32, &mut StdRng::seed_from_u64(seed));
+            let r64 = compiled.run_once(&mut s64, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(r32, r64, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fixed_seed_f32_replay_is_reproducible() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).h(2).measure_all();
+        let compiled = CompiledCircuit::compile(&c);
+        let narrowed = CompiledCircuit32::narrow(&compiled);
+        let run = |seed| {
+            let mut s = StateVector32::new(3);
+            narrowed.run_once(&mut s, &mut StdRng::seed_from_u64(seed))
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn norm_is_preserved_through_collapse() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2).measure(1);
+        let (s32, _) = replay_both(&c, 3);
+        let total: f64 = s32.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-5, "norm {total}");
+    }
+
+    #[test]
+    fn narrow_preserves_op_count() {
+        let compiled = CompiledCircuit::compile(&library::ghz_kernel(5));
+        let narrowed = CompiledCircuit32::narrow(&compiled);
+        assert_eq!(narrowed.len(), compiled.len());
+        assert!(!narrowed.is_empty());
+        assert_eq!(narrowed.num_qubits(), 5);
+    }
+}

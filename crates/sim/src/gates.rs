@@ -54,6 +54,95 @@ pub fn single_qubit_matrix(kind: GateKind, params: &[f64]) -> Option<[[Complex64
     Some(m)
 }
 
+// ---- small matrix algebra shared by the fuser and the tests -----------
+//
+// The two-qubit block fuser composes gates as explicit 2×2 and 4×4
+// matrices. The pair-basis convention everywhere is: for a fused pair
+// `(t0, t1)` with `t0 < t1`, basis index `s` has bit 0 = qubit `t0` and
+// bit 1 = qubit `t1` (little-endian, matching the amplitude indexing).
+
+/// `a · b` for 2×2 complex matrices (apply `b` first, then `a`).
+pub fn mat2_mul(a: [[Complex64; 2]; 2], b: [[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
+    let mut out = [[Complex64::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// `a · b` for 4×4 complex matrices (apply `b` first, then `a`).
+pub fn mat4_mul(a: &[[Complex64; 4]; 4], b: &[[Complex64; 4]; 4]) -> [[Complex64; 4]; 4] {
+    let mut out = [[Complex64::ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for k in 0..4 {
+                acc += a[i][k] * b[k][j];
+            }
+            *cell = acc;
+        }
+    }
+    out
+}
+
+/// The 4×4 identity.
+pub fn identity4() -> [[Complex64; 4]; 4] {
+    let mut m = [[Complex64::ZERO; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = Complex64::ONE;
+    }
+    m
+}
+
+/// The swap permutation on a pair: exchanges basis states `01` and `10`.
+pub fn swap4() -> [[Complex64; 4]; 4] {
+    let mut m = [[Complex64::ZERO; 4]; 4];
+    for (s, row) in m.iter_mut().enumerate() {
+        let flipped = ((s & 1) << 1) | ((s >> 1) & 1);
+        row[flipped] = Complex64::ONE;
+    }
+    m
+}
+
+/// Embed a single-qubit unitary into a pair block: `m` acts on pair bit
+/// `pos` (0 = low qubit `t0`, 1 = high qubit `t1`), conditioned on the
+/// in-pair control bits of `ctrl_s` (a mask over pair-basis index bits;
+/// must not include `1 << pos`). Rows/columns where the in-pair controls
+/// are unsatisfied pass through unchanged.
+pub fn embed_pair_single(pos: usize, ctrl_s: usize, m: [[Complex64; 2]; 2]) -> [[Complex64; 4]; 4] {
+    debug_assert!(pos < 2 && ctrl_s & (1 << pos) == 0);
+    let mut out = [[Complex64::ZERO; 4]; 4];
+    for (s_out, row) in out.iter_mut().enumerate() {
+        for (s_in, cell) in row.iter_mut().enumerate() {
+            *cell = if s_in & ctrl_s != ctrl_s {
+                // In-pair controls unsatisfied: the column passes through.
+                if s_in == s_out { Complex64::ONE } else { Complex64::ZERO }
+            } else if s_out & !(1 << pos) == s_in & !(1 << pos) {
+                // Controls satisfied and the non-target pair bit agrees:
+                // the 2x2 entry for the target bit transition.
+                m[(s_out >> pos) & 1][(s_in >> pos) & 1]
+            } else {
+                Complex64::ZERO
+            };
+        }
+    }
+    out
+}
+
+/// A diagonal phase block over a pair: multiplies basis state `s` by
+/// `e^{iθ}` where `s & set_s == set_s` and `s & clear_s == 0` (masks in
+/// pair-basis index space), and leaves the rest untouched.
+pub fn pair_phase_matrix(set_s: usize, clear_s: usize, theta: f64) -> [[Complex64; 4]; 4] {
+    let phase = Complex64::from_polar_unit(theta);
+    let mut out = [[Complex64::ZERO; 4]; 4];
+    for (s, row) in out.iter_mut().enumerate() {
+        row[s] = if s & set_s == set_s && s & clear_s == 0 { phase } else { Complex64::ONE };
+    }
+    out
+}
+
 /// Apply one instruction to the state. Measurements return `Some(bit)`;
 /// everything else returns `None`. Barriers are no-ops.
 pub fn apply_instruction(state: &mut StateVector, inst: &Instruction, rng: &mut impl Rng) -> Option<u8> {
@@ -110,13 +199,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn mat_mul(a: [[Complex64; 2]; 2], b: [[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
-        let mut out = [[Complex64::ZERO; 2]; 2];
-        for (i, row) in out.iter_mut().enumerate() {
-            for (j, cell) in row.iter_mut().enumerate() {
-                *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
-            }
-        }
-        out
+        mat2_mul(a, b)
     }
 
     fn dagger(m: [[Complex64; 2]; 2]) -> [[Complex64; 2]; 2] {
@@ -230,6 +313,57 @@ mod tests {
         apply_instruction(&mut sv, &Instruction::new(GateKind::X, vec![1], vec![]), &mut rng);
         apply_instruction(&mut sv, &ccx, &mut rng);
         assert!(sv.amp(0b111).norm_sqr() > 0.999);
+    }
+
+    #[test]
+    fn embed_pair_single_matches_kronecker_structure() {
+        let h = single_qubit_matrix(GateKind::H, &[]).unwrap();
+        // H on the low slot, unconditioned: block-diagonal in the high bit.
+        let m = embed_pair_single(0, 0, h);
+        for hi in 0..2 {
+            for (r, row) in h.iter().enumerate() {
+                for (c, want) in row.iter().enumerate() {
+                    assert_eq!(m[(hi << 1) | r][(hi << 1) | c], *want);
+                }
+            }
+        }
+        // X on the high slot conditioned on the low bit = CNOT in pair basis.
+        let x = single_qubit_matrix(GateKind::X, &[]).unwrap();
+        let cnot = embed_pair_single(1, 0b01, x);
+        for s_in in 0..4 {
+            let s_out = if s_in & 1 == 1 { s_in ^ 0b10 } else { s_in };
+            for (r, row) in cnot.iter().enumerate() {
+                let want = if r == s_out { Complex64::ONE } else { Complex64::ZERO };
+                assert_eq!(row[s_in], want, "s_in {s_in} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap4_composes_to_identity_and_conjugates_embeddings() {
+        let sw = swap4();
+        let id = mat4_mul(&sw, &sw);
+        assert_eq!(id, identity4());
+        // Swap · (U on slot 0) · Swap = U on slot 1.
+        let u = single_qubit_matrix(GateKind::U3, &[0.4, -0.9, 1.7]).unwrap();
+        let lhs = mat4_mul(&sw, &mat4_mul(&embed_pair_single(0, 0, u), &sw));
+        let rhs = embed_pair_single(1, 0, u);
+        for (lr, rr) in lhs.iter().zip(rhs.iter()) {
+            for (l, r) in lr.iter().zip(rr.iter()) {
+                assert!(l.approx_eq(*r, 1e-15), "{l} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_phase_matrix_targets_masked_states_only() {
+        let theta = 0.613;
+        let m = pair_phase_matrix(0b10, 0b01, theta);
+        let phase = Complex64::from_polar_unit(theta);
+        for (s, row) in m.iter().enumerate() {
+            let want = if s == 0b10 { phase } else { Complex64::ONE };
+            assert_eq!(row[s], want, "s {s}");
+        }
     }
 
     #[test]

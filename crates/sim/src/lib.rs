@@ -16,6 +16,8 @@
 //!   lowers a circuit once into fused, precomputed kernel ops,
 //! * [`executor`] — the batched shot scheduler ([`ShotPlan`]), counts,
 //!   and exact distributions,
+//! * [`fp32`] — the single-precision (`precision=f32`) compiled replay:
+//!   [`StateVector32`] plus per-plan matrix narrowing,
 //! * [`stats`] — per-thread kernel iteration counters backing the
 //!   `gatefuse_guard` CI gate.
 
@@ -23,16 +25,18 @@ pub mod compile;
 mod complex;
 pub mod density;
 pub mod executor;
+pub mod fp32;
 pub mod gates;
 mod state;
 pub mod stats;
 
 pub use compile::{CompiledCircuit, KernelOp};
-pub use complex::{c64, Complex64};
+pub use complex::{c32, c64, Complex32, Complex64};
 pub use density::{DensityMatrix, NoiseModel};
 pub use executor::{
-    derive_stream_seed, exact_distribution, fusion_env_default, parse_fusion_token, run_once,
-    run_once_interpreted, run_shots, run_shots_planned, run_shots_task_parallel, Counts, Granularity,
-    RunConfig, ShotPlan, ShotRecord,
+    derive_stream_seed, exact_distribution, fusion_env_default, parse_fusion_token, parse_precision_token,
+    precision_env_default, run_once, run_once_interpreted, run_shots, run_shots_planned,
+    run_shots_task_parallel, Counts, Granularity, Precision, RunConfig, ShotPlan, ShotRecord,
 };
+pub use fp32::{CompiledCircuit32, StateVector32};
 pub use state::StateVector;

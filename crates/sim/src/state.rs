@@ -33,10 +33,35 @@
 //! [`ThreadPool::parallel_reduce_ordered`], so their sums are bit-identical
 //! on any pool size — the inner-parallel path no longer depends on
 //! floating-point fold order.
+//!
+//! # Loop shape and memory layout
+//!
+//! Amplitudes are stored interleaved (`re, im` pairs — AoS). The
+//! flop-heavy kernels ([`StateVector::apply_single`],
+//! [`StateVector::apply_pair`]) restructure their uncontrolled sweeps into
+//! **contiguous runs**: instead of re-expanding the compressed counter per
+//! iteration, the loop emits maximal unit-stride spans (`2^t` pairs at a
+//! time for target `t`), which the compiler can autovectorize and the
+//! prefetcher can stream. The `layout_probe` bench bin compares this shape
+//! against a split re/im (SoA) sweep; on the measured hardware the
+//! contiguous-run AoS sweep was at parity or better, so the interleaved
+//! layout is kept — it is also what keeps `amplitudes()` zero-copy (see
+//! `BENCH_layout.json` for the recorded numbers).
+//!
+//! # Cache-blocked replay
+//!
+//! For large states the dominant cost is streaming the full vector through
+//! the cache hierarchy once per gate. [`StateVector::for_each_block`]
+//! partitions the amplitude array into contiguous cache-sized blocks and
+//! hands each block to a closure exactly once (work-shared over the pool),
+//! letting the compiled executor apply an entire run of block-local fused
+//! kernels while each block is L2-resident — the state streams through
+//! memory once per *run*, not once per gate.
 
 #[cfg(test)]
 use crate::complex::c64;
 use crate::complex::Complex64;
+use crate::stats::KernelClass;
 use qcor_pool::ThreadPool;
 use rand::Rng;
 use std::ops::Range;
@@ -59,6 +84,13 @@ impl AmpsPtr {
     unsafe fn at(self, i: usize) -> &'static mut Complex64 {
         unsafe { &mut *self.0.add(i) }
     }
+
+    /// SAFETY: caller guarantees `start..start + len` is in bounds and not
+    /// concurrently accessed by another thread.
+    #[inline]
+    unsafe fn slice(self, start: usize, len: usize) -> &'static mut [Complex64] {
+        unsafe { std::slice::from_raw_parts_mut(self.0.add(start), len) }
+    }
 }
 
 /// Bit-insertion table: expands a compressed loop counter into a full basis
@@ -74,7 +106,7 @@ impl AmpsPtr {
 /// inserted bits): building one per kernel invocation touches no heap,
 /// keeping compiled replay genuinely allocation-free.
 #[derive(Clone, Copy, Debug)]
-struct BitInserts {
+pub(crate) struct BitInserts {
     /// `(low_mask, fixed_bit)` per inserted position, ascending. Positions
     /// are absolute in the progressively expanded index, which is why
     /// ascending insertion order is correct.
@@ -83,7 +115,7 @@ struct BitInserts {
 }
 
 impl BitInserts {
-    fn new(ones_mask: usize, zeros_mask: usize) -> Self {
+    pub(crate) fn new(ones_mask: usize, zeros_mask: usize) -> Self {
         debug_assert_eq!(ones_mask & zeros_mask, 0, "a bit cannot be fixed to both 0 and 1");
         let mut steps = [(0usize, 0usize); 32];
         let mut len = 0usize;
@@ -107,12 +139,12 @@ impl BitInserts {
     }
 
     /// Number of inserted (fixed) bits.
-    fn width(&self) -> usize {
+    pub(crate) fn width(&self) -> usize {
         self.len
     }
 
     #[inline]
-    fn expand(&self, mut k: usize) -> usize {
+    pub(crate) fn expand(&self, mut k: usize) -> usize {
         for &(low, bit) in &self.steps[..self.len] {
             k = ((k & !low) << 1) | bit | (k & low);
         }
@@ -289,8 +321,35 @@ impl StateVector {
         let stride = 1usize << t;
         let inserts = BitInserts::new(ctrl_mask, stride);
         let pairs = self.amps.len() >> inserts.width();
-        crate::stats::record_iterations(pairs);
+        crate::stats::record_iterations(KernelClass::Dense, pairs);
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        if ctrl_mask == 0 {
+            // Uncontrolled sweep: emit maximal contiguous runs (the `2^t`
+            // pairs sharing their high bits) so the inner loop is
+            // unit-stride and autovectorizable. The per-pair arithmetic is
+            // the same expression as the general path, so amplitudes are
+            // bit-identical whichever path runs.
+            let low_mask = stride - 1;
+            self.dispatch(pairs, |range| {
+                let mut k = range.start;
+                while k < range.end {
+                    let run = (stride - (k & low_mask)).min(range.end - k);
+                    let i0 = ((k & !low_mask) << 1) | (k & low_mask);
+                    for i in i0..i0 + run {
+                        let j = i | stride;
+                        // SAFETY: (i, j) pairs are disjoint across k values
+                        // (expansion is injective).
+                        let (a, b) = unsafe { (*ptr.at(i), *ptr.at(j)) };
+                        unsafe {
+                            *ptr.at(i) = m[0][0] * a + m[0][1] * b;
+                            *ptr.at(j) = m[1][0] * a + m[1][1] * b;
+                        }
+                    }
+                    k += run;
+                }
+            });
+            return;
+        }
         self.dispatch(pairs, |range| {
             for k in range {
                 let i = inserts.expand(k);
@@ -306,6 +365,66 @@ impl StateVector {
         });
     }
 
+    /// Apply a two-qubit matrix `m` (row-major, basis index
+    /// `s = bit(t1) << 1 | bit(t0)`) to the qubit pair `(t0, t1)` with
+    /// `t0 < t1`, restricted to basis states where every bit of
+    /// `ctrl_mask` is set (`ctrl_mask` must not include either pair bit).
+    ///
+    /// This is the replay kernel of a fused [`crate::KernelOp::Dense2`]
+    /// block: one sweep visiting `2^(n-2-c)` amplitude quads, instead of
+    /// one full sweep per fused gate. Like every other kernel it builds
+    /// its [`BitInserts`] table inline — zero steady-state allocations.
+    pub fn apply_pair(&mut self, t0: usize, t1: usize, m: &[[Complex64; 4]; 4], ctrl_mask: usize) {
+        assert!(t0 < t1, "pair must be ordered low-to-high");
+        debug_assert!(t1 < self.num_qubits);
+        debug_assert_eq!(ctrl_mask & ((1 << t0) | (1 << t1)), 0, "control mask must exclude the pair");
+        let (s0, s1) = (1usize << t0, 1usize << t1);
+        let inserts = BitInserts::new(ctrl_mask, s0 | s1);
+        let quads = self.amps.len() >> inserts.width();
+        crate::stats::record_iterations(KernelClass::Dense2, quads);
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+
+        /// One 4×4 mat-vec on the quad based at `i00`.
+        ///
+        /// SAFETY: caller guarantees the four indices are in bounds and the
+        /// quad is written from exactly one chunk (expansion is injective).
+        #[inline(always)]
+        unsafe fn quad(ptr: AmpsPtr, i00: usize, s0: usize, s1: usize, m: &[[Complex64; 4]; 4]) {
+            let (i01, i10, i11) = (i00 | s0, i00 | s1, i00 | s0 | s1);
+            let a = unsafe { [*ptr.at(i00), *ptr.at(i01), *ptr.at(i10), *ptr.at(i11)] };
+            for (r, &i) in [i00, i01, i10, i11].iter().enumerate() {
+                unsafe {
+                    *ptr.at(i) = m[r][0] * a[0] + m[r][1] * a[1] + m[r][2] * a[2] + m[r][3] * a[3];
+                }
+            }
+        }
+
+        if ctrl_mask == 0 {
+            // Contiguous-run sweep, as in `apply_single`: the `2^t0` quads
+            // sharing their bits above `t0` have consecutive base indices.
+            let low_mask = s0 - 1;
+            self.dispatch(quads, |range| {
+                let mut k = range.start;
+                while k < range.end {
+                    let run = (s0 - (k & low_mask)).min(range.end - k);
+                    let base = inserts.expand(k);
+                    for off in 0..run {
+                        // SAFETY: disjoint quads across k values.
+                        unsafe { quad(ptr, base + off, s0, s1, m) };
+                    }
+                    k += run;
+                }
+            });
+            return;
+        }
+        self.dispatch(quads, |range| {
+            for k in range {
+                // SAFETY: disjoint quads across k values.
+                unsafe { quad(ptr, inserts.expand(k), s0, s1, m) };
+            }
+        });
+    }
+
     /// Apply the anti-diagonal matrix [[0, m01], [m10, 0]] to qubit `t`
     /// under `ctrl_mask` — the branch-free specialization backing X / CX /
     /// CCX (and Y up to its phases): each visited pair is exchanged with
@@ -317,7 +436,7 @@ impl StateVector {
         let stride = 1usize << t;
         let inserts = BitInserts::new(ctrl_mask, stride);
         let pairs = self.amps.len() >> inserts.width();
-        crate::stats::record_iterations(pairs);
+        crate::stats::record_iterations(KernelClass::Flip, pairs);
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
         let pure_flip = m01 == Complex64::ONE && m10 == Complex64::ONE;
         self.dispatch(pairs, |range| {
@@ -347,7 +466,7 @@ impl StateVector {
         let stride = 1usize << t;
         let inserts = BitInserts::new(ctrl_mask, stride);
         let pairs = self.amps.len() >> inserts.width();
-        crate::stats::record_iterations(pairs);
+        crate::stats::record_iterations(KernelClass::Diag, pairs);
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
         self.dispatch(pairs, |range| {
             for k in range {
@@ -375,7 +494,7 @@ impl StateVector {
         debug_assert_eq!(set_mask & clear_mask, 0);
         let inserts = BitInserts::new(set_mask, clear_mask);
         let matching = self.amps.len() >> inserts.width();
-        crate::stats::record_iterations(matching);
+        crate::stats::record_iterations(KernelClass::Phase, matching);
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
         self.dispatch(matching, |range| {
             for k in range {
@@ -387,7 +506,7 @@ impl StateVector {
 
     /// Multiply every amplitude by `z` (used for the global phase of Rz).
     pub fn scale_all(&mut self, z: Complex64) {
-        crate::stats::record_iterations(self.amps.len());
+        crate::stats::record_iterations(KernelClass::Scale, self.amps.len());
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
         self.dispatch(self.amps.len(), |range| {
             for i in range {
@@ -409,7 +528,7 @@ impl StateVector {
         let (bit_a, bit_b) = (1usize << a, 1usize << b);
         let inserts = BitInserts::new(ctrl_mask | bit_a, bit_b);
         let count = self.amps.len() >> inserts.width();
-        crate::stats::record_iterations(count);
+        crate::stats::record_iterations(KernelClass::Swap, count);
         let ptr = AmpsPtr(self.amps.as_mut_ptr());
         self.dispatch(count, |range| {
             for k in range {
@@ -458,7 +577,7 @@ impl StateVector {
         }
         let inserts = BitInserts::new(ctrl_mask, 0);
         let matching = self.amps.len() >> inserts.width();
-        crate::stats::record_iterations(matching);
+        crate::stats::record_iterations(KernelClass::Perm, matching);
         let out_ptr = AmpsPtr(self.scratch.as_mut_ptr());
         let amps = &self.amps;
         let src_of = |i: usize| -> usize {
@@ -488,6 +607,34 @@ impl StateVector {
     /// = zero steady-state allocations).
     pub fn scratch_allocations(&self) -> usize {
         self.scratch_allocs
+    }
+
+    /// Partition the amplitude array into contiguous blocks of
+    /// `1 << block_qubits` amplitudes and run `f` on each block exactly
+    /// once, work-shared over the pool.
+    ///
+    /// This is the cache-blocked replay primitive: the compiled executor
+    /// applies an entire run of block-local kernels (every support bit
+    /// below `block_qubits`) to each block while it is cache-resident.
+    /// Blocks are disjoint `&mut` slices, and block-local kernels cannot
+    /// read or write across a block boundary, so the result is
+    /// bit-identical to applying the same kernels to the full state one at
+    /// a time — only the traversal order (and the cache behavior) changes.
+    ///
+    /// `block_qubits` must not exceed the register size.
+    pub(crate) fn for_each_block<F: Fn(&mut [Complex64]) + Sync>(&mut self, block_qubits: usize, f: F) {
+        let block_len = 1usize << block_qubits;
+        assert!(block_len <= self.amps.len(), "block larger than the state");
+        let blocks = self.amps.len() >> block_qubits;
+        let ptr = AmpsPtr(self.amps.as_mut_ptr());
+        self.dispatch(blocks, |range| {
+            for b in range {
+                // SAFETY: blocks are disjoint across b values and `f` is
+                // handed each block exactly once, so no two threads alias.
+                let block = unsafe { ptr.slice(b << block_qubits, block_len) };
+                f(block);
+            }
+        });
     }
 
     /// Probability of measuring |1⟩ on qubit `q`.
@@ -911,6 +1058,114 @@ mod tests {
         for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
             assert_eq!(x.re.to_bits(), y.re.to_bits());
             assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    /// Scan-and-skip reference for the pair kernel: visit every index with
+    /// both pair bits clear and the controls satisfied, gather the quad,
+    /// apply the 4×4.
+    fn scan_apply_pair(amps: &mut [Complex64], t0: usize, t1: usize, m: &[[Complex64; 4]; 4], ctrl: usize) {
+        let (s0, s1) = (1usize << t0, 1usize << t1);
+        for i00 in 0..amps.len() {
+            if i00 & (s0 | s1) != 0 || i00 & ctrl != ctrl {
+                continue;
+            }
+            let idx = [i00, i00 | s0, i00 | s1, i00 | s0 | s1];
+            let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+            for (r, &i) in idx.iter().enumerate() {
+                amps[i] = m[r][0] * a[0] + m[r][1] * a[1] + m[r][2] * a[2] + m[r][3] * a[3];
+            }
+        }
+    }
+
+    fn test_pair_matrix() -> [[Complex64; 4]; 4] {
+        // An arbitrary unitary-ish 4×4 (unitarity is irrelevant for the
+        // kernel-equivalence check; exact arithmetic equality is what
+        // matters).
+        let mut m = [[Complex64::ZERO; 4]; 4];
+        for (r, row) in m.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = c64(0.1 + 0.2 * r as f64 - 0.15 * c as f64, 0.05 * (r * 4 + c) as f64);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn pair_kernel_matches_scan_and_skip() {
+        let m = test_pair_matrix();
+        for (t0, t1, ctrl) in
+            [(0usize, 1usize, 0usize), (2, 4, 0), (0, 5, 1 << 2), (1, 3, (1 << 0) | (1 << 5))]
+        {
+            let base = scrambled_state();
+            let mut expect: Vec<Complex64> = base.amplitudes().to_vec();
+            scan_apply_pair(&mut expect, t0, t1, &m, ctrl);
+            let mut got = scrambled_state();
+            got.apply_pair(t0, t1, &m, ctrl);
+            for (e, g) in expect.iter().zip(got.amplitudes()) {
+                assert_eq!(e.re.to_bits(), g.re.to_bits(), "t0={t0} t1={t1} ctrl={ctrl:#b}");
+                assert_eq!(e.im.to_bits(), g.im.to_bits(), "t0={t0} t1={t1} ctrl={ctrl:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_kernel_parallel_matches_sequential() {
+        let m = test_pair_matrix();
+        let mut seq = scrambled_state();
+        let mut par = StateVector::with_pool(6, Arc::new(ThreadPool::new(4)));
+        // Rebuild the scrambled state on the pooled instance.
+        for q in 0..6 {
+            par.apply_single(q, h_matrix(), 0);
+            par.phase_where(1 << q, 0, 0.17 * (q as f64 + 1.0));
+        }
+        for q in 0..5 {
+            let x = [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]];
+            par.apply_single(q + 1, x, 1 << q);
+        }
+        seq.apply_pair(1, 4, &m, 0);
+        par.apply_pair(1, 4, &m, 0);
+        for (a, b) in seq.amplitudes().iter().zip(par.amplitudes()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn pair_kernel_iterates_quarter_of_the_state() {
+        use crate::stats::{kernel_class_iterations, kernel_iterations, reset_kernel_iterations};
+        let m = test_pair_matrix();
+        let mut sv = StateVector::new(8);
+        reset_kernel_iterations();
+        sv.apply_pair(0, 1, &m, 0);
+        assert_eq!(kernel_iterations(), 64); // 2^(8-2)
+        assert_eq!(kernel_class_iterations(KernelClass::Dense2), 64);
+        reset_kernel_iterations();
+        sv.apply_pair(2, 5, &m, 1 << 0);
+        assert_eq!(kernel_iterations(), 32); // 2^(8-2-1)
+        reset_kernel_iterations();
+        sv.apply_pair(3, 4, &m, (1 << 0) | (1 << 7));
+        assert_eq!(kernel_iterations(), 16); // 2^(8-2-2)
+        assert_eq!(kernel_class_iterations(KernelClass::Dense2), 16);
+        assert_eq!(kernel_class_iterations(KernelClass::Dense), 0);
+    }
+
+    #[test]
+    fn for_each_block_covers_every_amplitude_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut sv = scrambled_state();
+        let expect: Vec<Complex64> = sv.amplitudes().iter().map(|a| a.scale(2.0)).collect();
+        let blocks = AtomicUsize::new(0);
+        sv.for_each_block(2, |block| {
+            assert_eq!(block.len(), 4);
+            blocks.fetch_add(1, Ordering::Relaxed);
+            for a in block {
+                *a = a.scale(2.0);
+            }
+        });
+        assert_eq!(blocks.load(Ordering::Relaxed), 16);
+        for (e, g) in expect.iter().zip(sv.amplitudes()) {
+            assert_eq!(e, g);
         }
     }
 

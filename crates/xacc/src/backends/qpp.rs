@@ -11,7 +11,7 @@ use crate::hetmap::HetMap;
 use crate::XaccError;
 use qcor_circuit::Circuit;
 use qcor_pool::ThreadPool;
-use qcor_sim::{run_shots, Granularity, RunConfig};
+use qcor_sim::{run_shots, Granularity, Precision, RunConfig};
 use std::sync::Arc;
 
 /// State-vector simulator backend.
@@ -27,6 +27,9 @@ pub struct QppAccelerator {
     /// Gate fusion (compile-then-execute) override; `None` defers to the
     /// `QCOR_GATE_FUSION` process default.
     fusion: Option<bool>,
+    /// Amplitude precision override; `None` defers to the `QCOR_PRECISION`
+    /// process default (f64).
+    precision: Option<Precision>,
 }
 
 impl QppAccelerator {
@@ -43,6 +46,7 @@ impl QppAccelerator {
             chunk_shots: None,
             granularity: Granularity::Auto,
             fusion: None,
+            precision: None,
         }
     }
 
@@ -50,8 +54,10 @@ impl QppAccelerator {
     /// `QCOR_NUM_THREADS`), `par-threshold` (see
     /// [`qcor_sim::StateVector::set_par_threshold`]), `chunk-shots`
     /// (explicit scheduler chunk size), `granularity`
-    /// (`"auto"` | `"sequential"`) and `fusion` (bool, or `"on"`/`"off"`;
-    /// default: the `QCOR_GATE_FUSION` process default).
+    /// (`"auto"` | `"sequential"`), `fusion` (bool, or `"on"`/`"off"`;
+    /// default: the `QCOR_GATE_FUSION` process default) and `precision`
+    /// (`"f64"`/`"double"` or `"f32"`/`"single"` — the single-precision
+    /// compiled replay; default: the `QCOR_PRECISION` process default).
     ///
     /// Bad parameter values are rejected with
     /// [`XaccError::InvalidParam`] — surfaced as an `Err` through
@@ -94,6 +100,24 @@ impl QppAccelerator {
                 )))
             }
         };
+        // `precision` shares the `QCOR_PRECISION` token vocabulary
+        // (`qcor_sim::parse_precision_token`) — same discipline as
+        // `fusion`: unknown tokens and wrong-typed values are hard
+        // configuration errors, never silently ignored.
+        acc.precision = match params.get("precision") {
+            None => None,
+            Some(crate::HetValue::Str(s)) => match qcor_sim::parse_precision_token(s) {
+                Some(p) => Some(p),
+                None => {
+                    return Err(XaccError::InvalidParam(format!(
+                        "unknown precision {s:?}: expected f32/f64/single/double/32/64"
+                    )))
+                }
+            },
+            Some(other) => {
+                return Err(XaccError::InvalidParam(format!("precision must be a string, got {other:?}")))
+            }
+        };
         Ok(acc)
     }
 
@@ -128,6 +152,7 @@ impl Accelerator for QppAccelerator {
             chunk_shots: self.chunk_shots,
             granularity: self.granularity,
             fusion: self.fusion,
+            precision: self.precision,
         };
         let counts = run_shots(circuit, Arc::clone(&self.pool), &config);
         buffer.merge_counts(&counts);
@@ -202,6 +227,55 @@ mod tests {
         let err = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("fusion", 3usize))
             .unwrap_err();
         assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("fusion")), "{err}");
+    }
+
+    #[test]
+    fn from_params_precision_accepts_env_token_set() {
+        // The param accepts exactly what QCOR_PRECISION accepts.
+        for (token, expect) in [
+            ("f64", Precision::F64),
+            ("double", Precision::F64),
+            ("64", Precision::F64),
+            ("f32", Precision::F32),
+            ("single", Precision::F32),
+            ("32", Precision::F32),
+        ] {
+            let acc =
+                QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("precision", token))
+                    .unwrap();
+            assert_eq!(acc.precision, Some(expect), "token {token:?}");
+        }
+        let unset = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize)).unwrap();
+        assert_eq!(unset.precision, None);
+    }
+
+    #[test]
+    fn from_params_rejects_unknown_precision_as_err() {
+        let err =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("precision", "f16"))
+                .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("precision")), "{err}");
+        // Wrong-typed values are rejected too, not silently ignored.
+        let err = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("precision", true))
+            .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("precision")), "{err}");
+        let err =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("precision", 32usize))
+                .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("precision")), "{err}");
+    }
+
+    #[test]
+    fn f32_precision_executes_and_samples_the_distribution() {
+        let acc =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("precision", "f32"))
+                .unwrap();
+        let mut buf = AcceleratorBuffer::with_name("b", 2);
+        acc.execute(&mut buf, &library::bell_kernel(), &ExecOptions::with_shots(512).seeded(4)).unwrap();
+        assert_eq!(buf.total_shots(), 512);
+        assert!(buf.measurements().keys().all(|k| k == "00" || k == "11"));
+        let p00 = buf.probability("00");
+        assert!((p00 - 0.5).abs() < 0.1, "p(00) = {p00}");
     }
 
     #[test]

@@ -34,6 +34,86 @@ fn xasm_source() -> impl Strategy<Value = String> {
     })
 }
 
+const BUILDER_QUBITS: usize = 4;
+
+/// Encoded random builder-circuit ops: `(kind, a, b, theta)` tuples
+/// decoded by [`build_circuit`]. Includes the gate classes the pair-fusing
+/// compiler treats specially: dense runs (pair fusion into `Dense2`),
+/// swaps and controlled swaps (operand relabeling), multi-controlled
+/// entanglers, and optional mid-circuit measure/reset boundaries.
+fn builder_ops() -> impl Strategy<Value = Vec<(u8, usize, usize, f64)>> {
+    prop::collection::vec(
+        ((0u8..12), (0usize..BUILDER_QUBITS), (0usize..BUILDER_QUBITS), (-3.0f64..3.0)),
+        0..24,
+    )
+}
+
+/// Decode [`builder_ops`] tuples into a circuit. Operand clashes (e.g. a
+/// swap of a qubit with itself) skip the op rather than filter the input,
+/// so every generated vector is a valid circuit. `with_boundaries`
+/// enables the mid-circuit `Measure`/`Reset` ops (kinds 10/11); without
+/// it those kinds fall back to unitary gates so the circuit stays
+/// measurement-free for amplitude comparison.
+fn build_circuit(ops: &[(u8, usize, usize, f64)], with_boundaries: bool) -> Circuit {
+    let mut c = Circuit::new(BUILDER_QUBITS);
+    for &(kind, a, b, theta) in ops {
+        match kind {
+            0 => {
+                c.h(a);
+            }
+            1 => {
+                c.t(a);
+            }
+            2 => {
+                c.ry(a, theta);
+            }
+            3 => {
+                c.rz(a, theta);
+            }
+            4 => {
+                c.s(a).h(a).tdg(a);
+            }
+            5 if a != b => {
+                c.cx(a, b);
+            }
+            6 if a != b => {
+                c.cz(a, b);
+            }
+            7 if a != b => {
+                c.swap(a, b);
+            }
+            8 if a != b => {
+                let ctrl = (a + b) % BUILDER_QUBITS;
+                if ctrl != a && ctrl != b {
+                    c.cswap(ctrl, a, b);
+                }
+            }
+            9 if a != b => {
+                let t = (a + b) % BUILDER_QUBITS;
+                if t != a && t != b {
+                    c.ccx(a, b, t);
+                }
+            }
+            10 => {
+                if with_boundaries {
+                    c.measure(a);
+                } else {
+                    c.x(a);
+                }
+            }
+            11 => {
+                if with_boundaries {
+                    c.reset(a);
+                } else {
+                    c.crz(a, (a + 1) % BUILDER_QUBITS, theta);
+                }
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
 fn counts_via_accelerator(circuit: &Circuit, threads: usize, seed: u64) -> qcor_sim::Counts {
     let params = HetMap::new().with("threads", threads);
     let acc = registry::get_accelerator("qpp", &params).unwrap();
@@ -198,5 +278,78 @@ proptest! {
         let fused = run_shots(&circuit, Arc::new(ThreadPool::new(1)), &fused_cfg);
         let interp = run_shots(&circuit, Arc::new(ThreadPool::new(2)), &interp_cfg);
         prop_assert_eq!(fused, interp, "fusion knob must not change seeded counts");
+    }
+
+    // ---- two-qubit block fusion + swap relabeling -----------------------
+
+    /// The pair-fusing compiler (Dense2 blocks, swap relabeling, the
+    /// permutation flush) is exactly circuit-equivalent on random
+    /// swap-heavy builder circuits: fused amplitudes match the interpreted
+    /// executor to 1e-12.
+    #[test]
+    fn pair_fused_swap_circuits_amplitudes_agree(
+        ops in builder_ops(),
+        seed in 0u64..500,
+    ) {
+        let circuit = build_circuit(&ops, false);
+        let mut interp = StateVector::new(BUILDER_QUBITS);
+        let mut fused = StateVector::new(BUILDER_QUBITS);
+        run_once_interpreted(&mut interp, &circuit, &mut StdRng::seed_from_u64(seed));
+        let compiled = CompiledCircuit::compile(&circuit);
+        compiled.run_once(&mut fused, &mut StdRng::seed_from_u64(seed));
+        for (a, b) in interp.amplitudes().iter().zip(fused.amplitudes()) {
+            prop_assert!(a.approx_eq(*b, 1e-12), "fused {b} != interpreted {a}");
+        }
+    }
+
+    /// Mid-circuit `Measure`/`Reset` instructions are hard fusion
+    /// boundaries: with random swaps and entanglers around them, fused and
+    /// interpreted execution still consume identical RNG streams and merge
+    /// identical seeded counts through the full scheduler.
+    #[test]
+    fn pair_fused_mid_measure_counts_identical(
+        ops in builder_ops(),
+        seed in 0u64..500,
+        chunk in 0usize..16,
+    ) {
+        let mut circuit = build_circuit(&ops, true);
+        circuit.measure_all();
+        let chunk_shots = (chunk > 0).then_some(chunk);
+        let fused_cfg = RunConfig {
+            shots: 32, seed: Some(seed), chunk_shots, fusion: Some(true), ..RunConfig::default()
+        };
+        let interp_cfg = RunConfig { fusion: Some(false), ..fused_cfg.clone() };
+        let fused = run_shots(&circuit, Arc::new(ThreadPool::new(1)), &fused_cfg);
+        let interp = run_shots(&circuit, Arc::new(ThreadPool::new(2)), &interp_cfg);
+        prop_assert_eq!(fused, interp, "fusion knob must not change seeded counts");
+    }
+
+    /// Relabeled measurement reports logical qubits: a shot record from
+    /// the compiled replay of a swap-permuted circuit has one outcome per
+    /// measured logical qubit, bit-exact with the interpreted record when
+    /// every amplitude is concentrated on one basis state (X/Swap-only
+    /// circuits are deterministic).
+    #[test]
+    fn swap_relabel_reports_logical_outcomes(
+        flips in prop::collection::vec(0usize..BUILDER_QUBITS, 0..6),
+        swaps in prop::collection::vec(((0usize..BUILDER_QUBITS), (0usize..BUILDER_QUBITS)), 0..6),
+        seed in 0u64..100,
+    ) {
+        let mut circuit = Circuit::new(BUILDER_QUBITS);
+        for &q in &flips {
+            circuit.x(q);
+        }
+        for &(a, b) in &swaps {
+            if a != b {
+                circuit.swap(a, b);
+            }
+        }
+        circuit.measure_all();
+        let mut interp = StateVector::new(BUILDER_QUBITS);
+        let mut fused = StateVector::new(BUILDER_QUBITS);
+        let rec_i = run_once_interpreted(&mut interp, &circuit, &mut StdRng::seed_from_u64(seed));
+        let rec_f = CompiledCircuit::compile(&circuit)
+            .run_once(&mut fused, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(rec_i.bitstring(), rec_f.bitstring());
     }
 }

@@ -30,8 +30,24 @@ pub struct Circuit {
 
 impl Circuit {
     /// An empty circuit over `num_qubits` qubits.
+    ///
+    /// Panics when `num_qubits` exceeds [`crate::MAX_QUBITS`] — the
+    /// compiler packs qubit sets into `usize` bitmasks, so wider registers
+    /// cannot be represented. Use [`Circuit::try_new`] for untrusted sizes.
     pub fn new(num_qubits: usize) -> Self {
-        Circuit { num_qubits, instructions: Vec::new() }
+        match Self::try_new(num_qubits) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// An empty circuit over `num_qubits` qubits, rejecting registers wider
+    /// than [`crate::MAX_QUBITS`] with an error instead of panicking.
+    pub fn try_new(num_qubits: usize) -> Result<Self, CircuitError> {
+        if num_qubits > crate::MAX_QUBITS {
+            return Err(CircuitError::TooManyQubits { requested: num_qubits, max: crate::MAX_QUBITS });
+        }
+        Ok(Circuit { num_qubits, instructions: Vec::new() })
     }
 
     /// Number of qubits in the register.
@@ -193,6 +209,14 @@ impl Circuit {
         self.instructions.iter().any(|i| i.gate == GateKind::Measure)
     }
 
+    /// All bound angle parameters, flattened in program order. Slot `i` of
+    /// this vector is parameter slot `i` in the structural view of the
+    /// circuit (see [`crate::wire::structural_hash`]): two circuits with
+    /// equal structure differ only in this vector.
+    pub fn flat_params(&self) -> Vec<f64> {
+        self.instructions.iter().flat_map(|i| i.params.iter().copied()).collect()
+    }
+
     // ----- builder methods -------------------------------------------------
 
     /// Append a Hadamard.
@@ -349,6 +373,11 @@ pub struct ParamCircuit {
 impl ParamCircuit {
     /// An empty template.
     pub fn new(name: impl Into<String>, num_qubits: usize, param_names: Vec<String>) -> Self {
+        assert!(
+            num_qubits <= crate::MAX_QUBITS,
+            "kernel requests {num_qubits} qubits but at most {} are supported",
+            crate::MAX_QUBITS
+        );
         ParamCircuit { name: name.into(), param_names, num_qubits, instructions: Vec::new() }
     }
 

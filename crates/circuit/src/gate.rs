@@ -311,19 +311,54 @@ impl Instruction {
     /// Bitmask of every qubit this instruction touches (its support).
     /// Instructions with disjoint supports act on different qubits and
     /// therefore commute.
+    ///
+    /// Panics when a qubit index is ≥ [`crate::MAX_QUBITS`]: in release
+    /// builds the naive `1 << q` would silently wrap and corrupt every
+    /// commute/fusion decision downstream. Circuits built through
+    /// [`Circuit`](crate::Circuit) are rejected before this can trigger;
+    /// use [`Instruction::try_support_mask`] for untrusted instructions.
     pub fn support_mask(&self) -> usize {
-        self.qubits.iter().fold(0usize, |m, &q| m | (1 << q))
+        match self.try_support_mask() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked form of [`Instruction::support_mask`].
+    pub fn try_support_mask(&self) -> Result<usize, crate::CircuitError> {
+        checked_mask(&self.qubits)
     }
 
     /// Bitmask of the control operands (see [`GateKind::num_controls`]).
+    /// Panics for qubit indices ≥ [`crate::MAX_QUBITS`], like
+    /// [`Instruction::support_mask`].
     pub fn control_mask(&self) -> usize {
-        self.qubits[..self.gate.num_controls()].iter().fold(0usize, |m, &q| m | (1 << q))
+        match self.try_control_mask() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked form of [`Instruction::control_mask`].
+    pub fn try_control_mask(&self) -> Result<usize, crate::CircuitError> {
+        checked_mask(&self.qubits[..self.gate.num_controls()])
     }
 
     /// The non-control operands, in order.
     pub fn target_qubits(&self) -> &[usize] {
         &self.qubits[self.gate.num_controls()..]
     }
+}
+
+/// OR the qubits into a `usize` bitmask, rejecting indices that would shift
+/// past the word instead of wrapping.
+fn checked_mask(qubits: &[usize]) -> Result<usize, crate::CircuitError> {
+    qubits.iter().try_fold(0usize, |m, &q| {
+        if q >= crate::MAX_QUBITS {
+            return Err(crate::CircuitError::TooManyQubits { requested: q + 1, max: crate::MAX_QUBITS });
+        }
+        Ok(m | (1usize << q))
+    })
 }
 
 impl std::fmt::Display for Instruction {

@@ -27,17 +27,28 @@ mod gate;
 pub mod library;
 pub mod passes;
 pub mod qasm;
+pub mod wire;
 pub mod xasm;
 
 pub use circuit::{Circuit, ParamCircuit, ParamInstruction};
 pub use expr::{EvalError, ParamExpr};
 pub use gate::{GateKind, Instruction};
+pub use wire::WireError;
+
+/// Hard upper bound on register width. The compiler and simulator pack
+/// qubit sets into `usize` bitmasks (`support_mask`, control masks, phase
+/// sweeps), so a qubit index of 64 or more would shift past the word and —
+/// in release builds — silently wrap, corrupting fusion decisions. Circuits
+/// wider than this are rejected at construction and at wire decode.
+pub const MAX_QUBITS: usize = 64;
 
 /// Errors produced while parsing or manipulating circuits.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CircuitError {
     /// A gate referenced a qubit index outside the register.
     QubitOutOfRange { gate: String, qubit: usize, size: usize },
+    /// The register is wider than the `usize`-bitmask budget ([`MAX_QUBITS`]).
+    TooManyQubits { requested: usize, max: usize },
     /// Parse error with a line number and message.
     Parse { line: usize, message: String },
     /// A parameter expression referenced an unbound variable.
@@ -53,6 +64,9 @@ impl std::fmt::Display for CircuitError {
         match self {
             CircuitError::QubitOutOfRange { gate, qubit, size } => {
                 write!(f, "gate {gate} addresses qubit {qubit} but the register has {size} qubits")
+            }
+            CircuitError::TooManyQubits { requested, max } => {
+                write!(f, "circuit requests {requested} qubits but bitmask-based compilation supports at most {max}")
             }
             CircuitError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             CircuitError::UnboundParam(name) => write!(f, "unbound kernel parameter `{name}`"),

@@ -140,7 +140,7 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
         instructions.push(Instruction::new(gate, qubits, params));
     }
 
-    let mut circuit = Circuit::new(num_qubits);
+    let mut circuit = Circuit::try_new(num_qubits)?;
     for inst in instructions {
         circuit.try_push(inst)?;
     }
@@ -149,11 +149,24 @@ pub fn parse(src: &str) -> Result<Circuit, CircuitError> {
 
 /// Split a gate statement into the head (`name(params)`) and operand text.
 fn split_gate_head(stmt: &str, line: usize) -> Result<(&str, &str), CircuitError> {
-    // The operands start after the closing paren (if parameters exist) or
-    // after the first whitespace run.
+    // The operands start after the paren matching the first `(` (parameter
+    // expressions may nest parens, e.g. `rz((pi/2)*3) q[0]`) or after the
+    // first whitespace run when there are no parameters.
     if let Some(open) = stmt.find('(') {
-        let close = stmt[open..].find(')').map(|i| open + i).ok_or_else(|| err(line, "missing `)`"))?;
-        Ok((&stmt[..=close], stmt[close + 1..].trim()))
+        let mut depth = 0usize;
+        for (i, ch) in stmt.char_indices().skip(open) {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok((&stmt[..=i], stmt[i + 1..].trim()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Err(err(line, "missing `)`"))
     } else {
         let split =
             stmt.find(char::is_whitespace).ok_or_else(|| err(line, "gate statement missing operands"))?;
@@ -207,11 +220,27 @@ fn parse_operand_list(
 /// decomposed into qelib-compatible sequences.
 pub fn to_qasm(circuit: &Circuit) -> String {
     let n = circuit.num_qubits();
+    // The classical register must cover every explicit cbit target as well
+    // as the counter-assigned bits of bare `measure` instructions —
+    // `measure_to(q, c)` with c ≥ num_qubits would otherwise emit QASM
+    // that fails to re-parse.
+    let mut creg_size = n;
+    let mut auto = 0usize;
+    for inst in circuit.instructions() {
+        if inst.gate == GateKind::Measure {
+            let c = inst.cbit.unwrap_or_else(|| {
+                let c = auto;
+                auto += 1;
+                c
+            });
+            creg_size = creg_size.max(c + 1);
+        }
+    }
     let mut out = String::new();
     out.push_str("OPENQASM 2.0;\n");
     out.push_str("include \"qelib1.inc\";\n");
     out.push_str(&format!("qreg q[{n}];\n"));
-    out.push_str(&format!("creg c[{n}];\n"));
+    out.push_str(&format!("creg c[{creg_size}];\n"));
     let mut next_cbit = 0usize;
     for inst in circuit.instructions() {
         let q = &inst.qubits;
@@ -273,8 +302,12 @@ pub fn to_qasm(circuit: &Circuit) -> String {
 }
 
 fn fmt_f(v: f64) -> String {
-    // Enough digits for an exact f64 round-trip.
-    format!("{v:.17}")
+    // Rust's `Display` for f64 prints the shortest decimal string that
+    // parses back to the same bits — an exact round-trip. The previous
+    // `{v:.17}` fixed-point form truncated small magnitudes (17 decimal
+    // *places* is fewer than 17 significant digits for |v| < 1), so e.g.
+    // rz(1e-19) silently became rz(0) after emit→parse.
+    format!("{v}")
 }
 
 #[cfg(test)]

@@ -72,6 +72,55 @@ proptest! {
         }
     }
 
+    // Fixpoint property for the QASM ingress/egress pair: parsing what we
+    // emit must converge after one round. `parse(to_qasm(c))` may differ
+    // from `c` only where QASM cannot express our IR exactly (CCPhase is
+    // decomposed, bare `measure` gains an explicit cbit) — but emitting and
+    // re-parsing *that* circuit must be the identity, angles bit-exact.
+    #[test]
+    fn qasm_emit_parse_reaches_fixpoint(c in circuit_strategy(4, 30)) {
+        let c1 = qcor_circuit::qasm::parse(&qcor_circuit::qasm::to_qasm(&c)).unwrap();
+        let c2 = qcor_circuit::qasm::parse(&qcor_circuit::qasm::to_qasm(&c1)).unwrap();
+        prop_assert_eq!(&c2, &c1, "second emit/parse round must be the identity");
+    }
+
+    // Angles survive emit→parse exactly, not just to a tolerance: the
+    // writer prints shortest-round-trip decimals and the reader parses
+    // them back to the same bits.
+    #[test]
+    fn qasm_round_trip_is_bit_exact_on_angles(c in circuit_strategy(4, 30)) {
+        let parsed = qcor_circuit::qasm::parse(&qcor_circuit::qasm::to_qasm(&c)).unwrap();
+        prop_assert_eq!(parsed.len(), c.len());
+        for (a, b) in parsed.instructions().iter().zip(c.instructions()) {
+            prop_assert_eq!(a.gate, b.gate);
+            prop_assert_eq!(&a.qubits, &b.qubits);
+            for (pa, pb) in a.params.iter().zip(&b.params) {
+                prop_assert_eq!(pa.to_bits(), pb.to_bits(), "angle must round-trip exactly");
+            }
+        }
+    }
+
+    // The binary wire format round-trips every builder circuit exactly.
+    #[test]
+    fn wire_round_trips_builder_circuits(c in circuit_strategy(4, 40)) {
+        let bytes = qcor_circuit::wire::encode(&c);
+        let back = qcor_circuit::wire::decode(&bytes).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    // Truncating an encoded circuit anywhere yields a typed error, never a
+    // panic or a silently-shortened circuit.
+    #[test]
+    fn wire_decode_rejects_truncations(c in circuit_strategy(4, 12)) {
+        let bytes = qcor_circuit::wire::encode(&c);
+        for cut in 0..bytes.len() {
+            prop_assert!(matches!(
+                qcor_circuit::wire::decode(&bytes[..cut]),
+                Err(qcor_circuit::WireError::Truncated { .. })
+            ));
+        }
+    }
+
     #[test]
     fn optimizer_never_grows_and_is_idempotent(mut c in circuit_strategy(4, 40)) {
         let before = c.len();

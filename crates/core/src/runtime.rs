@@ -124,6 +124,17 @@ impl InitOptions {
         self
     }
 
+    /// Force the structural compile cache on or off for this backend (an
+    /// angle sweep over one circuit shape reuses a cached
+    /// `qcor_sim::CompiledTemplate` and only re-binds parameters). Defaults
+    /// to the `QCOR_COMPILE_CACHE` process default (enabled); `false`
+    /// compiles cold every invocation for A/B comparison. Seeded counts
+    /// are identical either way.
+    pub fn compile_cache(mut self, enabled: bool) -> Self {
+        self.params.insert("compile-cache", enabled);
+        self
+    }
+
     /// Pin this initialization to `backend` verbatim (explicitly override
     /// any process-wide routing policy).
     pub fn route_pinned(mut self) -> Self {
@@ -414,6 +425,35 @@ mod tests {
             QPUManager::instance().clear_current();
 
             assert_eq!(fused, interp, "fusion must not change seeded counts");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn compile_cache_knob_reaches_backend_and_counts_match() {
+        std::thread::spawn(|| {
+            initialize(InitOptions::default().threads(1).shots(128).seed(29).compile_cache(true)).unwrap();
+            let q_cached = qalloc(3);
+            execute(&q_cached, &library::ghz_kernel(3)).unwrap();
+            let cached = q_cached.measurement_counts();
+            QPUManager::instance().clear_current();
+
+            initialize(InitOptions::default().threads(1).shots(128).seed(29).compile_cache(false)).unwrap();
+            let q_cold = qalloc(3);
+            execute(&q_cold, &library::ghz_kernel(3)).unwrap();
+            let cold = q_cold.measurement_counts();
+            QPUManager::instance().clear_current();
+
+            assert_eq!(cached, cold, "compile cache must not change seeded counts");
+
+            // Unknown tokens surface as InvalidParam through initialize,
+            // exactly like fusion.
+            let err = initialize(InitOptions::default().threads(1).param("compile-cache", "perhaps"));
+            assert!(
+                matches!(err, Err(QcorError::InvalidParam(ref msg)) if msg.contains("compile-cache")),
+                "{err:?}"
+            );
         })
         .join()
         .unwrap();

@@ -116,29 +116,37 @@ pub enum KernelOp {
 
 /// Intermediate form during fusion: dense matrices and *angle*-valued
 /// phases (angles merge exactly by addition; the unit complex factor is
-/// derived once at finalization).
+/// derived once at finalization). Each unitary op carries its provenance
+/// (`src`): the [`Atom`] ids, in temporal order, whose ordered product the
+/// op's value is. Cold compilation leaves the lists empty (zero cost — an
+/// empty `Vec` never allocates); the template compiler uses them to
+/// re-derive parameter-dependent groups at [`CompiledTemplate::rebind`].
 #[derive(Debug, Clone)]
 enum LowOp {
     Dense {
         target: usize,
         ctrl_mask: usize,
         m: [[Complex64; 2]; 2],
+        src: Srcs,
     },
     Dense2 {
         t0: usize,
         t1: usize,
         ctrl_mask: usize,
         m: Box<[[Complex64; 4]; 4]>,
+        src: Srcs,
     },
     Phase {
         set_mask: usize,
         clear_mask: usize,
         theta: f64,
+        src: Srcs,
     },
     Swap {
         a: usize,
         b: usize,
         ctrl_mask: usize,
+        src: Srcs,
     },
     Measure {
         qubit: usize,
@@ -151,6 +159,180 @@ enum LowOp {
     /// Hard fusion barrier (from `GateKind::Barrier`); dropped at
     /// finalization.
     Barrier,
+}
+
+/// Provenance of a fused group: atom ids in temporal (program) order.
+/// Merging with an *earlier* op prepends its list; folding a *later* op
+/// into an existing one appends — so the ordered product over the list
+/// always reconstructs the group's operator.
+type Srcs = Vec<u32>;
+
+/// High bit of an atom id, set when the atom's value depends on a
+/// parameter slot. Lets `has_param` run without touching the atom table.
+const PARAM_ATOM: u32 = 1 << 31;
+
+/// True when any atom in the group is parameter-dependent. Groups with a
+/// parameter are never dropped at template-build time (a binding-specific
+/// identity must not be baked into the reusable plan) and are re-derived
+/// on every rebind.
+fn has_param(src: &[u32]) -> bool {
+    src.iter().any(|&id| id & PARAM_ATOM != 0)
+}
+
+/// Take the provenance out of a removed op (non-unitary ops have none).
+fn take_src(op: LowOp) -> Srcs {
+    match op {
+        LowOp::Dense { src, .. }
+        | LowOp::Dense2 { src, .. }
+        | LowOp::Phase { src, .. }
+        | LowOp::Swap { src, .. } => src,
+        _ => Srcs::new(),
+    }
+}
+
+/// Prepend the provenance of an earlier op: `dst = earlier ++ dst`.
+fn prepend_src(dst: &mut Srcs, mut earlier: Srcs) {
+    if !earlier.is_empty() {
+        earlier.extend(dst.iter().copied());
+        *dst = earlier;
+    }
+}
+
+/// Angle sentinel the template compiler feeds into parameterized gates.
+/// Sentinels only steer the *value-dependent heuristics* of fusion (the
+/// `is_cheap` pairing test): they are generic, slot-distinct angles, so no
+/// sentinel matrix ever looks diagonal/anti-diagonal/identity and the
+/// template's decisions hold for every future binding. Correctness never
+/// rests on them — parameter-dependent groups are re-derived per binding.
+fn sentinel_value(slot: usize) -> f64 {
+    0.618_033_988_749_894_9 + 0.05 * ((slot & 63) as f64)
+}
+
+/// The value of one phase angle in a template: a constant, or `scale ×
+/// values[slot]` for a parameterized gate (e.g. the `-θ/2` global half of
+/// an `Rz` is `Slot { slot, scale: -0.5 }`).
+#[derive(Debug, Clone, Copy)]
+enum ThetaSpec {
+    Const(f64),
+    Slot { slot: u32, scale: f64 },
+}
+
+impl ThetaSpec {
+    fn eval(self, values: &[f64]) -> f64 {
+        match self {
+            ThetaSpec::Const(c) => c,
+            ThetaSpec::Slot { slot, scale } => scale * values[slot as usize],
+        }
+    }
+}
+
+/// Build the angle spec for a gate's `k = 0` parameter: a slot reference in
+/// template mode, the bound constant in cold mode.
+fn theta_spec(slot0: Option<u32>, scale: f64, value: f64) -> ThetaSpec {
+    match slot0 {
+        Some(slot) => ThetaSpec::Slot { slot, scale },
+        None => ThetaSpec::Const(value),
+    }
+}
+
+/// One lowered unit of the source circuit as registered by the template
+/// compiler. A fused group's operator is the ordered product of its atoms'
+/// matrices, so [`CompiledTemplate::rebind`] can re-derive exactly the
+/// parameter-dependent groups for any binding.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Diagonal phase on `set_mask`-set / `clear_mask`-clear amplitudes
+    /// (`set_mask == usize::MAX` is the global-phase sentinel).
+    Phase { set_mask: usize, clear_mask: usize, theta: ThetaSpec },
+    /// (Controlled) single-qubit unitary at physical `target`; `ctrl_mask`
+    /// is the full physical control mask at lowering time and `pslot` the
+    /// gate's first parameter slot when parameterized.
+    Single { gate: GateKind, target: usize, ctrl_mask: usize, pslot: Option<u32> },
+    /// A swap folded into a pair block (always constant).
+    Swap,
+}
+
+impl Atom {
+    fn single_matrix(gate: GateKind, pslot: Option<u32>, values: &[f64]) -> [[Complex64; 2]; 2] {
+        let n = gate.num_params();
+        let mut pv = [0.0f64; 3];
+        if let Some(p0) = pslot {
+            pv[..n].copy_from_slice(&values[p0 as usize..p0 as usize + n]);
+        }
+        single_qubit_matrix(gate, &pv[..n]).expect("single-qubit atom")
+    }
+
+    /// The atom's 2×2 matrix inside a single-qubit group on `bit = 1 <<
+    /// target` (the fold conditions guarantee a phase atom here is either
+    /// the target-set or the target-clear diagonal of the group).
+    fn mat2(&self, bit: usize, values: &[f64]) -> [[Complex64; 2]; 2] {
+        match self {
+            Atom::Single { gate, pslot, .. } => Self::single_matrix(*gate, *pslot, values),
+            Atom::Phase { clear_mask, theta, .. } => {
+                let p = Complex64::from_polar_unit(theta.eval(values));
+                if clear_mask & bit != 0 {
+                    [[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]]
+                } else {
+                    [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]]
+                }
+            }
+            Atom::Swap => unreachable!("swap atoms only occur in pair groups"),
+        }
+    }
+
+    /// The atom's 4×4 matrix inside a pair group on `(t0, t1)` (the fold
+    /// conditions guarantee the atom's outer masks match the group's, so
+    /// only the in-pair bits matter here).
+    fn mat4(&self, t0: usize, t1: usize, values: &[f64]) -> [[Complex64; 4]; 4] {
+        let pb = (1usize << t0) | (1usize << t1);
+        match self {
+            Atom::Single { gate, target, ctrl_mask, pslot } => embed_pair_single(
+                usize::from(*target == t1),
+                pair_s_mask(ctrl_mask & pb, t0, t1),
+                Self::single_matrix(*gate, *pslot, values),
+            ),
+            Atom::Phase { set_mask, clear_mask, theta } => pair_phase_matrix(
+                pair_s_mask(set_mask & pb, t0, t1),
+                pair_s_mask(clear_mask & pb, t0, t1),
+                theta.eval(values),
+            ),
+            Atom::Swap => swap4(),
+        }
+    }
+}
+
+/// Left-multiply `acc` in place by the embedded (controlled) single `m`
+/// acting on pair bit `pos`, conditioned on in-pair controls `ctrl_s` —
+/// the specialized form of `mat4_mul(&embed_pair_single(pos, ctrl_s, m),
+/// &acc)` (rows with unsatisfied controls are identity rows, so only the
+/// satisfying row pair mixes).
+fn mul4_single_left(acc: &mut [[Complex64; 4]; 4], pos: usize, ctrl_s: usize, m: [[Complex64; 2]; 2]) {
+    let bit = 1usize << pos;
+    for s0 in 0..4usize {
+        if s0 & bit != 0 || s0 & ctrl_s != ctrl_s {
+            continue;
+        }
+        let (lo, hi) = acc.split_at_mut(s0 | bit);
+        for (x0, x1) in lo[s0].iter_mut().zip(hi[0].iter_mut()) {
+            let (a0, a1) = (*x0, *x1);
+            *x0 = m[0][0] * a0 + m[0][1] * a1;
+            *x1 = m[1][0] * a0 + m[1][1] * a1;
+        }
+    }
+}
+
+/// Left-multiply `acc` in place by the pair-diagonal phase block — the
+/// specialized form of `mat4_mul(&pair_phase_matrix(set_s, clear_s,
+/// theta), &acc)` (scales the selected rows, leaves the rest untouched).
+fn mul4_phase_left(acc: &mut [[Complex64; 4]; 4], set_s: usize, clear_s: usize, theta: f64) {
+    let p = Complex64::from_polar_unit(theta);
+    for (s, row) in acc.iter_mut().enumerate() {
+        if s & set_s == set_s && s & clear_s == 0 {
+            for cell in row {
+                *cell *= p;
+            }
+        }
+    }
 }
 
 /// How far backward the fusion passes search for a merge partner while
@@ -214,17 +396,19 @@ impl CompiledCircuit {
     /// Lower and fuse `circuit`. The result replays with
     /// [`CompiledCircuit::run_once`].
     pub fn compile(circuit: &Circuit) -> CompiledCircuit {
-        let mut fuser = Fuser {
-            out: Vec::with_capacity(circuit.len()),
-            pending_global: 0.0,
-            loc: (0..circuit.num_qubits()).collect(),
-        };
+        let mut fuser = Fuser::new(circuit.num_qubits(), circuit.len(), false);
         for inst in circuit.instructions() {
-            fuser.push_instruction(inst);
+            fuser.push_instruction(inst, None);
         }
         let ops = fuser.finalize();
+        Self::from_ops(circuit.num_qubits(), ops, circuit.len())
+    }
+
+    /// Assemble a compiled circuit from an already-final op list, replanning
+    /// the cache-blocking segments (they are a pure function of the ops).
+    pub(crate) fn from_ops(num_qubits: usize, ops: Vec<KernelOp>, source_len: usize) -> CompiledCircuit {
         let segments = plan_segments(&ops);
-        CompiledCircuit { num_qubits: circuit.num_qubits(), ops, segments, source_len: circuit.len() }
+        CompiledCircuit { num_qubits, ops, segments, source_len }
     }
 
     /// Qubit count of the source circuit.
@@ -508,14 +692,44 @@ struct Fuser {
     /// with every unitary, so they are hoisted and flushed as one
     /// [`KernelOp::Scale`] at measure/reset/barrier boundaries.
     pending_global: f64,
+    /// Provenance of `pending_global` (template mode only).
+    pending_global_src: Srcs,
     /// Logical→physical qubit map. An uncontrolled `Swap` updates this map
     /// instead of emitting a kernel; every later operand is relabeled
     /// through it and the residual permutation is flushed as swaps at the
     /// end of the circuit.
     loc: Vec<usize>,
+    /// `Some` in template mode: every lowered unit registers an [`Atom`]
+    /// and tags the ops it contributes to with the atom's id.
+    atoms: Option<Vec<Atom>>,
 }
 
 impl Fuser {
+    fn new(num_qubits: usize, capacity: usize, track_atoms: bool) -> Fuser {
+        Fuser {
+            out: Vec::with_capacity(capacity),
+            pending_global: 0.0,
+            pending_global_src: Srcs::new(),
+            loc: (0..num_qubits).collect(),
+            atoms: if track_atoms { Some(Vec::new()) } else { None },
+        }
+    }
+
+    /// Register an atom (template mode) and return the one-element
+    /// provenance list for the op it lowers to. Cold mode returns an empty
+    /// list and drops the atom — `has_param` then stays false everywhere
+    /// and fusion behaves exactly as before provenance tracking existed.
+    fn add_atom(&mut self, atom: Atom, param: bool) -> Srcs {
+        match &mut self.atoms {
+            Some(atoms) => {
+                let id = atoms.len() as u32 | if param { PARAM_ATOM } else { 0 };
+                atoms.push(atom);
+                vec![id]
+            }
+            None => Srcs::new(),
+        }
+    }
+
     fn map_mask(&self, mask: usize) -> usize {
         let mut out = 0usize;
         let mut m = mask;
@@ -527,44 +741,94 @@ impl Fuser {
         out
     }
 
-    fn push_instruction(&mut self, inst: &Instruction) {
+    /// Register a phase atom and push the angle-valued phase op carrying
+    /// its provenance.
+    fn lower_phase(&mut self, set_mask: usize, clear_mask: usize, theta: f64, spec: ThetaSpec) {
+        let src = self.add_atom(
+            Atom::Phase { set_mask, clear_mask, theta: spec },
+            matches!(spec, ThetaSpec::Slot { .. }),
+        );
+        self.push_phase(set_mask, clear_mask, theta, src);
+    }
+
+    /// Sugar for the fixed-angle diagonal gates (Z/S/T/CZ/…).
+    fn lower_const_phase(&mut self, set_mask: usize, theta: f64) {
+        self.lower_phase(set_mask, 0, theta, ThetaSpec::Const(theta));
+    }
+
+    /// Lower one instruction. `slot0` is `None` for cold compilation (angles
+    /// come from the instruction) and `Some(first parameter slot)` for
+    /// template compilation (angles come from per-slot sentinels and every
+    /// lowered unit registers an [`Atom`]).
+    fn push_instruction(&mut self, inst: &Instruction, slot0: Option<u32>) {
         use GateKind::*;
         let q = &inst.qubits;
+        // Parameter values driving matrix/angle computation this pass.
+        let mut pv = [0.0f64; 3];
+        for (k, v) in pv.iter_mut().enumerate().take(inst.params.len()) {
+            *v = match slot0 {
+                Some(s0) => sentinel_value(s0 as usize + k),
+                None => inst.params[k],
+            };
+        }
         match inst.gate {
             // Diagonal gates lower to angle-valued phase ops, exactly
             // mirroring the interpreted fast path in `apply_instruction`.
-            Z => self.push_phase(1 << self.loc[q[0]], 0, std::f64::consts::PI),
-            S => self.push_phase(1 << self.loc[q[0]], 0, std::f64::consts::FRAC_PI_2),
-            Sdg => self.push_phase(1 << self.loc[q[0]], 0, -std::f64::consts::FRAC_PI_2),
-            T => self.push_phase(1 << self.loc[q[0]], 0, std::f64::consts::FRAC_PI_4),
-            Tdg => self.push_phase(1 << self.loc[q[0]], 0, -std::f64::consts::FRAC_PI_4),
-            Phase => self.push_phase(1 << self.loc[q[0]], 0, inst.params[0]),
-            Rz => {
-                self.pending_global += -inst.params[0] / 2.0;
-                self.push_phase(1 << self.loc[q[0]], 0, inst.params[0]);
+            Z => self.lower_const_phase(1 << self.loc[q[0]], std::f64::consts::PI),
+            S => self.lower_const_phase(1 << self.loc[q[0]], std::f64::consts::FRAC_PI_2),
+            Sdg => self.lower_const_phase(1 << self.loc[q[0]], -std::f64::consts::FRAC_PI_2),
+            T => self.lower_const_phase(1 << self.loc[q[0]], std::f64::consts::FRAC_PI_4),
+            Tdg => self.lower_const_phase(1 << self.loc[q[0]], -std::f64::consts::FRAC_PI_4),
+            Phase => {
+                let set = 1 << self.loc[q[0]];
+                self.lower_phase(set, 0, pv[0], theta_spec(slot0, 1.0, pv[0]));
             }
-            CZ => self.push_phase((1 << self.loc[q[0]]) | (1 << self.loc[q[1]]), 0, std::f64::consts::PI),
-            CPhase => self.push_phase((1 << self.loc[q[0]]) | (1 << self.loc[q[1]]), 0, inst.params[0]),
-            CCPhase => self.push_phase(
-                (1 << self.loc[q[0]]) | (1 << self.loc[q[1]]) | (1 << self.loc[q[2]]),
-                0,
-                inst.params[0],
-            ),
+            Rz => {
+                let gsrc = self.add_atom(
+                    Atom::Phase {
+                        set_mask: usize::MAX,
+                        clear_mask: 0,
+                        theta: theta_spec(slot0, -0.5, -pv[0] / 2.0),
+                    },
+                    slot0.is_some(),
+                );
+                self.pending_global += -pv[0] / 2.0;
+                self.pending_global_src.extend(gsrc);
+                let set = 1 << self.loc[q[0]];
+                self.lower_phase(set, 0, pv[0], theta_spec(slot0, 1.0, pv[0]));
+            }
+            CZ => self.lower_const_phase((1 << self.loc[q[0]]) | (1 << self.loc[q[1]]), std::f64::consts::PI),
+            CPhase => {
+                let set = (1 << self.loc[q[0]]) | (1 << self.loc[q[1]]);
+                self.lower_phase(set, 0, pv[0], theta_spec(slot0, 1.0, pv[0]));
+            }
+            CCPhase => {
+                let set = (1 << self.loc[q[0]]) | (1 << self.loc[q[1]]) | (1 << self.loc[q[2]]);
+                self.lower_phase(set, 0, pv[0], theta_spec(slot0, 1.0, pv[0]));
+            }
             CRz => {
-                let half = inst.params[0] / 2.0;
-                self.push_phase((1 << self.loc[q[0]]) | (1 << self.loc[q[1]]), 0, half);
-                self.push_phase(1 << self.loc[q[0]], 1 << self.loc[q[1]], -half);
+                let half = pv[0] / 2.0;
+                let (cbit, tbit) = (1 << self.loc[q[0]], 1 << self.loc[q[1]]);
+                self.lower_phase(cbit | tbit, 0, half, theta_spec(slot0, 0.5, half));
+                self.lower_phase(cbit, tbit, -half, theta_spec(slot0, -0.5, -half));
             }
             H | X | Y | Rx | Ry | U3 => {
-                let m = single_qubit_matrix(inst.gate, &inst.params).expect("single-qubit gate");
-                self.push_dense(self.loc[q[0]], 0, m);
+                let m = single_qubit_matrix(inst.gate, &pv[..inst.params.len()]).expect("single-qubit gate");
+                let pslot = if inst.params.is_empty() { None } else { slot0 };
+                let target = self.loc[q[0]];
+                let src = self
+                    .add_atom(Atom::Single { gate: inst.gate, target, ctrl_mask: 0, pslot }, pslot.is_some());
+                self.push_dense(target, 0, m, src);
             }
             // Controlled single-qubit gates: the operand split (controls
             // first) comes from the instruction's own introspection.
             CX | CY | CCX => {
                 let base = if inst.gate == CY { Y } else { X };
                 let m = single_qubit_matrix(base, &[]).expect("single-qubit gate");
-                self.push_dense(self.loc[inst.target_qubits()[0]], self.map_mask(inst.control_mask()), m);
+                let target = self.loc[inst.target_qubits()[0]];
+                let ctrl_mask = self.map_mask(inst.control_mask());
+                let src = self.add_atom(Atom::Single { gate: base, target, ctrl_mask, pslot: None }, false);
+                self.push_dense(target, ctrl_mask, m, src);
             }
             Swap => {
                 // Relabel instead of executing: zero kernel ops now, at
@@ -575,11 +839,9 @@ impl Fuser {
             CSwap => {
                 let t = inst.target_qubits();
                 let (pa, pb) = (self.loc[t[0]], self.loc[t[1]]);
-                self.push_boundary(LowOp::Swap {
-                    a: pa.min(pb),
-                    b: pa.max(pb),
-                    ctrl_mask: self.map_mask(inst.control_mask()),
-                });
+                let ctrl_mask = self.map_mask(inst.control_mask());
+                let src = self.add_atom(Atom::Swap, false);
+                self.push_boundary(LowOp::Swap { a: pa.min(pb), b: pa.max(pb), ctrl_mask, src });
             }
             Measure => self.push_hard_boundary(LowOp::Measure { qubit: q[0], loc: self.loc[q[0]] }),
             Reset => self.push_hard_boundary(LowOp::Reset { qubit: q[0], loc: self.loc[q[0]] }),
@@ -602,11 +864,12 @@ impl Fuser {
     }
 
     fn flush_global(&mut self) {
-        if self.pending_global != 0.0 {
+        if self.pending_global != 0.0 || !self.pending_global_src.is_empty() {
             // Represent as an unconditional phase over zero fixed bits —
             // finalization emits it as a `Scale`.
             let theta = std::mem::take(&mut self.pending_global);
-            self.out.push(LowOp::Phase { set_mask: usize::MAX, clear_mask: 0, theta });
+            let src = std::mem::take(&mut self.pending_global_src);
+            self.out.push(LowOp::Phase { set_mask: usize::MAX, clear_mask: 0, theta, src });
         }
     }
 
@@ -626,7 +889,8 @@ impl Fuser {
             let p = loc[q];
             if p != q {
                 let r = at[q];
-                self.out.push(LowOp::Swap { a: q.min(p), b: q.max(p), ctrl_mask: 0 });
+                let src = self.add_atom(Atom::Swap, false);
+                self.out.push(LowOp::Swap { a: q.min(p), b: q.max(p), ctrl_mask: 0, src });
                 loc[q] = q;
                 at[q] = q;
                 loc[r] = p;
@@ -637,19 +901,19 @@ impl Fuser {
     }
 
     /// Append a dense single-qubit op, merging backward where valid.
-    fn push_dense(&mut self, target: usize, ctrl_mask: usize, mut m: [[Complex64; 2]; 2]) {
+    fn push_dense(&mut self, target: usize, ctrl_mask: usize, mut m: [[Complex64; 2]; 2], mut src: Srcs) {
         let bit = 1usize << target;
         let mut idx = self.out.len();
         let mut scanned = 0;
         while idx > 0 && scanned < FUSION_WINDOW {
             scanned += 1;
             match self.out[idx - 1] {
-                LowOp::Dense { target: t2, ctrl_mask: c2, m: m2 } if t2 == target && c2 == ctrl_mask => {
+                LowOp::Dense { target: t2, ctrl_mask: c2, m: m2, .. } if t2 == target && c2 == ctrl_mask => {
                     // Same target, same controls: collapse to one matrix
                     // (this op applied after the existing one), then keep
                     // scanning with the merged matrix.
                     m = mat2_mul(m, m2);
-                    self.out.remove(idx - 1);
+                    prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                     idx -= 1;
                     continue;
                 }
@@ -662,21 +926,21 @@ impl Fuser {
                     idx -= 1;
                     continue;
                 }
-                LowOp::Phase { set_mask, clear_mask, theta } => {
+                LowOp::Phase { set_mask, clear_mask, theta, .. } => {
                     // A diagonal on exactly this target under the same
                     // controls folds into the matrix as diag(·) applied
                     // first (right multiplication).
                     if set_mask == (ctrl_mask | bit) && clear_mask == 0 {
                         let p = Complex64::from_polar_unit(theta);
                         m = mat2_mul(m, [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]]);
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
                     if set_mask == ctrl_mask && clear_mask == bit {
                         let p = Complex64::from_polar_unit(theta);
                         m = mat2_mul(m, [[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]]);
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
@@ -691,41 +955,42 @@ impl Fuser {
                 _ => break,
             }
         }
-        if !is_identity2(&m) {
-            self.out.insert(idx, LowOp::Dense { target, ctrl_mask, m });
+        if has_param(&src) || !is_identity2(&m) {
+            self.out.insert(idx, LowOp::Dense { target, ctrl_mask, m, src });
         }
     }
 
     /// Append a diagonal phase op, merging backward where valid. Diagonal
     /// ops all commute, so the scan may hop over any of them.
-    fn push_phase(&mut self, set_mask: usize, clear_mask: usize, theta: f64) {
+    fn push_phase(&mut self, set_mask: usize, clear_mask: usize, theta: f64, src: Srcs) {
         let mut idx = self.out.len();
         let mut scanned = 0;
         while idx > 0 && scanned < FUSION_WINDOW {
             scanned += 1;
-            match self.out[idx - 1] {
-                LowOp::Phase { set_mask: s2, clear_mask: c2, theta: t2 } => {
-                    if s2 == set_mask && c2 == clear_mask {
-                        self.out[idx - 1] = LowOp::Phase { set_mask, clear_mask, theta: t2 + theta };
+            match &mut self.out[idx - 1] {
+                LowOp::Phase { set_mask: s2, clear_mask: c2, theta: t2, src: s2src } => {
+                    if *s2 == set_mask && *c2 == clear_mask {
+                        *t2 += theta;
+                        s2src.extend(src);
                         return;
                     }
                     // Distinct diagonal ops commute.
                     idx -= 1;
                 }
-                LowOp::Dense { target, ctrl_mask, m } => {
-                    let bit = 1usize << target;
+                LowOp::Dense { target, ctrl_mask, m, src: dsrc } => {
+                    let bit = 1usize << *target;
                     // Fold onto the dense op as diag applied *after* it
                     // (left multiplication).
-                    if set_mask == (ctrl_mask | bit) && clear_mask == 0 {
+                    if set_mask == (*ctrl_mask | bit) && clear_mask == 0 {
                         let p = Complex64::from_polar_unit(theta);
-                        let fused = mat2_mul([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]], m);
-                        self.out[idx - 1] = LowOp::Dense { target, ctrl_mask, m: fused };
+                        *m = mat2_mul([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]], *m);
+                        dsrc.extend(src);
                         return;
                     }
-                    if set_mask == ctrl_mask && clear_mask == bit {
+                    if set_mask == *ctrl_mask && clear_mask == bit {
                         let p = Complex64::from_polar_unit(theta);
-                        let fused = mat2_mul([[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]], m);
-                        self.out[idx - 1] = LowOp::Dense { target, ctrl_mask, m: fused };
+                        *m = mat2_mul([[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]], *m);
+                        dsrc.extend(src);
                         return;
                     }
                     if phase_independent_of(set_mask, clear_mask, bit) {
@@ -737,29 +1002,38 @@ impl Fuser {
                 _ => break,
             }
         }
-        self.out.insert(idx, LowOp::Phase { set_mask, clear_mask, theta });
+        self.out.insert(idx, LowOp::Phase { set_mask, clear_mask, theta, src });
     }
 
-    /// Flush pending state, run the pair-fusion pass, and classify the
-    /// result into the cheapest kernels, dropping identities.
-    fn finalize(mut self) -> Vec<KernelOp> {
+    /// Flush pending state and run the pair-fusion pass, yielding the final
+    /// low-op list plus the atom table — the lowering shared by cold
+    /// compilation and template building.
+    fn lower(mut self) -> (Vec<LowOp>, Vec<Atom>) {
         self.flush_global();
         self.flush_permutation();
-        let fused = pair_fuse(std::mem::take(&mut self.out));
+        let atoms = self.atoms.take().unwrap_or_default();
+        let lowered = pair_fuse(std::mem::take(&mut self.out));
+        (lowered, atoms)
+    }
+
+    /// Lower, then classify the result into the cheapest kernels, dropping
+    /// identities.
+    fn finalize(self) -> Vec<KernelOp> {
+        let (fused, _) = self.lower();
         let mut ops = Vec::with_capacity(fused.len());
         for low in fused {
             match low {
-                LowOp::Dense { target, ctrl_mask, m } => {
+                LowOp::Dense { target, ctrl_mask, m, .. } => {
                     if let Some(op) = classify_dense(target, ctrl_mask, m) {
                         ops.push(op);
                     }
                 }
-                LowOp::Dense2 { t0, t1, ctrl_mask, m } => {
+                LowOp::Dense2 { t0, t1, ctrl_mask, m, .. } => {
                     if let Some(op) = classify_dense2(t0, t1, ctrl_mask, m) {
                         ops.push(op);
                     }
                 }
-                LowOp::Phase { set_mask, clear_mask, theta } => {
+                LowOp::Phase { set_mask, clear_mask, theta, .. } => {
                     if theta != 0.0 {
                         let phase = Complex64::from_polar_unit(theta);
                         if set_mask == usize::MAX {
@@ -769,7 +1043,7 @@ impl Fuser {
                         }
                     }
                 }
-                LowOp::Swap { a, b, ctrl_mask } => ops.push(KernelOp::Swap { a, b, ctrl_mask }),
+                LowOp::Swap { a, b, ctrl_mask, .. } => ops.push(KernelOp::Swap { a, b, ctrl_mask }),
                 LowOp::Measure { qubit, loc } => ops.push(KernelOp::Measure { qubit, loc }),
                 LowOp::Reset { qubit, loc } => ops.push(KernelOp::Reset { qubit, loc }),
                 LowOp::Barrier => {}
@@ -790,9 +1064,11 @@ fn pair_fuse(ops: Vec<LowOp>) -> Vec<LowOp> {
     let mut fuser = PairFuser { out: Vec::with_capacity(ops.len()) };
     for op in ops {
         match op {
-            LowOp::Dense { target, ctrl_mask, m } => fuser.push_dense(target, ctrl_mask, m),
-            LowOp::Phase { set_mask, clear_mask, theta } => fuser.push_phase(set_mask, clear_mask, theta),
-            LowOp::Swap { a, b, ctrl_mask } => fuser.push_swap(a, b, ctrl_mask),
+            LowOp::Dense { target, ctrl_mask, m, src } => fuser.push_dense(target, ctrl_mask, m, src),
+            LowOp::Phase { set_mask, clear_mask, theta, src } => {
+                fuser.push_phase(set_mask, clear_mask, theta, src)
+            }
+            LowOp::Swap { a, b, ctrl_mask, src } => fuser.push_swap(a, b, ctrl_mask, src),
             // Measure / Reset / Barrier (stage A emits no Dense2) pass
             // through; the scans above never hop them.
             other => fuser.out.push(other),
@@ -802,7 +1078,7 @@ fn pair_fuse(ops: Vec<LowOp>) -> Vec<LowOp> {
 }
 
 impl PairFuser {
-    fn push_dense(&mut self, target: usize, ctrl_mask: usize, mut m: [[Complex64; 2]; 2]) {
+    fn push_dense(&mut self, target: usize, ctrl_mask: usize, mut m: [[Complex64; 2]; 2], mut src: Srcs) {
         let bit = 1usize << target;
         let mut idx = self.out.len();
         let mut scanned = 0;
@@ -821,8 +1097,9 @@ impl PairFuser {
                             pair_s_mask(ctrl_mask & pb, t0, t1),
                             m,
                         );
-                        if let LowOp::Dense2 { m: m4, .. } = &mut self.out[idx - 1] {
+                        if let LowOp::Dense2 { m: m4, src: s4, .. } = &mut self.out[idx - 1] {
                             **m4 = mat4_mul(&e, m4);
+                            s4.extend(src);
                         }
                         return;
                     }
@@ -832,11 +1109,11 @@ impl PairFuser {
                     }
                     break;
                 }
-                LowOp::Dense { target: t2, ctrl_mask: c2, m: m2 } => {
+                LowOp::Dense { target: t2, ctrl_mask: c2, m: m2, .. } => {
                     let (t2, c2, m2) = (*t2, *c2, *m2);
                     if t2 == target && c2 == ctrl_mask {
                         m = mat2_mul(m, m2);
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
@@ -854,8 +1131,9 @@ impl PairFuser {
                         let e_old =
                             embed_pair_single(usize::from(t2 == t1), pair_s_mask(c2 & pb, t0, t1), m2);
                         let m4 = mat4_mul(&e_new, &e_old);
-                        self.out.remove(idx - 1);
-                        self.insert_dense2(idx - 1, t0, t1, ctrl_mask & !pb, m4);
+                        let mut psrc = take_src(self.out.remove(idx - 1));
+                        psrc.extend(src);
+                        self.insert_dense2(idx - 1, t0, t1, ctrl_mask & !pb, m4, psrc);
                         return;
                     }
                     if t2 != target && c2 & bit == 0 && ctrl_mask & bit2 == 0 {
@@ -864,19 +1142,19 @@ impl PairFuser {
                     }
                     break;
                 }
-                LowOp::Phase { set_mask, clear_mask, theta } => {
+                LowOp::Phase { set_mask, clear_mask, theta, .. } => {
                     let (s, c, th) = (*set_mask, *clear_mask, *theta);
                     if s == (ctrl_mask | bit) && c == 0 {
                         let p = Complex64::from_polar_unit(th);
                         m = mat2_mul(m, [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]]);
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
                     if s == ctrl_mask && c == bit {
                         let p = Complex64::from_polar_unit(th);
                         m = mat2_mul(m, [[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]]);
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
@@ -889,8 +1167,8 @@ impl PairFuser {
                 _ => break,
             }
         }
-        if !is_identity2(&m) {
-            self.out.insert(idx, LowOp::Dense { target, ctrl_mask, m });
+        if has_param(&src) || !is_identity2(&m) {
+            self.out.insert(idx, LowOp::Dense { target, ctrl_mask, m, src });
         }
     }
 
@@ -903,16 +1181,17 @@ impl PairFuser {
         t1: usize,
         ctrl_mask: usize,
         mut m4: [[Complex64; 4]; 4],
+        mut src: Srcs,
     ) {
         let pb = (1usize << t0) | (1usize << t1);
         let mut scanned = 0;
         while idx > 0 && scanned < FUSION_WINDOW {
             scanned += 1;
             match &self.out[idx - 1] {
-                LowOp::Dense2 { t0: u0, t1: u1, ctrl_mask: c2, m: m2 } => {
+                LowOp::Dense2 { t0: u0, t1: u1, ctrl_mask: c2, m: m2, .. } => {
                     if *u0 == t0 && *u1 == t1 && *c2 == ctrl_mask {
                         m4 = mat4_mul(&m4, m2);
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
@@ -923,7 +1202,7 @@ impl PairFuser {
                     }
                     break;
                 }
-                LowOp::Dense { target, ctrl_mask: c2, m: m2 } => {
+                LowOp::Dense { target, ctrl_mask: c2, m: m2, .. } => {
                     let (t2, c2, m2) = (*target, *c2, *m2);
                     let bit2 = 1usize << t2;
                     if bit2 & pb != 0 && c2 & !pb == ctrl_mask {
@@ -931,7 +1210,7 @@ impl PairFuser {
                         // (right multiplication).
                         let e = embed_pair_single(usize::from(t2 == t1), pair_s_mask(c2 & pb, t0, t1), m2);
                         m4 = mat4_mul(&m4, &e);
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
@@ -941,7 +1220,7 @@ impl PairFuser {
                     }
                     break;
                 }
-                LowOp::Phase { set_mask, clear_mask, theta } => {
+                LowOp::Phase { set_mask, clear_mask, theta, .. } => {
                     let (s, c, th) = (*set_mask, *clear_mask, *theta);
                     if s != usize::MAX && s & !pb == ctrl_mask && c & !pb == 0 {
                         // Diagonal whose outer condition is exactly the
@@ -950,7 +1229,7 @@ impl PairFuser {
                         let d =
                             pair_phase_matrix(pair_s_mask(s & pb, t0, t1), pair_s_mask(c & pb, t0, t1), th);
                         m4 = mat4_mul(&m4, &d);
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
@@ -960,10 +1239,10 @@ impl PairFuser {
                     }
                     break;
                 }
-                LowOp::Swap { a, b, ctrl_mask: sc } => {
+                LowOp::Swap { a, b, ctrl_mask: sc, .. } => {
                     if *a == t0 && *b == t1 && *sc == ctrl_mask {
                         m4 = mat4_mul(&m4, &swap4());
-                        self.out.remove(idx - 1);
+                        prepend_src(&mut src, take_src(self.out.remove(idx - 1)));
                         idx -= 1;
                         continue;
                     }
@@ -972,34 +1251,37 @@ impl PairFuser {
                 _ => break,
             }
         }
-        if m4 != identity4() {
-            self.out.insert(idx, LowOp::Dense2 { t0, t1, ctrl_mask, m: Box::new(m4) });
+        if has_param(&src) || m4 != identity4() {
+            self.out.insert(idx, LowOp::Dense2 { t0, t1, ctrl_mask, m: Box::new(m4), src });
         }
     }
 
-    fn push_phase(&mut self, set_mask: usize, clear_mask: usize, theta: f64) {
+    fn push_phase(&mut self, set_mask: usize, clear_mask: usize, theta: f64, src: Srcs) {
         let mut idx = self.out.len();
         let mut scanned = 0;
         while idx > 0 && scanned < FUSION_WINDOW {
             scanned += 1;
             match &mut self.out[idx - 1] {
-                LowOp::Phase { set_mask: s2, clear_mask: c2, theta: t2 } => {
+                LowOp::Phase { set_mask: s2, clear_mask: c2, theta: t2, src: s2src } => {
                     if *s2 == set_mask && *c2 == clear_mask {
                         *t2 += theta;
+                        s2src.extend(src);
                         return;
                     }
                     idx -= 1;
                 }
-                LowOp::Dense { target, ctrl_mask, m } => {
+                LowOp::Dense { target, ctrl_mask, m, src: dsrc } => {
                     let bit = 1usize << *target;
                     if set_mask == (*ctrl_mask | bit) && clear_mask == 0 {
                         let p = Complex64::from_polar_unit(theta);
                         *m = mat2_mul([[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, p]], *m);
+                        dsrc.extend(src);
                         return;
                     }
                     if set_mask == *ctrl_mask && clear_mask == bit {
                         let p = Complex64::from_polar_unit(theta);
                         *m = mat2_mul([[p, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]], *m);
+                        dsrc.extend(src);
                         return;
                     }
                     if phase_independent_of(set_mask, clear_mask, bit) {
@@ -1008,7 +1290,7 @@ impl PairFuser {
                     }
                     break;
                 }
-                LowOp::Dense2 { t0, t1, ctrl_mask, m } => {
+                LowOp::Dense2 { t0, t1, ctrl_mask, m, src: dsrc } => {
                     let (t0, t1, c2) = (*t0, *t1, *ctrl_mask);
                     let pb = (1usize << t0) | (1usize << t1);
                     if set_mask != usize::MAX && set_mask & !pb == c2 && clear_mask & !pb == 0 {
@@ -1018,6 +1300,7 @@ impl PairFuser {
                             theta,
                         );
                         **m = mat4_mul(&d, m);
+                        dsrc.extend(src);
                         return;
                     }
                     if set_mask == usize::MAX || (set_mask | clear_mask) & pb == 0 {
@@ -1039,26 +1322,32 @@ impl PairFuser {
                 _ => break,
             }
         }
-        self.out.insert(idx, LowOp::Phase { set_mask, clear_mask, theta });
+        self.out.insert(idx, LowOp::Phase { set_mask, clear_mask, theta, src });
     }
 
-    fn push_swap(&mut self, a: usize, b: usize, ctrl_mask: usize) {
+    fn push_swap(&mut self, a: usize, b: usize, ctrl_mask: usize, src: Srcs) {
         let sb = (1usize << a) | (1usize << b);
         let mut idx = self.out.len();
         let mut scanned = 0;
         while idx > 0 && scanned < FUSION_WINDOW {
             scanned += 1;
             match &mut self.out[idx - 1] {
-                LowOp::Dense2 { t0, t1, ctrl_mask: c2, m } if *t0 == a && *t1 == b && *c2 == ctrl_mask => {
+                LowOp::Dense2 { t0, t1, ctrl_mask: c2, m, src: dsrc }
+                    if *t0 == a && *t1 == b && *c2 == ctrl_mask =>
+                {
                     **m = mat4_mul(&swap4(), m);
+                    dsrc.extend(src);
                     return;
                 }
-                LowOp::Swap { a: a2, b: b2, ctrl_mask: c2 } if *a2 == a && *b2 == b && *c2 == ctrl_mask => {
-                    // Swap · Swap = identity.
+                LowOp::Swap { a: a2, b: b2, ctrl_mask: c2, .. }
+                    if *a2 == a && *b2 == b && *c2 == ctrl_mask =>
+                {
+                    // Swap · Swap = identity (both sides are constant swap
+                    // atoms, so dropping their provenance is always sound).
                     self.out.remove(idx - 1);
                     return;
                 }
-                LowOp::Swap { a: a2, b: b2, ctrl_mask: c2 } => {
+                LowOp::Swap { a: a2, b: b2, ctrl_mask: c2, .. } => {
                     let sup2 = (1usize << *a2) | (1usize << *b2) | *c2;
                     if (sb | ctrl_mask) & sup2 == 0 {
                         idx -= 1;
@@ -1091,7 +1380,7 @@ impl PairFuser {
                 _ => break,
             }
         }
-        self.out.insert(idx, LowOp::Swap { a, b, ctrl_mask });
+        self.out.insert(idx, LowOp::Swap { a, b, ctrl_mask, src });
     }
 }
 
@@ -1131,6 +1420,276 @@ fn classify_dense2(t0: usize, t1: usize, ctrl_mask: usize, m: Box<[[Complex64; 4
         return Some(KernelOp::Swap { a: t0, b: t1, ctrl_mask });
     }
     Some(KernelOp::Dense2 { t0, t1, ctrl_mask, m })
+}
+
+/// One factor of a parameterized single-qubit group's matrix product:
+/// maximal runs of constant atoms are pre-multiplied once at template
+/// build, so a rebind only re-derives the parameter-dependent atoms.
+#[derive(Debug, Clone)]
+enum Fac2 {
+    Const([[Complex64; 2]; 2]),
+    Atom(u32),
+}
+
+/// One factor of a parameterized pair group's matrix product (constant
+/// runs pre-multiplied into 4×4 blocks at template build).
+#[derive(Debug, Clone)]
+enum Fac4 {
+    Const(Box<[[Complex64; 4]; 4]>),
+    Atom(u32),
+}
+
+/// One op of a [`CompiledTemplate`]: constant groups are classified once
+/// at template build, parameter-dependent groups stay symbolic.
+#[derive(Debug, Clone)]
+enum TOp {
+    /// A fully-constant group — reused verbatim by every rebind.
+    Fixed(KernelOp),
+    /// Parameter-dependent single-qubit group: ordered factor product,
+    /// classified per binding.
+    Dense { target: usize, ctrl_mask: usize, factors: Vec<Fac2> },
+    /// Parameter-dependent pair group.
+    Dense2 { t0: usize, t1: usize, ctrl_mask: usize, factors: Vec<Fac4> },
+    /// Parameter-dependent phase group: the constant part of the angle sum
+    /// is folded at build, slot contributions are summed per binding —
+    /// exactly as the fuser's angle-addition merges would for the bound
+    /// circuit.
+    Phase { set_mask: usize, clear_mask: usize, const_theta: f64, slots: Vec<(u32, f64)> },
+}
+
+/// A structure-only compilation: every fusion decision (grouping, op
+/// order, classification of constant groups) made once, with
+/// parameter-dependent groups kept symbolic. [`CompiledTemplate::rebind`]
+/// turns it into a [`CompiledCircuit`] for a concrete angle vector without
+/// re-running lowering — the basis of the structural compile cache.
+///
+/// Rebound plans match a cold [`CompiledCircuit::compile`] of the bound
+/// circuit up to float association order (a group product is accumulated
+/// in one order here and incrementally there), which stays within the
+/// crate's ~1e-12 fused-vs-interpreted amplitude contract.
+#[derive(Debug, Clone)]
+pub struct CompiledTemplate {
+    num_qubits: usize,
+    source_len: usize,
+    num_slots: usize,
+    atoms: Vec<Atom>,
+    tops: Vec<TOp>,
+}
+
+impl CompiledTemplate {
+    /// Lower and fuse the *structure* of `circuit`, ignoring its bound
+    /// angles. Two circuits that agree structurally (same gates, operands
+    /// and parameter arity — see `qcor_circuit::wire::structurally_equal`)
+    /// produce interchangeable templates.
+    pub fn compile(circuit: &Circuit) -> CompiledTemplate {
+        let mut fuser = Fuser::new(circuit.num_qubits(), circuit.len(), true);
+        let mut slot0 = 0u32;
+        for inst in circuit.instructions() {
+            fuser.push_instruction(inst, Some(slot0));
+            slot0 += inst.params.len() as u32;
+        }
+        let num_slots = slot0 as usize;
+        let (lowered, atoms) = fuser.lower();
+
+        // Collapse maximal runs of constant atoms into precomputed
+        // matrices, so a rebind multiplies one matrix per constant run
+        // instead of one per constant atom (constant atoms never read the
+        // binding — their matrices are fixed at build).
+        let fac2 = |src: &Srcs, bit: usize| -> Vec<Fac2> {
+            let mut out = Vec::new();
+            let mut acc: Option<[[Complex64; 2]; 2]> = None;
+            for &id in src {
+                if id & PARAM_ATOM != 0 {
+                    if let Some(m) = acc.take() {
+                        out.push(Fac2::Const(m));
+                    }
+                    out.push(Fac2::Atom(id));
+                } else {
+                    let m = atoms[id as usize].mat2(bit, &[]);
+                    acc = Some(match acc {
+                        Some(prev) => mat2_mul(m, prev),
+                        None => m,
+                    });
+                }
+            }
+            if let Some(m) = acc {
+                out.push(Fac2::Const(m));
+            }
+            out
+        };
+        let fac4 = |src: &Srcs, t0: usize, t1: usize| -> Vec<Fac4> {
+            let mut out = Vec::new();
+            let mut acc: Option<Box<[[Complex64; 4]; 4]>> = None;
+            for &id in src {
+                if id & PARAM_ATOM != 0 {
+                    if let Some(m) = acc.take() {
+                        out.push(Fac4::Const(m));
+                    }
+                    out.push(Fac4::Atom(id));
+                } else {
+                    let m = atoms[id as usize].mat4(t0, t1, &[]);
+                    acc = Some(match acc {
+                        Some(prev) => Box::new(mat4_mul(&m, &prev)),
+                        None => Box::new(m),
+                    });
+                }
+            }
+            if let Some(m) = acc {
+                out.push(Fac4::Const(m));
+            }
+            out
+        };
+
+        let mut tops = Vec::with_capacity(lowered.len());
+        for low in lowered {
+            match low {
+                LowOp::Dense { target, ctrl_mask, m, src } => {
+                    if has_param(&src) {
+                        let factors = fac2(&src, 1usize << target);
+                        tops.push(TOp::Dense { target, ctrl_mask, factors });
+                    } else if let Some(op) = classify_dense(target, ctrl_mask, m) {
+                        tops.push(TOp::Fixed(op));
+                    }
+                }
+                LowOp::Dense2 { t0, t1, ctrl_mask, m, src } => {
+                    if has_param(&src) {
+                        let factors = fac4(&src, t0, t1);
+                        tops.push(TOp::Dense2 { t0, t1, ctrl_mask, factors });
+                    } else if let Some(op) = classify_dense2(t0, t1, ctrl_mask, m) {
+                        tops.push(TOp::Fixed(op));
+                    }
+                }
+                LowOp::Phase { set_mask, clear_mask, theta, src } => {
+                    if has_param(&src) {
+                        let mut const_theta = 0.0;
+                        let mut slots = Vec::new();
+                        for &id in &src {
+                            match &atoms[(id & !PARAM_ATOM) as usize] {
+                                Atom::Phase { theta: ThetaSpec::Const(c), .. } => const_theta += c,
+                                Atom::Phase { theta: ThetaSpec::Slot { slot, scale }, .. } => {
+                                    slots.push((*slot, *scale))
+                                }
+                                other => unreachable!("non-phase atom {other:?} in a phase group"),
+                            }
+                        }
+                        tops.push(TOp::Phase { set_mask, clear_mask, const_theta, slots });
+                    } else if theta != 0.0 {
+                        let phase = Complex64::from_polar_unit(theta);
+                        tops.push(TOp::Fixed(if set_mask == usize::MAX {
+                            KernelOp::Scale { factor: phase }
+                        } else {
+                            KernelOp::Phase { set_mask, clear_mask, phase }
+                        }));
+                    }
+                }
+                LowOp::Swap { a, b, ctrl_mask, .. } => {
+                    tops.push(TOp::Fixed(KernelOp::Swap { a, b, ctrl_mask }))
+                }
+                LowOp::Measure { qubit, loc } => tops.push(TOp::Fixed(KernelOp::Measure { qubit, loc })),
+                LowOp::Reset { qubit, loc } => tops.push(TOp::Fixed(KernelOp::Reset { qubit, loc })),
+                LowOp::Barrier => {}
+            }
+        }
+        CompiledTemplate {
+            num_qubits: circuit.num_qubits(),
+            source_len: circuit.len(),
+            num_slots,
+            atoms,
+            tops,
+        }
+    }
+
+    /// Qubit count of the source structure.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of flattened parameter slots the structure expects
+    /// (`Circuit::flat_params().len()` of any structurally-equal circuit).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Bind a concrete angle vector (program-order flattened parameters,
+    /// see `Circuit::flat_params`) into an executable plan. Constant
+    /// groups and all fusion decisions are reused; only parameter-dependent
+    /// groups are re-derived and re-classified, so binding-specific
+    /// identities (a swept angle hitting 0) still drop per binding.
+    pub fn rebind(&self, values: &[f64]) -> CompiledCircuit {
+        assert_eq!(
+            values.len(),
+            self.num_slots,
+            "template expects {} parameter values, got {}",
+            self.num_slots,
+            values.len()
+        );
+        let mut ops = Vec::with_capacity(self.tops.len());
+        for top in &self.tops {
+            match top {
+                TOp::Fixed(op) => ops.push(op.clone()),
+                TOp::Dense { target, ctrl_mask, factors } => {
+                    let bit = 1usize << target;
+                    let mut m = [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]];
+                    for f in factors {
+                        let a = match f {
+                            Fac2::Const(c) => *c,
+                            Fac2::Atom(id) => self.atoms[(id & !PARAM_ATOM) as usize].mat2(bit, values),
+                        };
+                        m = mat2_mul(a, m);
+                    }
+                    if let Some(op) = classify_dense(*target, *ctrl_mask, m) {
+                        ops.push(op);
+                    }
+                }
+                TOp::Dense2 { t0, t1, ctrl_mask, factors } => {
+                    let pb = (1usize << t0) | (1usize << t1);
+                    let mut m4 = identity4();
+                    for f in factors {
+                        match f {
+                            Fac4::Const(c) => m4 = mat4_mul(c, &m4),
+                            // Parameterized pair atoms multiply through the
+                            // structure-aware kernels (an embedded single
+                            // mixes one row pair, a phase scales rows)
+                            // instead of a general 4×4 product.
+                            Fac4::Atom(id) => match &self.atoms[(id & !PARAM_ATOM) as usize] {
+                                Atom::Single { gate, target, ctrl_mask, pslot } => mul4_single_left(
+                                    &mut m4,
+                                    usize::from(*target == *t1),
+                                    pair_s_mask(ctrl_mask & pb, *t0, *t1),
+                                    Atom::single_matrix(*gate, *pslot, values),
+                                ),
+                                Atom::Phase { set_mask, clear_mask, theta } => mul4_phase_left(
+                                    &mut m4,
+                                    pair_s_mask(set_mask & pb, *t0, *t1),
+                                    pair_s_mask(clear_mask & pb, *t0, *t1),
+                                    theta.eval(values),
+                                ),
+                                Atom::Swap => unreachable!("swap atoms are constant factors"),
+                            },
+                        }
+                    }
+                    if let Some(op) = classify_dense2(*t0, *t1, *ctrl_mask, Box::new(m4)) {
+                        ops.push(op);
+                    }
+                }
+                TOp::Phase { set_mask, clear_mask, const_theta, slots } => {
+                    let mut theta = *const_theta;
+                    for &(slot, scale) in slots {
+                        theta += scale * values[slot as usize];
+                    }
+                    if theta != 0.0 {
+                        let phase = Complex64::from_polar_unit(theta);
+                        ops.push(if *set_mask == usize::MAX {
+                            KernelOp::Scale { factor: phase }
+                        } else {
+                            KernelOp::Phase { set_mask: *set_mask, clear_mask: *clear_mask, phase }
+                        });
+                    }
+                }
+            }
+        }
+        CompiledCircuit::from_ops(self.num_qubits, ops, self.source_len)
+    }
 }
 
 #[cfg(test)]
@@ -1487,6 +2046,108 @@ mod tests {
             }
         }
         assert_eq!(blocked.amplitudes(), plain.amplitudes(), "blocked replay must be bit-identical");
+    }
+
+    /// Rebinding a template must agree with a cold compile of the bound
+    /// circuit: same measurement records, amplitudes to ~1e-12 (float
+    /// association in a fused group differs, exact values don't).
+    fn assert_rebind_matches_cold(structure: &Circuit, bound: &Circuit) {
+        let template = CompiledTemplate::compile(structure);
+        let rebound = template.rebind(&bound.flat_params());
+        let cold = CompiledCircuit::compile(bound);
+        let mut s1 = StateVector::new(bound.num_qubits());
+        let mut s2 = StateVector::new(bound.num_qubits());
+        let mut r1 = StdRng::seed_from_u64(17);
+        let mut r2 = StdRng::seed_from_u64(17);
+        let rec1 = rebound.run_once(&mut s1, &mut r1);
+        let rec2 = cold.run_once(&mut s2, &mut r2);
+        assert_eq!(rec1, rec2, "rebound and cold replays must record identically");
+        for (a, b) in s1.amplitudes().iter().zip(s2.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    /// A parameterized structure exercising every rebind group shape:
+    /// dense singles, a pair block swallowing rotations, phase sweeps, the
+    /// Rz global phase, CRz's two-phase split, and a mid-circuit measure.
+    fn sweep_structure(angles: &[f64; 5]) -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).rx(0, angles[0]).rz(1, angles[1]).cx(0, 1).ry(1, angles[2]);
+        c.crz(2, 0, angles[3]).t(2).cphase(1, 2, angles[4]);
+        c.measure(0).h(2).measure(2);
+        c
+    }
+
+    #[test]
+    fn template_rebind_matches_cold_compile_across_a_sweep() {
+        let structure = sweep_structure(&[0.0; 5]);
+        for i in 0..8 {
+            let t = i as f64 * 0.37 - 1.1;
+            let bound = sweep_structure(&[t, -t, 0.5 * t, t + 0.2, t * t]);
+            assert_rebind_matches_cold(&structure, &bound);
+        }
+    }
+
+    #[test]
+    fn template_rebind_handles_binding_specific_identities() {
+        // Angles that make individual gates (or whole groups) collapse to
+        // identity must drop at rebind time, not poison the template.
+        let structure = sweep_structure(&[0.0; 5]);
+        assert_rebind_matches_cold(&structure, &sweep_structure(&[0.0; 5]));
+        assert_rebind_matches_cold(&structure, &sweep_structure(&[0.0, 1.3, 0.0, 0.0, -0.4]));
+        // Opposite Rz angles on the same qubit cancel the phase group.
+        let mut canceling = Circuit::new(3);
+        canceling.rz(0, 0.9).rz(0, -0.9).h(1);
+        let mut structure2 = Circuit::new(3);
+        structure2.rz(0, 0.0).rz(0, 0.0).h(1);
+        assert_rebind_matches_cold(&structure2, &canceling);
+    }
+
+    #[test]
+    fn template_reuse_across_structurally_equal_circuits() {
+        // One template, many bindings — the cache's core access pattern.
+        let structure = sweep_structure(&[9.9, -3.0, 0.1, 2.2, 7.7]);
+        let template = CompiledTemplate::compile(&structure);
+        assert_eq!(template.num_slots(), 5);
+        for i in 0..4 {
+            let t = 0.25 + i as f64;
+            let bound = sweep_structure(&[t, t, t, t, t]);
+            let rebound = template.rebind(&bound.flat_params());
+            let cold = CompiledCircuit::compile(&bound);
+            let mut s1 = StateVector::new(3);
+            let mut s2 = StateVector::new(3);
+            let mut r1 = StdRng::seed_from_u64(5);
+            let mut r2 = StdRng::seed_from_u64(5);
+            assert_eq!(rebound.run_once(&mut s1, &mut r1), cold.run_once(&mut s2, &mut r2));
+        }
+    }
+
+    #[test]
+    fn template_of_constant_circuit_reuses_classified_ops() {
+        // A circuit without parameters rebinds to exactly the cold plan.
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).h(0).cx(0, 1).swap(1, 2).s(2).measure(0).measure(1).measure(2);
+        let template = CompiledTemplate::compile(&c);
+        assert_eq!(template.num_slots(), 0);
+        let rebound = template.rebind(&[]);
+        let cold = CompiledCircuit::compile(&c);
+        assert_eq!(rebound.ops(), cold.ops(), "constant plans must be identical");
+    }
+
+    #[test]
+    fn template_rebind_library_qft() {
+        // QFT is the heaviest fusion user in the library (controlled-phase
+        // ladders + swaps): rebind it at a different "angle set" by
+        // checking structure-vs-itself.
+        let qft = library::qft(4);
+        assert_rebind_matches_cold(&qft, &qft);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter values")]
+    fn template_rebind_rejects_wrong_arity() {
+        let structure = sweep_structure(&[0.0; 5]);
+        CompiledTemplate::compile(&structure).rebind(&[1.0, 2.0]);
     }
 
     #[test]

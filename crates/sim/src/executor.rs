@@ -141,9 +141,23 @@ impl ShotRecord {
 /// that is what the shot scheduler does.
 pub fn run_once(state: &mut StateVector, circuit: &Circuit, rng: &mut impl Rng) -> ShotRecord {
     if fusion_env_default() {
-        CompiledCircuit::compile(circuit).run_once(state, rng)
+        compile_with_env_cache(circuit).run_once(state, rng)
     } else {
         run_once_interpreted(state, circuit, rng)
+    }
+}
+
+/// Compile honoring the process-wide compile-cache default
+/// (`QCOR_COMPILE_CACHE`, enabled unless set off) — the path for callers
+/// without a [`RunConfig`] such as [`run_once`] and [`exact_distribution`].
+/// `run_once` in particular sits in per-shot hot loops (semiclassical QPE
+/// re-invokes a freshly built circuit per shot), exactly the sweep shape
+/// the structural cache accelerates.
+fn compile_with_env_cache(circuit: &Circuit) -> CompiledCircuit {
+    if crate::cache::compile_cache_env_default() {
+        crate::cache::compile_cached(circuit)
+    } else {
+        CompiledCircuit::compile(circuit)
     }
 }
 
@@ -286,6 +300,13 @@ pub struct RunConfig {
     /// environment default (f64); `Some(Precision::F32)` selects the
     /// single-precision compiled replay (see [`crate::fp32`]).
     pub precision: Option<Precision>,
+    /// Structural compile cache: look the circuit's structure up in the
+    /// process-wide template cache and only re-bind angles on a hit (see
+    /// [`crate::cache`]). `None` defers to the `QCOR_COMPILE_CACHE`
+    /// environment default (enabled); `Some(false)` forces a cold compile
+    /// per plan. Irrelevant when the interpreted executor runs (fusion
+    /// off, f64).
+    pub compile_cache: Option<bool>,
 }
 
 impl RunConfig {
@@ -300,6 +321,22 @@ impl RunConfig {
     pub fn precision_resolved(&self) -> Precision {
         self.precision.unwrap_or_else(precision_env_default)
     }
+
+    /// Resolve the effective compile-cache setting
+    /// ([`RunConfig::compile_cache`], falling back to
+    /// [`crate::cache::compile_cache_env_default`]).
+    pub fn compile_cache_enabled(&self) -> bool {
+        self.compile_cache.unwrap_or_else(crate::cache::compile_cache_env_default)
+    }
+
+    /// Compile honoring the resolved compile-cache setting.
+    fn compile(&self, circuit: &Circuit) -> CompiledCircuit {
+        if self.compile_cache_enabled() {
+            crate::cache::compile_cached(circuit)
+        } else {
+            CompiledCircuit::compile(circuit)
+        }
+    }
 }
 
 impl Default for RunConfig {
@@ -312,6 +349,7 @@ impl Default for RunConfig {
             granularity: Granularity::Auto,
             fusion: None,
             precision: None,
+            compile_cache: None,
         }
     }
 }
@@ -460,12 +498,8 @@ impl ShotExec<'_> {
         match config.precision_resolved() {
             // f32 is compiled-replay-only: there is no f32 interpreter, so
             // the fusion setting does not apply.
-            Precision::F32 => {
-                ShotExec::CompiledF32(CompiledCircuit32::narrow(&CompiledCircuit::compile(circuit)))
-            }
-            Precision::F64 if config.fusion_enabled() => {
-                ShotExec::Compiled(CompiledCircuit::compile(circuit))
-            }
+            Precision::F32 => ShotExec::CompiledF32(CompiledCircuit32::narrow(&config.compile(circuit))),
+            Precision::F64 if config.fusion_enabled() => ShotExec::Compiled(config.compile(circuit)),
             Precision::F64 => ShotExec::Interpreted(circuit),
         }
     }
@@ -643,7 +677,7 @@ pub fn exact_distribution(circuit: &Circuit, pool: Arc<ThreadPool>) -> Result<Ve
     let mut state = StateVector::with_pool(circuit.num_qubits(), pool);
     let mut rng = StdRng::seed_from_u64(0);
     if fusion_env_default() {
-        CompiledCircuit::compile(&prefix).run_once(&mut state, &mut rng);
+        compile_with_env_cache(&prefix).run_once(&mut state, &mut rng);
     } else {
         run_once_interpreted(&mut state, &prefix, &mut rng);
     }

@@ -118,7 +118,11 @@ pub fn embed_pair_single(pos: usize, ctrl_s: usize, m: [[Complex64; 2]; 2]) -> [
         for (s_in, cell) in row.iter_mut().enumerate() {
             *cell = if s_in & ctrl_s != ctrl_s {
                 // In-pair controls unsatisfied: the column passes through.
-                if s_in == s_out { Complex64::ONE } else { Complex64::ZERO }
+                if s_in == s_out {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                }
             } else if s_out & !(1 << pos) == s_in & !(1 << pos) {
                 // Controls satisfied and the non-target pair bit agrees:
                 // the 2x2 entry for the target bit transition.

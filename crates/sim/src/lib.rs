@@ -13,14 +13,22 @@
 //!   control masks select),
 //! * [`gates`] — gate matrices and instruction dispatch,
 //! * [`compile`] — the compile-then-execute layer: [`CompiledCircuit`]
-//!   lowers a circuit once into fused, precomputed kernel ops,
+//!   lowers a circuit once into fused, precomputed kernel ops, and
+//!   [`CompiledTemplate`] lowers a circuit *structure* once so an angle
+//!   sweep only re-binds parameters,
+//! * [`cache`] — the process-wide compile cache keyed by structural
+//!   circuit hash (`QCOR_COMPILE_CACHE`, `QCOR_COMPILE_CACHE_CAPACITY`),
+//! * [`wire`] — the versioned binary codec for compiled plans (the
+//!   source-circuit codec lives in `qcor_circuit::wire`),
 //! * [`executor`] — the batched shot scheduler ([`ShotPlan`]), counts,
 //!   and exact distributions,
 //! * [`fp32`] — the single-precision (`precision=f32`) compiled replay:
 //!   [`StateVector32`] plus per-plan matrix narrowing,
 //! * [`stats`] — per-thread kernel iteration counters backing the
-//!   `gatefuse_guard` CI gate.
+//!   `gatefuse_guard` CI gate, plus the process-global compile-cache
+//!   hit/miss counters.
 
+pub mod cache;
 pub mod compile;
 mod complex;
 pub mod density;
@@ -29,8 +37,10 @@ pub mod fp32;
 pub mod gates;
 mod state;
 pub mod stats;
+pub mod wire;
 
-pub use compile::{CompiledCircuit, KernelOp};
+pub use cache::{clear_compile_cache, compile_cache_env_default, compile_cached, parse_cache_token};
+pub use compile::{CompiledCircuit, CompiledTemplate, KernelOp};
 pub use complex::{c32, c64, Complex32, Complex64};
 pub use density::{DensityMatrix, NoiseModel};
 pub use executor::{

@@ -134,6 +134,45 @@ pub fn reset_kernel_iterations() {
     });
 }
 
+// Compile-cache hit/miss counters. Unlike the kernel iteration counters
+// these are **process-global atomics**: compilations are rare (once per
+// circuit structure, not per shot or per amplitude) so contention is nil,
+// and cache lookups issued from pool worker threads must still be visible
+// to the test/bench thread reading the ratio.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_cache_hit() {
+    CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cache_miss() {
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide compile-cache hits since the last
+/// [`reset_compile_cache_stats`] — lookups that found a structurally equal
+/// template and skipped lowering.
+pub fn compile_cache_hits() -> u64 {
+    CACHE_HITS.load(Ordering::Relaxed)
+}
+
+/// Process-wide compile-cache misses since the last
+/// [`reset_compile_cache_stats`] — lookups that had to build a template.
+pub fn compile_cache_misses() -> u64 {
+    CACHE_MISSES.load(Ordering::Relaxed)
+}
+
+/// Zero the compile-cache hit/miss counters (they are process-global;
+/// tests touching them serialize through the cache's own lock or run
+/// single-threaded assertions on deltas).
+pub fn reset_compile_cache_stats() {
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

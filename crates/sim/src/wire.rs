@@ -1,0 +1,328 @@
+//! Versioned binary wire format for [`CompiledCircuit`] plans (kind
+//! `0x02` of the shared `QCWF` container — the source-circuit codec, kind
+//! `0x01`, lives in `qcor_circuit::wire`).
+//!
+//! Layout after the shared 6-byte header (magic, kind, version), all
+//! little-endian:
+//!
+//! ```text
+//! u32 num_qubits   u32 source_len   u32 op_count
+//! then per op: u8 opcode, fields (masks u64, qubit indices u32,
+//! complex entries as re/im f64 pairs)
+//! ```
+//!
+//! Opcodes are frozen append-only: `0` Dense, `1` Dense2, `2` Flip, `3`
+//! Diag, `4` Phase, `5` Scale, `6` Swap, `7` Measure, `8` Reset. The
+//! cache-blocking segment plan is deliberately **not** serialized — it is
+//! a pure function of the op list and is replanned on decode, so a plan
+//! encoded on one machine replays with the decoder's blocking policy.
+//!
+//! Decoding validates qubit indices and masks against `num_qubits` and
+//! returns typed [`WireError`]s on truncation, unknown versions, unknown
+//! opcodes and out-of-range operands — never panics, never silently
+//! truncates.
+
+use crate::compile::{CompiledCircuit, KernelOp};
+use crate::complex::Complex64;
+use qcor_circuit::wire::{WireError, WireReader, WireWriter, KIND_COMPILED};
+
+/// Current compiled-plan wire version. Bump when the layout changes;
+/// decoders reject unknown versions with [`WireError::UnknownVersion`].
+pub const COMPILED_WIRE_VERSION: u8 = 1;
+
+const OP_DENSE: u8 = 0;
+const OP_DENSE2: u8 = 1;
+const OP_FLIP: u8 = 2;
+const OP_DIAG: u8 = 3;
+const OP_PHASE: u8 = 4;
+const OP_SCALE: u8 = 5;
+const OP_SWAP: u8 = 6;
+const OP_MEASURE: u8 = 7;
+const OP_RESET: u8 = 8;
+
+fn put_c64(w: &mut WireWriter, c: Complex64) {
+    w.f64(c.re);
+    w.f64(c.im);
+}
+
+fn get_c64(r: &mut WireReader) -> Result<Complex64, WireError> {
+    Ok(Complex64::new(r.f64()?, r.f64()?))
+}
+
+/// Serialize a compiled plan. `decode_compiled` inverts this exactly:
+/// every op (and the replayed behavior) round-trips bit-for-bit.
+pub fn encode_compiled(plan: &CompiledCircuit) -> Vec<u8> {
+    let mut w = WireWriter::new(KIND_COMPILED, COMPILED_WIRE_VERSION);
+    w.u32(plan.num_qubits() as u32);
+    w.u32(plan.source_len() as u32);
+    w.u32(plan.ops().len() as u32);
+    for op in plan.ops() {
+        match op {
+            KernelOp::Dense { target, ctrl_mask, m } => {
+                w.u8(OP_DENSE);
+                w.u32(*target as u32);
+                w.u64(*ctrl_mask as u64);
+                for row in m {
+                    for &c in row {
+                        put_c64(&mut w, c);
+                    }
+                }
+            }
+            KernelOp::Dense2 { t0, t1, ctrl_mask, m } => {
+                w.u8(OP_DENSE2);
+                w.u32(*t0 as u32);
+                w.u32(*t1 as u32);
+                w.u64(*ctrl_mask as u64);
+                for row in m.iter() {
+                    for &c in row {
+                        put_c64(&mut w, c);
+                    }
+                }
+            }
+            KernelOp::Flip { target, ctrl_mask, m01, m10 } => {
+                w.u8(OP_FLIP);
+                w.u32(*target as u32);
+                w.u64(*ctrl_mask as u64);
+                put_c64(&mut w, *m01);
+                put_c64(&mut w, *m10);
+            }
+            KernelOp::Diag { target, ctrl_mask, d0, d1 } => {
+                w.u8(OP_DIAG);
+                w.u32(*target as u32);
+                w.u64(*ctrl_mask as u64);
+                put_c64(&mut w, *d0);
+                put_c64(&mut w, *d1);
+            }
+            KernelOp::Phase { set_mask, clear_mask, phase } => {
+                w.u8(OP_PHASE);
+                w.u64(*set_mask as u64);
+                w.u64(*clear_mask as u64);
+                put_c64(&mut w, *phase);
+            }
+            KernelOp::Scale { factor } => {
+                w.u8(OP_SCALE);
+                put_c64(&mut w, *factor);
+            }
+            KernelOp::Swap { a, b, ctrl_mask } => {
+                w.u8(OP_SWAP);
+                w.u32(*a as u32);
+                w.u32(*b as u32);
+                w.u64(*ctrl_mask as u64);
+            }
+            KernelOp::Measure { qubit, loc } => {
+                w.u8(OP_MEASURE);
+                w.u32(*qubit as u32);
+                w.u32(*loc as u32);
+            }
+            KernelOp::Reset { qubit, loc } => {
+                w.u8(OP_RESET);
+                w.u32(*qubit as u32);
+                w.u32(*loc as u32);
+            }
+        }
+    }
+    w.finish()
+}
+
+fn check_qubit(q: u32, num_qubits: usize) -> Result<usize, WireError> {
+    if (q as usize) < num_qubits {
+        Ok(q as usize)
+    } else {
+        Err(WireError::Invalid(format!("qubit index {q} out of range for a {num_qubits}-qubit plan")))
+    }
+}
+
+/// Validate a control/phase mask: every set bit below `num_qubits`.
+fn check_mask(mask: u64, num_qubits: usize) -> Result<usize, WireError> {
+    if num_qubits < 64 && mask >> num_qubits != 0 {
+        return Err(WireError::Invalid(format!("mask {mask:#x} has bits at or above qubit {num_qubits}")));
+    }
+    Ok(mask as usize)
+}
+
+/// Deserialize a compiled plan, validating the header, every opcode and
+/// every operand, and replanning the cache-blocking segments.
+pub fn decode_compiled(bytes: &[u8]) -> Result<CompiledCircuit, WireError> {
+    let mut r = WireReader::new(bytes);
+    let version = r.header(KIND_COMPILED)?;
+    if version != COMPILED_WIRE_VERSION {
+        return Err(WireError::UnknownVersion(version));
+    }
+    let num_qubits = r.u32()? as usize;
+    if num_qubits > qcor_circuit::MAX_QUBITS {
+        return Err(WireError::Invalid(format!(
+            "plan requests {num_qubits} qubits but the maximum is {}",
+            qcor_circuit::MAX_QUBITS
+        )));
+    }
+    let source_len = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    let mut ops = Vec::new();
+    for _ in 0..count {
+        let op = match r.u8()? {
+            OP_DENSE => {
+                let target = check_qubit(r.u32()?, num_qubits)?;
+                let ctrl_mask = check_mask(r.u64()?, num_qubits)?;
+                let mut m = [[Complex64::ZERO; 2]; 2];
+                for row in &mut m {
+                    for c in row {
+                        *c = get_c64(&mut r)?;
+                    }
+                }
+                KernelOp::Dense { target, ctrl_mask, m }
+            }
+            OP_DENSE2 => {
+                let t0 = check_qubit(r.u32()?, num_qubits)?;
+                let t1 = check_qubit(r.u32()?, num_qubits)?;
+                if t0 >= t1 {
+                    return Err(WireError::Invalid(format!("pair block requires t0 < t1, got ({t0}, {t1})")));
+                }
+                let ctrl_mask = check_mask(r.u64()?, num_qubits)?;
+                let mut m = Box::new([[Complex64::ZERO; 4]; 4]);
+                for row in m.iter_mut() {
+                    for c in row {
+                        *c = get_c64(&mut r)?;
+                    }
+                }
+                KernelOp::Dense2 { t0, t1, ctrl_mask, m }
+            }
+            OP_FLIP => {
+                let target = check_qubit(r.u32()?, num_qubits)?;
+                let ctrl_mask = check_mask(r.u64()?, num_qubits)?;
+                KernelOp::Flip { target, ctrl_mask, m01: get_c64(&mut r)?, m10: get_c64(&mut r)? }
+            }
+            OP_DIAG => {
+                let target = check_qubit(r.u32()?, num_qubits)?;
+                let ctrl_mask = check_mask(r.u64()?, num_qubits)?;
+                KernelOp::Diag { target, ctrl_mask, d0: get_c64(&mut r)?, d1: get_c64(&mut r)? }
+            }
+            OP_PHASE => {
+                let set_mask = check_mask(r.u64()?, num_qubits)?;
+                let clear_mask = check_mask(r.u64()?, num_qubits)?;
+                KernelOp::Phase { set_mask, clear_mask, phase: get_c64(&mut r)? }
+            }
+            OP_SCALE => KernelOp::Scale { factor: get_c64(&mut r)? },
+            OP_SWAP => {
+                let a = check_qubit(r.u32()?, num_qubits)?;
+                let b = check_qubit(r.u32()?, num_qubits)?;
+                let ctrl_mask = check_mask(r.u64()?, num_qubits)?;
+                KernelOp::Swap { a, b, ctrl_mask }
+            }
+            OP_MEASURE => KernelOp::Measure {
+                qubit: check_qubit(r.u32()?, num_qubits)?,
+                loc: check_qubit(r.u32()?, num_qubits)?,
+            },
+            OP_RESET => KernelOp::Reset {
+                qubit: check_qubit(r.u32()?, num_qubits)?,
+                loc: check_qubit(r.u32()?, num_qubits)?,
+            },
+            other => return Err(WireError::Invalid(format!("unknown kernel opcode {other}"))),
+        };
+        ops.push(op);
+    }
+    r.finish()?;
+    Ok(CompiledCircuit::from_ops(num_qubits, ops, source_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+    use qcor_circuit::library;
+    use qcor_circuit::wire::KIND_CIRCUIT;
+    use qcor_circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_plan() -> CompiledCircuit {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).rz(2, 0.71).swap(1, 2).ry(2, -0.3);
+        c.measure(0).measure(1).measure(2);
+        CompiledCircuit::compile(&c)
+    }
+
+    #[test]
+    fn compiled_plan_round_trips_exactly() {
+        for plan in [sample_plan(), CompiledCircuit::compile(&library::qft(4))] {
+            let bytes = encode_compiled(&plan);
+            let back = decode_compiled(&bytes).unwrap();
+            assert_eq!(back.ops(), plan.ops());
+            assert_eq!(back.num_qubits(), plan.num_qubits());
+            assert_eq!(back.source_len(), plan.source_len());
+        }
+    }
+
+    #[test]
+    fn decoded_plan_replays_identically() {
+        let plan = sample_plan();
+        let back = decode_compiled(&encode_compiled(&plan)).unwrap();
+        let mut s1 = StateVector::new(3);
+        let mut s2 = StateVector::new(3);
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(plan.run_once(&mut s1, &mut r1), back.run_once(&mut s2, &mut r2));
+        assert_eq!(s1.amplitudes(), s2.amplitudes(), "replays must be bit-identical");
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_compiled(&sample_plan());
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode_compiled(&bytes[..cut]), Err(WireError::Truncated { .. })),
+                "cut at {cut} must report truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_version_and_kind_are_rejected() {
+        let mut bytes = encode_compiled(&sample_plan());
+        bytes[5] = 99;
+        assert!(matches!(decode_compiled(&bytes), Err(WireError::UnknownVersion(99))));
+        let circuit_bytes = qcor_circuit::wire::encode(&Circuit::new(2));
+        assert!(matches!(
+            decode_compiled(&circuit_bytes),
+            Err(WireError::WrongKind { expected: KIND_COMPILED, found: KIND_CIRCUIT })
+        ));
+    }
+
+    #[test]
+    fn invalid_operands_are_rejected() {
+        // Unknown opcode.
+        let mut w = WireWriter::new(KIND_COMPILED, COMPILED_WIRE_VERSION);
+        w.u32(2);
+        w.u32(1);
+        w.u32(1);
+        w.u8(200);
+        assert!(matches!(decode_compiled(&w.finish()), Err(WireError::Invalid(_))));
+
+        // Out-of-range target qubit.
+        let mut w = WireWriter::new(KIND_COMPILED, COMPILED_WIRE_VERSION);
+        w.u32(2);
+        w.u32(1);
+        w.u32(1);
+        w.u8(super::OP_MEASURE);
+        w.u32(7);
+        w.u32(0);
+        assert!(matches!(decode_compiled(&w.finish()), Err(WireError::Invalid(_))));
+
+        // Control mask above the register.
+        let mut w = WireWriter::new(KIND_COMPILED, COMPILED_WIRE_VERSION);
+        w.u32(2);
+        w.u32(1);
+        w.u32(1);
+        w.u8(super::OP_SWAP);
+        w.u32(0);
+        w.u32(1);
+        w.u64(1 << 10);
+        assert!(matches!(decode_compiled(&w.finish()), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_compiled(&sample_plan());
+        bytes.push(0);
+        assert!(matches!(decode_compiled(&bytes), Err(WireError::TrailingBytes(1))));
+    }
+}

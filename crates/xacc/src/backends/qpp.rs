@@ -30,6 +30,9 @@ pub struct QppAccelerator {
     /// Amplitude precision override; `None` defers to the `QCOR_PRECISION`
     /// process default (f64).
     precision: Option<Precision>,
+    /// Compile-cache override; `None` defers to the `QCOR_COMPILE_CACHE`
+    /// process default (enabled).
+    compile_cache: Option<bool>,
 }
 
 impl QppAccelerator {
@@ -47,6 +50,7 @@ impl QppAccelerator {
             granularity: Granularity::Auto,
             fusion: None,
             precision: None,
+            compile_cache: None,
         }
     }
 
@@ -57,7 +61,10 @@ impl QppAccelerator {
     /// (`"auto"` | `"sequential"`), `fusion` (bool, or `"on"`/`"off"`;
     /// default: the `QCOR_GATE_FUSION` process default) and `precision`
     /// (`"f64"`/`"double"` or `"f32"`/`"single"` — the single-precision
-    /// compiled replay; default: the `QCOR_PRECISION` process default).
+    /// compiled replay; default: the `QCOR_PRECISION` process default) and
+    /// `compile-cache` (bool, or `"on"`/`"off"`; default: the
+    /// `QCOR_COMPILE_CACHE` process default — reuse one structural
+    /// template per circuit shape across an angle sweep).
     ///
     /// Bad parameter values are rejected with
     /// [`XaccError::InvalidParam`] — surfaced as an `Err` through
@@ -118,6 +125,25 @@ impl QppAccelerator {
                 return Err(XaccError::InvalidParam(format!("precision must be a string, got {other:?}")))
             }
         };
+        // `compile-cache` shares the `QCOR_COMPILE_CACHE` token vocabulary
+        // (`qcor_sim::parse_cache_token`) — same discipline as `fusion`.
+        acc.compile_cache = match params.get("compile-cache") {
+            None => None,
+            Some(&crate::HetValue::Bool(b)) => Some(b),
+            Some(crate::HetValue::Str(s)) => match qcor_sim::parse_cache_token(s) {
+                Some(b) => Some(b),
+                None => {
+                    return Err(XaccError::InvalidParam(format!(
+                        "unknown compile-cache setting {s:?}: expected a bool or 0/1/true/false/on/off"
+                    )))
+                }
+            },
+            Some(other) => {
+                return Err(XaccError::InvalidParam(format!(
+                    "compile-cache must be a bool or string, got {other:?}"
+                )))
+            }
+        };
         Ok(acc)
     }
 
@@ -153,6 +179,7 @@ impl Accelerator for QppAccelerator {
             granularity: self.granularity,
             fusion: self.fusion,
             precision: self.precision,
+            compile_cache: self.compile_cache,
         };
         let counts = run_shots(circuit, Arc::clone(&self.pool), &config);
         buffer.merge_counts(&counts);
@@ -227,6 +254,56 @@ mod tests {
         let err = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("fusion", 3usize))
             .unwrap_err();
         assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("fusion")), "{err}");
+    }
+
+    #[test]
+    fn from_params_compile_cache_accepts_env_token_set() {
+        // The param accepts exactly what QCOR_COMPILE_CACHE accepts.
+        for (token, expect) in
+            [("1", true), ("true", true), ("on", true), ("0", false), ("false", false), ("off", false)]
+        {
+            let acc = QppAccelerator::from_params(
+                &HetMap::new().with("threads", 1usize).with("compile-cache", token),
+            )
+            .unwrap();
+            assert_eq!(acc.compile_cache, Some(expect), "token {token:?}");
+        }
+        let plain_bool =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("compile-cache", false))
+                .unwrap();
+        assert_eq!(plain_bool.compile_cache, Some(false));
+        let unset = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize)).unwrap();
+        assert_eq!(unset.compile_cache, None);
+    }
+
+    #[test]
+    fn from_params_rejects_unknown_compile_cache_as_err() {
+        let err = QppAccelerator::from_params(
+            &HetMap::new().with("threads", 1usize).with("compile-cache", "maybe"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("compile-cache")), "{err}");
+        // Wrong-typed values are rejected too, not silently ignored.
+        let err =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("compile-cache", 3usize))
+                .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("compile-cache")), "{err}");
+    }
+
+    #[test]
+    fn cached_and_uncached_execute_identical_seeded_counts() {
+        let cached =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("compile-cache", true))
+                .unwrap();
+        let cold =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("compile-cache", false))
+                .unwrap();
+        let opts = ExecOptions::with_shots(256).seeded(33);
+        let mut buf_a = AcceleratorBuffer::with_name("a", 3);
+        let mut buf_b = AcceleratorBuffer::with_name("b", 3);
+        cached.execute(&mut buf_a, &library::ghz_kernel(3), &opts).unwrap();
+        cold.execute(&mut buf_b, &library::ghz_kernel(3), &opts).unwrap();
+        assert_eq!(buf_a.measurements(), buf_b.measurements());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Beauregard order-finding kernel (paper reference [20]): 2n+3 qubits,
+//! Beauregard order-finding kernel (paper reference \[20\]): 2n+3 qubits,
 //! gate-level modular exponentiation, and the semiclassical one-qubit
 //! inverse QFT (iterative phase estimation with measurement feedback).
 //!

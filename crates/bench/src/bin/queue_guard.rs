@@ -1,8 +1,8 @@
 //! Perf-regression guard for the async kernel queue.
 //!
-//! Two scenarios, both guarded at [`MAX_RATIO`]× the identical inline
-//! workload and recorded to `BENCH_queue.json` (mirroring
-//! `shotsched_guard`); the guard **exits non-zero** on either regression:
+//! Three scenarios, each guarded at [`MAX_RATIO`]× its baseline and
+//! recorded to `BENCH_queue.json` (mirroring `shotsched_guard`); the
+//! guard **exits non-zero** on any regression:
 //!
 //! 1. **Saturation** — many more submissions than queue capacity under
 //!    Block backpressure: per-task queue overhead. Also sanity-checks the
@@ -13,12 +13,22 @@
 //!    path. Before it existed this shape deadlocked outright; the guard
 //!    keeps its overhead (helping drain vs. plain inline execution)
 //!    within the same budget.
+//! 3. **Adversarial tenant** — 1 flooder pre-loads a deep backlog while 4
+//!    polite tenants run sequential submit→join loops. Deficit-weighted
+//!    fair queuing must keep the polite p99 join latency within
+//!    [`MAX_RATIO`]× the no-flooder baseline (FIFO would multiply it by
+//!    the flooder's whole backlog). The scenario also checks the live
+//!    introspection endpoint: per-tenant gauges must sum to the
+//!    `ServiceStats` identity, and the debug listener must serve the same
+//!    snapshot over HTTP.
 //!
 //! ```text
 //! cargo run -p qcor-bench --release --bin queue_guard
 //! ```
 
-use qcor::{BackpressurePolicy, ExecServiceConfig, ExecutionService, InitOptions, Kernel};
+use qcor::{
+    BackpressurePolicy, DebugServer, ExecServiceConfig, ExecutionService, InitOptions, Kernel, TaskSpec,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,6 +45,20 @@ const MAX_RATIO: f64 = 5.0;
 const DRIVERS: usize = 12;
 const SIBLINGS: usize = 4;
 const JOIN_SHOTS: usize = 64;
+
+// Adversarial-tenant scenario: POLITE_TENANTS polite sessions doing
+// POLITE_OPS sequential submit→join cycles each, against one flooder that
+// pre-loads FLOOD_TASKS identical tasks. All weights are 1, so DRR owes
+// the flooder exactly a 1-in-5 share: a polite join waits one round of
+// tenants, never the flooder's backlog.
+const POLITE_TENANTS: usize = 4;
+const POLITE_OPS: usize = 24;
+const POLITE_SHOTS: usize = 64;
+const FLOOD_TASKS: usize = 200;
+const FAIR_CAPACITY: usize = 512;
+/// Latency floor for the fairness ratio: sub-500µs baselines are
+/// scheduler noise, and dividing by them turns jitter into failures.
+const FAIR_FLOOR: Duration = Duration::from_micros(500);
 
 const BELL: &str = "H(q[0]); CX(q[0], q[1]); Measure(q[0]); Measure(q[1]);";
 
@@ -72,6 +96,111 @@ fn run_join_scenario(svc: &Arc<ExecutionService>) -> usize {
         })
         .collect();
     drivers.into_iter().map(|f| f.get()).sum()
+}
+
+fn fair_service() -> Arc<ExecutionService> {
+    Arc::new(ExecutionService::new(
+        ExecServiceConfig::default()
+            .threads(SERVICE_THREADS)
+            .capacity(FAIR_CAPACITY)
+            .policy(BackpressurePolicy::Block),
+    ))
+}
+
+/// One polite tenant's session: `POLITE_OPS` sequential submit→join
+/// cycles, returning each cycle's wall latency.
+fn polite_session(svc: Arc<ExecutionService>, tenant: usize) -> Vec<Duration> {
+    let name = format!("polite-{tenant}");
+    (0..POLITE_OPS)
+        .map(|op| {
+            let seed = (tenant * POLITE_OPS + op) as u64;
+            let start = Instant::now();
+            let f = svc
+                .submit_spec(TaskSpec::new().tenant(&name), move || bell_task_with(POLITE_SHOTS, seed))
+                .expect("Block submission cannot fail");
+            assert_eq!(f.get(), POLITE_SHOTS);
+            start.elapsed()
+        })
+        .collect()
+}
+
+/// Run the polite sessions concurrently (optionally against a pre-loaded
+/// flooder backlog) and return the per-tenant latency series.
+fn run_fairness_phase(svc: &Arc<ExecutionService>, with_flooder: bool) -> Vec<Vec<Duration>> {
+    let flood: Vec<_> = if with_flooder {
+        (0..FLOOD_TASKS)
+            .map(|i| {
+                let seed = 50_000 + i as u64;
+                svc.submit_spec(TaskSpec::new().tenant("flooder"), move || bell_task_with(POLITE_SHOTS, seed))
+                    .expect("Block submission cannot fail")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let sessions: Vec<_> = (0..POLITE_TENANTS)
+        .map(|tenant| {
+            let svc = Arc::clone(svc);
+            std::thread::spawn(move || polite_session(svc, tenant))
+        })
+        .collect();
+    let latencies: Vec<Vec<Duration>> =
+        sessions.into_iter().map(|h| h.join().expect("polite session panicked")).collect();
+    let flooded: usize = flood.into_iter().map(|f| f.get()).sum();
+    if with_flooder {
+        assert_eq!(flooded, FLOOD_TASKS * POLITE_SHOTS);
+    }
+    latencies
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Assert the introspection identity: per-tenant gauges sum to the
+/// `ServiceStats` totals and every tenant satisfies
+/// `submitted == completed + running + queued + shed + cancelled + expired`.
+fn assert_introspection_identity(svc: &ExecutionService) {
+    let snap = svc.introspect();
+    let s = &snap.stats;
+    assert_eq!(
+        s.submitted,
+        s.completed + s.running + s.queue_len + s.shed + s.cancelled + s.expired,
+        "ServiceStats identity broken: {s:?}"
+    );
+    let sum = |f: fn(&qcor::TenantStats) -> usize| snap.tenants.iter().map(f).sum::<usize>();
+    assert_eq!(sum(|t| t.submitted), s.submitted, "tenant `submitted` gauges do not sum");
+    assert_eq!(sum(|t| t.completed), s.completed, "tenant `completed` gauges do not sum");
+    assert_eq!(sum(|t| t.shed), s.shed, "tenant `shed` gauges do not sum");
+    for t in &snap.tenants {
+        assert_eq!(
+            t.submitted,
+            t.completed + t.running + t.queued() + t.shed + t.cancelled + t.expired,
+            "identity broken for tenant {}",
+            t.tenant
+        );
+    }
+}
+
+/// Fetch `/stats` from a throwaway debug listener bound to this service
+/// and check it serves the introspection JSON.
+fn assert_debug_endpoint_serves(svc: &Arc<ExecutionService>) {
+    use std::io::{Read, Write};
+    let provider = Arc::clone(svc);
+    let server = DebugServer::start("127.0.0.1:0", move || provider.introspect())
+        .expect("failed to bind the debug listener on loopback");
+    let mut conn =
+        std::net::TcpStream::connect(server.local_addr()).expect("failed to connect to the debug listener");
+    conn.write_all(b"GET /stats HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200"), "unexpected debug response: {response}");
+    let body = response.split_once("\r\n\r\n").expect("missing HTTP body").1;
+    for tenant in ["flooder", "polite-0", "polite-3"] {
+        assert!(body.contains(&format!("\"tenant\":\"{tenant}\"")), "missing {tenant}: {body}");
+    }
 }
 
 fn main() {
@@ -153,15 +282,60 @@ fn main() {
     assert_eq!(join_stats.completed, DRIVERS * (SIBLINGS + 1), "every driver and sibling must run");
     let join_ratio = join_time.as_secs_f64() / join_inline_time.as_secs_f64();
 
+    // Adversarial-tenant scenario: the no-flooder baseline and the flooded
+    // run use identically configured fresh services.
+    let baseline_svc = fair_service();
+    let baseline_latencies = run_fairness_phase(&baseline_svc, false);
+    baseline_svc.drain();
+    assert_introspection_identity(&baseline_svc);
+
+    let flooded_svc = fair_service();
+    let flooded_latencies = run_fairness_phase(&flooded_svc, true);
+    flooded_svc.drain();
+    assert_introspection_identity(&flooded_svc);
+    assert_debug_endpoint_serves(&flooded_svc);
+    let fair_stats = flooded_svc.stats();
+    assert_eq!(fair_stats.completed, FLOOD_TASKS + POLITE_TENANTS * POLITE_OPS);
+    assert_eq!((fair_stats.rejected, fair_stats.shed), (0, 0), "Block policy must not lose work");
+
+    let mut baseline_all: Vec<Duration> = baseline_latencies.iter().flatten().copied().collect();
+    let mut flooded_all: Vec<Duration> = flooded_latencies.iter().flatten().copied().collect();
+    baseline_all.sort_unstable();
+    flooded_all.sort_unstable();
+    let baseline_p99 = percentile(&baseline_all, 0.99);
+    let flooded_p99 = percentile(&flooded_all, 0.99);
+    let fair_ratio = flooded_p99.as_secs_f64() / baseline_p99.max(FAIR_FLOOR).as_secs_f64();
+
+    // Per-tenant latency rows for the JSON artifact.
+    let mut tenant_rows = String::new();
+    for tenant in 0..POLITE_TENANTS {
+        let mut baseline = baseline_latencies[tenant].clone();
+        let mut flooded = flooded_latencies[tenant].clone();
+        baseline.sort_unstable();
+        flooded.sort_unstable();
+        tenant_rows.push_str(&format!(
+            "    {{ \"tenant\": \"polite-{tenant}\", \"ops\": {POLITE_OPS}, \
+             \"baseline_p50_ns\": {:.1}, \"baseline_p99_ns\": {:.1}, \
+             \"flooded_p50_ns\": {:.1}, \"flooded_p99_ns\": {:.1} }}{}\n",
+            percentile(&baseline, 0.50).as_secs_f64() * 1e9,
+            percentile(&baseline, 0.99).as_secs_f64() * 1e9,
+            percentile(&flooded, 0.50).as_secs_f64() * 1e9,
+            percentile(&flooded, 0.99).as_secs_f64() * 1e9,
+            if tenant + 1 == POLITE_TENANTS { "" } else { "," },
+        ));
+    }
+
     let json = format!(
         "{{\n  \"meta\": {{\n    \"command\": \"cargo run -p qcor-bench --release --bin queue_guard\",\n    \
          \"logical_cpus\": {},\n    \
          \"workload\": \"{TASKS} bell tasks x {SHOTS} shots, service threads={SERVICE_THREADS}, capacity={CAPACITY}, policy=block\",\n    \
          \"join_workload\": \"{DRIVERS} driver tasks x {SIBLINGS} in-task sibling joins x {JOIN_SHOTS} shots (work-conserving join; deadlocked pre-fix)\",\n    \
-         \"guard\": \"fail if queued (or join-scenario) wall time divided by inline wall time exceeds {MAX_RATIO}\",\n    \
+         \"fair_workload\": \"{POLITE_TENANTS} polite tenants x {POLITE_OPS} submit-join ops vs 1 flooder x {FLOOD_TASKS} tasks, all x {POLITE_SHOTS} shots (DRR fair queuing)\",\n    \
+         \"guard\": \"fail if queued, join-scenario, or flooded-p99 ratio exceeds {MAX_RATIO} (fairness baseline floored at {} ns)\",\n    \
          \"note\": \"async kernel-queue overhead guard; submit latency includes time blocked by backpressure\"\n  }},\n  \
          \"ratio_queued_over_inline\": {ratio:.3},\n  \
          \"ratio_join_over_inline\": {join_ratio:.3},\n  \
+         \"ratio_flooded_p99_over_baseline\": {fair_ratio:.3},\n  \
          \"throughput_tasks_per_sec\": {throughput:.1},\n  \
          \"inline_wall_ns\": {:.1},\n  \
          \"queued_wall_ns\": {:.1},\n  \
@@ -169,14 +343,20 @@ fn main() {
          \"join_queued_wall_ns\": {:.1},\n  \
          \"submit_latency_p50_ns\": {:.1},\n  \
          \"submit_latency_max_ns\": {:.1},\n  \
+         \"polite_baseline_p99_ns\": {:.1},\n  \
+         \"polite_flooded_p99_ns\": {:.1},\n  \
+         \"tenants\": [\n{tenant_rows}  ],\n  \
          \"peak_queue_len\": {},\n  \"capacity\": {CAPACITY}\n}}\n",
         qcor_pool::available_parallelism(),
+        FAIR_FLOOR.as_nanos(),
         inline_time.as_secs_f64() * 1e9,
         queued_time.as_secs_f64() * 1e9,
         join_inline_time.as_secs_f64() * 1e9,
         join_time.as_secs_f64() * 1e9,
         p50.as_secs_f64() * 1e9,
         max.as_secs_f64() * 1e9,
+        baseline_p99.as_secs_f64() * 1e9,
+        flooded_p99.as_secs_f64() * 1e9,
         stats.peak_queue_len,
     );
     std::fs::write("BENCH_queue.json", &json).expect("failed to write BENCH_queue.json");
@@ -197,6 +377,17 @@ fn main() {
         join_inline_time.as_secs_f64() * 1e6,
         join_time.as_secs_f64() * 1e6
     );
+    println!(
+        "fair    polite p99: baseline {:>10.1} us, flooded {:>10.1} us  ({FLOOD_TASKS}-task flooder)",
+        baseline_p99.as_secs_f64() * 1e6,
+        flooded_p99.as_secs_f64() * 1e6
+    );
     qcor_bench::enforce_guard_ratio("queued / inline", ratio, MAX_RATIO, "BENCH_queue.json");
     qcor_bench::enforce_guard_ratio("join-scenario / inline", join_ratio, MAX_RATIO, "BENCH_queue.json");
+    qcor_bench::enforce_guard_ratio(
+        "flooded polite p99 / baseline",
+        fair_ratio,
+        MAX_RATIO,
+        "BENCH_queue.json",
+    );
 }

@@ -1,5 +1,5 @@
 //! Quantum arithmetic for Shor's kernel: Draper Fourier-space adders and the
-//! Beauregard modular-exponentiation construction (paper reference [20],
+//! Beauregard modular-exponentiation construction (paper reference \[20\],
 //! "Circuit for Shor's algorithm using 2n+3 qubits").
 //!
 //! # Conventions

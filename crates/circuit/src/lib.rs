@@ -17,7 +17,7 @@
 //!   workload of the paper's §VII discussion),
 //! * [`library`] — Bell/GHZ/QFT builders,
 //! * [`arith`] — Draper QFT arithmetic and the Beauregard modular
-//!   exponentiation construction used by Shor's kernel (paper ref. [20]).
+//!   exponentiation construction used by Shor's kernel (paper ref. \[20\]).
 
 pub mod arith;
 mod circuit;

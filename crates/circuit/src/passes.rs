@@ -1,7 +1,7 @@
 //! Peephole circuit optimizer.
 //!
 //! The paper's §VII motivates asynchronous "quantum JIT compilation": circuit
-//! optimization is expensive enough (hours, in Shi et al. [22]) that it pays
+//! optimization is expensive enough (hours, in Shi et al. \[22\]) that it pays
 //! to offload it while other work proceeds. This module is the compilation
 //! workload used by that scenario in this reproduction: a pass manager over
 //! peephole passes that shrink an instruction stream without changing the

@@ -3,7 +3,7 @@
 //! QCOR/XACC accept OpenQASM alongside XASM (the paper cites OpenQASM as the
 //! other kernel language); this module provides enough of OpenQASM 2 to
 //! exchange the circuits this reproduction uses: `qreg`/`creg`
-//! declarations, the qelib1 gate names our [`GateKind`](crate::GateKind) set
+//! declarations, the qelib1 gate names our [`GateKind`] set
 //! covers, `measure`, `reset` and `barrier`.
 //!
 //! Multiple quantum registers are supported by concatenating them into one

@@ -48,6 +48,7 @@
 
 mod allocation;
 mod exec_service;
+mod introspect;
 mod kernel;
 mod objective;
 pub mod optim;
@@ -58,7 +59,11 @@ mod threading;
 pub use allocation::{
     allocated_buffer_count, clear_allocated_buffers, find_buffer, qalloc, qalloc_named, QReg,
 };
-pub use exec_service::{BackpressurePolicy, ExecServiceConfig, ExecutionService, ServiceStats, TaskPriority};
+pub use exec_service::{
+    set_thread_tenant, thread_tenant, BackpressurePolicy, ExecServiceConfig, ExecutionService, ServiceStats,
+    TaskPriority, TaskSpec, DEFAULT_TENANT,
+};
+pub use introspect::{DebugServer, ServiceIntrospection, TenantStats};
 pub use kernel::Kernel;
 pub use objective::{create_objective_function, EvalStrategy, ObjectiveFunction};
 pub use optim::{create_optimizer, Optimizer, OptimizerResult};

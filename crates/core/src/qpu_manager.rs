@@ -10,7 +10,12 @@
 //! [`BackendCapability`]. Each distinct candidate list gets one shared
 //! process-wide rotation cursor, so concurrent initializations under the
 //! same list spread exactly evenly over its candidates, while different
-//! lists rotate independently.
+//! lists rotate independently. Capability routing is additionally
+//! **load-weighted**: candidates are filtered to the minimum live queue
+//! depth (the registry's per-backend in-flight gauge, incremented for the
+//! duration of each `execute`) before the cursor rotates among them, so a
+//! backend stuck under long executions stops receiving new placements
+//! until it drains.
 
 use crate::runtime::InitOptions;
 use crate::QcorError;
@@ -194,7 +199,22 @@ impl QPUManager {
                         "no cloneable backend advertises capability `{cap}`"
                     )));
                 }
-                Ok(candidates[self.next_slot(&candidates) % candidates.len()].clone())
+                // Weight by live queue depth: keep only the candidates at
+                // the minimum in-flight load and rotate among those. With
+                // all loads equal (the common idle case) this degenerates
+                // to the plain rotation, cursor and all.
+                let reg = registry::global();
+                // One load sample per candidate: sampling twice could race
+                // a concurrent execution and leave the filter empty.
+                let loads: Vec<usize> = candidates.iter().map(|name| reg.load_of(name)).collect();
+                let min_load = *loads.iter().min().expect("non-empty");
+                let light: Vec<String> = candidates
+                    .into_iter()
+                    .zip(loads)
+                    .filter(|(_, load)| *load == min_load)
+                    .map(|(name, _)| name)
+                    .collect();
+                Ok(light[self.next_slot(&light) % light.len()].clone())
             }
         }
     }
@@ -356,6 +376,31 @@ mod tests {
             mgr.route(Some(&RoutingPolicy::Capability(BackendCapability::Density)), "qpp").unwrap(),
             "qpp-density"
         );
+    }
+
+    #[test]
+    fn capability_routing_avoids_loaded_backends() {
+        // Two cloneable Remote-capability services; pinning live load on
+        // one must steer every placement to the other until the load
+        // drains. (Uses the Remote class so the Noisy/Density exact-match
+        // assertions elsewhere in this process stay undisturbed.)
+        let reg = registry::global();
+        reg.register_factory_with_capability("remote-b", BackendCapability::Remote, |params| {
+            Ok(Arc::new(qcor_xacc::backends::RemoteAccelerator::from_params(params)) as Arc<dyn Accelerator>)
+        });
+        let mgr = QPUManager::instance();
+        let policy = RoutingPolicy::Capability(BackendCapability::Remote);
+        let busy = reg.track_load("remote");
+        for _ in 0..6 {
+            assert_eq!(mgr.route(Some(&policy), "qpp").unwrap(), "remote-b");
+        }
+        drop(busy);
+        // Loads equal again: the rotation reaches both candidates.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            seen.insert(mgr.route(Some(&policy), "qpp").unwrap());
+        }
+        assert!(seen.contains("remote") && seen.contains("remote-b"), "{seen:?}");
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub struct InitOptions {
     /// pinned to `backend`). Backend params (`routing`,
     /// `routing-backends`, `routing-capability`) override this field.
     pub routing: Option<RoutingPolicy>,
+    /// Session tenant for the calling thread: when set, [`initialize`]
+    /// also calls [`crate::set_thread_tenant`], so subsequent execution-
+    /// service submissions from this thread are fair-queued and accounted
+    /// under this tenant. `None` leaves the thread's tenant untouched.
+    pub tenant: Option<String>,
 }
 
 impl Default for InitOptions {
@@ -51,6 +56,7 @@ impl Default for InitOptions {
             seed: None,
             params: HetMap::new(),
             routing: None,
+            tenant: None,
         }
     }
 }
@@ -83,6 +89,13 @@ impl InitOptions {
     /// Extra backend parameter.
     pub fn param(mut self, key: impl Into<String>, value: impl Into<qcor_xacc::HetValue>) -> Self {
         self.params.insert(key, value);
+        self
+    }
+
+    /// Session tenant for this thread's submissions (see
+    /// [`InitOptions::tenant`]).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 
@@ -225,6 +238,9 @@ pub fn initialize(opts: InitOptions) -> Result<(), QcorError> {
     let backend = QPUManager::instance().route(policy.as_ref(), &opts.backend)?;
     let qpu = registry::get_accelerator(&backend, &params)?;
     let exec = ExecOptions { shots: opts.shots, seed: opts.seed };
+    if let Some(tenant) = &opts.tenant {
+        crate::exec_service::set_thread_tenant(Some(tenant));
+    }
     QPUManager::instance().set_qpu(ThreadContext { qpu, resolved_backend: backend, exec, init: opts });
     Ok(())
 }
@@ -251,6 +267,9 @@ pub fn current_options() -> Option<InitOptions> {
 /// accelerator with its registered shots/seed.
 pub fn execute(q: &QReg, circuit: &Circuit) -> Result<(), QcorError> {
     let ctx = QPUManager::instance().get_qpu().ok_or(QcorError::NotInitialized)?;
+    // The registry's live queue-depth gauge covers the execution: this is
+    // what load-weighted capability routing steers around.
+    let _load = registry::global().track_load(&ctx.resolved_backend);
     q.with_buffer(|buf| ctx.qpu.execute(buf, circuit, &ctx.exec))?;
     Ok(())
 }
@@ -258,6 +277,7 @@ pub fn execute(q: &QReg, circuit: &Circuit) -> Result<(), QcorError> {
 /// Execute with explicit options (overriding the registered shots/seed).
 pub fn execute_with(q: &QReg, circuit: &Circuit, exec: &ExecOptions) -> Result<(), QcorError> {
     let ctx = QPUManager::instance().get_qpu().ok_or(QcorError::NotInitialized)?;
+    let _load = registry::global().track_load(&ctx.resolved_backend);
     q.with_buffer(|buf| ctx.qpu.execute(buf, circuit, exec))?;
     Ok(())
 }

@@ -63,8 +63,13 @@ impl<T> TaskFuture<T> {
     /// [`TaskFuture::wait`] resolves as [`QcorError::TaskCancelled`].
     /// Returns `true` exactly when this call removed the task from the
     /// queue. Once the task has been dispatched (or already finished, was
-    /// shed, or was cancelled before), `cancel` returns `false` and the
-    /// task's outcome is unaffected — there is no mid-execution abort.
+    /// shed, or was cancelled before), `cancel` returns `false` and
+    /// instead **requests a cooperative stop**: the task's
+    /// `qcor_sim::CancelToken` is set, so checkpointed code — a chunked
+    /// shot sweep, or anything polling `qcor_sim::cancel_requested()` —
+    /// stops at its next safe point. The future still resolves with
+    /// whatever the (possibly truncated) task returns; there is no
+    /// preemptive mid-execution abort.
     pub fn cancel(&self) -> bool {
         self.ctx.cancel()
     }

@@ -419,7 +419,7 @@ impl ThreadPool {
         partials.into_iter().map(|(_, part)| part).fold(identity, reduce)
     }
 
-    /// Fork/join task region: tasks spawned on the [`Scope`] may borrow from
+    /// Fork/join task region: tasks spawned on the [`Scope`](crate::Scope) may borrow from
     /// the enclosing stack frame; `scope` blocks until all of them finish.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where

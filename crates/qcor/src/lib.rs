@@ -29,12 +29,16 @@
 //! ```
 
 // The runtime API: initialize / initialize_legacy_shared, qalloc, QReg,
-// Kernel, QPUManager (+ RoutingPolicy multi-backend routing), spawn /
-// async_task / submit and the ExecutionService behind them (bounded
-// two-lane kernel queue with block / reject / shed-oldest backpressure,
-// work-conserving in-task joins, TaskFuture::cancel, per-task deadlines
-// and TaskPriority lanes), execute / execute_with, objective functions,
-// optimizers, and QcorError.
+// Kernel, QPUManager (+ RoutingPolicy multi-backend routing, load-weighted
+// under capability policies), spawn / async_task / submit and the
+// ExecutionService behind them (bounded two-lane kernel queue with
+// per-tenant deficit-weighted fair queuing — TaskSpec / set_thread_tenant
+// / QCOR_TENANT_WEIGHTS — block / reject / shed-oldest backpressure,
+// work-conserving in-task joins and optional work-conserving dispatch,
+// TaskFuture::cancel with cooperative mid-execution stop, eagerly-evicted
+// per-task deadlines, TaskPriority lanes, and live introspection via
+// ExecutionService::introspect / QCOR_DEBUG_ENDPOINT), execute /
+// execute_with, objective functions, optimizers, and QcorError.
 pub use qcor_core::*;
 
 // Kernel-language and circuit tooling, addressable as `qcor::xasm::…`
@@ -59,6 +63,12 @@ pub use qcor_sim as sim;
 pub use qcor_sim::{
     run_shots, run_shots_planned, run_shots_task_parallel, Counts, Granularity, RunConfig, ShotPlan,
 };
+
+// Cooperative cancellation: task code polls `cancel_requested()` at its
+// own safe points; the chunked shot scheduler checks between chunk jobs
+// (`run_shots_cancellable` / `ShotRun`), so a cancelled sweep stops at the
+// next chunk boundary with the completed prefix's exact counts.
+pub use qcor_sim::{cancel_requested, run_shots_cancellable, CancelToken, ShotRun};
 
 // Compile-then-execute: a `CompiledCircuit` lowers a circuit once into
 // fused kernel ops (precomputed matrices, merged phase sweeps, two-qubit

@@ -47,7 +47,7 @@
 //!
 //! Compilation also plans **cache blocking**: consecutive runs of ops whose
 //! whole support (targets, controls, phase masks) lies below
-//! [`CACHE_BLOCK_QUBITS`] are grouped into a blockable segment. On states
+//! `CACHE_BLOCK_QUBITS` are grouped into a blockable segment. On states
 //! of at least `2^CACHE_BLOCK_MIN_QUBITS` amplitudes, replay walks such a
 //! segment block-by-block: each `2^15`-amplitude block (512 KiB — sized to
 //! sit in a per-core L2 while leaving room for the read+write streams)

@@ -79,6 +79,7 @@
 //! Bitstring convention: the leftmost character is the outcome of the
 //! lowest-indexed *measured* qubit.
 
+use crate::cancel::CancelToken;
 use crate::compile::CompiledCircuit;
 use crate::fp32::{CompiledCircuit32, StateVector32};
 use crate::gates::apply_instruction;
@@ -577,15 +578,65 @@ pub fn run_shots(circuit: &Circuit, pool: Arc<ThreadPool>, config: &RunConfig) -
 
 /// Execute an explicit [`ShotPlan`] (the scheduler core behind
 /// [`run_shots`] and [`run_shots_task_parallel`]).
+///
+/// Honors the calling thread's cooperative [`CancelToken`]
+/// ([`crate::cancel::thread_cancel_token`], installed by execution layers
+/// such as the `qcor-core` execution service around task bodies): chunk
+/// jobs check the token at their start, so a cancelled sweep stops at the
+/// next chunk boundary and returns only the completed chunks' merged
+/// counts. Use [`run_shots_cancellable`] to pass a token explicitly and
+/// observe how far the sweep got.
 pub fn run_shots_planned(
     circuit: &Circuit,
     pool: Arc<ThreadPool>,
     config: &RunConfig,
     plan: &ShotPlan,
 ) -> Counts {
+    let token = crate::cancel::thread_cancel_token();
+    run_shots_with_token(circuit, pool, config, plan, token.as_ref()).counts
+}
+
+/// The outcome of a cancellable sweep: the merged counts of every chunk
+/// that ran, plus how far the plan got. Chunks sample independent derived
+/// RNG streams ([`derive_stream_seed`]), so `counts` is bit-identical to
+/// the first `completed_chunks` chunks of an uncancelled run with the same
+/// `(seed, tasks, chunk_shots)` — cancellation truncates, never corrupts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShotRun {
+    /// Merged counts of the completed chunks.
+    pub counts: Counts,
+    /// How many chunk jobs ran to completion.
+    pub completed_chunks: usize,
+    /// How many chunk jobs the plan resolved to.
+    pub total_chunks: usize,
+    /// Whether any chunk job was skipped because the token was cancelled
+    /// (`completed_chunks < total_chunks`).
+    pub cancelled: bool,
+}
+
+/// [`run_shots_planned`] with an explicit [`CancelToken`]: the sweep stops
+/// at the first chunk boundary after `token.cancel()` and reports the
+/// completed prefix.
+pub fn run_shots_cancellable(
+    circuit: &Circuit,
+    pool: Arc<ThreadPool>,
+    config: &RunConfig,
+    plan: &ShotPlan,
+    token: &CancelToken,
+) -> ShotRun {
+    run_shots_with_token(circuit, pool, config, plan, Some(token))
+}
+
+fn run_shots_with_token(
+    circuit: &Circuit,
+    pool: Arc<ThreadPool>,
+    config: &RunConfig,
+    plan: &ShotPlan,
+    token: Option<&CancelToken>,
+) -> ShotRun {
     let mut merged = Counts::new();
     if plan.shots() == 0 {
-        return merged;
+        return ShotRun { counts: merged, completed_chunks: 0, total_chunks: 0, cancelled: false };
     }
     let base_seed = match config.seed {
         Some(s) => s,
@@ -594,10 +645,14 @@ pub fn run_shots_planned(
     // Compile once per plan; every chunk replays the same fused op list.
     let exec = ShotExec::for_config(circuit, config);
     if plan.inner_parallel() {
+        // Single work item: the only checkpoint is before it starts.
+        if token.is_some_and(CancelToken::is_cancelled) {
+            return ShotRun { counts: merged, completed_chunks: 0, total_chunks: 1, cancelled: true };
+        }
         let mut state = exec.make_state(circuit.num_qubits(), Some(pool), config.par_threshold);
         let mut rng = StdRng::seed_from_u64(base_seed);
         sample_into(&mut state, &exec, &mut rng, plan.shots(), &mut merged);
-        return merged;
+        return ShotRun { counts: merged, completed_chunks: 1, total_chunks: 1, cancelled: false };
     }
     let par_threshold = config.par_threshold;
     let exec = &exec;
@@ -606,21 +661,30 @@ pub fn run_shots_planned(
         .enumerate()
         .map(|(index, span)| {
             let seed = derive_stream_seed(base_seed, index);
+            let token = token.cloned();
             move || {
+                // Cooperative cancellation checkpoint: a cancelled sweep
+                // skips every chunk that has not started yet.
+                if token.is_some_and(|t| t.is_cancelled()) {
+                    return None;
+                }
                 let mut state = exec.make_state(circuit.num_qubits(), None, par_threshold);
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut counts = Counts::new();
                 sample_into(&mut state, exec, &mut rng, span.len(), &mut counts);
-                counts
+                Some(counts)
             }
         })
         .collect();
-    for partial in pool.submit_batch(jobs) {
+    let total_chunks = jobs.len();
+    let mut completed_chunks = 0usize;
+    for partial in pool.submit_batch(jobs).into_iter().flatten() {
+        completed_chunks += 1;
         for (bits, count) in partial {
             *merged.entry(bits).or_insert(0) += count;
         }
     }
-    merged
+    ShotRun { counts: merged, completed_chunks, total_chunks, cancelled: completed_chunks < total_chunks }
 }
 
 /// Shot-level parallelism (paper §II): expose at least `tasks`-way
@@ -986,5 +1050,72 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn precancelled_token_skips_every_chunk() {
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 64, seed: Some(5), ..Default::default() };
+        let plan = ShotPlan::with_chunk_shots(64, 8);
+        let token = CancelToken::new();
+        token.cancel();
+        let run = run_shots_cancellable(&circuit, seq_pool(), &config, &plan, &token);
+        assert_eq!((run.completed_chunks, run.total_chunks), (0, 8));
+        assert!(run.cancelled);
+        assert!(run.counts.is_empty());
+    }
+
+    #[test]
+    fn mid_run_cancel_keeps_the_completed_prefix_deterministic() {
+        // Cancel from another thread while the sweep runs on a 1-thread
+        // pool (chunks start strictly in plan order, so the completed set
+        // is always a prefix). Whatever prefix completes, its merged
+        // counts must be byte-identical to re-running exactly those chunks
+        // on their derived RNG streams — cancellation truncates, never
+        // corrupts.
+        let circuit = library::ghz_kernel(10);
+        let base = 11u64;
+        let config = RunConfig { shots: 256, seed: Some(base), ..Default::default() };
+        let plan = ShotPlan::with_chunk_shots(256, 8);
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            remote.cancel();
+        });
+        let run = run_shots_cancellable(&circuit, seq_pool(), &config, &plan, &token);
+        canceller.join().unwrap();
+        assert_eq!(run.total_chunks, 32);
+        assert_eq!(run.cancelled, run.completed_chunks < run.total_chunks);
+        let mut expected = Counts::new();
+        for (index, span) in plan.chunks().enumerate().take(run.completed_chunks) {
+            let chunk_cfg = RunConfig {
+                shots: span.len(),
+                seed: Some(derive_stream_seed(base, index)),
+                ..Default::default()
+            };
+            let chunk_plan = ShotPlan::with_chunk_shots(span.len(), span.len());
+            for (bits, n) in run_shots_planned(&circuit, seq_pool(), &chunk_cfg, &chunk_plan) {
+                *expected.entry(bits).or_insert(0) += n;
+            }
+        }
+        assert_eq!(run.counts, expected);
+        assert_eq!(run.counts.values().sum::<usize>(), run.completed_chunks * 8);
+    }
+
+    #[test]
+    fn run_shots_planned_honors_the_thread_token() {
+        // The implicit path: a token installed on the calling thread (as
+        // the execution service does around task bodies) is picked up by
+        // `run_shots_planned` without any signature change.
+        let circuit = library::bell_kernel();
+        let config = RunConfig { shots: 64, seed: Some(9), ..Default::default() };
+        let plan = ShotPlan::with_chunk_shots(64, 8);
+        let token = CancelToken::new();
+        token.cancel();
+        let previous = crate::cancel::set_thread_cancel_token(Some(token));
+        let counts = run_shots_planned(&circuit, seq_pool(), &config, &plan);
+        crate::cancel::set_thread_cancel_token(previous);
+        assert!(counts.is_empty(), "a cancelled thread token must stop the sweep at chunk 0");
     }
 }

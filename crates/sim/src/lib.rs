@@ -29,6 +29,7 @@
 //!   hit/miss counters.
 
 pub mod cache;
+pub mod cancel;
 pub mod compile;
 mod complex;
 pub mod density;
@@ -40,13 +41,15 @@ pub mod stats;
 pub mod wire;
 
 pub use cache::{clear_compile_cache, compile_cache_env_default, compile_cached, parse_cache_token};
+pub use cancel::{cancel_requested, set_thread_cancel_token, thread_cancel_token, CancelToken};
 pub use compile::{CompiledCircuit, CompiledTemplate, KernelOp};
 pub use complex::{c32, c64, Complex32, Complex64};
 pub use density::{DensityMatrix, NoiseModel};
 pub use executor::{
     derive_stream_seed, exact_distribution, fusion_env_default, parse_fusion_token, parse_precision_token,
-    precision_env_default, run_once, run_once_interpreted, run_shots, run_shots_planned,
-    run_shots_task_parallel, Counts, Granularity, Precision, RunConfig, ShotPlan, ShotRecord,
+    precision_env_default, run_once, run_once_interpreted, run_shots, run_shots_cancellable,
+    run_shots_planned, run_shots_task_parallel, Counts, Granularity, Precision, RunConfig, ShotPlan,
+    ShotRecord, ShotRun,
 };
 pub use fp32::{CompiledCircuit32, StateVector32};
 pub use state::StateVector;

@@ -308,7 +308,7 @@ impl StateVector {
         pool.parallel_reduce_ordered(0..len, Self::REDUCE_GRAIN, 0.0, f, |a, b| a + b)
     }
 
-    /// Apply a single-qubit matrix `m` (row-major [[m00,m01],[m10,m11]]) to
+    /// Apply a single-qubit matrix `m` (row-major `[[m00,m01],[m10,m11]]`) to
     /// qubit `t`, restricted to basis states where every bit of
     /// `ctrl_mask` is set (`ctrl_mask` must not include bit `t`; 0 means
     /// no controls).
@@ -373,7 +373,7 @@ impl StateVector {
     /// This is the replay kernel of a fused [`crate::KernelOp::Dense2`]
     /// block: one sweep visiting `2^(n-2-c)` amplitude quads, instead of
     /// one full sweep per fused gate. Like every other kernel it builds
-    /// its [`BitInserts`] table inline — zero steady-state allocations.
+    /// its `BitInserts` table inline — zero steady-state allocations.
     pub fn apply_pair(&mut self, t0: usize, t1: usize, m: &[[Complex64; 4]; 4], ctrl_mask: usize) {
         assert!(t0 < t1, "pair must be ordered low-to-high");
         debug_assert!(t1 < self.num_qubits);

@@ -19,6 +19,7 @@ use crate::hetmap::HetMap;
 use crate::XaccError;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Factories are **fallible**: bad construction parameters surface as an
@@ -41,6 +42,30 @@ struct Entry {
 #[derive(Default)]
 pub struct ServiceRegistry {
     entries: RwLock<HashMap<String, Entry>>,
+    /// Live in-flight execution gauges per service name, maintained by
+    /// [`ServiceRegistry::track_load`] guards. Kept separate from `entries`
+    /// so gauges survive re-registration and lookups never block on the
+    /// entry lock.
+    loads: RwLock<HashMap<String, Arc<AtomicUsize>>>,
+}
+
+/// RAII handle for one in-flight execution against a backend: created by
+/// [`ServiceRegistry::track_load`], it increments the backend's live queue
+/// depth and decrements it again on drop (including on panic), so the
+/// gauge can never leak an execution.
+#[must_use = "dropping the guard immediately ends the tracked execution"]
+pub struct LoadGuard(Arc<AtomicUsize>);
+
+impl Drop for LoadGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for LoadGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("LoadGuard").field(&self.0.load(Ordering::Acquire)).finish()
+    }
 }
 
 impl ServiceRegistry {
@@ -129,6 +154,43 @@ impl ServiceRegistry {
             .collect();
         names.sort();
         names
+    }
+
+    /// Begin one tracked execution against `name`: the backend's live
+    /// queue-depth gauge is incremented until the returned guard drops.
+    /// The name does not need to be registered — custom execution layers
+    /// may track logical backends of their own.
+    pub fn track_load(&self, name: &str) -> LoadGuard {
+        let gauge = {
+            let loads = self.loads.read();
+            loads.get(name).cloned()
+        };
+        let gauge = match gauge {
+            Some(gauge) => gauge,
+            None => {
+                let mut loads = self.loads.write();
+                Arc::clone(loads.entry(name.to_string()).or_default())
+            }
+        };
+        gauge.fetch_add(1, Ordering::AcqRel);
+        LoadGuard(gauge)
+    }
+
+    /// The live queue depth of `name`: how many tracked executions are in
+    /// flight right now. Zero for names never tracked.
+    pub fn load_of(&self, name: &str) -> usize {
+        self.loads.read().get(name).map_or(0, |g| g.load(Ordering::Acquire))
+    }
+
+    /// Snapshot of every tracked backend's live queue depth, sorted by
+    /// name (the introspection endpoint's `backends` section).
+    pub fn backend_loads(&self) -> Vec<(String, usize)> {
+        let loads = self.loads.read();
+        let mut out: Vec<(String, usize)> =
+            loads.iter().map(|(name, g)| (name.clone(), g.load(Ordering::Acquire))).collect();
+        drop(loads);
+        out.sort();
+        out
     }
 }
 
@@ -270,6 +332,29 @@ mod tests {
             global().cloneable_services_with_capability(BackendCapability::Remote),
             vec!["remote".to_string()]
         );
+    }
+
+    #[test]
+    fn load_guards_track_inflight_depth() {
+        let reg = ServiceRegistry::new();
+        assert_eq!(reg.load_of("qpp"), 0);
+        let a = reg.track_load("qpp");
+        let b = reg.track_load("qpp");
+        let other = reg.track_load("remote");
+        assert_eq!(reg.load_of("qpp"), 2);
+        assert_eq!(reg.load_of("remote"), 1);
+        assert_eq!(
+            reg.backend_loads(),
+            vec![("qpp".to_string(), 2), ("remote".to_string(), 1)],
+            "snapshot must be sorted by name"
+        );
+        drop(a);
+        assert_eq!(reg.load_of("qpp"), 1);
+        drop(b);
+        drop(other);
+        assert_eq!(reg.load_of("qpp"), 0);
+        assert_eq!(reg.load_of("remote"), 0);
+        assert_eq!(reg.load_of("never-tracked"), 0);
     }
 
     #[test]

@@ -677,3 +677,215 @@ fn exited_threads_do_not_leak_registrations() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-tenant fair queuing, eager eviction, cooperative cancellation
+// ---------------------------------------------------------------------------
+
+/// Weighted shares under saturation at the service level: with a single
+/// permit and both tenants backlogged, a weight-3 tenant drains at ~3× the
+/// weight-1 flooder's rate, so its whole batch completes long before the
+/// flooder's backlog does.
+#[test]
+fn weighted_tenants_share_the_permit_fairly() {
+    // threads(2) = one dispatcher + one executor permit.
+    let svc = ExecutionService::new(
+        ExecServiceConfig::default().threads(2).capacity(256).tenant_weight("favored", 3.0),
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let blocker = svc
+        .submit(move || {
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap();
+    while svc.stats().running == 0 {
+        std::thread::yield_now();
+    }
+    // Both tenants fully backlogged behind the blocker before any pop.
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut futures = Vec::new();
+    for i in 0..48 {
+        let log = Arc::clone(&log);
+        futures.push(
+            svc.submit_spec(qcor::TaskSpec::new().tenant("flooder"), move || {
+                log.lock().unwrap().push(("flooder", i))
+            })
+            .unwrap(),
+        );
+    }
+    for i in 0..12 {
+        let log = Arc::clone(&log);
+        futures.push(
+            svc.submit_spec(qcor::TaskSpec::new().tenant("favored"), move || {
+                log.lock().unwrap().push(("favored", i))
+            })
+            .unwrap(),
+        );
+    }
+    gate.store(true, Ordering::Release);
+    blocker.get();
+    for f in futures {
+        f.get();
+    }
+    let log = log.lock().unwrap();
+    let last_favored = log.iter().rposition(|(t, _)| *t == "favored").unwrap();
+    let flooder_before = log[..=last_favored].iter().filter(|(t, _)| *t == "flooder").count();
+    // Ideal DRR interleave: ⌈12/3⌉ = 4 flooder pops before the favored
+    // batch ends; leave slack but rule out anything close to FIFO (48).
+    assert!(
+        flooder_before <= 12,
+        "favored tenant starved: {flooder_before}/48 flooder tasks finished before its batch"
+    );
+    let snap = svc.introspect();
+    let favored = snap.tenants.iter().find(|t| t.tenant == "favored").unwrap();
+    assert_eq!((favored.submitted, favored.completed), (12, 12));
+    assert!((favored.weight - 3.0).abs() < f64::EPSILON);
+}
+
+/// Eager eviction never touches dispatched work: a task dispatched before
+/// its deadline and still running when it fires completes normally, while
+/// a queued sibling with the same deadline is evicted without a permit
+/// ever freeing.
+#[test]
+fn eager_eviction_spares_dispatched_tasks_and_evicts_queued_ones() {
+    // threads(2) = one dispatcher + one executor permit.
+    let svc = ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(8));
+    let release = Arc::new(AtomicBool::new(false));
+    let r = Arc::clone(&release);
+    // Dispatched immediately (idle permit), outlives its own deadline.
+    let dispatched = svc
+        .submit_with_deadline(Duration::from_millis(20), move || {
+            while !r.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            99usize
+        })
+        .unwrap();
+    while svc.stats().running == 0 {
+        std::thread::yield_now();
+    }
+    // Queued behind the busy permit with the same deadline: evicted.
+    let queued = svc.submit_with_deadline(Duration::from_millis(20), || 1usize).unwrap();
+    let give_up = Instant::now() + Duration::from_secs(10);
+    while svc.stats().expired == 0 {
+        assert!(Instant::now() < give_up, "eager eviction never fired: {:?}", svc.stats());
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mid = svc.stats();
+    assert_eq!((mid.expired, mid.running, mid.queue_len), (1, 1, 0), "{mid:?}");
+    assert_eq!(queued.wait(), Err(QcorError::TaskShed));
+    release.store(true, Ordering::Release);
+    assert_eq!(dispatched.wait(), Ok(99), "a dispatched task is past eviction");
+    svc.drain();
+    let stats = svc.stats();
+    assert_eq!((stats.expired, stats.completed), (1, 1));
+}
+
+/// Service-level cooperative cancellation of a chunked shot sweep:
+/// `TaskFuture::cancel` on a dispatched task sets the task's thread-local
+/// token, the sweep stops at a chunk boundary, and the merged counts of
+/// the completed prefix are bit-identical to re-running exactly those
+/// chunks on their derived RNG streams.
+#[test]
+fn cancelling_a_dispatched_sweep_keeps_the_completed_prefix_deterministic() {
+    use qcor::sim::{derive_stream_seed, run_shots_cancellable, run_shots_planned, ShotPlan};
+    use qcor::{PoolBuilder, RunConfig};
+
+    const BASE_SEED: u64 = 77;
+    const CHUNK: usize = 4;
+    const SHOTS: usize = 256;
+    let circuit = qcor::library::ghz_kernel(14);
+
+    let svc = ExecutionService::new(ExecServiceConfig::default().threads(2).capacity(8));
+    let circuit2 = circuit.clone();
+    let f = svc
+        .submit(move || {
+            // A serial inner pool keeps chunk starts in plan order, so the
+            // completed set is always a prefix of the plan.
+            let pool = Arc::new(PoolBuilder::new().num_threads(1).build());
+            let config = RunConfig { shots: SHOTS, seed: Some(BASE_SEED), ..RunConfig::default() };
+            let plan = ShotPlan::with_chunk_shots(SHOTS, CHUNK);
+            let token = qcor::sim::thread_cancel_token().expect("service installs the task token");
+            run_shots_cancellable(&circuit2, pool, &config, &plan, &token)
+        })
+        .unwrap();
+    while svc.stats().running == 0 {
+        std::thread::yield_now();
+    }
+    assert!(!f.cancel(), "dispatched: cancel() reports false and requests a cooperative stop");
+    let run = f.get();
+    assert_eq!(run.total_chunks, SHOTS / CHUNK);
+    assert_eq!(run.cancelled, run.completed_chunks < run.total_chunks);
+
+    // Reference: each completed chunk replayed alone on its derived seed.
+    let pool = Arc::new(PoolBuilder::new().num_threads(1).build());
+    let mut expected: HashMap<String, usize> = HashMap::new();
+    for index in 0..run.completed_chunks {
+        let config = RunConfig {
+            shots: CHUNK,
+            seed: Some(derive_stream_seed(BASE_SEED, index)),
+            ..RunConfig::default()
+        };
+        let plan = ShotPlan::with_chunk_shots(CHUNK, CHUNK);
+        for (bits, n) in run_shots_planned(&circuit, Arc::clone(&pool), &config, &plan) {
+            *expected.entry(bits).or_insert(0) += n;
+        }
+    }
+    let got: HashMap<String, usize> = run.counts.into_iter().collect();
+    assert_eq!(got, expected, "completed prefix must be bit-identical to the uncancelled chunks");
+    assert_eq!(expected.values().sum::<usize>(), run.completed_chunks * CHUNK);
+}
+
+/// The live introspection snapshot: per-tenant columns sum to the
+/// `ServiceStats` totals, the identity holds per tenant, and the debug
+/// HTTP listener serves the same JSON the snapshot renders.
+#[test]
+fn introspection_sums_and_debug_endpoint_agree() {
+    let svc = Arc::new(ExecutionService::new(ExecServiceConfig::default().threads(3).capacity(64)));
+    let mut futures = Vec::new();
+    for (tenant, n) in [("t-a", 6usize), ("t-b", 9), ("t-c", 3)] {
+        for i in 0..n {
+            futures.push(svc.submit_spec(qcor::TaskSpec::new().tenant(tenant), move || i * i).unwrap());
+        }
+    }
+    for f in futures {
+        f.get();
+    }
+    svc.drain();
+    let snap = svc.introspect();
+    let s = snap.stats;
+    assert_eq!(s.submitted, s.completed + s.running + s.queue_len + s.shed + s.cancelled + s.expired);
+    let sum = |f: fn(&qcor::TenantStats) -> usize| snap.tenants.iter().map(f).sum::<usize>();
+    assert_eq!(sum(|t| t.submitted), s.submitted);
+    assert_eq!(sum(|t| t.completed), s.completed);
+    assert_eq!(sum(|t| t.running) + sum(|t| t.shed) + sum(|t| t.cancelled) + sum(|t| t.expired), 0);
+    for t in &snap.tenants {
+        assert_eq!(
+            t.submitted,
+            t.completed + t.running + t.queued() + t.shed + t.cancelled + t.expired,
+            "identity broken for tenant {}",
+            t.tenant
+        );
+    }
+
+    // The debug listener serves exactly what introspect() renders. The
+    // backends section samples live global-registry load gauges that other
+    // tests in this binary move concurrently, so compare the service-local
+    // prefix (service config + stats + tenants) of both renders.
+    let svc2 = Arc::clone(&svc);
+    let server = qcor::DebugServer::start("127.0.0.1:0", move || svc2.introspect()).expect("bind loopback");
+    let addr = server.local_addr();
+    use std::io::{Read, Write};
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.write_all(b"GET /stats HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+    let body = response.split_once("\r\n\r\n").expect("http header/body").1;
+    let service_local = |json: &str| json.split("\"backends\"").next().unwrap().to_string();
+    assert_eq!(service_local(body), service_local(&svc.introspect().to_json()));
+    assert!(body.contains("\"tenant\":\"t-b\""));
+}

@@ -85,6 +85,19 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Timed wait; returns `true` if the wait timed out (matching
+    /// `parking_lot::WaitTimeoutResult::timed_out`). Spurious wakeups are
+    /// possible, exactly as with [`Condvar::wait`].
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let inner = guard.0.take().expect("guard already taken");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.0 = Some(inner);
+        result.timed_out()
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }

@@ -14,9 +14,26 @@ use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Process-global count of batch jobs executed by work-stealing (idle
+/// workers claiming from the tail of an in-flight [`ThreadPool::submit_batch`]).
+static BATCH_STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of `submit_batch` jobs that idle workers stole from the
+/// tail of an in-flight batch, process-global across all pools. Stable
+/// monotone counter for stats surfacing; pair with
+/// [`reset_batch_steal_count`] to measure a region.
+pub fn batch_steal_count() -> u64 {
+    BATCH_STEALS.load(Ordering::Relaxed)
+}
+
+/// Reset [`batch_steal_count`] to zero (bench/test bookkeeping).
+pub fn reset_batch_steal_count() {
+    BATCH_STEALS.store(0, Ordering::Relaxed)
+}
 
 /// Chunk-scheduling policy for [`ThreadPool::parallel_for`].
 ///
@@ -86,6 +103,10 @@ struct ForJob<'f> {
     /// Next iteration index (dynamic) or next participant slot (static).
     cursor: AtomicUsize,
     latch: CountLatch,
+    /// Workers currently inside `run_erased`. The issuing thread spins
+    /// this to zero after `latch.wait()` returns so a worker's final latch
+    /// notify never touches the already-unwound frame.
+    active: AtomicUsize,
     panicked: AtomicBool,
     panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
@@ -133,10 +154,172 @@ impl<'f> ForJob<'f> {
 
     unsafe fn run_erased(ptr: *const ()) {
         // SAFETY: `ptr` was produced from a `&ForJob` that is kept alive by
-        // the issuing thread until the latch opens (see `JobRef`).
+        // the issuing thread until the latch opens and `active` drains to
+        // zero (see `JobRef`).
         let job = unsafe { &*(ptr as *const ForJob<'static>) };
+        // Register before counting down: the increment happens-before the
+        // count-down, so once `latch.wait()` returns on the issuing thread
+        // its post-wait spin observes every worker still in here.
+        job.active.fetch_add(1, Ordering::AcqRel);
         job.work();
         job.latch.count_down();
+        // Last touch of the frame must be this pure atomic decrement —
+        // never the latch mutex, which may already be freed once the
+        // issuing thread's wait returns.
+        job.active.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Shared state of one `submit_batch` invocation.
+///
+/// Lives on the submitting thread's stack. Three kinds of thread touch it:
+/// the submitter (front claims + final waits), participant workers that
+/// received a dispatch message (front claims), and idle workers stealing
+/// from the tail through the pool's steal registry. The single source of
+/// truth for job ownership is each slot's `Mutex<Option<F>>`: whoever
+/// `take()`s the closure runs it, so front claimers and tail stealers can
+/// race on the same slot without double-running or losing a job.
+struct BatchShared<T, F> {
+    jobs: Vec<Mutex<Option<F>>>,
+    results: Mutex<Vec<(usize, T)>>,
+    /// Next index for front claimers (submitter + participants).
+    front: AtomicUsize,
+    /// Number of tail slots already handed out to stealers.
+    steal_tail: AtomicUsize,
+    /// Opens once every job has been executed by someone.
+    jobs_left: CountLatch,
+    /// Opens once every dispatched participant message has returned.
+    participants: CountLatch,
+    /// Remote threads currently touching this descriptor: stealers inside
+    /// `steal_one` plus dispatched participants inside `run_erased`. The
+    /// submitter spins this to zero after its waits return, so a remote's
+    /// final latch notify never outlives the frame; see the registry
+    /// protocol in [`ThreadPool::submit_batch`].
+    active_stealers: AtomicUsize,
+    panicked: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<T, F: FnOnce() -> T> BatchShared<T, F> {
+    fn run_job(&self, index: usize, job: F) {
+        match catch_unwind(AssertUnwindSafe(job)) {
+            Ok(output) => self.results.lock().push((index, output)),
+            Err(payload) => {
+                self.panicked.store(true, Ordering::Release);
+                let mut slot = self.panic_payload.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        self.jobs_left.count_down();
+    }
+
+    /// Claim and run jobs from the front cursor until the batch is drained.
+    fn claim_from_front(&self) {
+        loop {
+            let index = self.front.fetch_add(1, Ordering::Relaxed);
+            if index >= self.jobs.len() {
+                break;
+            }
+            // `None` means a tail stealer got here first; the stealer
+            // counts that job down on `jobs_left`. Bind before the `if let`
+            // so the slot guard drops before the job runs — holding it
+            // across `run_job` would block stealers probing this slot.
+            let job = self.jobs[index].lock().take();
+            if let Some(job) = job {
+                self.run_job(index, job);
+            }
+        }
+    }
+
+    /// Steal and run at most one job from the batch tail. Returns whether
+    /// a job actually ran.
+    fn steal_one(&self) -> bool {
+        loop {
+            let t = self.steal_tail.fetch_add(1, Ordering::Relaxed);
+            if t >= self.jobs.len() {
+                return false;
+            }
+            let index = self.jobs.len() - 1 - t;
+            // Bind before the `if let` (see `claim_from_front`): the slot
+            // guard must drop before the stolen job runs.
+            let job = self.jobs[index].lock().take();
+            if let Some(job) = job {
+                BATCH_STEALS.fetch_add(1, Ordering::Relaxed);
+                self.run_job(index, job);
+                return true;
+            }
+        }
+    }
+
+    unsafe fn run_erased(ptr: *const ()) {
+        // SAFETY: the submitter keeps the descriptor alive until the
+        // participants latch opens AND `active_stealers` drains to zero
+        // (see `JobRef` and the registry protocol in `submit_batch`).
+        let batch = unsafe { &*(ptr as *const BatchShared<T, F>) };
+        // Register before counting down: once `participants` opens the
+        // submitter may fast-path out of `wait()`, and only the post-wait
+        // spin on `active_stealers` keeps the frame alive through the
+        // latch's final lock/notify. The increment happens-before the
+        // count-down, so the spin is guaranteed to observe it.
+        batch.active_stealers.fetch_add(1, Ordering::AcqRel);
+        batch.claim_from_front();
+        batch.participants.count_down();
+        // Last touch of the frame must be this pure atomic decrement —
+        // never the latch mutex, which may already be freed once the
+        // submitter's wait returns.
+        batch.active_stealers.fetch_sub(1, Ordering::Release);
+    }
+
+    unsafe fn steal_erased(ptr: *const ()) -> bool {
+        // SAFETY: registry entries are removed — and active stealers waited
+        // out — before the descriptor's frame unwinds.
+        unsafe { (*(ptr as *const BatchShared<T, F>)).steal_one() }
+    }
+}
+
+/// Type-erased registry entry for an in-flight batch idle workers may
+/// steal from. `active` points at the batch's `active_stealers` counter;
+/// it is incremented under the registry lock before `steal` is called so
+/// deregistration can wait out in-flight stealers after removing the entry.
+#[derive(Clone, Copy)]
+struct StealEntry {
+    ptr: *const (),
+    steal: unsafe fn(*const ()) -> bool,
+    active: *const AtomicUsize,
+}
+
+// SAFETY: both pointers target a `BatchShared` kept alive by its submitter
+// until the entry is deregistered and `active` drains to zero.
+unsafe impl Send for StealEntry {}
+
+type StealRegistry = Arc<Mutex<Vec<StealEntry>>>;
+
+/// Try to steal one job from any registered batch, newest first. Returns
+/// whether a job ran.
+fn try_steal_one(registry: &Mutex<Vec<StealEntry>>) -> bool {
+    let mut skip = 0;
+    loop {
+        let entry = {
+            let reg = registry.lock();
+            if reg.len() <= skip {
+                return false;
+            }
+            let entry = reg[reg.len() - 1 - skip];
+            // SAFETY: counted under the registry lock, so the submitter's
+            // deregister-then-wait sees us (see `StealEntry`).
+            unsafe { (*entry.active).fetch_add(1, Ordering::AcqRel) };
+            entry
+        };
+        // SAFETY: `active` was bumped under the lock above, keeping the
+        // descriptor alive for the duration of this call.
+        let stole = unsafe { (entry.steal)(entry.ptr) };
+        unsafe { (*entry.active).fetch_sub(1, Ordering::Release) };
+        if stole {
+            return true;
+        }
+        skip += 1;
     }
 }
 
@@ -146,6 +329,11 @@ struct PoolInner {
     /// Total team size, including the thread issuing parallel constructs.
     num_threads: usize,
     sender: Sender<Message>,
+    /// Kept for nested batch joins: a worker blocked in `submit_batch`
+    /// drains this receiver instead of idling its team slot.
+    receiver: Receiver<Message>,
+    /// In-flight `submit_batch` descriptors idle workers may steal from.
+    steals: StealRegistry,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -210,20 +398,24 @@ impl ThreadPool {
         let num_threads = num_threads.max(1);
         let (sender, receiver) = unbounded::<Message>();
         let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let steals: StealRegistry = Arc::new(Mutex::new(Vec::new()));
         let inner = Arc::new(PoolInner {
             id,
             name: name.clone(),
             num_threads,
             sender,
+            receiver: receiver.clone(),
+            steals: Arc::clone(&steals),
             workers: Mutex::new(Vec::new()),
         });
         let mut workers = Vec::with_capacity(num_threads.saturating_sub(1));
         for w in 0..num_threads.saturating_sub(1) {
             let rx: Receiver<Message> = receiver.clone();
+            let registry = Arc::clone(&steals);
             let pool_id = id;
             let handle = std::thread::Builder::new()
                 .name(format!("{name}-{w}"))
-                .spawn(move || worker_loop(pool_id, rx))
+                .spawn(move || worker_loop(pool_id, rx, registry))
                 .expect("failed to spawn pool worker");
             workers.push(handle);
         }
@@ -313,6 +505,7 @@ impl ThreadPool {
                 _ => range.start,
             }),
             latch: CountLatch::new(team - 1),
+            active: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
         };
@@ -329,6 +522,12 @@ impl ThreadPool {
         // The calling thread is a full team member.
         job.work();
         job.latch.wait();
+        // A worker's final count-down may still be inside the latch mutex;
+        // its terminal `active` decrement is the signal that it is done
+        // touching `job`, so spin that out before the frame unwinds.
+        while job.active.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
         if job.panicked.load(Ordering::Acquire) {
             let payload =
                 job.panic_payload.lock().take().unwrap_or_else(|| Box::new("parallel_for worker panicked"));
@@ -439,9 +638,20 @@ impl ThreadPool {
     /// until the batch is drained, so only `min(team, jobs) - 1` dispatch
     /// messages are paid regardless of the batch length.
     ///
-    /// Inline small-team path: a batch of one job, a team of one, or a call
-    /// from inside one of this pool's own workers (nested batching) runs
+    /// Inline small-team path: a batch of one job or a team of one runs
     /// every job directly on the calling thread, paying zero dispatch cost.
+    ///
+    /// Idle workers may additionally *steal* unclaimed jobs from the tail
+    /// of the batch (newest-registered batch first) before pulling the next
+    /// queued message, so a backlog of slow detached tasks cannot starve an
+    /// in-flight batch whose submitter is blocked on completion. Stolen
+    /// jobs count toward the process-global [`batch_steal_count`].
+    ///
+    /// Calls from inside one of this pool's own workers (nested batching)
+    /// fan out like top-level calls and use whatever team capacity is left;
+    /// while waiting, the nested caller keeps the pool work-conserving by
+    /// draining and executing queued messages instead of idling its slot,
+    /// which is what makes nested fan-out deadlock-free.
     ///
     /// Panics in a job propagate to the caller after the whole batch has
     /// drained (the [`ThreadPool::scope`] contract).
@@ -453,34 +663,105 @@ impl ThreadPool {
         if jobs.is_empty() {
             return Vec::new();
         }
-        if jobs.len() == 1 || !self.has_workers() || self.on_worker() {
+        if jobs.len() == 1 || !self.has_workers() {
             return jobs.into_iter().map(|job| job()).collect();
         }
         let n = jobs.len();
-        let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
-        let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-        let claim_and_run = || loop {
-            let index = cursor.fetch_add(1, Ordering::Relaxed);
-            if index >= n {
-                break;
-            }
-            let job = jobs[index].lock().take().expect("job claimed twice");
-            let output = job();
-            results.lock().push((index, output));
+        let nested = self.on_worker();
+        let messages = (self.inner.num_threads - 1).min(n - 1);
+        let batch = BatchShared {
+            jobs: jobs.into_iter().map(|job| Mutex::new(Some(job))).collect::<Vec<_>>(),
+            results: Mutex::new(Vec::with_capacity(n)),
+            front: AtomicUsize::new(0),
+            steal_tail: AtomicUsize::new(0),
+            jobs_left: CountLatch::new(n),
+            participants: CountLatch::new(messages),
+            active_stealers: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
         };
-        self.scope(|s| {
-            for _ in 0..(self.inner.num_threads - 1).min(n - 1) {
-                s.spawn(claim_and_run);
-            }
-            claim_and_run();
+        // SAFETY (lifetime erasure): `batch` lives on this frame; before
+        // returning we wait for the jobs latch, the participants latch and
+        // every registered stealer, so no other thread outlives its access.
+        let ptr = &batch as *const BatchShared<T, F> as *const ();
+        self.inner.steals.lock().push(StealEntry {
+            ptr,
+            steal: BatchShared::<T, F>::steal_erased,
+            active: &batch.active_stealers as *const AtomicUsize,
         });
+        for _ in 0..messages {
+            self.inner
+                .sender
+                .send(Message::Job(JobRef { ptr, run: BatchShared::<T, F>::run_erased }))
+                .expect("pool workers disconnected");
+        }
+        // The calling thread is a full team member.
+        batch.claim_from_front();
+        if nested {
+            self.drain_while_waiting(&batch.jobs_left, &batch.participants);
+        } else {
+            batch.jobs_left.wait();
+            batch.participants.wait();
+        }
+        // Deregister, then wait out stealers that entered before removal:
+        // stealers only register under the same lock, so after removal the
+        // active count can only drain.
+        {
+            let mut registry = self.inner.steals.lock();
+            if let Some(pos) = registry.iter().position(|entry| entry.ptr == ptr) {
+                registry.remove(pos);
+            }
+        }
+        while batch.active_stealers.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+        if batch.panicked.load(Ordering::Acquire) {
+            let payload = batch.panic_payload.lock().take().unwrap_or_else(|| Box::new("batch job panicked"));
+            resume_unwind(payload);
+        }
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
-        for (index, output) in results.into_inner() {
+        for (index, output) in batch.results.into_inner() {
             slots[index] = Some(output);
         }
         slots.into_iter().map(|slot| slot.expect("batch job did not run")).collect()
+    }
+
+    /// Work-conserving join for nested batches: the caller is one of this
+    /// pool's own workers, so instead of blocking (which would idle a team
+    /// slot and can deadlock once every worker nests) it keeps executing
+    /// queued pool messages until both latches open.
+    fn drain_while_waiting(&self, jobs_left: &CountLatch, participants: &CountLatch) {
+        let mut idle_spins = 0u32;
+        while jobs_left.remaining() > 0 || participants.remaining() > 0 {
+            match self.inner.receiver.try_recv() {
+                Ok(Message::Job(job)) => {
+                    idle_spins = 0;
+                    // SAFETY: see `JobRef` — descriptors outlive their
+                    // messages. The catch keeps a defect in a foreign job
+                    // from unwinding through this frame while workers still
+                    // reference our own batch descriptor.
+                    let _ = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ptr) }));
+                }
+                Ok(Message::Task(task)) => {
+                    idle_spins = 0;
+                    let _ = catch_unwind(AssertUnwindSafe(task));
+                }
+                Ok(Message::Shutdown) => {
+                    // Not ours to consume: hand it back for a real worker.
+                    let _ = self.inner.sender.send(Message::Shutdown);
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Err(_) => {
+                    idle_spins += 1;
+                    if idle_spins > 64 {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
     }
 
     /// Run `f` on one of the pool's background workers as a detached
@@ -525,9 +806,24 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(pool_id: usize, rx: Receiver<Message>) {
+fn worker_loop(pool_id: usize, rx: Receiver<Message>, registry: StealRegistry) {
     WORKER_OF.with(|w| w.set(pool_id));
-    while let Ok(msg) = rx.recv() {
+    loop {
+        // Prefer in-flight batches over queued messages: their submitters
+        // are blocked on completion, while a backlog of detached tasks is
+        // fire-and-forget — stealing from the batch tail first resolves the
+        // priority inversion between the two.
+        if try_steal_one(&registry) {
+            continue;
+        }
+        let msg = match rx.try_recv() {
+            Ok(msg) => msg,
+            Err(crossbeam::channel::TryRecvError::Empty) => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            },
+            Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+        };
         match msg {
             Message::Job(job) => {
                 // SAFETY: see `JobRef` — the job descriptor outlives this call.
@@ -897,7 +1193,7 @@ mod tests {
     }
 
     #[test]
-    fn nested_submit_batch_runs_inline() {
+    fn nested_submit_batch_completes_without_deadlock() {
         let pool = std::sync::Arc::new(ThreadPool::new(3));
         let inner = std::sync::Arc::clone(&pool);
         let jobs: Vec<_> = (0..4)
@@ -907,6 +1203,88 @@ mod tests {
             })
             .collect();
         assert_eq!(pool.submit_batch(jobs), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn nested_submit_batch_uses_leftover_capacity() {
+        // A worker-issued batch must be able to hand jobs to *other* idle
+        // workers. Job 0 spins until job 1 runs; with the old
+        // inline-nested behavior the spinning worker would run both jobs
+        // sequentially and never terminate.
+        let pool = std::sync::Arc::new(ThreadPool::new(3));
+        let inner = std::sync::Arc::clone(&pool);
+        let ran_on = Arc::new(Mutex::new(Vec::new()));
+        let observed = Arc::clone(&ran_on);
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        pool.spawn_detached(move || {
+            let flag = Arc::new(AtomicBool::new(false));
+            let (f0, f1) = (Arc::clone(&flag), Arc::clone(&flag));
+            let recorder = Arc::clone(&observed);
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+                Box::new(move || {
+                    while !f0.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                    0
+                }),
+                Box::new(move || {
+                    recorder.lock().push(std::thread::current().id());
+                    f1.store(true, Ordering::Release);
+                    1
+                }),
+            ];
+            let my_id = std::thread::current().id();
+            let out = inner.submit_batch(jobs.into_iter().map(|job| move || job()).collect::<Vec<_>>());
+            assert_eq!(out, vec![0, 1]);
+            // Job 1 must have run on a different worker than the nester.
+            assert!(observed.lock().iter().all(|&id| id != my_id));
+            done2.store(true, Ordering::Release);
+        });
+        while !done.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        assert_eq!(ran_on.lock().len(), 1);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_batch_tail() {
+        // The lone worker is pinned inside a detached task while the main
+        // thread submits a batch and blocks inside job 0; the worker's
+        // steal-first loop must then claim job 1 from the tail (its
+        // dispatch message is behind the pinned task in the queue).
+        let pool = ThreadPool::new(2);
+        let before = batch_steal_count();
+        let busy = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let (busy2, release2) = (Arc::clone(&busy), Arc::clone(&release));
+        pool.spawn_detached(move || {
+            busy2.store(true, Ordering::Release);
+            while !release2.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        });
+        while !busy.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let unblock = Arc::new(AtomicBool::new(false));
+        let (u0, u1) = (Arc::clone(&unblock), Arc::clone(&unblock));
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(move || {
+                release.store(true, Ordering::Release);
+                while !u0.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                0
+            }),
+            Box::new(move || {
+                u1.store(true, Ordering::Release);
+                1
+            }),
+        ];
+        let out = pool.submit_batch(jobs.into_iter().map(|job| move || job()).collect::<Vec<_>>());
+        assert_eq!(out, vec![0, 1]);
+        assert!(batch_steal_count() > before, "worker should have stolen job 1 from the tail");
     }
 
     #[test]

@@ -82,3 +82,16 @@ pub use qcor_sim::{fusion_env_default, CompiledCircuit, KernelOp};
 // single-precision compiled replay (`qcor_sim::fp32`), which halves state
 // memory and matches f64 amplitudes to ~1e-4.
 pub use qcor_sim::{precision_env_default, CompiledCircuit32, Precision, StateVector32};
+
+// Sharded execution. Amplitude sharding (`RunConfig::amp_shards`,
+// `InitOptions::amp_shards`, `QCOR_AMP_SHARDS`) splits every kernel sweep
+// into per-shard batch jobs on the pool, bit-identical to the sequential
+// sweep on any pool size. Process-level shot sharding (`QCOR_SHOT_PROCS`,
+// `qcor_sim::shard`) partitions a run's chunk schedule across OS
+// processes — binaries that call `run_sharded_spawn` (or honor
+// `QCOR_SHOT_PROCS` via `run_shots_sharded_env`) must route re-executions
+// through `maybe_shard_worker` at the top of `main`.
+pub use qcor_sim::{
+    amp_shards_env_default, maybe_shard_worker, run_sharded, run_sharded_spawn, run_shots_sharded_env,
+    shot_procs_env_default, AmpShards,
+};

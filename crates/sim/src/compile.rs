@@ -347,7 +347,7 @@ pub(crate) const CACHE_BLOCK_QUBITS: usize = 15;
 /// Minimum state size (in qubits) before blocking pays: below `2^18`
 /// amplitudes (4 MiB) the whole state fits in L2/L3 anyway and the extra
 /// dispatch would only cost.
-const CACHE_BLOCK_MIN_QUBITS: usize = 18;
+pub(crate) const CACHE_BLOCK_MIN_QUBITS: usize = 18;
 
 /// True when a diagonal op with the given masks is independent of `bit`:
 /// its phase factor is then identical on both halves of any amplitude pair

@@ -76,6 +76,32 @@
 //! path to ~1e-4; RNG draw count and order match exactly, but sampled
 //! counts may differ near probability boundaries.
 //!
+//! # Amplitude sharding
+//!
+//! [`RunConfig::amp_shards`] / `QCOR_AMP_SHARDS` select **amplitude-sharded
+//! kernel dispatch** (see [`StateVector::set_amp_shards`]): every kernel
+//! sweep is split into exactly `s` contiguous compressed-index ranges
+//! submitted to the pool as batch jobs. Because the shard boundaries are a
+//! pure function of the shard count — never of the pool size — and each
+//! shard job owns both halves of every amplitude pair it updates (the
+//! pairwise-exchange step for high targets), sharded amplitudes are
+//! bit-identical to the sequential sweep on any pool size. The default
+//! [`AmpShards::Auto`] engages only on states of at least
+//! `2^CACHE_BLOCK_MIN_QUBITS` amplitudes with a multi-thread pool; a fixed
+//! shard count engages at any size (the property tests exploit this).
+//! When sharding engages, shot-chunk states share the run's pool instead of
+//! a private sequential pool, so chunk jobs can use leftover pool capacity
+//! for their amplitude loops. [`Precision::F32`] states are
+//! sequential-only and ignore the setting.
+//!
+//! # Shot-process sharding
+//!
+//! [`crate::shard`] partitions a run's chunk schedule across OS processes:
+//! shard `s` of `p` owns exactly the chunks with `index % p == s` of the
+//! **same** [`ShotPlan`], with the same derived seeds — so per-shard counts
+//! merge (by addition) into counts byte-identical to a single-process run.
+//! `run_shots_owned` is the executor-side entry point for one shard.
+//!
 //! Bitstring convention: the leftmost character is the outcome of the
 //! lowest-indexed *measured* qubit.
 
@@ -253,6 +279,69 @@ pub fn parse_precision_token(s: &str) -> Option<Precision> {
     }
 }
 
+/// Amplitude-sharded kernel dispatch policy (see the
+/// [module docs](self) and [`StateVector::set_amp_shards`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AmpShards {
+    /// Shard into one job per pool thread, but only on states of at least
+    /// `2^CACHE_BLOCK_MIN_QUBITS` amplitudes with a multi-thread pool —
+    /// below that the classic `parallel_for` dispatch (or a sequential
+    /// sweep) costs less than the batch bookkeeping.
+    #[default]
+    Auto,
+    /// Never shard: the classic dispatch only.
+    Off,
+    /// Always split every sweep into exactly `n` shard jobs, regardless of
+    /// state size or pool width (`n < 2` degenerates to [`AmpShards::Off`]).
+    /// Used by the property tests to exercise the sharded kernels on small
+    /// states, and to pin a shard count independent of the pool.
+    Fixed(usize),
+}
+
+impl AmpShards {
+    /// Resolve the number of shard jobs per kernel sweep for a state of
+    /// `amps` amplitudes on a pool of `pool_threads` threads.
+    /// `None` = sharding off (classic dispatch).
+    pub fn shard_count(self, amps: usize, pool_threads: usize) -> Option<usize> {
+        match self {
+            AmpShards::Off => None,
+            AmpShards::Fixed(n) => (n >= 2).then_some(n),
+            AmpShards::Auto => (pool_threads > 1
+                && amps >= (1usize << crate::compile::CACHE_BLOCK_MIN_QUBITS))
+                .then_some(pool_threads),
+        }
+    }
+}
+
+/// Resolve the process-wide amplitude-sharding default from
+/// `QCOR_AMP_SHARDS`. Unset means [`AmpShards::Auto`]; recognized tokens
+/// are those of [`parse_amp_shards_token`]; anything else panics loudly
+/// (misconfiguration should never silently change what benchmarks
+/// measure). Read and parsed once per process, like
+/// [`fusion_env_default`].
+pub fn amp_shards_env_default() -> AmpShards {
+    static DEFAULT: std::sync::OnceLock<AmpShards> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("QCOR_AMP_SHARDS") {
+        Err(_) => AmpShards::Auto,
+        Ok(v) => parse_amp_shards_token(&v).unwrap_or_else(|| {
+            panic!("invalid QCOR_AMP_SHARDS value {v:?}: expected auto/off/<shard count>")
+        }),
+    })
+}
+
+/// Parse one amplitude-sharding token — the single vocabulary shared by
+/// the `QCOR_AMP_SHARDS` environment variable and the qpp backend's string
+/// `amp-shards` param, so the two can never drift apart (the same
+/// discipline as [`parse_fusion_token`]). `None` = unrecognized.
+pub fn parse_amp_shards_token(s: &str) -> Option<AmpShards> {
+    let t = s.trim().to_ascii_lowercase();
+    match t.as_str() {
+        "" | "auto" | "on" | "true" => Some(AmpShards::Auto),
+        "off" | "false" | "0" => Some(AmpShards::Off),
+        _ => t.parse::<usize>().ok().map(AmpShards::Fixed),
+    }
+}
+
 /// Chunk-sizing policy of the batched shot scheduler (see the
 /// [module docs](self) for the full description).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -308,6 +397,11 @@ pub struct RunConfig {
     /// per plan. Irrelevant when the interpreted executor runs (fusion
     /// off, f64).
     pub compile_cache: Option<bool>,
+    /// Amplitude-sharded kernel dispatch (see [`AmpShards`] and the
+    /// [module docs](self)). `None` defers to the `QCOR_AMP_SHARDS`
+    /// environment default ([`AmpShards::Auto`]). Ignored under
+    /// [`Precision::F32`], whose states are sequential-only.
+    pub amp_shards: Option<AmpShards>,
 }
 
 impl RunConfig {
@@ -328,6 +422,13 @@ impl RunConfig {
     /// [`crate::cache::compile_cache_env_default`]).
     pub fn compile_cache_enabled(&self) -> bool {
         self.compile_cache.unwrap_or_else(crate::cache::compile_cache_env_default)
+    }
+
+    /// Resolve the effective amplitude-sharding policy
+    /// ([`RunConfig::amp_shards`], falling back to
+    /// [`amp_shards_env_default`]).
+    pub fn amp_shards_resolved(&self) -> AmpShards {
+        self.amp_shards.unwrap_or_else(amp_shards_env_default)
     }
 
     /// Compile honoring the resolved compile-cache setting.
@@ -351,6 +452,7 @@ impl Default for RunConfig {
             fusion: None,
             precision: None,
             compile_cache: None,
+            amp_shards: None,
         }
     }
 }
@@ -506,13 +608,15 @@ impl ShotExec<'_> {
     }
 
     /// Allocate a chunk's private state of the matching precision.
-    /// `pool` work-shares f64 amplitude loops; f32 states are
-    /// sequential-only, so the pool is not used there.
+    /// `pool` work-shares f64 amplitude loops; `amp_shards` turns on
+    /// amplitude-sharded dispatch ([`StateVector::set_amp_shards`]). f32
+    /// states are sequential-only, so neither applies there.
     fn make_state(
         &self,
         num_qubits: usize,
         pool: Option<Arc<ThreadPool>>,
         par_threshold: usize,
+        amp_shards: Option<usize>,
     ) -> ChunkState {
         match self {
             ShotExec::CompiledF32(_) => ChunkState::F32(StateVector32::new(num_qubits)),
@@ -522,6 +626,7 @@ impl ShotExec<'_> {
                     None => StateVector::new(num_qubits),
                 };
                 state.set_par_threshold(par_threshold);
+                state.set_amp_shards(amp_shards);
                 ChunkState::F64(state)
             }
         }
@@ -627,12 +732,42 @@ pub fn run_shots_cancellable(
     run_shots_with_token(circuit, pool, config, plan, Some(token))
 }
 
+/// Execute one process shard of a plan: only the chunks with
+/// `index % procs == shard` run, on the **same** chunk partition and
+/// derived seeds as the full plan — so summing the counts of all `procs`
+/// shards reproduces a single-process run byte-for-byte (see
+/// [`crate::shard`]). Inner-parallel plans are forced onto the chunk path
+/// so every shard sees the same chunk indexing; chunk 0 keeps the base
+/// seed and amplitudes are pool-size-invariant, so the counts still match.
+pub(crate) fn run_shots_owned(
+    circuit: &Circuit,
+    pool: Arc<ThreadPool>,
+    config: &RunConfig,
+    plan: &ShotPlan,
+    shard: usize,
+    procs: usize,
+) -> Counts {
+    assert!(procs >= 1 && shard < procs, "shard {shard} out of range for {procs} procs");
+    run_shots_core(circuit, pool, config, plan, None, Some((shard, procs))).counts
+}
+
 fn run_shots_with_token(
     circuit: &Circuit,
     pool: Arc<ThreadPool>,
     config: &RunConfig,
     plan: &ShotPlan,
     token: Option<&CancelToken>,
+) -> ShotRun {
+    run_shots_core(circuit, pool, config, plan, token, None)
+}
+
+fn run_shots_core(
+    circuit: &Circuit,
+    pool: Arc<ThreadPool>,
+    config: &RunConfig,
+    plan: &ShotPlan,
+    token: Option<&CancelToken>,
+    owner: Option<(usize, usize)>,
 ) -> ShotRun {
     let mut merged = Counts::new();
     if plan.shots() == 0 {
@@ -642,33 +777,41 @@ fn run_shots_with_token(
         Some(s) => s,
         None => StdRng::from_entropy().gen(),
     };
+    let amps = 1usize << circuit.num_qubits();
+    let shards = config.amp_shards_resolved().shard_count(amps, pool.num_threads());
     // Compile once per plan; every chunk replays the same fused op list.
     let exec = ShotExec::for_config(circuit, config);
-    if plan.inner_parallel() {
+    if plan.inner_parallel() && owner.is_none() {
         // Single work item: the only checkpoint is before it starts.
         if token.is_some_and(CancelToken::is_cancelled) {
             return ShotRun { counts: merged, completed_chunks: 0, total_chunks: 1, cancelled: true };
         }
-        let mut state = exec.make_state(circuit.num_qubits(), Some(pool), config.par_threshold);
+        let mut state = exec.make_state(circuit.num_qubits(), Some(pool), config.par_threshold, shards);
         let mut rng = StdRng::seed_from_u64(base_seed);
         sample_into(&mut state, &exec, &mut rng, plan.shots(), &mut merged);
         return ShotRun { counts: merged, completed_chunks: 1, total_chunks: 1, cancelled: false };
     }
     let par_threshold = config.par_threshold;
+    // Sharded runs hand each chunk the shared pool so its amplitude loops
+    // can use leftover pool capacity through the sharded batch dispatch;
+    // unsharded chunks keep their classic private sequential states.
+    let chunk_pool = shards.map(|_| Arc::clone(&pool));
     let exec = &exec;
     let jobs: Vec<_> = plan
         .chunks()
         .enumerate()
+        .filter(|(index, _)| owner.is_none_or(|(shard, procs)| index % procs == shard))
         .map(|(index, span)| {
             let seed = derive_stream_seed(base_seed, index);
             let token = token.cloned();
+            let chunk_pool = chunk_pool.clone();
             move || {
                 // Cooperative cancellation checkpoint: a cancelled sweep
                 // skips every chunk that has not started yet.
                 if token.is_some_and(|t| t.is_cancelled()) {
                     return None;
                 }
-                let mut state = exec.make_state(circuit.num_qubits(), None, par_threshold);
+                let mut state = exec.make_state(circuit.num_qubits(), chunk_pool, par_threshold, shards);
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut counts = Counts::new();
                 sample_into(&mut state, exec, &mut rng, span.len(), &mut counts);

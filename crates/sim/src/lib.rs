@@ -24,9 +24,12 @@
 //!   and exact distributions,
 //! * [`fp32`] — the single-precision (`precision=f32`) compiled replay:
 //!   [`StateVector32`] plus per-plan matrix narrowing,
+//! * [`shard`] — process-level shot sharding (`QCOR_SHOT_PROCS`): the
+//!   spawn-self driver that partitions a run's chunk schedule across OS
+//!   processes and merges counts byte-identically,
 //! * [`stats`] — per-thread kernel iteration counters backing the
-//!   `gatefuse_guard` CI gate, plus the process-global compile-cache
-//!   hit/miss counters.
+//!   `gatefuse_guard` CI gate, the process-global compile-cache hit/miss
+//!   counters, and the amplitude-shard job/exchange counters.
 
 pub mod cache;
 pub mod cancel;
@@ -36,6 +39,7 @@ pub mod density;
 pub mod executor;
 pub mod fp32;
 pub mod gates;
+pub mod shard;
 mod state;
 pub mod stats;
 pub mod wire;
@@ -46,10 +50,14 @@ pub use compile::{CompiledCircuit, CompiledTemplate, KernelOp};
 pub use complex::{c32, c64, Complex32, Complex64};
 pub use density::{DensityMatrix, NoiseModel};
 pub use executor::{
-    derive_stream_seed, exact_distribution, fusion_env_default, parse_fusion_token, parse_precision_token,
-    precision_env_default, run_once, run_once_interpreted, run_shots, run_shots_cancellable,
-    run_shots_planned, run_shots_task_parallel, Counts, Granularity, Precision, RunConfig, ShotPlan,
-    ShotRecord, ShotRun,
+    amp_shards_env_default, derive_stream_seed, exact_distribution, fusion_env_default,
+    parse_amp_shards_token, parse_fusion_token, parse_precision_token, precision_env_default, run_once,
+    run_once_interpreted, run_shots, run_shots_cancellable, run_shots_planned, run_shots_task_parallel,
+    AmpShards, Counts, Granularity, Precision, RunConfig, ShotPlan, ShotRecord, ShotRun,
 };
 pub use fp32::{CompiledCircuit32, StateVector32};
+pub use shard::{
+    maybe_shard_worker, parse_shot_procs_token, run_sharded, run_sharded_spawn, run_shots_sharded_env,
+    shot_procs_env_default, SHARD_WORKER_ENV, SHOT_PROCS_ENV,
+};
 pub use state::StateVector;

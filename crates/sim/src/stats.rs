@@ -173,6 +173,44 @@ pub fn reset_compile_cache_stats() {
     CACHE_MISSES.store(0, Ordering::Relaxed);
 }
 
+// Amplitude-shard counters. Process-global atomics like the cache
+// counters: shard jobs are submitted from pool worker threads (chunked
+// shot plans) as well as the driving thread, and one add per kernel sweep
+// is noise next to the amplitude loop it describes.
+
+static SHARD_JOBS: AtomicU64 = AtomicU64::new(0);
+static SHARD_EXCHANGES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_shard_jobs(n: u64) {
+    SHARD_JOBS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn record_shard_exchange() {
+    SHARD_EXCHANGES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide number of amplitude-shard jobs submitted to the pool by
+/// sharded kernel sweeps since the last [`reset_shard_stats`].
+pub fn shard_jobs_launched() -> u64 {
+    SHARD_JOBS.load(Ordering::Relaxed)
+}
+
+/// Process-wide number of sharded pair sweeps whose pair stride spanned at
+/// least one shard of the raw amplitude space — the sweeps where a shard
+/// job owns both halves of each pair it updates (the pairwise-exchange
+/// step) instead of a purely local index range. Since the last
+/// [`reset_shard_stats`].
+pub fn shard_exchange_steps() -> u64 {
+    SHARD_EXCHANGES.load(Ordering::Relaxed)
+}
+
+/// Zero the amplitude-shard counters. The pool-level steal counter lives
+/// in `qcor_pool::batch_steal_count` and is reset separately.
+pub fn reset_shard_stats() {
+    SHARD_JOBS.store(0, Ordering::Relaxed);
+    SHARD_EXCHANGES.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

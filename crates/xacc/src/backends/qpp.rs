@@ -11,7 +11,7 @@ use crate::hetmap::HetMap;
 use crate::XaccError;
 use qcor_circuit::Circuit;
 use qcor_pool::ThreadPool;
-use qcor_sim::{run_shots, Granularity, Precision, RunConfig};
+use qcor_sim::{run_shots, AmpShards, Granularity, Precision, RunConfig};
 use std::sync::Arc;
 
 /// State-vector simulator backend.
@@ -33,6 +33,14 @@ pub struct QppAccelerator {
     /// Compile-cache override; `None` defers to the `QCOR_COMPILE_CACHE`
     /// process default (enabled).
     compile_cache: Option<bool>,
+    /// Amplitude-sharding override; `None` defers to the
+    /// `QCOR_AMP_SHARDS` process default (auto).
+    amp_shards: Option<AmpShards>,
+    /// Process-shard count for shot execution: `1` runs in-process as
+    /// usual; `n > 1` partitions the chunk schedule over `n` shards via
+    /// `qcor_sim::shard::run_sharded` (the in-process reference driver —
+    /// an accelerator call never forks the host binary).
+    shot_procs: usize,
 }
 
 impl QppAccelerator {
@@ -51,6 +59,8 @@ impl QppAccelerator {
             fusion: None,
             precision: None,
             compile_cache: None,
+            amp_shards: None,
+            shot_procs: 1,
         }
     }
 
@@ -64,7 +74,12 @@ impl QppAccelerator {
     /// compiled replay; default: the `QCOR_PRECISION` process default) and
     /// `compile-cache` (bool, or `"on"`/`"off"`; default: the
     /// `QCOR_COMPILE_CACHE` process default — reuse one structural
-    /// template per circuit shape across an angle sweep).
+    /// template per circuit shape across an angle sweep), `amp-shards`
+    /// (`"auto"`/`"off"`/a shard count, or a plain bool/usize — the
+    /// `QCOR_AMP_SHARDS` vocabulary; default: the process default) and
+    /// `shot-procs` (a positive shard count, or `"off"`; default `1` —
+    /// values above 1 merge the shards in-process, see
+    /// `qcor_sim::shard::run_sharded`).
     ///
     /// Bad parameter values are rejected with
     /// [`XaccError::InvalidParam`] — surfaced as an `Err` through
@@ -144,6 +159,49 @@ impl QppAccelerator {
                 )))
             }
         };
+        // `amp-shards` shares the `QCOR_AMP_SHARDS` token vocabulary
+        // (`qcor_sim::parse_amp_shards_token`); plain bools and usizes map
+        // onto it (`true` = auto, `false`/`0` = off, `n` = fixed) — same
+        // discipline as `fusion`.
+        acc.amp_shards = match params.get("amp-shards") {
+            None => None,
+            Some(&crate::HetValue::Bool(true)) => Some(AmpShards::Auto),
+            Some(&crate::HetValue::Bool(false)) => Some(AmpShards::Off),
+            Some(&crate::HetValue::Int(0)) => Some(AmpShards::Off),
+            Some(&crate::HetValue::Int(n)) if n > 0 => Some(AmpShards::Fixed(n as usize)),
+            Some(crate::HetValue::Str(s)) => match qcor_sim::parse_amp_shards_token(s) {
+                Some(a) => Some(a),
+                None => {
+                    return Err(XaccError::InvalidParam(format!(
+                        "unknown amp-shards setting {s:?}: expected auto/off or a shard count"
+                    )))
+                }
+            },
+            Some(other) => {
+                return Err(XaccError::InvalidParam(format!(
+                    "amp-shards must be a bool, non-negative integer or string, got {other:?}"
+                )))
+            }
+        };
+        // `shot-procs` shares the `QCOR_SHOT_PROCS` token vocabulary
+        // (`qcor_sim::parse_shot_procs_token`).
+        acc.shot_procs = match params.get("shot-procs") {
+            None => 1,
+            Some(&crate::HetValue::Int(n)) if n >= 1 => n as usize,
+            Some(crate::HetValue::Str(s)) => match qcor_sim::parse_shot_procs_token(s) {
+                Some(n) => n,
+                None => {
+                    return Err(XaccError::InvalidParam(format!(
+                        "unknown shot-procs setting {s:?}: expected off or a positive process count"
+                    )))
+                }
+            },
+            Some(other) => {
+                return Err(XaccError::InvalidParam(format!(
+                    "shot-procs must be a positive integer or string, got {other:?}"
+                )))
+            }
+        };
         Ok(acc)
     }
 
@@ -180,8 +238,13 @@ impl Accelerator for QppAccelerator {
             fusion: self.fusion,
             precision: self.precision,
             compile_cache: self.compile_cache,
+            amp_shards: self.amp_shards,
         };
-        let counts = run_shots(circuit, Arc::clone(&self.pool), &config);
+        let counts = if self.shot_procs > 1 {
+            qcor_sim::run_sharded(circuit, Arc::clone(&self.pool), &config, self.shot_procs)
+        } else {
+            run_shots(circuit, Arc::clone(&self.pool), &config)
+        };
         buffer.merge_counts(&counts);
         Ok(())
     }
@@ -367,6 +430,95 @@ mod tests {
         let mut buf_b = AcceleratorBuffer::with_name("b", 3);
         fused.execute(&mut buf_a, &library::ghz_kernel(3), &opts).unwrap();
         unfused.execute(&mut buf_b, &library::ghz_kernel(3), &opts).unwrap();
+        assert_eq!(buf_a.measurements(), buf_b.measurements());
+    }
+
+    #[test]
+    fn from_params_amp_shards_accepts_env_token_set() {
+        // The param accepts exactly what QCOR_AMP_SHARDS accepts, plus
+        // plain bools and integers.
+        for (token, expect) in [
+            ("auto", AmpShards::Auto),
+            ("on", AmpShards::Auto),
+            ("off", AmpShards::Off),
+            ("0", AmpShards::Off),
+            ("4", AmpShards::Fixed(4)),
+        ] {
+            let acc =
+                QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("amp-shards", token))
+                    .unwrap();
+            assert_eq!(acc.amp_shards, Some(expect), "token {token:?}");
+        }
+        let plain_bool =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("amp-shards", true))
+                .unwrap();
+        assert_eq!(plain_bool.amp_shards, Some(AmpShards::Auto));
+        let plain_int =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("amp-shards", 3usize))
+                .unwrap();
+        assert_eq!(plain_int.amp_shards, Some(AmpShards::Fixed(3)));
+        let unset = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize)).unwrap();
+        assert_eq!(unset.amp_shards, None);
+    }
+
+    #[test]
+    fn from_params_rejects_unknown_amp_shards_as_err() {
+        let err =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("amp-shards", "many"))
+                .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("amp-shards")), "{err}");
+        // Wrong-typed values are rejected too, not silently ignored.
+        let err =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("amp-shards", 1.5f64))
+                .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("amp-shards")), "{err}");
+    }
+
+    #[test]
+    fn from_params_shot_procs_accepts_env_token_set() {
+        for (token, expect) in [("off", 1), ("1", 1), ("3", 3)] {
+            let acc =
+                QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("shot-procs", token))
+                    .unwrap();
+            assert_eq!(acc.shot_procs, expect, "token {token:?}");
+        }
+        let plain_int =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("shot-procs", 2usize))
+                .unwrap();
+        assert_eq!(plain_int.shot_procs, 2);
+        let unset = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize)).unwrap();
+        assert_eq!(unset.shot_procs, 1);
+    }
+
+    #[test]
+    fn from_params_rejects_unknown_shot_procs_as_err() {
+        for bad in ["zero", "0", "-1"] {
+            let err =
+                QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("shot-procs", bad))
+                    .unwrap_err();
+            assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("shot-procs")), "{err}");
+        }
+        let err =
+            QppAccelerator::from_params(&HetMap::new().with("threads", 1usize).with("shot-procs", false))
+                .unwrap_err();
+        assert!(matches!(err, XaccError::InvalidParam(ref msg) if msg.contains("shot-procs")), "{err}");
+    }
+
+    #[test]
+    fn sharded_and_unsharded_execute_identical_seeded_counts() {
+        // Both knobs at once: amplitude sharding must not perturb a single
+        // bit, and the in-process shot shards must merge to the exact
+        // single-run counts.
+        let plain = QppAccelerator::from_params(&HetMap::new().with("threads", 1usize)).unwrap();
+        let sharded = QppAccelerator::from_params(
+            &HetMap::new().with("threads", 1usize).with("amp-shards", 3usize).with("shot-procs", 2usize),
+        )
+        .unwrap();
+        let opts = ExecOptions::with_shots(256).seeded(21);
+        let mut buf_a = AcceleratorBuffer::with_name("a", 3);
+        let mut buf_b = AcceleratorBuffer::with_name("b", 3);
+        plain.execute(&mut buf_a, &library::ghz_kernel(3), &opts).unwrap();
+        sharded.execute(&mut buf_b, &library::ghz_kernel(3), &opts).unwrap();
         assert_eq!(buf_a.measurements(), buf_b.measurements());
     }
 

@@ -1,0 +1,204 @@
+//! Perf-and-contract guard for the unified noise-execution layer.
+//!
+//! Three gates, all of which fail the process (non-zero exit) on breach:
+//!
+//! 1. **Runtime** — a channel-heavy kernel is executed through the
+//!    `qpp-noisy` accelerator in `trajectory` mode (compiled plan replayed
+//!    on the batched shot scheduler) and in the legacy `interpreted` mode
+//!    (per-shot instruction walk with inline channel draws); compiled
+//!    trajectory ÷ interpreted must be ≤ 0.8 — lowering the noise model
+//!    once has to beat re-deciding it every shot.
+//! 2. **Grouped-VQE plan count** — one grouped energy evaluation
+//!    (`qcor_algos::vqe::sampled_energy`) must issue exactly one batched
+//!    `ShotPlan` per qubit-wise-commuting group of the Hamiltonian
+//!    (asserted via `qcor_sim::stats::shot_plans_issued`), never one per
+//!    Pauli term.
+//! 3. **Count identity** — seeded trajectory counts must be byte-identical
+//!    across pool sizes, and must agree statistically with the exact
+//!    density oracle (readout error included) on the clean-outcome mass.
+//!
+//! Results land in `BENCH_noisy.json` (uploaded as a CI artifact; run
+//! under both `QCOR_NUM_THREADS=1` and `4` in the workflow).
+//!
+//! ```text
+//! cargo run -p qcor-bench --release --bin noisy_guard
+//! ```
+
+use qcor::pauli::grouping::group_qubit_wise;
+use qcor::{Accelerator, AcceleratorBuffer, ExecOptions, HetMap};
+use qcor_circuit::Circuit;
+use qcor_pool::ThreadPool;
+use qcor_sim::{apply_readout_error, run_noisy_shots, Counts, DensityMatrix, NoiseModel, RunConfig};
+use qcor_xacc::backends::NoisyQppAccelerator;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUBITS: usize = 8;
+const SHOTS: usize = 192;
+const REPS: usize = 5;
+/// Compiled trajectory replay must clearly beat the interpreted loop.
+const MAX_RATIO: f64 = 0.8;
+
+/// A realistic per-gate error rate: most shots see no error at all, so
+/// the trajectory sampler's clean-shot fast path (pre-drawn channel
+/// decisions + fused noiseless replay) carries most of the run.
+const P_DEPHASE: f64 = 0.001;
+const P_READOUT: f64 = 0.01;
+
+/// The workload: GHZ skeleton plus rotation-heavy layers and CX chains,
+/// every gate of which attracts a dephasing channel. This is the shape
+/// where per-shot re-interpretation is most expensive relative to
+/// replaying a lowered plan: the interpreted loop rebuilds every rotation
+/// matrix (trig calls) and re-decides every channel on every shot, while
+/// the compiled plan pays for both exactly once and replays fused ops on
+/// every clean shot.
+fn noisy_kernel() -> Circuit {
+    let mut c = Circuit::new(QUBITS);
+    c.h(0);
+    for q in 0..QUBITS - 1 {
+        c.cx(q, q + 1);
+    }
+    for layer in 0..3 {
+        let theta = 0.11 * (layer + 1) as f64;
+        for q in 0..QUBITS {
+            c.rx(q, theta).ry(q, 1.3 * theta).rz(q, 0.7 * theta).rx(q, -theta).ry(q, theta);
+        }
+        for q in 0..QUBITS - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn accelerator(mode: &str, threads: usize) -> NoisyQppAccelerator {
+    let params = HetMap::new()
+        .with("threads", threads)
+        .with("depolarizing", 0.0)
+        .with("dephasing", P_DEPHASE)
+        .with("readout-error", P_READOUT)
+        .with("noise-mode", mode);
+    NoisyQppAccelerator::from_params(&params).expect("guard params are valid")
+}
+
+/// Gate 1: time both modes of the same accelerator on the same kernel.
+fn runtime_gate(circuit: &Circuit, threads: usize) -> (Duration, Duration, f64) {
+    let interpreted = accelerator("interpreted", threads);
+    let trajectory = accelerator("trajectory", threads);
+    let opts = ExecOptions::with_shots(SHOTS).seeded(11);
+    let run = |acc: &NoisyQppAccelerator| {
+        let mut buf = AcceleratorBuffer::with_name("guard", QUBITS);
+        acc.execute(&mut buf, circuit, &opts).expect("guard kernel executes");
+        assert_eq!(buf.total_shots(), SHOTS);
+    };
+    run(&interpreted); // warm-up (pool spin-up, lazy compile cache)
+    run(&trajectory);
+    let interp_best = best_of(REPS, || run(&interpreted));
+    let traj_best = best_of(REPS, || run(&trajectory));
+    (interp_best, traj_best, traj_best.as_secs_f64() / interp_best.as_secs_f64())
+}
+
+/// Gate 2: exactly one `ShotPlan` per qubit-wise-commuting group.
+fn grouped_plan_gate(pool: &Arc<ThreadPool>) -> (usize, usize, usize) {
+    let h = qcor::pauli::deuteron_hamiltonian();
+    let groups = group_qubit_wise(&h).groups.len();
+    let terms = h.terms().iter().filter(|(_, t)| !t.is_identity()).count();
+    let mut prep = Circuit::new(2);
+    prep.x(0).ry(1, 0.594).cx(1, 0);
+    qcor::sim::stats::reset_shot_plan_stats();
+    let energy = qcor_algos::vqe::sampled_energy(&prep, &h, 4096, 5, pool);
+    let plans = qcor::sim::stats::shot_plans_issued() as usize;
+    assert!((energy - (-1.7487)).abs() < 0.2, "grouped energy {energy} is off the reference");
+    assert!(
+        plans <= groups,
+        "grouped evaluation issued {plans} plans for {groups} commuting groups ({terms} terms)"
+    );
+    assert_eq!(plans, groups, "grouped evaluation must issue exactly one plan per group");
+    (plans, groups, terms)
+}
+
+fn canonical(counts: &Counts) -> String {
+    counts.iter().map(|(bits, n)| format!("{bits}:{n};")).collect()
+}
+
+/// Gate 3: pool-size count identity plus density-oracle agreement.
+fn identity_gate(threads: usize) -> f64 {
+    let mut circuit = Circuit::new(3);
+    circuit.h(0).cx(0, 1).cx(1, 2).measure_all();
+    let noise = NoiseModel { depolarizing: 0.03, dephasing: 0.02, ..Default::default() };
+    let shots = 4096usize;
+    let config = RunConfig { shots, seed: Some(23), ..RunConfig::default() };
+    let narrow = run_noisy_shots(&circuit, &noise, P_READOUT, Arc::new(ThreadPool::new(1)), &config);
+    let wide =
+        run_noisy_shots(&circuit, &noise, P_READOUT, Arc::new(ThreadPool::new(threads.max(2))), &config);
+    assert_eq!(
+        canonical(&narrow),
+        canonical(&wide),
+        "seeded trajectory counts must be byte-identical across pool sizes"
+    );
+    let oracle = DensityMatrix::run_noisy_circuit(&circuit, Arc::new(ThreadPool::new(1)), &noise)
+        .expect("3-qubit density fits");
+    let oracle = apply_readout_error(&oracle, P_READOUT);
+    let clean_exact = oracle.get("000").copied().unwrap_or(0.0) + oracle.get("111").copied().unwrap_or(0.0);
+    let clean_sampled = (narrow.get("000").copied().unwrap_or(0) + narrow.get("111").copied().unwrap_or(0))
+        as f64
+        / shots as f64;
+    let gap = (clean_exact - clean_sampled).abs();
+    assert!(gap < 0.05, "trajectory clean mass {clean_sampled} vs density oracle {clean_exact}");
+    gap
+}
+
+fn main() {
+    let threads = qcor_pool::num_threads_from_env();
+    let circuit = noisy_kernel();
+    println!("noisy guard kernel: {} instructions, {QUBITS} qubits, {SHOTS} shots", circuit.len());
+
+    // Contract gates first — no point timing a broken executor.
+    let pool = Arc::new(ThreadPool::new(threads));
+    let (plans, groups, terms) = grouped_plan_gate(&pool);
+    println!("grouped VQE: {plans} shot plans for {groups} commuting groups ({terms} Pauli terms)");
+    let oracle_gap = identity_gate(threads);
+    println!("count identity: pool-size invariant; density-oracle clean-mass gap {oracle_gap:.4}");
+
+    let (interp_best, traj_best, ratio) = runtime_gate(&circuit, threads);
+    let rows = [("noisy_kernel/interpreted", interp_best), ("noisy_kernel/trajectory", traj_best)];
+    for (name, time) in &rows {
+        println!("{name:<38} {:>10.1} us", time.as_secs_f64() * 1e6);
+    }
+
+    let benchmarks: String = rows
+        .iter()
+        .map(|(name, time)| {
+            format!(
+                "    {{ \"name\": \"{name}\", \"best_ns\": {:.1}, \"reps\": {REPS} }}",
+                time.as_secs_f64() * 1e9
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"command\": \"cargo run -p qcor-bench --release --bin noisy_guard\",\n    \
+         \"logical_cpus\": {},\n    \"qcor_num_threads\": {threads},\n    \
+         \"guard\": \"fail if trajectory divided by interpreted exceeds {MAX_RATIO}, plans per grouped evaluation exceed the commuting-group count, or seeded counts drift across pool sizes / off the density oracle\",\n    \
+         \"note\": \"unified noise execution: compile-time channel lowering + batched trajectory sampling vs the legacy per-shot interpreted loop\"\n  }},\n  \
+         \"ratio_trajectory_over_interpreted\": {ratio:.3},\n  \
+         \"shot_plans_per_evaluation\": {plans},\n  \"commuting_groups\": {groups},\n  \"pauli_terms\": {terms},\n  \
+         \"density_oracle_clean_mass_gap\": {oracle_gap:.4},\n  \
+         \"noise\": {{ \"dephasing\": {P_DEPHASE}, \"readout\": {P_READOUT} }},\n  \
+         \"benchmarks\": [\n{benchmarks}\n  ]\n}}\n",
+        qcor_pool::available_parallelism(),
+    );
+    std::fs::write("BENCH_noisy.json", &json).expect("failed to write BENCH_noisy.json");
+
+    qcor_bench::enforce_guard_ratio("trajectory / interpreted", ratio, MAX_RATIO, "BENCH_noisy.json");
+}

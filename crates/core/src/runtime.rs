@@ -116,6 +116,17 @@ impl InitOptions {
         self
     }
 
+    /// Select how the `qpp-noisy` backend executes its noise model:
+    /// `"trajectory"` (the default — per-shot Kraus-branch sampling on the
+    /// batched shot scheduler), `"density"` (exact mixed-state oracle) or
+    /// `"interpreted"` (the legacy per-shot loop, the A/B baseline).
+    /// Unknown tokens are rejected by the backend as `InvalidParam`, like
+    /// `gate_fusion`. Defaults to the `QCOR_NOISE_MODE` process default.
+    pub fn noise_mode(mut self, mode: impl Into<String>) -> Self {
+        self.params.insert("noise-mode", mode.into());
+        self
+    }
+
     /// Force gate fusion on or off for this backend (compile-then-execute:
     /// the circuit is lowered once per shot plan into fused kernel ops and
     /// replayed per shot — see `qcor_sim::CompiledCircuit`). Defaults to
@@ -553,6 +564,42 @@ mod tests {
             let err = initialize(InitOptions::default().threads(1).precision("f16"));
             assert!(
                 matches!(err, Err(QcorError::InvalidParam(ref msg)) if msg.contains("precision")),
+                "{err:?}"
+            );
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn noise_mode_knob_reaches_noisy_backend() {
+        std::thread::spawn(|| {
+            // Noiseless model: every mode must produce clean Bell counts.
+            for mode in ["trajectory", "density", "interpreted"] {
+                initialize(
+                    InitOptions::default()
+                        .backend("qpp-noisy")
+                        .threads(1)
+                        .shots(128)
+                        .seed(23)
+                        .noise_mode(mode)
+                        .param("depolarizing", 0.0)
+                        .param("readout-error", 0.0),
+                )
+                .unwrap();
+                let q = qalloc(2);
+                execute(&q, &library::bell_kernel()).unwrap();
+                let counts = q.measurement_counts();
+                assert_eq!(counts.values().sum::<usize>(), 128, "mode {mode}");
+                assert!(counts.keys().all(|k| k == "00" || k == "11"), "mode {mode}: {counts:?}");
+                QPUManager::instance().clear_current();
+            }
+
+            // Unknown tokens surface as InvalidParam through initialize,
+            // exactly like fusion.
+            let err = initialize(InitOptions::default().backend("qpp-noisy").threads(1).noise_mode("exact"));
+            assert!(
+                matches!(err, Err(QcorError::InvalidParam(ref msg)) if msg.contains("noise-mode")),
                 "{err:?}"
             );
         })

@@ -95,3 +95,26 @@ pub use qcor_sim::{
     amp_shards_env_default, maybe_shard_worker, run_sharded, run_sharded_spawn, run_shots_sharded_env,
     shot_procs_env_default, AmpShards,
 };
+
+// Noise-model execution. `compile_noisy` lowers a circuit plus a
+// `NoiseModel` once into fused kernel ops interleaved with channel ops;
+// the exact density path replays them as superoperator sweeps
+// (`DensityMatrix` implements `ApplyState`, the primitive-kernel surface
+// compiled replay dispatches to) while `run_noisy_shots` samples
+// trajectories on the same batched ShotPlan chunking as the pure-state
+// executor, so seeded noisy counts are byte-identical on any pool size.
+// `InitOptions::noise_mode` / `QCOR_NOISE_MODE` select `trajectory`,
+// `density`, or the legacy `interpreted` loop on the `qpp-noisy` backend.
+pub use qcor_sim::{
+    apply_readout_error, compile_noisy, noise_mode_env_default, run_noisy_shots, run_noisy_shots_planned,
+    ApplyState, DensityMatrix, NoiseMode, NoiseModel, NoisyCompiled, NoisyOp,
+};
+
+// Grouped Pauli measurement: `pauli::grouping::group_qubit_wise`
+// partitions a Hamiltonian into qubit-wise-commuting measurement groups
+// and `pauli::expectation::estimate_with` estimates ⟨H⟩ with exactly one
+// circuit execution — one batched ShotPlan — per group rather than one
+// per term. The sampled objective strategy (`strategy = "sampled"`) and
+// `qcor_algos::vqe::sampled_energy` ride on it.
+pub use qcor_pauli as pauli;
+pub use qcor_pauli::{Pauli, PauliString, PauliSum};

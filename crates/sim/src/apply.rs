@@ -1,0 +1,131 @@
+//! The state-apply abstraction: one compiled replay core for every state
+//! representation.
+//!
+//! [`ApplyState`] is the set of primitive update kernels the compiled
+//! executor dispatches to ([`KernelOp`]). [`crate::StateVector`]
+//! implements it directly; [`crate::DensityMatrix`] implements it as the
+//! superoperator view — each kernel runs once on the ket qubits and once,
+//! conjugated and shifted, on the bra qubits of vec(ρ) — so the dense /
+//! flip / diag / phase classification, the control-aware enumeration, and
+//! the pool-parallel sweeps are all reused verbatim for mixed states.
+//!
+//! Only *unitary* ops go through the trait: measurement and reset are
+//! representation-specific (a state vector samples and collapses, a
+//! density matrix projects or branches), so [`ApplyState::apply_kernel_op`]
+//! rejects [`KernelOp::Measure`] / [`KernelOp::Reset`] and callers route
+//! them through their representation's own machinery.
+
+use crate::compile::KernelOp;
+use crate::complex::Complex64;
+use crate::state::StateVector;
+
+/// Primitive compiled-kernel application, implementable by any state
+/// representation (pure state vector, vec-of-density-matrix, …).
+pub trait ApplyState {
+    /// Number of *logical* qubits kernel operands refer to.
+    fn num_qubits(&self) -> usize;
+    /// Dense 2×2 unitary on `target` under `ctrl_mask`.
+    fn apply_single(&mut self, target: usize, m: [[Complex64; 2]; 2], ctrl_mask: usize);
+    /// Dense 4×4 unitary on the pair `(t0, t1)`, `t0 < t1`, under `ctrl_mask`.
+    fn apply_pair(&mut self, t0: usize, t1: usize, m: &[[Complex64; 4]; 4], ctrl_mask: usize);
+    /// Anti-diagonal `[[0, m01], [m10, 0]]` on `target`.
+    fn apply_antidiag(&mut self, target: usize, m01: Complex64, m10: Complex64, ctrl_mask: usize);
+    /// `diag(d0, d1)` on `target`.
+    fn apply_diag(&mut self, target: usize, d0: Complex64, d1: Complex64, ctrl_mask: usize);
+    /// Multiply amplitudes with `set_mask` set and `clear_mask` clear by `z`.
+    fn mul_where(&mut self, set_mask: usize, clear_mask: usize, z: Complex64);
+    /// Multiply every amplitude by `z`.
+    fn scale_all(&mut self, z: Complex64);
+    /// (Controlled) swap of qubits `a` and `b`.
+    fn apply_swap(&mut self, a: usize, b: usize, ctrl_mask: usize);
+
+    /// Dispatch one **unitary** compiled kernel op.
+    ///
+    /// # Panics
+    /// On [`KernelOp::Measure`] / [`KernelOp::Reset`] — those are
+    /// representation-specific and must be handled by the caller.
+    fn apply_kernel_op(&mut self, op: &KernelOp) {
+        match op {
+            KernelOp::Dense { target, ctrl_mask, m } => self.apply_single(*target, *m, *ctrl_mask),
+            KernelOp::Dense2 { t0, t1, ctrl_mask, m } => self.apply_pair(*t0, *t1, m, *ctrl_mask),
+            KernelOp::Flip { target, ctrl_mask, m01, m10 } => {
+                self.apply_antidiag(*target, *m01, *m10, *ctrl_mask)
+            }
+            KernelOp::Diag { target, ctrl_mask, d0, d1 } => self.apply_diag(*target, *d0, *d1, *ctrl_mask),
+            KernelOp::Phase { set_mask, clear_mask, phase } => self.mul_where(*set_mask, *clear_mask, *phase),
+            KernelOp::Scale { factor } => self.scale_all(*factor),
+            KernelOp::Swap { a, b, ctrl_mask } => self.apply_swap(*a, *b, *ctrl_mask),
+            KernelOp::Measure { .. } | KernelOp::Reset { .. } => {
+                panic!("apply_kernel_op only handles unitary ops; route {op:?} through the representation")
+            }
+        }
+    }
+
+    /// Replay a run of unitary kernel ops in order.
+    fn apply_unitary_ops(&mut self, ops: &[KernelOp]) {
+        for op in ops {
+            self.apply_kernel_op(op);
+        }
+    }
+}
+
+impl ApplyState for StateVector {
+    fn num_qubits(&self) -> usize {
+        StateVector::num_qubits(self)
+    }
+    fn apply_single(&mut self, target: usize, m: [[Complex64; 2]; 2], ctrl_mask: usize) {
+        StateVector::apply_single(self, target, m, ctrl_mask)
+    }
+    fn apply_pair(&mut self, t0: usize, t1: usize, m: &[[Complex64; 4]; 4], ctrl_mask: usize) {
+        StateVector::apply_pair(self, t0, t1, m, ctrl_mask)
+    }
+    fn apply_antidiag(&mut self, target: usize, m01: Complex64, m10: Complex64, ctrl_mask: usize) {
+        StateVector::apply_antidiag(self, target, m01, m10, ctrl_mask)
+    }
+    fn apply_diag(&mut self, target: usize, d0: Complex64, d1: Complex64, ctrl_mask: usize) {
+        StateVector::apply_diag(self, target, d0, d1, ctrl_mask)
+    }
+    fn mul_where(&mut self, set_mask: usize, clear_mask: usize, z: Complex64) {
+        StateVector::mul_where(self, set_mask, clear_mask, z)
+    }
+    fn scale_all(&mut self, z: Complex64) {
+        StateVector::scale_all(self, z)
+    }
+    fn apply_swap(&mut self, a: usize, b: usize, ctrl_mask: usize) {
+        StateVector::apply_swap(self, a, b, ctrl_mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledCircuit;
+    use qcor_circuit::Circuit;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trait_replay_matches_run_once_on_state_vectors() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).ry(2, 0.7).s(1).crz(1, 2, -0.4).cphase(0, 2, 1.1);
+        let compiled = CompiledCircuit::compile(&c);
+
+        let mut via_trait = StateVector::new(3);
+        via_trait.apply_unitary_ops(compiled.ops());
+
+        let mut via_run_once = StateVector::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        compiled.run_once(&mut via_run_once, &mut rng);
+
+        for (a, b) in via_trait.amplitudes().iter().zip(via_run_once.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary")]
+    fn measure_ops_are_rejected() {
+        let mut state = StateVector::new(1);
+        state.apply_kernel_op(&KernelOp::Measure { qubit: 0, loc: 0 });
+    }
+}

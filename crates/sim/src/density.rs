@@ -9,13 +9,16 @@
 //! (pool-parallelized) state-vector kernel be reused verbatim. Quantum
 //! channels are applied as explicit Kraus sums.
 
+use crate::apply::ApplyState;
 use crate::complex::Complex64;
 use crate::gates::apply_instruction;
+use crate::noise::{compile_noisy, NoisyCompiled, NoisyOp};
 use crate::state::StateVector;
 use qcor_circuit::{Circuit, GateKind, Instruction};
 use qcor_pool::ThreadPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// An exact n-qubit density matrix (n ≤ 12).
@@ -62,6 +65,26 @@ impl DensityMatrix {
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.n
+    }
+
+    /// Minimum vec(ρ) length before kernel sweeps are work-shared over the
+    /// pool (see [`StateVector::set_par_threshold`]).
+    pub fn set_par_threshold(&mut self, threshold: usize) {
+        self.vec_state.set_par_threshold(threshold);
+    }
+
+    /// The pool this density matrix's sweeps work-share over.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        self.vec_state.pool()
+    }
+
+    /// A deep copy sharing this matrix's pool and dispatch configuration
+    /// (used by the branching mid-circuit-measurement replay).
+    fn clone_like(&self) -> Self {
+        DensityMatrix {
+            n: self.n,
+            vec_state: self.vec_state.raw_with_amplitudes_like(self.vec_state.amplitudes().to_vec()),
+        }
     }
 
     /// ρ_{r,c}.
@@ -172,7 +195,9 @@ impl DensityMatrix {
         let original = self.vec_state.amplitudes().to_vec();
         let mut accumulated: Option<Vec<Complex64>> = None;
         for k in kraus {
-            let mut branch = StateVector::raw_with_amplitudes(original.clone());
+            // Branch states inherit the density matrix's pool and dispatch
+            // configuration, so Kraus sweeps work-share like unitary ones.
+            let mut branch = self.vec_state.raw_with_amplitudes_like(original.clone());
             // K on the ket qubit, conj(K) on the bra qubit.
             branch.apply_single(q, *k, 0);
             let conj = [[k[0][0].conj(), k[0][1].conj()], [k[1][0].conj(), k[1][1].conj()]];
@@ -186,7 +211,8 @@ impl DensityMatrix {
                 }
             }
         }
-        self.vec_state = StateVector::raw_with_amplitudes(accumulated.expect("at least one Kraus operator"));
+        self.vec_state =
+            self.vec_state.raw_with_amplitudes_like(accumulated.expect("at least one Kraus operator"));
     }
 
     /// Depolarizing channel with probability `p`:
@@ -255,44 +281,240 @@ impl DensityMatrix {
         out
     }
 
-    /// Evolve through a circuit's unitary prefix, applying `noise` after
-    /// every unitary gate, and return the exact outcome distribution over
-    /// the measured qubits. Measurements must be terminal.
+    /// Project qubit `q` onto `outcome` (probability `prob`, must be > 0)
+    /// and renormalize: ρ ← P ρ P / prob.
+    pub fn project(&mut self, q: usize, outcome: u8, prob: f64) {
+        assert!(q < self.n);
+        assert!(prob > 0.0, "cannot project onto a zero-probability outcome");
+        let (d0, d1) =
+            if outcome == 0 { (Complex64::ONE, Complex64::ZERO) } else { (Complex64::ZERO, Complex64::ONE) };
+        // P on the ket qubit and on the bra qubit (P is real-diagonal, so
+        // no conjugation needed), then 1/prob on the whole matrix.
+        self.vec_state.apply_diag(q, d0, d1, 0);
+        self.vec_state.apply_diag(q + self.n, d0, d1, 0);
+        self.vec_state.scale_all(Complex64::from_real(1.0 / prob));
+    }
+
+    /// Reset qubit `q` to |0⟩ as the exact channel
+    /// ρ ← |0⟩⟨0|ρ|0⟩⟨0| + |0⟩⟨1|ρ|1⟩⟨0| (Kraus `{|0⟩⟨0|, |0⟩⟨1|}`).
+    pub fn reset(&mut self, q: usize) {
+        let kraus = [
+            [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::ZERO]],
+            [[Complex64::ZERO, Complex64::ONE], [Complex64::ZERO, Complex64::ZERO]],
+        ];
+        self.apply_kraus_1q(q, &kraus);
+    }
+
+    /// Evolve through `circuit` with `noise` applied after every unitary
+    /// gate and return the exact outcome distribution over the measured
+    /// qubits (all qubits when the circuit has no measurements), keyed
+    /// like the executor's bitstrings.
+    ///
+    /// The circuit is lowered once via [`compile_noisy`] (through the
+    /// structural compile cache when enabled) and replayed as compiled
+    /// kernels on the superoperator view. Mid-circuit measurements branch
+    /// the density matrix per outcome (project + renormalize, outcomes
+    /// re-merged by probability weight; a re-measured qubit's last outcome
+    /// wins, matching the sampling executor), resets apply the exact reset
+    /// channel, and a purely terminal measurement suffix is marginalized
+    /// directly without branching.
     pub fn run_noisy_circuit(
         circuit: &Circuit,
         pool: Arc<ThreadPool>,
         noise: &NoiseModel,
-    ) -> Result<std::collections::BTreeMap<String, f64>, String> {
-        let mut rho = DensityMatrix::with_pool(circuit.num_qubits(), pool);
-        let mut measured: Vec<usize> = Vec::new();
-        for inst in circuit.instructions() {
-            match inst.gate {
-                GateKind::Measure => measured.push(inst.qubits[0]),
-                GateKind::Barrier => {}
-                GateKind::Reset => return Err("density executor does not support reset".into()),
-                _ if !measured.is_empty() => {
-                    return Err("density executor requires terminal measurements".into())
+    ) -> Result<BTreeMap<String, f64>, String> {
+        let plan = compile_noisy(circuit, noise, crate::cache::compile_cache_env_default());
+        Self::run_noisy_compiled(&plan, pool)
+    }
+
+    /// [`DensityMatrix::run_noisy_circuit`] for an already-lowered plan.
+    pub fn run_noisy_compiled(
+        plan: &NoisyCompiled,
+        pool: Arc<ThreadPool>,
+    ) -> Result<BTreeMap<String, f64>, String> {
+        let n = plan.num_qubits();
+        if n > 12 {
+            return Err(format!("density matrix of {n} qubits will not fit in memory"));
+        }
+        let ops = plan.ops();
+        let mut branches =
+            vec![Branch { rho: DensityMatrix::with_pool(n, pool), weight: 1.0, bits: BTreeMap::new() }];
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        let mut idx = 0;
+        while idx < ops.len() {
+            // Terminal fast path: once only measurements remain, marginalize
+            // each branch's diagonal in one pass instead of branching 2^k
+            // ways over the k remaining measurements.
+            if ops[idx..].iter().all(|op| matches!(op, NoisyOp::Measure { .. })) {
+                let terminal: Vec<usize> = ops[idx..]
+                    .iter()
+                    .map(|op| match op {
+                        NoisyOp::Measure { qubit } => *qubit,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                for branch in &branches {
+                    branch.fold_terminal(&terminal, &mut out);
                 }
-                _ => {
-                    rho.apply_unitary(inst);
-                    for &q in &inst.qubits {
-                        if noise.depolarizing > 0.0 {
-                            rho.depolarize(q, noise.depolarizing);
-                        }
-                        if noise.dephasing > 0.0 {
-                            rho.dephase(q, noise.dephasing);
-                        }
-                        if noise.amplitude_damping > 0.0 {
-                            rho.amplitude_damp(q, noise.amplitude_damping);
-                        }
+                return Ok(out);
+            }
+            match &ops[idx] {
+                NoisyOp::Unitary(kernel) => {
+                    for branch in &mut branches {
+                        branch.rho.apply_kernel_op(kernel);
                     }
                 }
+                NoisyOp::Depolarize { qubit, p } => {
+                    for branch in &mut branches {
+                        branch.rho.depolarize(*qubit, *p);
+                    }
+                }
+                NoisyOp::Dephase { qubit, p } => {
+                    for branch in &mut branches {
+                        branch.rho.dephase(*qubit, *p);
+                    }
+                }
+                NoisyOp::AmplitudeDamp { qubit, gamma } => {
+                    for branch in &mut branches {
+                        branch.rho.amplitude_damp(*qubit, *gamma);
+                    }
+                }
+                NoisyOp::Reset { qubit } => {
+                    for branch in &mut branches {
+                        branch.rho.reset(*qubit);
+                    }
+                }
+                NoisyOp::Measure { qubit } => {
+                    let mut next = Vec::with_capacity(branches.len() * 2);
+                    for branch in branches {
+                        let p1 = branch.rho.prob_one(*qubit);
+                        for (outcome, p) in [(0u8, 1.0 - p1), (1u8, p1)] {
+                            // Skip (numerically) impossible outcomes — the
+                            // projection would divide by ~0.
+                            if p <= 1e-12 {
+                                continue;
+                            }
+                            let mut b = Branch {
+                                rho: branch.rho.clone_like(),
+                                weight: branch.weight * p,
+                                bits: branch.bits.clone(),
+                            };
+                            b.rho.project(*qubit, outcome, p);
+                            b.bits.insert(*qubit, outcome);
+                            next.push(b);
+                        }
+                    }
+                    branches = next;
+                }
+            }
+            idx += 1;
+        }
+        // No terminal-measurement suffix. Branches carrying recorded
+        // mid-circuit outcomes report those; a plan with no measurements at
+        // all reports the full diagonal, like the pre-compiled executor.
+        for branch in &branches {
+            if branch.bits.is_empty() {
+                let all: Vec<usize> = (0..n).collect();
+                branch.fold_terminal(&all, &mut out);
+            } else {
+                let key: String = branch.bits.values().map(|&b| if b == 1 { '1' } else { '0' }).collect();
+                *out.entry(key).or_insert(0.0) += branch.weight;
             }
         }
-        if measured.is_empty() {
-            measured = (0..circuit.num_qubits()).collect();
+        Ok(out)
+    }
+}
+
+/// One outcome branch of the mid-circuit-measurement replay: a density
+/// matrix conditioned on the recorded outcomes, its probability weight,
+/// and the recorded (last-wins) bit per measured qubit.
+struct Branch {
+    rho: DensityMatrix,
+    weight: f64,
+    bits: BTreeMap<usize, u8>,
+}
+
+impl Branch {
+    /// Fold this branch's distribution over the `terminal` measured qubits
+    /// (combined with its recorded mid-circuit bits; terminal outcomes win
+    /// on re-measured qubits) into `out`.
+    fn fold_terminal(&self, terminal: &[usize], out: &mut BTreeMap<String, f64>) {
+        let mut term_sorted = terminal.to_vec();
+        term_sorted.sort_unstable();
+        term_sorted.dedup();
+        let mut all: Vec<usize> = self.bits.keys().copied().chain(term_sorted.iter().copied()).collect();
+        all.sort_unstable();
+        all.dedup();
+        for (term_key, p) in self.rho.measure_probabilities(&term_sorted) {
+            let key: String = all
+                .iter()
+                .map(|q| match term_sorted.binary_search(q) {
+                    Ok(i) => term_key.as_bytes()[i] as char,
+                    Err(_) => {
+                        if self.bits[q] == 1 {
+                            '1'
+                        } else {
+                            '0'
+                        }
+                    }
+                })
+                .collect();
+            *out.entry(key).or_insert(0.0) += self.weight * p;
         }
-        Ok(rho.measure_probabilities(&measured))
+    }
+}
+
+/// The superoperator view of compiled-kernel application: every unitary
+/// kernel op runs once on the ket qubits (low half of vec(ρ)) and once,
+/// conjugated and shifted by `n`, on the bra qubits — ρ → UρU† as two
+/// state-vector sweeps, reusing the dense/flip/diag/phase classification
+/// and the pool-parallel kernels verbatim.
+impl ApplyState for DensityMatrix {
+    fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    fn apply_single(&mut self, target: usize, m: [[Complex64; 2]; 2], ctrl_mask: usize) {
+        self.vec_state.apply_single(target, m, ctrl_mask);
+        let conj = [[m[0][0].conj(), m[0][1].conj()], [m[1][0].conj(), m[1][1].conj()]];
+        self.vec_state.apply_single(target + self.n, conj, ctrl_mask << self.n);
+    }
+
+    fn apply_pair(&mut self, t0: usize, t1: usize, m: &[[Complex64; 4]; 4], ctrl_mask: usize) {
+        self.vec_state.apply_pair(t0, t1, m, ctrl_mask);
+        let mut conj = [[Complex64::ZERO; 4]; 4];
+        for (row, src) in conj.iter_mut().zip(m) {
+            for (dst, v) in row.iter_mut().zip(src) {
+                *dst = v.conj();
+            }
+        }
+        self.vec_state.apply_pair(t0 + self.n, t1 + self.n, &conj, ctrl_mask << self.n);
+    }
+
+    fn apply_antidiag(&mut self, target: usize, m01: Complex64, m10: Complex64, ctrl_mask: usize) {
+        self.vec_state.apply_antidiag(target, m01, m10, ctrl_mask);
+        self.vec_state.apply_antidiag(target + self.n, m01.conj(), m10.conj(), ctrl_mask << self.n);
+    }
+
+    fn apply_diag(&mut self, target: usize, d0: Complex64, d1: Complex64, ctrl_mask: usize) {
+        self.vec_state.apply_diag(target, d0, d1, ctrl_mask);
+        self.vec_state.apply_diag(target + self.n, d0.conj(), d1.conj(), ctrl_mask << self.n);
+    }
+
+    fn mul_where(&mut self, set_mask: usize, clear_mask: usize, z: Complex64) {
+        self.vec_state.mul_where(set_mask, clear_mask, z);
+        self.vec_state.mul_where(set_mask << self.n, clear_mask << self.n, z.conj());
+    }
+
+    fn scale_all(&mut self, z: Complex64) {
+        // U = z·I ⇒ ρ → zρz̄ = |z|²ρ (a unit global phase is a no-op on ρ,
+        // as it must be).
+        self.vec_state.scale_all(Complex64::from_real(z.norm_sqr()));
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize, ctrl_mask: usize) {
+        self.vec_state.apply_swap(a, b, ctrl_mask);
+        self.vec_state.apply_swap(a + self.n, b + self.n, ctrl_mask << self.n);
     }
 }
 
@@ -305,6 +527,28 @@ pub struct NoiseModel {
     pub dephasing: f64,
     /// Amplitude-damping rate per gate.
     pub amplitude_damping: f64,
+}
+
+impl NoiseModel {
+    /// True when every channel strength is zero (the lowering then fuses
+    /// across the whole unitary prefix).
+    pub fn is_noiseless(&self) -> bool {
+        self.depolarizing == 0.0 && self.dephasing == 0.0 && self.amplitude_damping == 0.0
+    }
+
+    /// Validate that every strength is a probability/rate in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (label, v) in [
+            ("depolarizing", self.depolarizing),
+            ("dephasing", self.dephasing),
+            ("amplitude-damping", self.amplitude_damping),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{label} strength {v} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -440,10 +684,128 @@ mod tests {
     }
 
     #[test]
-    fn mid_circuit_measurement_rejected() {
+    fn mid_circuit_measurement_projects_and_renormalizes() {
+        // measure(0) on |0⟩ records 0 deterministically; the trailing H
+        // acts on the projected state and is simply not measured again.
         let mut c = Circuit::new(1);
         c.measure(0).h(0);
-        assert!(DensityMatrix::run_noisy_circuit(&c, Arc::new(ThreadPool::new(1)), &NoiseModel::default())
-            .is_err());
+        let dist = DensityMatrix::run_noisy_circuit(&c, Arc::new(ThreadPool::new(1)), &NoiseModel::default())
+            .unwrap();
+        assert_eq!(dist.len(), 1);
+        assert!((dist["0"] - 1.0).abs() < 1e-12, "{dist:?}");
+    }
+
+    #[test]
+    fn mid_circuit_measurement_branches_by_outcome() {
+        // H then mid-circuit measure collapses qubit 0; the CX copies the
+        // recorded outcome, so the final joint distribution stays perfectly
+        // correlated at 50/50.
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0).cx(0, 1).measure(0).measure(1);
+        let dist = DensityMatrix::run_noisy_circuit(&c, Arc::new(ThreadPool::new(1)), &NoiseModel::default())
+            .unwrap();
+        assert!((dist["00"] - 0.5).abs() < 1e-12, "{dist:?}");
+        assert!((dist["11"] - 0.5).abs() < 1e-12, "{dist:?}");
+        assert_eq!(dist.len(), 2, "{dist:?}");
+    }
+
+    #[test]
+    fn mid_circuit_remeasure_last_outcome_wins() {
+        // Qubit 0 is measured (0), flipped, and measured again (1): the
+        // bitstring reports the final outcome, like the sampling executor.
+        let mut c = Circuit::new(1);
+        c.measure(0).x(0).measure(0);
+        let dist = DensityMatrix::run_noisy_circuit(&c, Arc::new(ThreadPool::new(1)), &NoiseModel::default())
+            .unwrap();
+        assert!((dist["1"] - 1.0).abs() < 1e-12, "{dist:?}");
+    }
+
+    #[test]
+    fn reset_is_the_exact_reset_channel() {
+        // H leaves qubit 0 in an even superposition; reset returns it to
+        // |0⟩ regardless of what it held, and the later H makes that
+        // observable as a fresh 50/50.
+        let mut c = Circuit::new(1);
+        c.h(0).reset(0).h(0).measure(0);
+        let dist = DensityMatrix::run_noisy_circuit(&c, Arc::new(ThreadPool::new(1)), &NoiseModel::default())
+            .unwrap();
+        assert!((dist["0"] - 0.5).abs() < 1e-12, "{dist:?}");
+        assert!((dist["1"] - 0.5).abs() < 1e-12, "{dist:?}");
+
+        let mut rho = DensityMatrix::new(1);
+        rho.apply_unitary(&Instruction::new(GateKind::X, vec![0], vec![]));
+        rho.reset(0);
+        assert!(rho.entry(0, 0).approx_eq(Complex64::ONE, 1e-12));
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compiled_kernel_replay_matches_instruction_path() {
+        // The ApplyState superoperator view replaying fused compiled
+        // kernels must agree with the per-instruction conjugation rules.
+        let mut circuit = Circuit::new(3);
+        circuit
+            .h(0)
+            .t(0)
+            .cx(0, 1)
+            .ry(2, 0.7)
+            .s(1)
+            .crz(1, 2, -0.4)
+            .y(0)
+            .u3(1, 0.2, 0.5, -0.3)
+            .cphase(0, 2, 1.1)
+            .swap(0, 2);
+        let mut by_inst = DensityMatrix::new(3);
+        apply_all(&mut by_inst, &circuit);
+
+        let compiled = crate::compile::CompiledCircuit::compile(&circuit);
+        let mut by_kernel = DensityMatrix::new(3);
+        by_kernel.apply_unitary_ops(compiled.ops());
+
+        for r in 0..8 {
+            for c in 0..8 {
+                assert!(
+                    by_kernel.entry(r, c).approx_eq(by_inst.entry(r, c), 1e-10),
+                    "({r},{c}): {} vs {}",
+                    by_kernel.entry(r, c),
+                    by_inst.entry(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kraus_branches_inherit_the_pool() {
+        // with_pool must thread the pool into Kraus sweeps (the branch
+        // states used to silently fall back to the sequential pool).
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut rho = DensityMatrix::with_pool(2, Arc::clone(&pool));
+        rho.set_par_threshold(1);
+        rho.apply_unitary(&Instruction::new(GateKind::H, vec![0], vec![]));
+        rho.depolarize(0, 0.1);
+        assert_eq!(rho.pool().num_threads(), 2, "channel application must not drop the pool");
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_sweeps_count_in_kernel_stats() {
+        crate::stats::reset_kernel_iterations();
+        let mut rho = DensityMatrix::new(2);
+        rho.apply_unitary(&Instruction::new(GateKind::H, vec![0], vec![]));
+        let after_unitary = crate::stats::kernel_iterations();
+        assert!(after_unitary > 0, "unitary superoperator sweeps must be counted");
+        rho.depolarize(0, 0.1);
+        assert!(crate::stats::kernel_iterations() > after_unitary, "Kraus sweeps must be counted too");
+    }
+
+    #[test]
+    fn noise_model_validation() {
+        assert!(NoiseModel::default().validate().is_ok());
+        assert!(NoiseModel::default().is_noiseless());
+        let m = NoiseModel { depolarizing: 0.1, ..Default::default() };
+        assert!(!m.is_noiseless());
+        assert!(m.validate().is_ok());
+        let bad = NoiseModel { dephasing: 1.5, ..Default::default() };
+        assert!(bad.validate().unwrap_err().contains("dephasing"));
     }
 }

@@ -573,12 +573,16 @@ impl ShotPlan {
 }
 
 /// The executor a shot plan replays per shot: the circuit compiled once
-/// into fused kernel ops (f64 or narrowed-to-f32), or the interpreted
-/// per-instruction dispatcher (fusion off, f64 only).
+/// into fused kernel ops (f64 or narrowed-to-f32), the interpreted
+/// per-instruction dispatcher (fusion off, f64 only), or the noisy
+/// trajectory sampler (noise channels lowered once via
+/// [`crate::noise::compile_noisy`], Kraus branches drawn per shot; always
+/// compiled f64 — fusion/precision knobs do not apply).
 enum ShotExec<'c> {
     Compiled(CompiledCircuit),
     CompiledF32(CompiledCircuit32),
     Interpreted(&'c Circuit),
+    Trajectory { plan: crate::noise::NoisyCompiled, readout: f64 },
 }
 
 /// The per-chunk simulation state matching a [`ShotExec`]'s precision.
@@ -637,6 +641,9 @@ impl ShotExec<'_> {
             (ShotExec::Compiled(compiled), ChunkState::F64(s)) => compiled.run_once(s, rng),
             (ShotExec::Interpreted(circuit), ChunkState::F64(s)) => run_once_interpreted(s, circuit, rng),
             (ShotExec::CompiledF32(compiled), ChunkState::F32(s)) => compiled.run_once(s, rng),
+            (ShotExec::Trajectory { plan, readout }, ChunkState::F64(s)) => {
+                crate::noise::run_trajectory_once(plan, *readout, s, rng)
+            }
             _ => unreachable!("chunk state precision always matches its executor"),
         }
     }
@@ -748,7 +755,7 @@ pub(crate) fn run_shots_owned(
     procs: usize,
 ) -> Counts {
     assert!(procs >= 1 && shard < procs, "shard {shard} out of range for {procs} procs");
-    run_shots_core(circuit, pool, config, plan, None, Some((shard, procs))).counts
+    run_shots_core(circuit, pool, config, plan, None, Some((shard, procs)), None).counts
 }
 
 fn run_shots_with_token(
@@ -758,7 +765,40 @@ fn run_shots_with_token(
     plan: &ShotPlan,
     token: Option<&CancelToken>,
 ) -> ShotRun {
-    run_shots_core(circuit, pool, config, plan, token, None)
+    run_shots_core(circuit, pool, config, plan, token, None, None)
+}
+
+/// Execute `circuit` under `noise` as trajectory sampling on the batched
+/// shot scheduler: channels are lowered once ([`crate::noise::compile_noisy`],
+/// through the compile cache when enabled) and every shot replays the
+/// compiled plan, drawing its Kraus branches, measurement outcomes, and
+/// readout flips (per-bit flip probability `readout`) from its chunk's
+/// derived RNG stream. Inherits the scheduler's determinism contract: for
+/// a fixed `(seed, tasks, chunk_shots)` the merged counts are
+/// byte-identical on any pool size.
+pub fn run_noisy_shots(
+    circuit: &Circuit,
+    noise: &crate::density::NoiseModel,
+    readout: f64,
+    pool: Arc<ThreadPool>,
+    config: &RunConfig,
+) -> Counts {
+    let plan = ShotPlan::for_circuit(circuit, config);
+    run_noisy_shots_planned(circuit, noise, readout, pool, config, &plan)
+}
+
+/// [`run_noisy_shots`] with an explicit [`ShotPlan`]. Honors the calling
+/// thread's cooperative [`CancelToken`] like [`run_shots_planned`].
+pub fn run_noisy_shots_planned(
+    circuit: &Circuit,
+    noise: &crate::density::NoiseModel,
+    readout: f64,
+    pool: Arc<ThreadPool>,
+    config: &RunConfig,
+    plan: &ShotPlan,
+) -> Counts {
+    let token = crate::cancel::thread_cancel_token();
+    run_shots_core(circuit, pool, config, plan, token.as_ref(), None, Some((noise, readout))).counts
 }
 
 fn run_shots_core(
@@ -768,11 +808,13 @@ fn run_shots_core(
     plan: &ShotPlan,
     token: Option<&CancelToken>,
     owner: Option<(usize, usize)>,
+    noisy: Option<(&crate::density::NoiseModel, f64)>,
 ) -> ShotRun {
     let mut merged = Counts::new();
     if plan.shots() == 0 {
         return ShotRun { counts: merged, completed_chunks: 0, total_chunks: 0, cancelled: false };
     }
+    crate::stats::record_shot_plan();
     let base_seed = match config.seed {
         Some(s) => s,
         None => StdRng::from_entropy().gen(),
@@ -780,7 +822,13 @@ fn run_shots_core(
     let amps = 1usize << circuit.num_qubits();
     let shards = config.amp_shards_resolved().shard_count(amps, pool.num_threads());
     // Compile once per plan; every chunk replays the same fused op list.
-    let exec = ShotExec::for_config(circuit, config);
+    let exec = match noisy {
+        Some((noise, readout)) => ShotExec::Trajectory {
+            plan: crate::noise::compile_noisy(circuit, noise, config.compile_cache_enabled()),
+            readout,
+        },
+        None => ShotExec::for_config(circuit, config),
+    };
     if plan.inner_parallel() && owner.is_none() {
         // Single work item: the only checkpoint is before it starts.
         if token.is_some_and(CancelToken::is_cancelled) {

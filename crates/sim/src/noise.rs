@@ -1,0 +1,513 @@
+//! Noise-channel lowering: compile a circuit **plus** a [`NoiseModel`]
+//! into one replayable op stream shared by the density (exact) and
+//! trajectory (sampled) executors.
+//!
+//! [`compile_noisy`] lowers unitary instruction runs through the regular
+//! compiler ([`crate::CompiledCircuit`] — fused matrices, kernel
+//! classification, structural compile cache) and interleaves
+//! [`NoisyOp`] channel ops at the points where the model inserts noise:
+//! after every unitary gate, one channel op per touched qubit, in the
+//! fixed order depolarizing → dephasing → amplitude-damping (channels
+//! with zero strength are omitted). Because a channel sits after every
+//! gate, cross-gate fusion is only possible for a noiseless model — the
+//! compiled win on noisy circuits comes from precomputing each gate's
+//! matrix and kernel class once per plan instead of once per shot.
+//!
+//! The same op stream has two consumers:
+//!
+//! * **Density replay** ([`crate::DensityMatrix::run_noisy_circuit`]):
+//!   channel ops become exact Kraus sums, measurements project.
+//! * **Trajectory replay** ([`run_trajectory_once`], driven per shot by
+//!   [`crate::executor::run_noisy_shots`]): channel ops draw their Kraus
+//!   branch from the chunk's RNG stream. The draw protocol is fixed —
+//!   depolarizing: one `f64` draw, plus one `gen_range(0..3)` draw iff it
+//!   fires; dephasing: one draw; amplitude damping: one draw (the jump
+//!   probability `γ·P(1)` comes from the ordered reducer, so it is
+//!   pool-size-invariant); measure: one draw, plus one readout-flip draw
+//!   iff the readout error is non-zero; reset: one draw — so seeded
+//!   trajectory counts are byte-identical on any pool size, exactly like
+//!   the ideal scheduler's contract.
+//!
+//! When every channel in the model is **state-independent** (no amplitude
+//! damping), the trajectory sampler draws all channel decisions up front
+//! (same draws, same op order) before touching the state. A shot where no
+//! channel fires — the common case at realistic error rates — then
+//! replays the **fully fused** noiseless plan instead of the per-gate
+//! interleaved stream; only shots with at least one fired channel pay for
+//! the unfused replay. This clean-shot fast path is what makes compiled
+//! noisy execution beat the per-shot interpreted loop (`noisy_guard`).
+
+use crate::cache::compile_cached;
+use crate::compile::{CompiledCircuit, KernelOp};
+use crate::complex::Complex64;
+use crate::density::NoiseModel;
+use crate::executor::ShotRecord;
+use crate::state::StateVector;
+use qcor_circuit::{Circuit, GateKind};
+use rand::Rng;
+
+/// How the `qpp-noisy` backend executes a noise model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseMode {
+    /// Per-shot stochastic Kraus-branch sampling on the batched shot
+    /// scheduler (compiled replay, chunked RNG streams). The default.
+    Trajectory,
+    /// Exact density-matrix evolution, then sampling from the resulting
+    /// distribution — the oracle the trajectory path is tested against.
+    Density,
+    /// The legacy per-shot re-interpretation loop, kept as the A/B
+    /// baseline the `noisy_guard` CI gate compares against.
+    Interpreted,
+}
+
+impl std::fmt::Display for NoiseMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            NoiseMode::Trajectory => "trajectory",
+            NoiseMode::Density => "density",
+            NoiseMode::Interpreted => "interpreted",
+        })
+    }
+}
+
+/// Parse one noise-mode token — the single vocabulary shared by the
+/// `QCOR_NOISE_MODE` environment variable and the `qpp-noisy` backend's
+/// `noise-mode` param. `None` = unrecognized.
+pub fn parse_noise_mode_token(s: &str) -> Option<NoiseMode> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "" | "trajectory" => Some(NoiseMode::Trajectory),
+        "density" => Some(NoiseMode::Density),
+        "interpreted" => Some(NoiseMode::Interpreted),
+        _ => None,
+    }
+}
+
+/// Resolve the process-wide noise-mode default from `QCOR_NOISE_MODE`
+/// (read once; unset = [`NoiseMode::Trajectory`], bad values panic loudly
+/// like the other executor knobs).
+pub fn noise_mode_env_default() -> NoiseMode {
+    static DEFAULT: std::sync::OnceLock<NoiseMode> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("QCOR_NOISE_MODE") {
+        Err(_) => NoiseMode::Trajectory,
+        Ok(v) => parse_noise_mode_token(&v).unwrap_or_else(|| {
+            panic!("invalid QCOR_NOISE_MODE value {v:?}: expected trajectory/density/interpreted")
+        }),
+    })
+}
+
+/// One op of a lowered noisy circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoisyOp {
+    /// A fused unitary kernel op (see [`KernelOp`]; never `Measure`/`Reset`
+    /// — those lower to the dedicated variants below).
+    Unitary(KernelOp),
+    /// Depolarizing channel of strength `p` on `qubit`.
+    Depolarize { qubit: usize, p: f64 },
+    /// Dephasing (phase-flip) channel of strength `p` on `qubit`.
+    Dephase { qubit: usize, p: f64 },
+    /// Amplitude damping of rate `gamma` on `qubit`.
+    AmplitudeDamp { qubit: usize, gamma: f64 },
+    /// Computational-basis measurement of `qubit`.
+    Measure { qubit: usize },
+    /// Reset `qubit` to |0⟩.
+    Reset { qubit: usize },
+}
+
+/// A circuit lowered together with its noise model: compiled unitary runs
+/// interleaved with channel ops, replayable exactly (density) or sampled
+/// (trajectory).
+#[derive(Debug, Clone)]
+pub struct NoisyCompiled {
+    num_qubits: usize,
+    ops: Vec<NoisyOp>,
+    source_len: usize,
+    /// The fully fused noiseless compile of the source circuit, present
+    /// when every channel decision is state-independent (no amplitude
+    /// damping): shots where no channel fires replay this instead of the
+    /// per-gate interleaved stream.
+    fused: Option<CompiledCircuit>,
+}
+
+impl NoisyCompiled {
+    /// Qubit count of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The lowered op stream, in execution order.
+    pub fn ops(&self) -> &[NoisyOp] {
+        &self.ops
+    }
+
+    /// Number of lowered ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the source circuit lowered to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of instructions in the source circuit.
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// True when trajectory shots where no channel fires can replay the
+    /// fully fused noiseless plan (all channels state-independent).
+    pub fn has_clean_fast_path(&self) -> bool {
+        self.fused.is_some()
+    }
+}
+
+/// Lower `circuit` + `noise` into a [`NoisyCompiled`] op stream.
+///
+/// Unitary runs compile through the regular fusing compiler; with
+/// `use_cache` they go through the structural compile cache
+/// ([`crate::cache::compile_cached`]), so an angle sweep over a noisy
+/// ansatz re-binds templates instead of re-lowering. A noiseless model
+/// fuses across the whole unitary prefix; an active model flushes after
+/// every gate (its channels are fusion barriers by construction).
+pub fn compile_noisy(circuit: &Circuit, noise: &NoiseModel, use_cache: bool) -> NoisyCompiled {
+    let n = circuit.num_qubits();
+    let active = !noise.is_noiseless();
+    let mut ops: Vec<NoisyOp> = Vec::new();
+    let mut pending = Circuit::new(n);
+    let flush = |pending: &mut Circuit, ops: &mut Vec<NoisyOp>| {
+        if pending.is_empty() {
+            return;
+        }
+        let compiled = if use_cache { compile_cached(pending) } else { CompiledCircuit::compile(pending) };
+        ops.extend(compiled.ops().iter().cloned().map(NoisyOp::Unitary));
+        *pending = Circuit::new(n);
+    };
+    for inst in circuit.instructions() {
+        match inst.gate {
+            GateKind::Measure => {
+                flush(&mut pending, &mut ops);
+                ops.push(NoisyOp::Measure { qubit: inst.qubits[0] });
+            }
+            GateKind::Reset => {
+                flush(&mut pending, &mut ops);
+                ops.push(NoisyOp::Reset { qubit: inst.qubits[0] });
+            }
+            // Barriers stay inside the unitary run as fusion barriers and
+            // never attract noise (they are not gates).
+            GateKind::Barrier => {
+                pending.push(inst.clone());
+            }
+            _ => {
+                pending.push(inst.clone());
+                if active {
+                    flush(&mut pending, &mut ops);
+                    for &q in &inst.qubits {
+                        if noise.depolarizing > 0.0 {
+                            ops.push(NoisyOp::Depolarize { qubit: q, p: noise.depolarizing });
+                        }
+                        if noise.dephasing > 0.0 {
+                            ops.push(NoisyOp::Dephase { qubit: q, p: noise.dephasing });
+                        }
+                        if noise.amplitude_damping > 0.0 {
+                            ops.push(NoisyOp::AmplitudeDamp { qubit: q, gamma: noise.amplitude_damping });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut pending, &mut ops);
+    // State-independent channel decisions (depolarize/dephase draw against
+    // a fixed probability; damping's jump probability reads the live
+    // state) can all be drawn before the replay starts, so clean shots can
+    // use a fully fused plan of the whole circuit.
+    let pre_drawable = active
+        && ops.iter().any(|op| matches!(op, NoisyOp::Depolarize { .. } | NoisyOp::Dephase { .. }))
+        && !ops.iter().any(|op| matches!(op, NoisyOp::AmplitudeDamp { .. }));
+    let fused = pre_drawable.then(|| {
+        if use_cache {
+            compile_cached(circuit)
+        } else {
+            CompiledCircuit::compile(circuit)
+        }
+    });
+    NoisyCompiled { num_qubits: n, ops, source_len: circuit.len(), fused }
+}
+
+/// Replay one stochastic trajectory of `plan` against `state`, drawing
+/// every Kraus branch, measurement and readout flip from `rng` in the
+/// fixed protocol documented in the [module docs](self). Returns the
+/// shot's measurement record (readout flips already applied).
+pub fn run_trajectory_once(
+    plan: &NoisyCompiled,
+    readout: f64,
+    state: &mut StateVector,
+    rng: &mut impl Rng,
+) -> ShotRecord {
+    assert!(
+        plan.num_qubits <= StateVector::num_qubits(state),
+        "noisy plan needs {} qubits but the state has {}",
+        plan.num_qubits,
+        StateVector::num_qubits(state)
+    );
+    if let Some(fused) = &plan.fused {
+        // All channel decisions are state-independent: draw them up front
+        // (one entry per channel op, in op order, exactly the draws the
+        // interleaved replay would make).
+        let mut fired = Vec::new();
+        let mut clean = true;
+        for op in &plan.ops {
+            match op {
+                NoisyOp::Depolarize { p, .. } => {
+                    let pauli = if rng.gen::<f64>() < *p { 1 + rng.gen_range(0..3) as u8 } else { 0 };
+                    clean &= pauli == 0;
+                    fired.push(pauli);
+                }
+                NoisyOp::Dephase { p, .. } => {
+                    let pauli = if rng.gen::<f64>() < *p { 3 } else { 0 };
+                    clean &= pauli == 0;
+                    fired.push(pauli);
+                }
+                _ => {}
+            }
+        }
+        if clean {
+            // Nothing fired: this shot is an ideal shot — replay the fused
+            // plan and apply readout flips to the recorded bits.
+            let mut record = fused.run_once(state, rng);
+            if readout > 0.0 {
+                for (_, bit) in &mut record.outcomes {
+                    if rng.gen::<f64>() < readout {
+                        *bit ^= 1;
+                    }
+                }
+            }
+            return record;
+        }
+        return replay_interleaved(plan, readout, state, rng, Some(&fired));
+    }
+    replay_interleaved(plan, readout, state, rng, None)
+}
+
+/// Apply the Pauli a channel drew: 0 = none, 1 = X, 2 = Y, 3 = Z.
+fn apply_drawn_pauli(state: &mut StateVector, qubit: usize, which: u8) {
+    match which {
+        0 => {}
+        1 => state.apply_antidiag(qubit, Complex64::ONE, Complex64::ONE, 0),
+        2 => state.apply_antidiag(qubit, Complex64::new(0.0, -1.0), Complex64::new(0.0, 1.0), 0),
+        _ => state.apply_diag(qubit, Complex64::ONE, Complex64::from_real(-1.0), 0),
+    }
+}
+
+/// The interleaved trajectory replay. `predrawn` carries the channel
+/// decisions when they were drawn up front (state-independent models);
+/// `None` draws each channel inline at its op, which is required for
+/// amplitude damping (its jump probability reads the live state).
+fn replay_interleaved(
+    plan: &NoisyCompiled,
+    readout: f64,
+    state: &mut StateVector,
+    rng: &mut impl Rng,
+    predrawn: Option<&[u8]>,
+) -> ShotRecord {
+    use crate::apply::ApplyState;
+    let mut record = ShotRecord::default();
+    let mut next_decision = 0usize;
+    for op in &plan.ops {
+        match op {
+            NoisyOp::Unitary(kernel) => state.apply_kernel_op(kernel),
+            NoisyOp::Depolarize { qubit, p } => {
+                let pauli = match predrawn {
+                    Some(decisions) => {
+                        next_decision += 1;
+                        decisions[next_decision - 1]
+                    }
+                    None => {
+                        if rng.gen::<f64>() < *p {
+                            1 + rng.gen_range(0..3) as u8
+                        } else {
+                            0
+                        }
+                    }
+                };
+                apply_drawn_pauli(state, *qubit, pauli);
+            }
+            NoisyOp::Dephase { qubit, p } => {
+                let pauli = match predrawn {
+                    Some(decisions) => {
+                        next_decision += 1;
+                        decisions[next_decision - 1]
+                    }
+                    None => {
+                        if rng.gen::<f64>() < *p {
+                            3
+                        } else {
+                            0
+                        }
+                    }
+                };
+                apply_drawn_pauli(state, *qubit, pauli);
+            }
+            NoisyOp::AmplitudeDamp { qubit, gamma } => {
+                // Jump/no-jump unraveling: K1 = √γ·|0⟩⟨1| fires with
+                // probability γ·P(1); otherwise K0 = diag(1, √(1−γ))
+                // applies, renormalized.
+                let p1 = state.prob_one(*qubit);
+                let p_jump = gamma * p1;
+                if rng.gen::<f64>() < p_jump {
+                    state.collapse(*qubit, 1, p1);
+                    state.apply_antidiag(*qubit, Complex64::ONE, Complex64::ONE, 0);
+                } else {
+                    let norm = (1.0 - p_jump).sqrt();
+                    state.apply_diag(
+                        *qubit,
+                        Complex64::from_real(1.0 / norm),
+                        Complex64::from_real((1.0 - gamma).sqrt() / norm),
+                        0,
+                    );
+                }
+            }
+            NoisyOp::Measure { qubit } => {
+                let mut bit = state.measure(*qubit, rng);
+                if readout > 0.0 && rng.gen::<f64>() < readout {
+                    bit ^= 1;
+                }
+                record.outcomes.push((*qubit, bit));
+            }
+            NoisyOp::Reset { qubit } => state.reset(*qubit, rng),
+        }
+    }
+    record
+}
+
+/// Convolve an exact outcome distribution with an independent per-bit
+/// readout (bit-flip) error of probability `p` — the classical
+/// post-processing equivalent of flipping each recorded bit with
+/// probability `p`, used by the density execution mode.
+pub fn apply_readout_error(
+    dist: &std::collections::BTreeMap<String, f64>,
+    p: f64,
+) -> std::collections::BTreeMap<String, f64> {
+    if p <= 0.0 {
+        return dist.clone();
+    }
+    let mut out: std::collections::BTreeMap<String, f64> = Default::default();
+    for (bits, &prob) in dist {
+        let k = bits.len();
+        // Enumerate every flip pattern; distributions here are over a
+        // handful of measured qubits (k ≤ 12 by the density size cap).
+        for pattern in 0..(1usize << k) {
+            let flips = pattern.count_ones() as i32;
+            let weight = p.powi(flips) * (1.0 - p).powi(k as i32 - flips);
+            if weight <= 0.0 {
+                continue;
+            }
+            let flipped: String = bits
+                .bytes()
+                .enumerate()
+                .map(|(i, b)| if pattern >> i & 1 == 1 { (b ^ 1) as char } else { b as char })
+                .collect();
+            *out.entry(flipped).or_insert(0.0) += prob * weight;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcor_circuit::library;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_lowering_fuses_across_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).s(0).cx(0, 1).measure_all();
+        let plan = compile_noisy(&c, &NoiseModel::default(), false);
+        // The single-qubit run fuses: fewer unitary ops than gates.
+        let unitaries = plan.ops().iter().filter(|op| matches!(op, NoisyOp::Unitary(_))).count();
+        assert!(unitaries < 4, "noiseless lowering must fuse the unitary prefix, got {unitaries}");
+        let measures = plan.ops().iter().filter(|op| matches!(op, NoisyOp::Measure { .. })).count();
+        assert_eq!(measures, 2);
+    }
+
+    #[test]
+    fn active_noise_interleaves_channel_ops_in_canonical_order() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let noise = NoiseModel { depolarizing: 0.1, dephasing: 0.2, amplitude_damping: 0.3 };
+        let plan = compile_noisy(&c, &noise, false);
+        // h(0): 1 qubit → depol, dephase, damp; cx(0,1): 2 qubits → 6 ops.
+        let channels: Vec<&NoisyOp> =
+            plan.ops().iter().filter(|op| !matches!(op, NoisyOp::Unitary(_))).collect();
+        assert_eq!(channels.len(), 9, "{channels:?}");
+        assert!(matches!(channels[0], NoisyOp::Depolarize { qubit: 0, .. }));
+        assert!(matches!(channels[1], NoisyOp::Dephase { qubit: 0, .. }));
+        assert!(matches!(channels[2], NoisyOp::AmplitudeDamp { qubit: 0, .. }));
+    }
+
+    #[test]
+    fn zero_strength_channels_are_omitted() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let noise = NoiseModel { depolarizing: 0.05, ..Default::default() };
+        let plan = compile_noisy(&c, &noise, false);
+        assert!(plan.ops().iter().all(|op| !matches!(op, NoisyOp::Dephase { .. })));
+        assert!(plan.ops().iter().all(|op| !matches!(op, NoisyOp::AmplitudeDamp { .. })));
+        assert_eq!(plan.ops().iter().filter(|op| matches!(op, NoisyOp::Depolarize { .. })).count(), 1);
+    }
+
+    #[test]
+    fn noiseless_trajectory_matches_ideal_replay() {
+        let circuit = library::bell_kernel();
+        let plan = compile_noisy(&circuit, &NoiseModel::default(), false);
+        for seed in 0..8 {
+            let mut state = StateVector::new(2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let record = run_trajectory_once(&plan, 0.0, &mut state, &mut rng);
+            let bits = record.bitstring();
+            assert!(bits == "00" || bits == "11", "Bell shot must be correlated, got {bits}");
+        }
+    }
+
+    #[test]
+    fn readout_convolution_preserves_total_mass() {
+        let mut dist: std::collections::BTreeMap<String, f64> = Default::default();
+        dist.insert("00".into(), 0.5);
+        dist.insert("11".into(), 0.5);
+        let noisy = apply_readout_error(&dist, 0.25);
+        let total: f64 = noisy.values().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // P(01) = 0.5·(0.75·0.25) + 0.5·(0.25·0.75) = 0.1875
+        assert!((noisy["01"] - 0.1875).abs() < 1e-12, "{noisy:?}");
+        assert!((apply_readout_error(&dist, 0.0)["00"] - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clean_fast_path_gates_on_state_independence() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let dephase = NoiseModel { dephasing: 0.01, ..Default::default() };
+        assert!(compile_noisy(&c, &dephase, false).has_clean_fast_path());
+        let depol = NoiseModel { depolarizing: 0.01, ..Default::default() };
+        assert!(compile_noisy(&c, &depol, false).has_clean_fast_path());
+        // Damping draws against the live state — decisions cannot move
+        // ahead of the replay, so every shot takes the interleaved path.
+        let damp = NoiseModel { amplitude_damping: 0.01, ..Default::default() };
+        assert!(!compile_noisy(&c, &damp, false).has_clean_fast_path());
+        // A noiseless plan is already fully fused; no separate fast path.
+        assert!(!compile_noisy(&c, &NoiseModel::default(), false).has_clean_fast_path());
+    }
+
+    #[test]
+    fn noise_mode_tokens_parse() {
+        assert_eq!(parse_noise_mode_token("trajectory"), Some(NoiseMode::Trajectory));
+        assert_eq!(parse_noise_mode_token("Density"), Some(NoiseMode::Density));
+        assert_eq!(parse_noise_mode_token(" interpreted "), Some(NoiseMode::Interpreted));
+        assert_eq!(parse_noise_mode_token("exact"), None);
+        for mode in [NoiseMode::Trajectory, NoiseMode::Density, NoiseMode::Interpreted] {
+            assert_eq!(parse_noise_mode_token(&mode.to_string()), Some(mode));
+        }
+    }
+}

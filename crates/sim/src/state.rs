@@ -225,18 +225,20 @@ impl StateVector {
         }
     }
 
-    /// Construct from raw amplitudes without the unit-norm check — used by
-    /// the density-matrix representation, whose vec(ρ) is not a unit
-    /// vector mid-Kraus-sum.
-    pub(crate) fn raw_with_amplitudes(amps: Vec<Complex64>) -> Self {
+    /// Construct from raw amplitudes (no unit-norm check — a density
+    /// matrix's vec(ρ) is not a unit vector mid-Kraus-sum), inheriting
+    /// this state's pool and dispatch configuration — so a Kraus branch
+    /// built from a pooled density matrix keeps work-sharing its sweeps
+    /// instead of silently dropping to the sequential pool.
+    pub(crate) fn raw_with_amplitudes_like(&self, amps: Vec<Complex64>) -> Self {
         assert!(amps.len().is_power_of_two() && !amps.is_empty());
         let n = amps.len().trailing_zeros() as usize;
         StateVector {
             num_qubits: n,
             amps,
-            pool: ThreadPool::sequential(),
-            par_threshold: 2,
-            amp_shards: None,
+            pool: Arc::clone(&self.pool),
+            par_threshold: self.par_threshold,
+            amp_shards: self.amp_shards,
             scratch: Vec::new(),
             scratch_allocs: 0,
         }

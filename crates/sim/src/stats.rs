@@ -211,6 +211,30 @@ pub fn reset_shard_stats() {
     SHARD_EXCHANGES.store(0, Ordering::Relaxed);
 }
 
+// Shot-plan counter. One ShotPlan execution = one call into the batched
+// scheduler core; process-global like the cache counters so plans issued
+// from worker threads (e.g. grouped Pauli estimation inside an objective
+// evaluation) are visible to the asserting thread. Backing the grouped-VQE
+// "one plan per commuting group" guard in `noisy_guard`.
+
+static SHOT_PLANS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn record_shot_plan() {
+    SHOT_PLANS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Process-wide number of shot plans executed by the batched scheduler
+/// since the last [`reset_shot_plan_stats`] (empty plans — zero shots —
+/// are not counted).
+pub fn shot_plans_issued() -> u64 {
+    SHOT_PLANS.load(Ordering::Relaxed)
+}
+
+/// Zero the shot-plan counter.
+pub fn reset_shot_plan_stats() {
+    SHOT_PLANS.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,28 +17,42 @@ use std::sync::Arc;
 pub struct DensityAccelerator {
     pool: Arc<ThreadPool>,
     noise: NoiseModel,
+    /// Probability a measured bit is reported flipped, convolved exactly
+    /// onto the outcome distribution before sampling.
+    p_readout: f64,
 }
 
 impl DensityAccelerator {
     /// A density backend with the given noise model.
     pub fn new(threads: usize, noise: NoiseModel) -> Self {
+        noise.validate().expect("invalid noise model");
         DensityAccelerator {
             pool: Arc::new(qcor_pool::PoolBuilder::new().num_threads(threads).name("qpp-density").build()),
             noise,
+            p_readout: 0.0,
         }
     }
 
     /// Construct from registry params: `threads`, `depolarizing`,
-    /// `dephasing`, `amplitude-damping` (all default 0).
-    pub fn from_params(params: &HetMap) -> Self {
-        Self::new(
-            params.get_usize("threads").unwrap_or(1).max(1),
-            NoiseModel {
-                depolarizing: params.get_float("depolarizing").unwrap_or(0.0),
-                dephasing: params.get_float("dephasing").unwrap_or(0.0),
-                amplitude_damping: params.get_float("amplitude-damping").unwrap_or(0.0),
-            },
-        )
+    /// `dephasing`, `amplitude-damping` (all default 0) and
+    /// `readout-error` (default 0). Bad values are rejected with
+    /// [`XaccError::InvalidParam`].
+    pub fn from_params(params: &HetMap) -> Result<Self, XaccError> {
+        let noise = NoiseModel {
+            depolarizing: params.get_float("depolarizing").unwrap_or(0.0),
+            dephasing: params.get_float("dephasing").unwrap_or(0.0),
+            amplitude_damping: params.get_float("amplitude-damping").unwrap_or(0.0),
+        };
+        noise.validate().map_err(XaccError::InvalidParam)?;
+        let p_readout = params.get_float("readout-error").unwrap_or(0.0);
+        if !(0.0..=1.0).contains(&p_readout) {
+            return Err(XaccError::InvalidParam(format!(
+                "readout-error probability {p_readout} outside [0, 1]"
+            )));
+        }
+        let mut acc = Self::new(params.get_usize("threads").unwrap_or(1).max(1), noise);
+        acc.p_readout = p_readout;
+        Ok(acc)
     }
 
     /// The configured noise model.
@@ -71,6 +85,7 @@ impl Accelerator for DensityAccelerator {
         }
         let dist = DensityMatrix::run_noisy_circuit(circuit, Arc::clone(&self.pool), &self.noise)
             .map_err(XaccError::Execution)?;
+        let dist = qcor_sim::apply_readout_error(&dist, self.p_readout);
         // Sample `shots` outcomes from the exact distribution.
         let outcomes: Vec<(&String, f64)> = dist.iter().map(|(k, &p)| (k, p)).collect();
         let mut rng = match opts.seed {

@@ -212,13 +212,13 @@ pub fn global() -> &'static ServiceRegistry {
             Ok(Arc::new(backends::QppAccelerator::from_params(params)?) as Arc<dyn Accelerator>)
         });
         reg.register_factory_with_capability("qpp-noisy", BackendCapability::Noisy, |params| {
-            Ok(Arc::new(backends::NoisyQppAccelerator::from_params(params)) as Arc<dyn Accelerator>)
+            Ok(Arc::new(backends::NoisyQppAccelerator::from_params(params)?) as Arc<dyn Accelerator>)
         });
         reg.register_factory_with_capability("remote", BackendCapability::Remote, |params| {
             Ok(Arc::new(backends::RemoteAccelerator::from_params(params)) as Arc<dyn Accelerator>)
         });
         reg.register_factory_with_capability("qpp-density", BackendCapability::Density, |params| {
-            Ok(Arc::new(backends::DensityAccelerator::from_params(params)) as Arc<dyn Accelerator>)
+            Ok(Arc::new(backends::DensityAccelerator::from_params(params)?) as Arc<dyn Accelerator>)
         });
         reg.register_singleton(
             "qpp-legacy-shared",
